@@ -1,0 +1,32 @@
+# Convenience targets for the LiMiT reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments experiments-quick examples lint clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.experiments --out results/full
+
+experiments-quick:
+	$(PYTHON) -m repro.experiments --quick
+
+examples:
+	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f || exit 1; done
+
+# final artifacts, as specified in the reproduction brief
+outputs:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

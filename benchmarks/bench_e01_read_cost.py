@@ -1,0 +1,11 @@
+"""E1 bench: regenerate the single-read cost table (paper Table 1)."""
+
+from repro.experiments import e01_read_cost
+
+
+def test_e01_read_cost_table(regenerate):
+    result = regenerate(e01_read_cost.run)
+    # the abstract's headline: low tens of ns, 1-2 orders faster
+    assert 20 < result.metric("limit_ns") < 50
+    assert 10 < result.metric("papi_vs_limit") < 40
+    assert 60 < result.metric("perf_vs_limit") < 150

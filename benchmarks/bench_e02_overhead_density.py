@@ -1,0 +1,13 @@
+"""E2 bench: regenerate the slowdown-vs-instrumentation-density figure."""
+
+from repro.experiments import e02_overhead_density
+
+
+def test_e02_overhead_density_series(regenerate):
+    result = regenerate(e02_overhead_density.run)
+    assert result.metric("limit_slowdown_max_density") < 1.1
+    assert (
+        result.metric("limit_slowdown_max_density")
+        < result.metric("papi_slowdown_max_density")
+        < result.metric("perf_slowdown_max_density")
+    )

@@ -1,0 +1,9 @@
+"""E3 bench: regenerate the short-region precision figure."""
+
+from repro.experiments import e03_precision
+
+
+def test_e03_precision_figure(regenerate):
+    result = regenerate(e03_precision.run)
+    assert result.metric("limit_worst_err") < 0.01
+    assert result.metric("sampler_best_short_err") > 0.5

@@ -1,0 +1,9 @@
+"""E4 bench: regenerate the interrupted-read hazard table."""
+
+from repro.experiments import e04_atomicity
+
+
+def test_e04_atomicity_table(regenerate):
+    result = regenerate(e04_atomicity.run)
+    assert result.metric("safe_always_exact") == 1.0
+    assert result.metric("unsafe_worst_error") > 0

@@ -1,0 +1,10 @@
+"""E5 bench: regenerate the overflow-PMI-vs-counter-width figure."""
+
+from repro.experiments import e05_overflow
+
+
+def test_e05_overflow_figure(regenerate):
+    result = regenerate(e05_overflow.run)
+    assert result.metric("pmis_at_min_width") > 0
+    assert result.metric("wide_pmis") == 0
+    assert result.metric("overhead_at_16bit") > 0.01

@@ -1,0 +1,10 @@
+"""E6 bench: regenerate the MySQL synchronization case-study figure."""
+
+from repro.experiments import e06_mysql_sync
+
+
+def test_e06_mysql_sync_figure(regenerate):
+    result = regenerate(e06_mysql_sync.run)
+    assert result.metric("limit_slowdown") < result.metric("papi_slowdown")
+    assert result.metric("papi_hold_inflation") > 2.0
+    assert result.metric("mean_hold_cycles") < 24_000

@@ -1,0 +1,8 @@
+"""E7 bench: regenerate the critical-section length histograms."""
+
+from repro.experiments import e07_cs_histogram
+
+
+def test_e07_cs_histograms(regenerate):
+    result = regenerate(e07_cs_histogram.run)
+    assert result.metric("min_short_fraction") > 0.5

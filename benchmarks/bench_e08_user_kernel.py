@@ -1,0 +1,9 @@
+"""E8 bench: regenerate the user/kernel cycle breakdown figure."""
+
+from repro.experiments import e08_user_kernel
+
+
+def test_e08_user_kernel_breakdown(regenerate):
+    result = regenerate(e08_user_kernel.run)
+    assert result.metric("server_min_kernel_fraction") > 0.15
+    assert result.metric("spec_kernel_fraction") < 0.05

@@ -1,0 +1,11 @@
+"""E9 bench: regenerate the Firefox short-function profiling figure."""
+
+from repro.experiments import e09_firefox
+
+
+def test_e09_firefox_functions(regenerate):
+    result = regenerate(e09_firefox.run)
+    assert result.metric("limit_slowdown") < 1.1
+    assert result.metric("papi_slowdown") > 1.3
+    assert result.metric("limit_mean_rel_err") < 0.01
+    assert result.metric("sampler_resolution") < 1.0

@@ -1,0 +1,9 @@
+"""E10 bench: regenerate the classic-profiler comparison table."""
+
+from repro.experiments import e10_profilers
+
+
+def test_e10_profiler_comparison(regenerate):
+    result = regenerate(e10_profilers.run)
+    assert result.metric("limit_rel_err") < 0.01
+    assert result.metric("limit_rel_err") < result.metric("sampler_rel_err")

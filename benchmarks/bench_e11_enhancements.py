@@ -1,0 +1,10 @@
+"""E11 bench: regenerate the hardware-enhancement ablation table."""
+
+from repro.experiments import e11_enhancements
+
+
+def test_e11_enhancement_ablation(regenerate):
+    result = regenerate(e11_enhancements.run)
+    assert result.metric("overflow_overhead_removed") > 0
+    assert 0.1 < result.metric("destructive_read_saving") < 0.5
+    assert result.metric("hw_virt_kernel_saving") > 0.05

@@ -1,0 +1,10 @@
+"""E12 bench: regenerate the seven-implications summary table."""
+
+from repro.experiments import e12_implications
+
+
+def test_e12_implications_table(regenerate):
+    result = regenerate(e12_implications.run)
+    assert result.metric("n_implications") == 7.0
+    assert result.metric("limit_read_ns") < 50
+    assert result.metric("limit_slowdown") < result.metric("papi_slowdown")

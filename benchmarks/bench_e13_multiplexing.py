@@ -1,0 +1,9 @@
+"""E13 bench: regenerate the multiplexing-error extension table."""
+
+from repro.experiments import e13_multiplexing
+
+
+def test_e13_multiplexing_error(regenerate):
+    result = regenerate(e13_multiplexing.run)
+    assert result.metric("mux_worst_error") > 0.3
+    assert result.metric("limit_max_abs_error") == 0

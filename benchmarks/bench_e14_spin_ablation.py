@@ -1,0 +1,9 @@
+"""E14 bench: regenerate the spin-threshold ablation table."""
+
+from repro.experiments import e14_spin_ablation
+
+
+def test_e14_spin_ablation(regenerate):
+    result = regenerate(e14_spin_ablation.run)
+    assert result.metric("futex_reduction") > 0.3
+    assert result.metric("wall_default_spin") <= result.metric("wall_no_spin")

@@ -1,0 +1,11 @@
+"""E15 bench: regenerate the consolidation-across-sockets table."""
+
+from repro.experiments import e15_consolidation
+
+
+def test_e15_consolidation(regenerate):
+    result = regenerate(e15_consolidation.run)
+    assert result.metric("one_socket_cross_is_zero") == 1.0
+    assert result.metric("overcommit_kernel_cycles") > result.metric(
+        "two_socket_kernel_cycles"
+    )

@@ -1,0 +1,12 @@
+"""E16 bench: regenerate the behaviour-over-time figure."""
+
+from repro.experiments import e16_behavior_over_time
+
+
+def test_e16_behavior_over_time(regenerate):
+    result = regenerate(e16_behavior_over_time.run)
+    assert result.metric("all_reads_exact") == 1.0
+    assert result.metric("checkpoint_overhead") < 0.05
+    assert result.metric("gc_windows_detected") >= (
+        result.metric("true_gc_pauses") * 0.8
+    )

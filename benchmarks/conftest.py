@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_eNN_*.py`` regenerates one of the paper's evaluation artifacts
+(tables/figures E1..E12) under pytest-benchmark timing, asserts the paper's
+qualitative claim still holds, and writes the rendered artifact to
+``results/`` so the reproduced tables are inspectable after the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def regenerate(benchmark, results_dir):
+    """Run an experiment once under the benchmark timer, persist its
+    rendered artifact, and return the ExperimentResult."""
+
+    def _run(run_fn, quick: bool = True):
+        result = benchmark.pedantic(
+            lambda: run_fn(quick=quick), rounds=1, iterations=1
+        )
+        path = results_dir / f"{result.exp_id.lower()}.txt"
+        path.write_text(result.render() + "\n")
+        for key, value in result.metrics.items():
+            benchmark.extra_info[key] = round(float(value), 6)
+        return result
+
+    return _run

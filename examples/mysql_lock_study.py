@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""The MySQL synchronization case study (paper Section on case studies).
+
+Runs the MySQL model three ways — uninstrumented, with LiMiT-instrumented
+locks, and with PAPI-instrumented locks — and prints:
+
+* the synchronization profile only precise low-overhead access can obtain
+  (acquisition rates, hold/wait distributions), and
+* the observer effect: how each access technique perturbs the application
+  it is measuring.
+
+Run:  python examples/mysql_lock_study.py
+"""
+
+from repro import LimitSession, SimConfig, Event, run_program
+from repro.analysis import (
+    CS_HISTOGRAM_LABELS,
+    short_section_fraction,
+    sync_profile,
+)
+from repro.baselines import PapiLikeSession
+from repro.common.tables import render_histogram, render_table
+from repro.workloads import Instrumentation, MysqlConfig, MysqlWorkload
+
+MYSQL = MysqlConfig(n_workers=8, transactions_per_worker=60)
+CONFIG = SimConfig(seed=2026)
+
+
+def run_arm(instr):
+    result = run_program(MysqlWorkload(MYSQL).build(instr), CONFIG)
+    result.check_conservation()
+    return result
+
+
+def main() -> None:
+    # -- unperturbed ground truth -----------------------------------------
+    plain_result = run_arm(None)
+    profile = sync_profile(plain_result, prefix="mysql:")
+
+    print("MySQL synchronization profile (ground truth)")
+    print("=============================================")
+    freq = CONFIG.machine.frequency
+    print(
+        f"{profile.total_acquires} lock acquisitions "
+        f"({profile.acquires_per_mcycle:.1f} per Mcycle); "
+        f"mean hold {freq.cycles_to_ns(profile.mean_hold_cycles):.0f} ns; "
+        f"{short_section_fraction(profile):.0%} of sections < 1 us"
+    )
+    print(
+        f"cycles holding locks: {profile.hold_fraction:.1%}; "
+        f"waiting: {profile.wait_fraction:.2%}"
+    )
+    print()
+    print(render_histogram(
+        CS_HISTOGRAM_LABELS, profile.hold_histogram,
+        title="critical-section length distribution",
+    ))
+    print()
+
+    # -- perturbation comparison --------------------------------------------
+    limit_session = LimitSession([Event.CYCLES], count_kernel=True)
+    limit_result = run_arm(
+        Instrumentation(sessions=[limit_session], lock_reader=limit_session)
+    )
+    papi_session = PapiLikeSession([Event.CYCLES], count_kernel=True)
+    papi_result = run_arm(
+        Instrumentation(sessions=[papi_session], lock_reader=papi_session)
+    )
+
+    log_plain = plain_result.locks["mysql:log"]
+    log_limit = limit_result.locks["mysql:log"]
+    log_papi = papi_result.locks["mysql:log"]
+    print(render_table(
+        ["arm", "slowdown", "log-lock hold (cy)", "log contention"],
+        [
+            ["plain", 1.0, round(log_plain.mean_hold), f"{log_plain.contention_rate:.1%}"],
+            [
+                "limit locks",
+                round(limit_result.wall_cycles / plain_result.wall_cycles, 3),
+                round(log_limit.mean_hold),
+                f"{log_limit.contention_rate:.1%}",
+            ],
+            [
+                "papi locks",
+                round(papi_result.wall_cycles / plain_result.wall_cycles, 3),
+                round(log_papi.mean_hold),
+                f"{log_papi.contention_rate:.1%}",
+            ],
+        ],
+        title="observer effect of the access technique",
+    ))
+    print()
+    print(
+        "microsecond-cost reads inside every acquisition inflate the very "
+        "critical sections\nbeing measured; LiMiT's ~37 ns reads leave the "
+        "application essentially unperturbed."
+    )
+
+
+if __name__ == "__main__":
+    main()

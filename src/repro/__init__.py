@@ -1,0 +1,127 @@
+"""repro — reproduction of "Rapid identification of architectural
+bottlenecks via precise event counting" (Demme & Sethumadhavan, ISCA 2011).
+
+The package implements LiMiT — precise, low-overhead userspace access to
+virtualized performance counters — together with the full substrate it needs
+(a deterministic multicore simulator with a PMU-aware kernel), the baseline
+access techniques the paper compares against, generative models of the
+paper's application workloads, and the analysis/experiment harness that
+regenerates every evaluation artifact.
+
+Quickstart::
+
+    from repro import (
+        Compute, Event, EventRates, LimitSession, SimConfig, ThreadSpec,
+        run_program,
+    )
+
+    session = LimitSession([Event.CYCLES, Event.INSTRUCTIONS])
+    rates = EventRates.profile(ipc=1.5)
+
+    def main(ctx):
+        yield from session.setup(ctx)
+        start = yield from session.read_all(ctx)
+        yield Compute(1_000_000, rates)
+        end = yield from session.read_all(ctx)
+        ctx.scratch["delta"] = [e - s for s, e in zip(start, end)]
+
+    result = run_program([ThreadSpec("main", main)], SimConfig())
+"""
+
+from repro.common import (
+    CostModel,
+    Frequency,
+    KernelConfig,
+    LockConfig,
+    MachineConfig,
+    PmuConfig,
+    RandomStream,
+    ReproError,
+    SimConfig,
+    format_cycles,
+)
+from repro.core import (
+    DestructiveReadSession,
+    InstrumentedLock,
+    LimitSession,
+    PlainLock,
+    PreciseRegionProfiler,
+    RdtscReader,
+    UnsafeLimitSession,
+    with_all_enhancements,
+    with_hw_thread_virtualization,
+    with_wide_counters,
+)
+from repro.hw import Domain, Event, EventRates
+from repro.kernel import SlotSpec
+from repro.sim import (
+    Barrier,
+    BoundedQueue,
+    Compute,
+    CondVar,
+    Engine,
+    JoinThread,
+    LockAcquire,
+    LockRelease,
+    Rdtsc,
+    RegionBegin,
+    RegionEnd,
+    RunResult,
+    Semaphore,
+    Sleep,
+    SpawnThread,
+    Syscall,
+    ThreadContext,
+    ThreadSpec,
+    YieldCpu,
+    run_program,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Barrier",
+    "BoundedQueue",
+    "Compute",
+    "CondVar",
+    "CostModel",
+    "DestructiveReadSession",
+    "Domain",
+    "Engine",
+    "Event",
+    "EventRates",
+    "Frequency",
+    "InstrumentedLock",
+    "JoinThread",
+    "KernelConfig",
+    "LimitSession",
+    "LockAcquire",
+    "LockConfig",
+    "LockRelease",
+    "MachineConfig",
+    "PlainLock",
+    "PmuConfig",
+    "PreciseRegionProfiler",
+    "RandomStream",
+    "Rdtsc",
+    "RdtscReader",
+    "RegionBegin",
+    "RegionEnd",
+    "ReproError",
+    "RunResult",
+    "SimConfig",
+    "Semaphore",
+    "Sleep",
+    "SlotSpec",
+    "SpawnThread",
+    "Syscall",
+    "ThreadContext",
+    "ThreadSpec",
+    "UnsafeLimitSession",
+    "YieldCpu",
+    "format_cycles",
+    "run_program",
+    "with_all_enhancements",
+    "with_hw_thread_virtualization",
+    "with_wide_counters",
+]

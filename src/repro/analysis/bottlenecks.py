@@ -1,0 +1,128 @@
+"""Bottleneck identification — the paper's titular application.
+
+Combines the other analyses into a ranked diagnosis: given a run (measured
+precisely), report where the cycles go and which architectural resource is
+the limiter — memory hierarchy, branch prediction, synchronization, kernel
+time, or raw compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cpi_stack import build_cpi_stack, user_kernel_breakdown
+from repro.analysis.sync_stats import sync_profile
+from repro.sim.results import RunResult
+
+
+@dataclass(frozen=True)
+class Bottleneck:
+    """One diagnosed bottleneck."""
+
+    kind: str          #: 'memory' | 'branch' | 'tlb' | 'sync_wait' | 'kernel' | 'compute'
+    severity: float    #: fraction of cycles attributed (0..1)
+    detail: str
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """Full ranked diagnosis of one run."""
+
+    bottlenecks: list[Bottleneck]
+    kernel_fraction: float
+    sync_hold_fraction: float
+    sync_wait_fraction: float
+    cpi: float
+
+    @property
+    def primary(self) -> Bottleneck:
+        return self.bottlenecks[0]
+
+
+_STACK_KINDS = {
+    "llc_misses": ("memory", "last-level cache misses (DRAM latency bound)"),
+    "l2_misses": ("l2", "L2 misses hitting in LLC"),
+    "branch_misses": ("branch", "branch mispredictions (pipeline refills)"),
+    "dtlb_misses": ("tlb", "data-TLB misses (page walks)"),
+    "itlb_misses": ("tlb", "instruction-TLB misses"),
+    "remote_accesses": ("numa", "cross-socket memory accesses (NUMA latency)"),
+}
+
+
+def diagnose(result: RunResult, prefix: str = "") -> Diagnosis:
+    """Rank the architectural bottlenecks of (a thread group of) a run."""
+    threads = [t for t in result.threads.values() if t.name.startswith(prefix)]
+    if not threads:
+        raise ValueError(f"no threads match prefix {prefix!r}")
+
+    # merge user-domain counts across the group
+    merged: dict = {}
+    for t in threads:
+        for event, n in t.events_user.items():
+            merged[event] = merged.get(event, 0) + n
+    stack = build_cpi_stack(merged)
+    breakdown = user_kernel_breakdown(result, prefix)
+    sync = sync_profile(result)
+
+    total_cpu = sum(t.cpu_cycles for t in threads)
+    candidates: list[Bottleneck] = []
+    fractions = stack.fractions()
+    user_share = breakdown.user_cycles / total_cpu if total_cpu else 0.0
+    for comp, frac in fractions.items():
+        if comp == "base":
+            continue
+        kind, what = _STACK_KINDS.get(comp, (comp, comp))
+        candidates.append(
+            Bottleneck(kind=kind, severity=frac * user_share, detail=what)
+        )
+    if breakdown.kernel_fraction > 0:
+        candidates.append(
+            Bottleneck(
+                kind="kernel",
+                severity=breakdown.kernel_fraction,
+                detail=(
+                    f"{breakdown.kernel_fraction:.0%} of cpu cycles in the "
+                    "kernel (syscalls, scheduling, interrupts)"
+                ),
+            )
+        )
+    if sync.wait_fraction > 0:
+        candidates.append(
+            Bottleneck(
+                kind="sync_wait",
+                severity=sync.wait_fraction,
+                detail=(
+                    f"{sync.wait_fraction:.1%} of cpu cycles waiting on locks "
+                    f"({sync.total_acquires} acquisitions)"
+                ),
+            )
+        )
+    base_frac = fractions.get("base", 1.0) * user_share
+    candidates.append(
+        Bottleneck(
+            kind="compute",
+            severity=base_frac,
+            detail="cycles not attributable to stalls (issue-bound work)",
+        )
+    )
+    candidates.sort(key=lambda b: b.severity, reverse=True)
+    return Diagnosis(
+        bottlenecks=candidates,
+        kernel_fraction=breakdown.kernel_fraction,
+        sync_hold_fraction=sync.hold_fraction,
+        sync_wait_fraction=sync.wait_fraction,
+        cpi=stack.cpi,
+    )
+
+
+def describe(diagnosis: Diagnosis, top: int = 3) -> str:
+    """Human-readable multi-line summary of a diagnosis."""
+    lines = [
+        f"CPI {diagnosis.cpi:.2f}; kernel {diagnosis.kernel_fraction:.1%}; "
+        f"lock-hold {diagnosis.sync_hold_fraction:.1%}; "
+        f"lock-wait {diagnosis.sync_wait_fraction:.1%}",
+        "ranked bottlenecks:",
+    ]
+    for b in diagnosis.bottlenecks[:top]:
+        lines.append(f"  {b.severity:6.1%}  {b.kind:<9}  {b.detail}")
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""A/B comparison of two runs — the perturbation-study workhorse.
+
+Given a baseline run and a treatment run of the *same* workload (same
+seeds, different instrumentation / machine / kernel config), compute the
+slowdown, per-domain cycle inflation, scheduling-behaviour deltas and
+per-lock perturbation, and render them as a table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ReproError
+from repro.common.tables import render_table
+from repro.sim.results import RunResult
+
+
+def _ratio(b: float, a: float) -> float:
+    return b / a if a else float("inf") if b else 1.0
+
+
+@dataclass(frozen=True)
+class LockDelta:
+    """Perturbation of one lock between two runs."""
+
+    name: str
+    hold_inflation: float       #: treatment mean hold / baseline mean hold
+    contention_delta: float     #: treatment rate - baseline rate
+    acquires_match: bool
+
+
+@dataclass(frozen=True)
+class RunComparison:
+    """Structured diff of two runs."""
+
+    wall_ratio: float
+    user_ratio: float
+    kernel_ratio: float
+    switches_ratio: float
+    syscalls_ratio: float
+    lock_deltas: dict[str, LockDelta]
+
+    @property
+    def slowdown(self) -> float:
+        return self.wall_ratio
+
+    def worst_lock_inflation(self) -> float:
+        return max(
+            (d.hold_inflation for d in self.lock_deltas.values()), default=1.0
+        )
+
+
+def compare_runs(baseline: RunResult, treatment: RunResult) -> RunComparison:
+    """Compare a treatment run against its baseline.
+
+    Raises ReproError if the runs clearly aren't the same workload (thread
+    name sets differ).
+    """
+    base_names = {t.name for t in baseline.threads.values()}
+    treat_names = {t.name for t in treatment.threads.values()}
+    if base_names != treat_names:
+        raise ReproError(
+            "runs have different thread sets; comparison would be "
+            f"meaningless (only in baseline: {sorted(base_names - treat_names)[:3]}, "
+            f"only in treatment: {sorted(treat_names - base_names)[:3]})"
+        )
+
+    lock_deltas = {}
+    for name, base_stats in baseline.locks.items():
+        treat_stats = treatment.locks.get(name)
+        if treat_stats is None:
+            continue
+        lock_deltas[name] = LockDelta(
+            name=name,
+            hold_inflation=_ratio(treat_stats.mean_hold, base_stats.mean_hold),
+            contention_delta=(
+                treat_stats.contention_rate - base_stats.contention_rate
+            ),
+            acquires_match=treat_stats.n_acquires == base_stats.n_acquires,
+        )
+    return RunComparison(
+        wall_ratio=_ratio(treatment.wall_cycles, baseline.wall_cycles),
+        user_ratio=_ratio(
+            treatment.total_user_cycles(), baseline.total_user_cycles()
+        ),
+        kernel_ratio=_ratio(
+            treatment.total_kernel_cycles(), baseline.total_kernel_cycles()
+        ),
+        switches_ratio=_ratio(
+            treatment.kernel.n_context_switches,
+            baseline.kernel.n_context_switches,
+        ),
+        syscalls_ratio=_ratio(
+            treatment.kernel.syscall_total(), baseline.kernel.syscall_total()
+        ),
+        lock_deltas=lock_deltas,
+    )
+
+
+def render_comparison(
+    comparison: RunComparison,
+    baseline_label: str = "baseline",
+    treatment_label: str = "treatment",
+    top_locks: int = 5,
+) -> str:
+    """Text rendering of a comparison."""
+    rows = [
+        ["wall time", f"{comparison.wall_ratio:.3f}x"],
+        ["user cycles", f"{comparison.user_ratio:.3f}x"],
+        ["kernel cycles", f"{comparison.kernel_ratio:.3f}x"],
+        ["context switches", f"{comparison.switches_ratio:.2f}x"],
+        ["syscalls", f"{comparison.syscalls_ratio:.2f}x"],
+    ]
+    blocks = [
+        render_table(
+            ["metric", f"{treatment_label} / {baseline_label}"],
+            rows,
+            title="run comparison",
+        )
+    ]
+    if comparison.lock_deltas:
+        ranked = sorted(
+            comparison.lock_deltas.values(),
+            key=lambda d: d.hold_inflation,
+            reverse=True,
+        )[:top_locks]
+        blocks.append(
+            render_table(
+                ["lock", "hold inflation", "contention delta"],
+                [
+                    [
+                        d.name,
+                        f"{d.hold_inflation:.2f}x",
+                        f"{d.contention_delta:+.1%}",
+                    ]
+                    for d in ranked
+                ],
+                title="most-perturbed locks",
+            )
+        )
+    return "\n\n".join(blocks)

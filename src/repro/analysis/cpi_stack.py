@@ -1,0 +1,140 @@
+"""CPI stacks and user/kernel breakdowns from event counts.
+
+Given exact (or tool-observed) event counts, decompose cycles-per-
+instruction into a base component plus miss-event penalties — the classic
+way precise counters turn into *architectural bottleneck* diagnoses, which
+is the paper's titular use case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.events import Domain, Event
+from repro.sim.results import RunResult, ThreadResult
+
+#: Approximate cycle penalties per event on a Nehalem-class core. These are
+#: attribution weights for the stack, not simulation inputs.
+DEFAULT_PENALTIES: dict[Event, float] = {
+    Event.LLC_MISSES: 180.0,       # local memory access
+    Event.L2_MISSES: 28.0,         # LLC hit
+    Event.BRANCH_MISSES: 16.0,     # pipeline refill
+    Event.DTLB_MISSES: 30.0,       # page walk
+    Event.ITLB_MISSES: 30.0,
+    Event.REMOTE_ACCESSES: 120.0,  # extra latency of cross-socket memory
+}
+
+
+@dataclass
+class CpiStack:
+    """A decomposition of observed cycles for one measurement scope."""
+
+    cycles: int
+    instructions: int
+    components: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def base_cpi(self) -> float:
+        """CPI not attributed to any miss event."""
+        attributed = sum(self.components.values())
+        if not self.instructions:
+            return 0.0
+        return max(0.0, (self.cycles - attributed) / self.instructions)
+
+    def component_cpi(self, name: str) -> float:
+        if not self.instructions:
+            return 0.0
+        return self.components.get(name, 0.0) / self.instructions
+
+    def fractions(self) -> dict[str, float]:
+        """Cycle fraction per component, plus 'base'."""
+        if not self.cycles:
+            return {}
+        out = {name: v / self.cycles for name, v in self.components.items()}
+        out["base"] = max(0.0, 1.0 - sum(out.values()))
+        return out
+
+    def dominant_component(self) -> str:
+        """The largest non-base component, or 'base'."""
+        fracs = self.fractions()
+        if not fracs:
+            return "base"
+        return max(fracs, key=lambda k: fracs[k])
+
+
+def build_cpi_stack(
+    counts: dict[Event, int],
+    penalties: dict[Event, float] | None = None,
+) -> CpiStack:
+    """Build a CPI stack from an event-count dict (must include CYCLES and
+    INSTRUCTIONS for a meaningful result)."""
+    penalties = penalties or DEFAULT_PENALTIES
+    cycles = counts.get(Event.CYCLES, 0)
+    instructions = counts.get(Event.INSTRUCTIONS, 0)
+    components: dict[str, float] = {}
+    for event, penalty in penalties.items():
+        n = counts.get(event, 0)
+        if n:
+            # never attribute more than the observed cycles
+            components[event.value] = min(float(cycles), n * penalty)
+    stack = CpiStack(cycles=cycles, instructions=instructions)
+    # scale down proportionally if attribution exceeds total cycles
+    total_attr = sum(components.values())
+    if total_attr > cycles > 0:
+        scale = cycles / total_attr
+        components = {k: v * scale for k, v in components.items()}
+    stack.components = components
+    return stack
+
+
+def thread_cpi_stack(
+    thread: ThreadResult, domain: Domain | None = Domain.USER
+) -> CpiStack:
+    """CPI stack of one thread from ground truth."""
+    if domain is Domain.USER:
+        counts = thread.events_user
+    elif domain is Domain.KERNEL:
+        counts = thread.events_kernel
+    else:
+        counts = {}
+        for src in (thread.events_user, thread.events_kernel):
+            for event, n in src.items():
+                counts[event] = counts.get(event, 0) + n
+    return build_cpi_stack(counts)
+
+
+@dataclass(frozen=True)
+class UserKernelBreakdown:
+    """The E8 artifact: where cpu cycles go, per thread group."""
+
+    group: str
+    user_cycles: int
+    kernel_cycles: int
+    idle_wall_cycles: int      #: wall - cpu for the group's threads
+
+    @property
+    def cpu_cycles(self) -> int:
+        return self.user_cycles + self.kernel_cycles
+
+    @property
+    def kernel_fraction(self) -> float:
+        return self.kernel_cycles / self.cpu_cycles if self.cpu_cycles else 0.0
+
+
+def user_kernel_breakdown(result: RunResult, prefix: str = "") -> UserKernelBreakdown:
+    """Aggregate user/kernel split over threads whose name starts with
+    ``prefix`` (empty prefix = whole run)."""
+    threads = [t for t in result.threads.values() if t.name.startswith(prefix)]
+    user = sum(t.user_cycles for t in threads)
+    kernel = sum(t.kernel_cycles for t in threads)
+    wall = sum(t.wall_cycles for t in threads)
+    return UserKernelBreakdown(
+        group=prefix or "all",
+        user_cycles=user,
+        kernel_cycles=kernel,
+        idle_wall_cycles=max(0, wall - user - kernel),
+    )

@@ -1,0 +1,97 @@
+"""Derived microarchitectural metrics from raw event counts.
+
+The quantities architects actually discuss — IPC, MPKI, miss ratios,
+branch misprediction rates — derived from either ground-truth counts or a
+measurement session's observed values. All functions accept a plain
+``{Event: count}`` mapping so they work on both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.events import Event
+
+
+def _get(counts, event: Event) -> int:
+    return counts.get(event, 0)
+
+
+def ipc(counts) -> float:
+    """Instructions per cycle."""
+    cycles = _get(counts, Event.CYCLES)
+    return _get(counts, Event.INSTRUCTIONS) / cycles if cycles else 0.0
+
+
+def cpi(counts) -> float:
+    insn = _get(counts, Event.INSTRUCTIONS)
+    return _get(counts, Event.CYCLES) / insn if insn else 0.0
+
+
+def mpki(counts, miss_event: Event) -> float:
+    """Misses per kilo-instruction for any miss event."""
+    insn = _get(counts, Event.INSTRUCTIONS)
+    return 1000.0 * _get(counts, miss_event) / insn if insn else 0.0
+
+
+def llc_miss_ratio(counts) -> float:
+    """LLC misses / LLC references."""
+    refs = _get(counts, Event.LLC_REFERENCES)
+    return _get(counts, Event.LLC_MISSES) / refs if refs else 0.0
+
+
+def branch_miss_rate(counts) -> float:
+    """Mispredictions / branches."""
+    branches = _get(counts, Event.BRANCHES)
+    return _get(counts, Event.BRANCH_MISSES) / branches if branches else 0.0
+
+
+def stall_fraction(counts) -> float:
+    cycles = _get(counts, Event.CYCLES)
+    return _get(counts, Event.STALL_CYCLES) / cycles if cycles else 0.0
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """The standard derived-metric bundle for one count set."""
+
+    ipc: float
+    llc_mpki: float
+    l2_mpki: float
+    branch_miss_rate: float
+    dtlb_mpki: float
+    stall_fraction: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "ipc": self.ipc,
+            "llc_mpki": self.llc_mpki,
+            "l2_mpki": self.l2_mpki,
+            "branch_miss_rate": self.branch_miss_rate,
+            "dtlb_mpki": self.dtlb_mpki,
+            "stall_fraction": self.stall_fraction,
+        }
+
+
+def summarize(counts) -> MetricSummary:
+    """Compute the standard bundle from an event-count mapping."""
+    return MetricSummary(
+        ipc=ipc(counts),
+        llc_mpki=mpki(counts, Event.LLC_MISSES),
+        l2_mpki=mpki(counts, Event.L2_MISSES),
+        branch_miss_rate=branch_miss_rate(counts),
+        dtlb_mpki=mpki(counts, Event.DTLB_MISSES),
+        stall_fraction=stall_fraction(counts),
+    )
+
+
+def deltas_to_counts(events, start: list[int], end: list[int]) -> dict[Event, int]:
+    """Turn two read_all() snapshots into an event-count mapping.
+
+    >>> from repro.hw.events import Event
+    >>> deltas_to_counts([Event.CYCLES], [10], [110])
+    {Event.CYCLES: 100}
+    """
+    if not (len(events) == len(start) == len(end)):
+        raise ValueError("events/start/end must have matching lengths")
+    return {event: e - s for event, s, e in zip(events, start, end)}

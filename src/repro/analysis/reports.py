@@ -1,0 +1,148 @@
+"""Run-result export: structured JSON and a human-readable run report."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.analysis.cpi_stack import thread_cpi_stack, user_kernel_breakdown
+from repro.analysis.sync_stats import sync_profile
+from repro.common.tables import render_table
+from repro.hw.events import Domain
+from repro.sim.results import RunResult
+
+
+def result_to_dict(result: RunResult) -> dict[str, Any]:
+    """A JSON-serializable snapshot of a run (threads, cores, kernel
+    activity, locks, samples). Region per-invocation logs are summarized,
+    not dumped, to keep exports bounded."""
+    return {
+        "wall_cycles": result.wall_cycles,
+        "frequency_hz": result.config.machine.frequency.hz,
+        "n_cores": len(result.cores),
+        "threads": [
+            {
+                "tid": t.tid,
+                "name": t.name,
+                "user_cycles": t.user_cycles,
+                "kernel_cycles": t.kernel_cycles,
+                "wall_cycles": t.wall_cycles,
+                "context_switches": t.n_context_switches,
+                "migrations": t.n_migrations,
+                "syscalls": t.n_syscalls,
+                "read_restarts": t.read_restarts,
+                "events_user": {e.value: n for e, n in t.events_user.items()},
+                "events_kernel": {e.value: n for e, n in t.events_kernel.items()},
+                "regions": {
+                    name: {
+                        "invocations": rt.invocations,
+                        "user_cycles": rt.user_cycles,
+                        "kernel_cycles": rt.kernel_cycles,
+                    }
+                    for name, rt in t.regions.items()
+                },
+            }
+            for t in sorted(result.threads.values(), key=lambda t: t.tid)
+        ],
+        "cores": [
+            {
+                "core_id": c.core_id,
+                "final_time": c.final_time,
+                "busy_cycles": c.busy_cycles,
+                "user_cycles": c.user_cycles,
+                "kernel_cycles": c.kernel_cycles,
+                "utilization": c.utilization,
+            }
+            for c in result.cores
+        ],
+        "kernel": {
+            "context_switches": result.kernel.n_context_switches,
+            "timer_ticks": result.kernel.n_timer_ticks,
+            "pmis": result.kernel.n_pmis,
+            "counter_overflows": result.kernel.n_counter_overflows,
+            "samples": result.kernel.n_samples,
+            "futex_waits": result.kernel.n_futex_waits,
+            "futex_wakes": result.kernel.n_futex_wakes,
+            "steals": result.kernel.n_steals,
+            "syscalls": dict(result.kernel.n_syscalls),
+        },
+        "locks": {
+            name: {
+                "acquires": st.n_acquires,
+                "contended": st.n_contended,
+                "futex_sleeps": st.n_futex_sleeps,
+                "total_hold_cycles": st.total_hold,
+                "total_wait_cycles": st.total_wait,
+                "mean_hold_cycles": st.mean_hold,
+            }
+            for name, st in sorted(result.locks.items())
+        },
+        "n_samples": len(result.samples),
+    }
+
+
+def result_to_json(result: RunResult, indent: int = 2) -> str:
+    return json.dumps(result_to_dict(result), indent=indent, sort_keys=True)
+
+
+def run_report(result: RunResult, top_locks: int = 5) -> str:
+    """A multi-section text report of a finished run."""
+    freq = result.config.machine.frequency
+    sections = []
+
+    breakdown = user_kernel_breakdown(result)
+    sections.append(
+        f"run: {result.wall_cycles:,} cycles "
+        f"({freq.cycles_to_ms(result.wall_cycles):.2f} ms) on "
+        f"{len(result.cores)} cores; kernel share "
+        f"{breakdown.kernel_fraction:.1%}; "
+        f"{result.kernel.n_context_switches} switches, "
+        f"{result.kernel.syscall_total()} syscalls, "
+        f"{result.kernel.n_pmis} PMIs"
+    )
+
+    rows = []
+    for t in sorted(result.threads.values(), key=lambda t: -t.cpu_cycles):
+        stack = thread_cpi_stack(t, Domain.USER)
+        rows.append(
+            [
+                t.name,
+                t.user_cycles,
+                t.kernel_cycles,
+                round(stack.cpi, 2) if stack.instructions else "-",
+                t.n_context_switches,
+            ]
+        )
+    sections.append(
+        render_table(
+            ["thread", "user cy", "kernel cy", "cpi", "switches"],
+            rows,
+            title="threads",
+        )
+    )
+
+    profile = sync_profile(result)
+    if profile.total_acquires:
+        lock_rows = []
+        ranked = sorted(
+            profile.locks.values(), key=lambda s: -s.total_hold_cycles
+        )[:top_locks]
+        for summary in ranked:
+            lock_rows.append(
+                [
+                    summary.name,
+                    summary.n_acquires,
+                    f"{summary.contention_rate:.1%}",
+                    round(summary.mean_hold_cycles),
+                    round(summary.mean_wait_cycles),
+                ]
+            )
+        sections.append(
+            render_table(
+                ["lock", "acquires", "contended", "mean hold", "mean wait"],
+                lock_rows,
+                title=f"hottest locks (of {len(profile.locks)})",
+            )
+        )
+
+    return "\n\n".join(sections)

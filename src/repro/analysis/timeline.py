@@ -1,0 +1,169 @@
+"""Execution-timeline analysis from the engine's event trace.
+
+When a run is configured with ``trace=True`` the engine records scheduling
+and synchronization events. This module turns that stream into per-thread
+timelines (run/ready/blocked intervals), summary statistics (scheduling
+latency, time-state breakdowns) and an ASCII Gantt rendering — the kind of
+visualization one builds on top of precise measurement to *see* where a
+parallel program's time goes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ReproError
+from repro.sim.results import RunResult
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One contiguous state interval of a thread."""
+
+    state: str     #: 'run' | 'ready' | 'blocked'
+    start: int
+    end: int
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class ThreadTimeline:
+    """All intervals of one thread, in time order."""
+
+    tid: int
+    name: str
+    intervals: list[Interval] = field(default_factory=list)
+
+    def total(self, state: str) -> int:
+        return sum(i.length for i in self.intervals if i.state == state)
+
+    @property
+    def run_cycles(self) -> int:
+        return self.total("run")
+
+    @property
+    def ready_cycles(self) -> int:
+        """Cycles runnable but waiting for a core (scheduling latency)."""
+        return self.total("ready")
+
+    @property
+    def blocked_cycles(self) -> int:
+        return self.total("blocked")
+
+    @property
+    def span(self) -> tuple[int, int]:
+        if not self.intervals:
+            return (0, 0)
+        return (self.intervals[0].start, self.intervals[-1].end)
+
+
+def build_timelines(result: RunResult) -> dict[int, ThreadTimeline]:
+    """Reconstruct per-thread timelines from a traced run.
+
+    Raises ReproError if the run was not traced.
+    """
+    if not result.trace:
+        raise ReproError(
+            "run has no trace; construct the SimConfig with trace=True"
+        )
+    timelines: dict[int, ThreadTimeline] = {}
+    # per-tid: (state, since)
+    state: dict[int, tuple[str, int]] = {}
+
+    def timeline(tid: int) -> ThreadTimeline:
+        tl = timelines.get(tid)
+        if tl is None:
+            name = result.threads[tid].name if tid in result.threads else f"tid{tid}"
+            tl = ThreadTimeline(tid=tid, name=name)
+            timelines[tid] = tl
+        return tl
+
+    def close(tid: int, now: int, new_state: str | None) -> None:
+        prev = state.get(tid)
+        if prev is not None:
+            prev_state, since = prev
+            if now > since:
+                timeline(tid).intervals.append(Interval(prev_state, since, now))
+        if new_state is None:
+            state.pop(tid, None)
+        else:
+            state[tid] = (new_state, now)
+
+    for record in result.trace:
+        time, _core, tid, kind = record[0], record[1], record[2], record[3]
+        if kind == "ready":
+            close(tid, time, "ready")
+        elif kind == "switch_in":
+            close(tid, time, "run")
+        elif kind == "switch_out":
+            # requeued preemptions emit a 'ready' right after; blocked
+            # threads stay in 'blocked' until their wake 'ready'
+            close(tid, time, "blocked")
+        elif kind == "exit":
+            close(tid, time, None)
+        # lock/pmi records don't change the run state
+    # close any dangling intervals at the run horizon
+    horizon = result.wall_cycles
+    for tid in list(state):
+        close(tid, horizon, None)
+    return timelines
+
+
+@dataclass(frozen=True)
+class SchedulingStats:
+    """Aggregate scheduling behaviour of a traced run."""
+
+    mean_ready_cycles: float    #: average runnable-but-waiting time
+    max_ready_cycles: int
+    run_fraction: float         #: run / (run + ready + blocked)
+
+
+def scheduling_stats(timelines: dict[int, ThreadTimeline]) -> SchedulingStats:
+    ready = [tl.ready_cycles for tl in timelines.values()]
+    run = sum(tl.run_cycles for tl in timelines.values())
+    total = sum(
+        tl.run_cycles + tl.ready_cycles + tl.blocked_cycles
+        for tl in timelines.values()
+    )
+    return SchedulingStats(
+        mean_ready_cycles=sum(ready) / len(ready) if ready else 0.0,
+        max_ready_cycles=max(ready, default=0),
+        run_fraction=run / total if total else 0.0,
+    )
+
+
+_GANTT_CHARS = {"run": "#", "ready": "-", "blocked": "."}
+
+
+def render_gantt(
+    timelines: dict[int, ThreadTimeline],
+    width: int = 72,
+    horizon: int | None = None,
+) -> str:
+    """ASCII Gantt chart: one row per thread, '#'=running, '-'=ready,
+    '.'=blocked, ' '=not yet started / finished."""
+    if not timelines:
+        return "(no threads)"
+    if horizon is None:
+        horizon = max((tl.span[1] for tl in timelines.values()), default=1)
+    horizon = max(horizon, 1)
+    label_w = max(len(tl.name) for tl in timelines.values())
+    lines = []
+    for tid in sorted(timelines):
+        tl = timelines[tid]
+        row = [" "] * width
+        for interval in tl.intervals:
+            a = min(width - 1, interval.start * width // horizon)
+            b = min(width - 1, max(a, (interval.end - 1) * width // horizon))
+            char = _GANTT_CHARS.get(interval.state, "?")
+            for i in range(a, b + 1):
+                # running beats ready beats blocked when intervals collide
+                # on one cell after quantization
+                if row[i] == " " or char == "#" or (char == "-" and row[i] == "."):
+                    row[i] = char
+        lines.append(f"{tl.name.ljust(label_w)} |{''.join(row)}|")
+    legend = f"{'#'}=run  {'-'}=ready  {'.'}=blocked   (horizon {horizon:,} cy)"
+    return "\n".join(lines + [legend])

@@ -1,0 +1,18 @@
+"""Baseline measurement techniques the paper compares LiMiT against."""
+
+from repro.baselines.instrumenting import FlatProfileEntry, InstrumentingProfiler
+from repro.baselines.multiplexing import MultiplexedSession, MuxEstimate
+from repro.baselines.papi import PapiLikeSession
+from repro.baselines.perf_read import PerfReadSession
+from repro.baselines.sampling import RegionEstimate, SamplingProfiler
+
+__all__ = [
+    "FlatProfileEntry",
+    "InstrumentingProfiler",
+    "MultiplexedSession",
+    "MuxEstimate",
+    "PapiLikeSession",
+    "PerfReadSession",
+    "RegionEstimate",
+    "SamplingProfiler",
+]

@@ -1,0 +1,118 @@
+"""Counter multiplexing — how existing interfaces monitor more events than
+there are hardware counters, and why the result is an *estimate*.
+
+perf_event (and PAPI on top of it) time-share a physical counter across an
+event group, rotating on the scheduler tick, and scale each event's raw
+count by total-time / enabled-time. When program phases correlate with the
+rotation period, the extrapolation aliases and the estimates are wrong by
+large factors. LiMiT refuses to multiplex (allocation fails beyond the
+physical counters) precisely to keep reads exact; this module provides the
+multiplexed baseline so experiment E13 can quantify the error LiMiT's
+refusal avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Iterable
+
+from repro.common.errors import SessionError
+from repro.hw.events import Event
+from repro.sim.ops import Syscall
+from repro.sim.program import ThreadContext
+
+
+@dataclass(frozen=True)
+class MuxEstimate:
+    """One event's multiplexed reading."""
+
+    event: Event
+    raw_count: int        #: events counted while the slot was live
+    enabled_cpu: int      #: cpu cycles the event was live
+    total_cpu: int        #: cpu cycles since the group was opened
+    truth: int            #: ground truth (engine-side, for scoring)
+
+    @property
+    def scaled(self) -> float:
+        """The time-extrapolated estimate perf would report."""
+        if self.enabled_cpu <= 0:
+            return 0.0
+        return self.raw_count * (self.total_cpu / self.enabled_cpu)
+
+    @property
+    def relative_error(self) -> float:
+        if self.truth == 0:
+            return 0.0 if self.scaled == 0 else float("inf")
+        return abs(self.scaled - self.truth) / self.truth
+
+
+class MultiplexedSession:
+    """Monitor N events on one physical counter via kernel rotation."""
+
+    def __init__(
+        self,
+        events: Iterable[Event],
+        count_kernel: bool = False,
+        name: str = "mux",
+    ) -> None:
+        self.events = list(events)
+        if not self.events:
+            raise SessionError("a multiplexed session needs events")
+        self.count_kernel = count_kernel
+        self.name = name
+        self.slots: dict[int, int] = {}
+        self.estimates: list[MuxEstimate] = []
+
+    def setup(self, ctx: ThreadContext) -> Generator[Any, Any, None]:
+        if ctx.tid in self.slots:
+            raise SessionError(
+                f"session {self.name!r} already set up on thread {ctx.tid}"
+            )
+        idx = yield Syscall(
+            "mux_open", (tuple(self.events), True, self.count_kernel)
+        )
+        self.slots[ctx.tid] = idx
+
+    def teardown(self, ctx: ThreadContext) -> Generator[Any, Any, int]:
+        if ctx.tid not in self.slots:
+            raise SessionError(
+                f"session {self.name!r} not set up on thread {ctx.tid}"
+            )
+        rotations = yield Syscall("mux_close", ())
+        del self.slots[ctx.tid]
+        return rotations
+
+    def read_all(self, ctx: ThreadContext) -> Generator[Any, Any, list[MuxEstimate]]:
+        """Read the whole group; returns scaled estimates with ground truth
+        attached for post-run accuracy scoring."""
+        if ctx.tid not in self.slots:
+            raise SessionError(
+                f"session {self.name!r} not set up on thread {ctx.tid}"
+            )
+        triples = yield Syscall("mux_read", ())
+        truths = ctx.scratch.pop("_mux_truth")
+        batch = [
+            MuxEstimate(
+                event=event,
+                raw_count=count,
+                enabled_cpu=enabled,
+                total_cpu=total,
+                truth=truth,
+            )
+            for event, (count, enabled, total), truth in zip(
+                self.events, triples, truths
+            )
+        ]
+        self.estimates.extend(batch)
+        return batch
+
+    def worst_relative_error(self) -> float:
+        return max((e.relative_error for e in self.estimates), default=0.0)
+
+    def mean_relative_error(self) -> float:
+        finite = [
+            e.relative_error
+            for e in self.estimates
+            if e.relative_error != float("inf")
+        ]
+        return sum(finite) / len(finite) if finite else 0.0

@@ -1,0 +1,56 @@
+"""Shared utilities: units, configuration, deterministic RNG, errors, tables."""
+
+from repro.common.config import (
+    CostModel,
+    KernelConfig,
+    LockConfig,
+    MachineConfig,
+    PmuConfig,
+    SimConfig,
+)
+from repro.common.errors import (
+    ConfigError,
+    CounterError,
+    ExperimentError,
+    LockProtocolError,
+    ReproError,
+    SchedulerError,
+    SessionError,
+    SimulationError,
+)
+from repro.common.rng import RandomStream, derive_seed
+from repro.common.tables import render_histogram, render_series, render_table
+from repro.common.units import (
+    DEFAULT_FREQUENCY,
+    Frequency,
+    events_per_million,
+    format_cycles,
+    per_kilo_instruction,
+)
+
+__all__ = [
+    "ConfigError",
+    "CostModel",
+    "CounterError",
+    "DEFAULT_FREQUENCY",
+    "ExperimentError",
+    "Frequency",
+    "KernelConfig",
+    "LockConfig",
+    "LockProtocolError",
+    "MachineConfig",
+    "PmuConfig",
+    "RandomStream",
+    "ReproError",
+    "SchedulerError",
+    "SessionError",
+    "SimConfig",
+    "SimulationError",
+    "derive_seed",
+    "events_per_million",
+    "format_cycles",
+    "per_kilo_instruction",
+    "render_histogram",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """Raised when a configuration value is invalid or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """Raised when the simulation reaches an impossible state.
+
+    Seeing this exception indicates a bug in the simulator or a malformed
+    user program (e.g. releasing a lock the thread does not hold).
+    """
+
+
+class CounterError(ReproError):
+    """Raised on invalid PMU operations (bad index, double allocation...)."""
+
+
+class SessionError(ReproError):
+    """Raised on misuse of a measurement session (read before setup, ...)."""
+
+
+class SchedulerError(SimulationError):
+    """Raised when the scheduler invariants are violated."""
+
+
+class LockProtocolError(SimulationError):
+    """Raised on lock misuse: double release, releasing an unowned lock."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment is configured or assembled incorrectly."""

@@ -1,0 +1,117 @@
+"""Deterministic random-number streams.
+
+Each simulated thread / workload component derives its own independent stream
+from a root seed plus a string key, so that (a) simulations are exactly
+reproducible given a seed, and (b) changing the number of threads in one
+workload does not perturb the random choices made by another.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from typing import Sequence
+
+
+def derive_seed(root_seed: int, *keys: str | int) -> int:
+    """Derive a 64-bit child seed from ``root_seed`` and a key path.
+
+    Uses SHA-256 over the textual key path, which is stable across Python
+    versions and process invocations (unlike ``hash()``).
+    """
+    material = repr(root_seed) + "\x00" + "\x00".join(str(k) for k in keys)
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class RandomStream:
+    """A seeded random stream with the distributions workloads need.
+
+    Thin wrapper over :class:`random.Random` adding integer-cycle helpers and
+    a couple of distributions (bounded lognormal, zipf) that the workload
+    models use repeatedly.
+    """
+
+    def __init__(self, root_seed: int, *keys: str | int) -> None:
+        self.seed = derive_seed(root_seed, *keys)
+        self._rng = random.Random(self.seed)
+
+    def child(self, *keys: str | int) -> "RandomStream":
+        """Derive an independent child stream."""
+        return RandomStream(self.seed, *keys)
+
+    # -- basic delegations ------------------------------------------------
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def randint(self, lo: int, hi: int) -> int:
+        return self._rng.randint(lo, hi)
+
+    def uniform(self, lo: float, hi: float) -> float:
+        return self._rng.uniform(lo, hi)
+
+    def choice(self, seq: Sequence):
+        return self._rng.choice(seq)
+
+    def shuffle(self, seq: list) -> None:
+        self._rng.shuffle(seq)
+
+    def sample(self, seq: Sequence, k: int) -> list:
+        return self._rng.sample(seq, k)
+
+    def expovariate(self, mean: float) -> float:
+        """Exponential with the given *mean* (not rate)."""
+        if mean <= 0:
+            return 0.0
+        return self._rng.expovariate(1.0 / mean)
+
+    # -- cycle-valued helpers ---------------------------------------------
+
+    def exp_cycles(self, mean_cycles: float, minimum: int = 1) -> int:
+        """Exponentially distributed integer cycle count with given mean."""
+        return max(minimum, round(self.expovariate(mean_cycles)))
+
+    def lognormal_cycles(
+        self,
+        median_cycles: float,
+        sigma: float,
+        minimum: int = 1,
+        maximum: int | None = None,
+    ) -> int:
+        """Lognormally distributed integer cycle count.
+
+        ``median_cycles`` is the distribution median (``exp(mu)``), which is
+        a far more intuitive parameter than ``mu`` itself. Critical-section
+        lengths and short-function durations are classically lognormal-ish.
+        """
+        mu = math.log(max(median_cycles, 1e-9))
+        value = round(self._rng.lognormvariate(mu, sigma))
+        value = max(minimum, value)
+        if maximum is not None:
+            value = min(maximum, value)
+        return value
+
+    def zipf_index(self, n: int, skew: float = 1.0) -> int:
+        """Pick an index in [0, n) with a Zipf-like popularity skew.
+
+        Used e.g. to pick which table lock a transaction touches: a few
+        locks are hot, most are cold, matching server-workload behaviour.
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if n == 1:
+            return 0
+        weights = [1.0 / (i + 1) ** skew for i in range(n)]
+        total = sum(weights)
+        target = self._rng.random() * total
+        acc = 0.0
+        for i, w in enumerate(weights):
+            acc += w
+            if target <= acc:
+                return i
+        return n - 1
+
+    def bernoulli(self, p: float) -> bool:
+        return self._rng.random() < p

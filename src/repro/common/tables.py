@@ -1,0 +1,115 @@
+"""Plain-text table and histogram rendering for experiment output.
+
+Experiments print their reproduced tables/figures as monospace text, in the
+same rows/series layout the paper reports. No plotting dependency is used.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+    align_right_from: int = 1,
+) -> str:
+    """Render a text table.
+
+    ``align_right_from`` gives the first column index that is right-aligned
+    (numeric columns); earlier columns are left-aligned (labels).
+
+    >>> print(render_table(["name", "n"], [["a", 1]]))
+    name | n
+    -----+--
+    a    | 1
+    """
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i >= align_right_from:
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return " | ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_histogram(
+    bins: Sequence[str],
+    counts: Sequence[int | float],
+    title: str | None = None,
+    width: int = 50,
+) -> str:
+    """Render a horizontal ASCII bar chart (the text stand-in for a figure).
+
+    >>> out = render_histogram(["<1us", "<10us"], [30, 10])
+    >>> "<1us" in out and "#" in out
+    True
+    """
+    if len(bins) != len(counts):
+        raise ValueError("bins and counts must have the same length")
+    peak = max((float(c) for c in counts), default=0.0)
+    label_w = max((len(b) for b in bins), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    total = sum(float(c) for c in counts)
+    for label, count in zip(bins, counts):
+        frac = (float(count) / peak) if peak > 0 else 0.0
+        bar = "#" * max(0, round(frac * width))
+        pct = (100.0 * float(count) / total) if total > 0 else 0.0
+        lines.append(f"{label.ljust(label_w)} | {bar} {_cell(count)} ({pct:.1f}%)")
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    series: dict[str, Sequence[float]],
+    x_values: Sequence,
+    title: str | None = None,
+) -> str:
+    """Render multiple y-series against shared x values as a table.
+
+    This is how "figure" experiments emit their line-chart data.
+    """
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(x_values):
+        row = [x] + [ys[i] for ys in series.values()]
+        rows.append(row)
+    return render_table(headers, rows, title=title)

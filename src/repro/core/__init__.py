@@ -1,0 +1,47 @@
+"""LiMiT — precise, low-overhead performance-counter access (the paper's
+primary contribution), implemented against the simulated machine."""
+
+from repro.core.calibration import Calibration, calibrate
+from repro.core.enhancements import (
+    with_all_enhancements,
+    with_hw_thread_virtualization,
+    with_wide_counters,
+)
+from repro.core.limit import (
+    DestructiveReadSession,
+    LimitSession,
+    ReadRecord,
+    UnsafeLimitSession,
+)
+from repro.core.locks import (
+    InstrumentedLock,
+    LockObservation,
+    PlainLock,
+    RdtscReader,
+)
+from repro.core.process import ProcessCounters, ProcessTotals
+from repro.core.read_protocol import destructive_read, safe_read, unsafe_read
+from repro.core.regions import PreciseRegionProfiler, RegionObservation
+
+__all__ = [
+    "Calibration",
+    "DestructiveReadSession",
+    "InstrumentedLock",
+    "LimitSession",
+    "LockObservation",
+    "PlainLock",
+    "PreciseRegionProfiler",
+    "ProcessCounters",
+    "ProcessTotals",
+    "RdtscReader",
+    "ReadRecord",
+    "RegionObservation",
+    "UnsafeLimitSession",
+    "calibrate",
+    "destructive_read",
+    "safe_read",
+    "unsafe_read",
+    "with_all_enhancements",
+    "with_hw_thread_virtualization",
+    "with_wide_counters",
+]

@@ -1,0 +1,89 @@
+"""Runtime calibration of measurement overheads.
+
+On real hardware you don't get to read the cost model out of a config
+object — you measure it: spin N reads between two timestamps, subtract the
+timestamp cost, divide. Tools then subtract the calibrated constants from
+their deltas (as LiMiT's userspace library did).
+
+:func:`calibrate` performs exactly that procedure on the simulated
+machine, so analyses can be written against *measured* overheads and work
+identically whether or not the cost model is known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.papi import PapiLikeSession
+from repro.baselines.perf_read import PerfReadSession
+from repro.common.config import SimConfig
+from repro.core.limit import DestructiveReadSession, LimitSession
+from repro.core.locks import RdtscReader
+from repro.hw.events import Event
+from repro.sim.engine import run_program
+from repro.workloads.microbench import ReadCostMicrobench
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Measured per-read costs (cycles, averaged over a calibration loop)."""
+
+    rdtsc_cycles: float
+    limit_read_cycles: float
+    destructive_read_cycles: float
+    papi_read_cycles: float
+    perf_read_cycles: float
+    n_reads: int
+
+    @property
+    def limit_delta_overhead(self) -> float:
+        """Overhead inside a two-read LiMiT delta ≈ one full read (see
+        CostModel.limit_delta_overhead for the derivation)."""
+        return self.limit_read_cycles
+
+    @property
+    def papi_delta_overhead(self) -> float:
+        return self.papi_read_cycles
+
+    @property
+    def papi_vs_limit(self) -> float:
+        return self.papi_read_cycles / self.limit_read_cycles
+
+    @property
+    def perf_vs_limit(self) -> float:
+        return self.perf_read_cycles / self.limit_read_cycles
+
+
+def _measure(reader_factory, technique: str, n_reads: int,
+             config: SimConfig) -> float:
+    bench = ReadCostMicrobench(
+        reader_factory(), n_reads=n_reads, technique=technique
+    )
+    result = run_program(bench.build(), config)
+    result.check_conservation()
+    assert bench.result is not None
+    return bench.result.cycles_per_read
+
+
+def calibrate(config: SimConfig | None = None, n_reads: int = 2_000) -> Calibration:
+    """Measure every technique's read cost on the given machine."""
+    config = config or SimConfig()
+    return Calibration(
+        rdtsc_cycles=_measure(RdtscReader, "rdtsc", n_reads, config),
+        limit_read_cycles=_measure(
+            lambda: LimitSession([Event.CYCLES]), "limit", n_reads, config
+        ),
+        destructive_read_cycles=_measure(
+            lambda: DestructiveReadSession([Event.CYCLES]),
+            "destructive",
+            n_reads,
+            config,
+        ),
+        papi_read_cycles=_measure(
+            lambda: PapiLikeSession([Event.CYCLES]), "papi", n_reads, config
+        ),
+        perf_read_cycles=_measure(
+            lambda: PerfReadSession([Event.CYCLES]), "perf_read", n_reads, config
+        ),
+        n_reads=n_reads,
+    )

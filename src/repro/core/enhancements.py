@@ -1,0 +1,34 @@
+"""The paper's three proposed hardware counter enhancements (E11).
+
+1. **Wide (64-bit) counters** — overflow virtually never happens, so the
+   kernel takes no overflow PMIs: :func:`with_wide_counters`.
+2. **Destructive reads** — a read-and-reset instruction shortens the read
+   sequence and removes the interrupted-read window:
+   :class:`repro.core.limit.DestructiveReadSession`.
+3. **Hardware thread virtualization** — the PMU saves/restores counters per
+   hardware thread itself, removing the kernel's per-context-switch
+   save/restore work: :func:`with_hw_thread_virtualization`.
+
+Each helper returns a modified :class:`SimConfig`; experiment E11 runs the
+same workload across the on/off matrix.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import SimConfig
+
+
+def with_wide_counters(config: SimConfig) -> SimConfig:
+    """64-bit architectural counters (enhancement 1)."""
+    return config.with_pmu(wide_counters=True)
+
+
+def with_hw_thread_virtualization(config: SimConfig) -> SimConfig:
+    """PMU-side per-thread counter save/restore (enhancement 3)."""
+    return config.with_kernel(hw_thread_virtualization=True)
+
+
+def with_all_enhancements(config: SimConfig) -> SimConfig:
+    """All three hardware enhancements at once (destructive reads are a
+    session choice; the config side enables the other two)."""
+    return with_hw_thread_virtualization(with_wide_counters(config))

@@ -1,0 +1,262 @@
+"""LiMiT sessions: the public measurement API of the reproduction.
+
+A :class:`LimitSession` owns a set of virtualized counters (one per event)
+for every thread that calls :meth:`setup`. Reads are precise, userspace-only
+and cost tens of nanoseconds; every read is recorded together with the
+simulator's ground truth so accuracy can be audited after the run.
+
+Typical use inside a thread program::
+
+    session = LimitSession([Event.CYCLES, Event.LLC_MISSES])
+
+    def worker(ctx):
+        yield from session.setup(ctx)
+        start = yield from session.read(ctx, 0)
+        yield Compute(100_000, rates)
+        end = yield from session.read(ctx, 0)
+        # end - start == exact cycles, measurement overhead included
+        yield from session.teardown(ctx)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Iterable, Sequence
+
+from repro.common.errors import SessionError
+from repro.core.read_protocol import destructive_read, safe_read, unsafe_read
+from repro.hw.events import Event
+from repro.kernel.vpmu import SlotSpec
+from repro.sim.ops import Syscall
+from repro.sim.program import ThreadContext
+
+
+@dataclass(frozen=True)
+class ReadRecord:
+    """One counter read as observed by the tool, plus ground truth."""
+
+    tid: int
+    time: int            #: simulated time when the read completed
+    slot: int            #: physical/virtual slot index
+    event: Event
+    value: int           #: what the tool saw
+    truth: int           #: exact count at the rdpmc instant (engine ground truth)
+    protocol: str        #: 'safe' | 'unsafe' | 'destructive'
+
+    @property
+    def error(self) -> int:
+        return self.value - self.truth
+
+
+def _as_spec(entry: Event | SlotSpec, count_kernel: bool) -> SlotSpec:
+    if isinstance(entry, SlotSpec):
+        return entry
+    if isinstance(entry, Event):
+        return SlotSpec(
+            event=entry,
+            count_user=True,
+            count_kernel=count_kernel,
+            mode="count",
+            owner="limit",
+            user_readable=True,
+        )
+    raise SessionError(f"cannot make a counter spec from {entry!r}")
+
+
+class LimitSession:
+    """Precise low-overhead counter access (the paper's contribution)."""
+
+    #: protocol used by :meth:`read`; subclasses override.
+    default_protocol = "safe"
+
+    def __init__(
+        self,
+        events: Iterable[Event | SlotSpec],
+        count_kernel: bool = False,
+        name: str = "limit",
+    ) -> None:
+        self.name = name
+        self.specs: list[SlotSpec] = [_as_spec(e, count_kernel) for e in events]
+        if not self.specs:
+            raise SessionError("a session needs at least one event")
+        #: per-thread slot indices, filled by setup()
+        self.slots: dict[int, list[int]] = {}
+        self.records: list[ReadRecord] = []
+
+    # -- lifecycle (generators; use with `yield from`) ----------------------
+
+    def setup(self, ctx: ThreadContext) -> Generator[Any, Any, None]:
+        """Open this session's counters for the calling thread."""
+        if ctx.tid in self.slots:
+            raise SessionError(
+                f"session {self.name!r} already set up on thread {ctx.tid}"
+            )
+        indices: list[int] = []
+        for spec in self.specs:
+            idx = yield Syscall("pmc_open", (spec,))
+            indices.append(idx)
+        self.slots[ctx.tid] = indices
+
+    def teardown(self, ctx: ThreadContext) -> Generator[Any, Any, None]:
+        """Close the calling thread's counters."""
+        for idx in self._indices(ctx):
+            yield Syscall("pmc_close", (idx,))
+        del self.slots[ctx.tid]
+
+    # -- reads ----------------------------------------------------------------
+
+    def read(self, ctx: ThreadContext, i: int = 0) -> Generator[Any, Any, int]:
+        """Read counter ``i`` with the session's default protocol."""
+        protocol = self.default_protocol
+        if protocol == "safe":
+            return (yield from self.read_safe(ctx, i))
+        if protocol == "unsafe":
+            return (yield from self.read_unsafe(ctx, i))
+        if protocol == "destructive":
+            return (yield from self.read_destructive(ctx, i))
+        raise SessionError(f"unknown protocol {protocol!r}")  # pragma: no cover
+
+    def read_safe(self, ctx: ThreadContext, i: int = 0) -> Generator[Any, Any, int]:
+        """The LiMiT precise read (restart-on-interruption)."""
+        idx = self._slot(ctx, i)
+        value = yield from safe_read(idx, ctx.costs)
+        self._record(ctx, idx, i, value, "safe")
+        return value
+
+    def read_unsafe(self, ctx: ThreadContext, i: int = 0) -> Generator[Any, Any, int]:
+        """The unprotected read (ablation arm of experiment E4)."""
+        idx = self._slot(ctx, i)
+        value = yield from unsafe_read(idx, ctx.costs)
+        self._record(ctx, idx, i, value, "unsafe")
+        return value
+
+    def read_destructive(
+        self, ctx: ThreadContext, i: int = 0
+    ) -> Generator[Any, Any, int]:
+        """Read-and-reset (proposed hardware enhancement); returns a delta."""
+        idx = self._slot(ctx, i)
+        value = yield from destructive_read(idx, ctx.costs)
+        self._record(ctx, idx, i, value, "destructive")
+        return value
+
+    def read_all(self, ctx: ThreadContext) -> Generator[Any, Any, list[int]]:
+        """Read every counter of the session, in order."""
+        values = []
+        for i in range(len(self.specs)):
+            values.append((yield from self.read(ctx, i)))
+        return values
+
+    def delta(
+        self,
+        ctx: ThreadContext,
+        body: Generator[Any, Any, Any],
+        i: int = 0,
+    ) -> Generator[Any, Any, tuple[int, Any]]:
+        """Measure the exact event count across ``body``.
+
+        Returns ``(delta, body_result)``. Overhead of the closing read is
+        *excluded* from the delta; the opening read's trailing cycles are
+        included — exactly the asymmetry a real instrumented region has.
+        """
+        start = yield from self.read(ctx, i)
+        result = yield from body
+        end = yield from self.read(ctx, i)
+        return end - start, result
+
+    def measure_all(
+        self,
+        ctx: ThreadContext,
+        body: Generator[Any, Any, Any],
+    ) -> Generator[Any, Any, tuple[dict[Event, int], Any]]:
+        """Measure ``body`` across every counter of the session at once.
+
+        Returns ``({event: delta}, body_result)``. Like :meth:`delta`, each
+        counter's delta includes one read's worth of in-band overhead (the
+        calibrated ``limit_delta_overhead`` constant, scaled by position in
+        the read batch for multi-counter sessions).
+        """
+        start = yield from self.read_all(ctx)
+        result = yield from body
+        end = yield from self.read_all(ctx)
+        deltas = {
+            spec.event: e - s
+            for spec, s, e in zip(self.specs, start, end)
+        }
+        return deltas, result
+
+    # -- post-run record access -----------------------------------------------
+
+    def records_for(self, tid: int) -> list[ReadRecord]:
+        return [r for r in self.records if r.tid == tid]
+
+    def errors(self) -> list[int]:
+        """Signed value-minus-truth error of every recorded read."""
+        return [r.error for r in self.records]
+
+    def max_abs_error(self) -> int:
+        return max((abs(e) for e in self.errors()), default=0)
+
+    # -- internals -----------------------------------------------------------
+
+    def _indices(self, ctx: ThreadContext) -> Sequence[int]:
+        try:
+            return self.slots[ctx.tid]
+        except KeyError:
+            raise SessionError(
+                f"session {self.name!r} not set up on thread {ctx.tid}; "
+                "call `yield from session.setup(ctx)` first"
+            ) from None
+
+    def _slot(self, ctx: ThreadContext, i: int) -> int:
+        indices = self._indices(ctx)
+        if not 0 <= i < len(indices):
+            raise SessionError(
+                f"session {self.name!r} has {len(indices)} counters; "
+                f"index {i} out of range"
+            )
+        return indices[i]
+
+    def _record(
+        self, ctx: ThreadContext, idx: int, i: int, value: int, protocol: str
+    ) -> None:
+        thread = ctx.thread()
+        truth = thread.last_rdpmc_truth if thread.last_rdpmc_truth is not None else 0
+        self.records.append(
+            ReadRecord(
+                tid=ctx.tid,
+                time=ctx.now(),
+                slot=idx,
+                event=self.specs[i].event,
+                value=value,
+                truth=truth,
+                protocol=protocol,
+            )
+        )
+
+
+class UnsafeLimitSession(LimitSession):
+    """A LimitSession whose plain :meth:`read` uses the unprotected
+    sequence — the what-if-LiMiT-had-no-restart-protocol arm of E4."""
+
+    default_protocol = "unsafe"
+
+
+class DestructiveReadSession(LimitSession):
+    """A session using the proposed read-and-reset instruction (E11b).
+
+    Reads return deltas; :meth:`read_total` accumulates them into a running
+    total per (thread, counter) so callers can treat it like a monotonic
+    counter at lower cost and with no restart protocol.
+    """
+
+    default_protocol = "destructive"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._totals: dict[tuple[int, int], int] = {}
+
+    def read_total(self, ctx: ThreadContext, i: int = 0) -> Generator[Any, Any, int]:
+        delta = yield from self.read_destructive(ctx, i)
+        key = (ctx.tid, i)
+        self._totals[key] = self._totals.get(key, 0) + delta
+        return self._totals[key]

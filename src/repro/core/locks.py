@@ -1,0 +1,144 @@
+"""Instrumented locks: the measurement vehicle of the synchronization case
+studies (experiments E6/E7).
+
+An :class:`InstrumentedLock` wraps the raw lock ops with counter reads so a
+program can attribute *wait* (acquisition path) and *hold* (critical
+section) costs per lock — exactly what the paper does to MySQL/Apache/
+Firefox. The reader is pluggable: a LiMiT session perturbs each acquisition
+by ~2 reads x ~90 cycles; a PAPI-like session perturbs it by ~2 x ~2000
+cycles *inside or around the critical section*, which is the perturbation
+effect E6 demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Protocol
+
+from repro.common.errors import SessionError
+from repro.sim.ops import LockAcquire, LockRelease, Rdtsc
+from repro.sim.program import ThreadContext
+
+
+class CounterReader(Protocol):
+    """Anything with a LiMiT-shaped read method (sessions, timers)."""
+
+    def read(self, ctx: ThreadContext, i: int = 0) -> Generator[Any, Any, int]:
+        ...  # pragma: no cover
+
+
+class RdtscReader:
+    """A wall-clock 'reader' using the timestamp counter.
+
+    Lets instrumented locks attribute wall time (including blocked time)
+    instead of per-thread CPU cycles. No setup needed.
+    """
+
+    name = "rdtsc"
+
+    def read(self, ctx: ThreadContext, i: int = 0) -> Generator[Any, Any, int]:
+        value = yield Rdtsc()
+        return value
+
+
+@dataclass
+class LockObservation:
+    """What the tool saw for one lock (per-acquisition lists, in the
+    reader's unit: CPU cycles for counter readers, wall for rdtsc)."""
+
+    waits: list[int] = field(default_factory=list)
+    holds: list[int] = field(default_factory=list)
+
+    @property
+    def n_acquires(self) -> int:
+        return len(self.waits)
+
+    @property
+    def total_wait(self) -> int:
+        return sum(self.waits)
+
+    @property
+    def total_hold(self) -> int:
+        return sum(self.holds)
+
+    @property
+    def mean_wait(self) -> float:
+        return self.total_wait / len(self.waits) if self.waits else 0.0
+
+    @property
+    def mean_hold(self) -> float:
+        return self.total_hold / len(self.holds) if self.holds else 0.0
+
+
+class InstrumentedLock:
+    """A mutex whose acquire/release paths measure themselves."""
+
+    def __init__(self, name: str, reader: CounterReader, counter_index: int = 0):
+        self.name = name
+        self.reader = reader
+        self.counter_index = counter_index
+        self.observation = LockObservation()
+
+    def acquire(self, ctx: ThreadContext) -> Generator[Any, Any, None]:
+        """Acquire the lock, recording the acquisition-path cost."""
+        t0 = yield from self.reader.read(ctx, self.counter_index)
+        yield LockAcquire(self.name)
+        t1 = yield from self.reader.read(ctx, self.counter_index)
+        self.observation.waits.append(t1 - t0)
+        ctx.scratch[self._key()] = t1
+
+    def release(self, ctx: ThreadContext) -> Generator[Any, Any, None]:
+        """Release the lock, recording the critical-section cost.
+
+        The closing read happens *while still holding the lock* (it must:
+        the release is the boundary being measured), so slow readers
+        lengthen every critical section — the perturbation E6 quantifies.
+        """
+        key = self._key()
+        if key not in ctx.scratch:
+            raise SessionError(
+                f"release of instrumented lock {self.name!r} without a "
+                f"matching acquire on thread {ctx.tid}"
+            )
+        t2 = yield from self.reader.read(ctx, self.counter_index)
+        yield LockRelease(self.name)
+        t1 = ctx.scratch.pop(key)
+        self.observation.holds.append(t2 - t1)
+
+    def critical_section(
+        self, ctx: ThreadContext, body: Generator[Any, Any, Any]
+    ) -> Generator[Any, Any, Any]:
+        """acquire -> body -> release convenience wrapper."""
+        yield from self.acquire(ctx)
+        try:
+            result = yield from body
+        finally:
+            yield from self.release(ctx)
+        return result
+
+    def _key(self) -> tuple:
+        return ("instrumented_lock_t1", self.name)
+
+
+class PlainLock:
+    """Uninstrumented lock with the same generator interface, for baseline
+    (unperturbed) runs of the same workload code."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def acquire(self, ctx: ThreadContext) -> Generator[Any, Any, None]:
+        yield LockAcquire(self.name)
+
+    def release(self, ctx: ThreadContext) -> Generator[Any, Any, None]:
+        yield LockRelease(self.name)
+
+    def critical_section(
+        self, ctx: ThreadContext, body: Generator[Any, Any, Any]
+    ) -> Generator[Any, Any, Any]:
+        yield from self.acquire(ctx)
+        try:
+            result = yield from body
+        finally:
+            yield from self.release(ctx)
+        return result

@@ -1,0 +1,101 @@
+"""Process-level counter aggregation.
+
+LiMiT virtualized counters per *process*: every thread accumulated into the
+same user-mapped 64-bit values, so whole-process totals came for free. Our
+sessions record per-thread; this module provides the process rollup — the
+final per-thread values summed per event — plus exactness auditing against
+ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.limit import LimitSession, ReadRecord
+from repro.hw.events import Event
+from repro.sim.results import RunResult
+
+
+@dataclass(frozen=True)
+class ProcessTotals:
+    """Aggregated final counter values across a session's threads."""
+
+    per_event: dict[Event, int]
+    per_thread: dict[int, dict[Event, int]]
+    n_threads: int
+
+    def total(self, event: Event) -> int:
+        return self.per_event.get(event, 0)
+
+
+class ProcessCounters:
+    """Rolls a session's per-thread reads up to process scope."""
+
+    def __init__(self, session: LimitSession) -> None:
+        self.session = session
+
+    def _final_reads(self) -> dict[tuple[int, Event], ReadRecord]:
+        """The last read of each (thread, event) pair."""
+        finals: dict[tuple[int, Event], ReadRecord] = {}
+        for record in self.session.records:
+            key = (record.tid, record.event)
+            existing = finals.get(key)
+            if existing is None or record.time >= existing.time:
+                finals[key] = record
+        return finals
+
+    def totals(self) -> ProcessTotals:
+        """Process-wide totals from each thread's final reads.
+
+        Only meaningful if every thread read all its counters once more
+        just before finishing (the usual teardown pattern).
+        """
+        finals = self._final_reads()
+        per_event: dict[Event, int] = {}
+        per_thread: dict[int, dict[Event, int]] = {}
+        for (tid, event), record in finals.items():
+            per_event[event] = per_event.get(event, 0) + record.value
+            per_thread.setdefault(tid, {})[event] = record.value
+        return ProcessTotals(
+            per_event=per_event,
+            per_thread=per_thread,
+            n_threads=len(per_thread),
+        )
+
+    def audit(self, result: RunResult) -> dict[Event, int]:
+        """Signed error of the process totals against ground truth.
+
+        Ground truth here is the *truth at each thread's final read*, which
+        the engine attached to the records — so a session whose reads are
+        exact audits to zero for every event.
+        """
+        finals = self._final_reads()
+        errors: dict[Event, int] = {}
+        for (tid, event), record in finals.items():
+            errors[event] = errors.get(event, 0) + (record.value - record.truth)
+        return errors
+
+    def coverage(self, result: RunResult, event: Event) -> float:
+        """Fraction of the threads' total ground-truth events the final
+        reads captured (reads taken before a thread's last work miss the
+        tail; 1.0 means the teardown pattern was followed)."""
+        finals = self._final_reads()
+        captured = sum(
+            r.truth for (tid, e), r in finals.items() if e is event
+        )
+        tids = {tid for (tid, e) in finals if e is event}
+        truth = 0
+        spec = next(
+            (s for s in self.session.specs if s.event is event), None
+        )
+        if spec is None:
+            return 0.0
+        for tid in tids:
+            thread = result.threads[tid]
+            total = 0
+            if spec.count_user:
+                total += thread.events_user.get(event, 0)
+            if spec.count_kernel:
+                total += thread.events_kernel.get(event, 0)
+            truth += total
+        return captured / truth if truth else 0.0

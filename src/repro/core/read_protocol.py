@@ -1,0 +1,91 @@
+"""The LiMiT userspace read protocols.
+
+These generators are the exact software sequences the paper's Section on
+precise counter access describes, expressed as simulator ops:
+
+* :func:`safe_read` — the LiMiT read: load the 64-bit virtual accumulator
+  from the user-mapped page, ``rdpmc`` the live hardware counter, and sum.
+  If the kernel preempted the thread (or delivered a PMI) anywhere inside
+  the sequence, the accumulator and hardware value belong to different
+  epochs, so the kernel flags the interruption and the sequence *restarts*.
+  The result is always exact.
+
+* :func:`unsafe_read` — the same sequence without interruption detection.
+  Fast path is a few cycles cheaper, but a context switch between the two
+  loads silently folds the hardware count into the accumulator and zeroes
+  the counter, making the sum undercount by up to a full timeslice of
+  events. Experiment E4 quantifies this.
+
+* :func:`destructive_read` — the paper's proposed read-and-reset hardware
+  instruction (enhancement E11b): a single instruction returns the
+  virtualized delta since the previous destructive read; no accumulator
+  load, no interruption window.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.common.config import CostModel
+from repro.hw.events import LIBRARY_RATES
+from repro.sim.ops import (
+    Compute,
+    LoadVAccum,
+    PmcReadBegin,
+    PmcReadEnd,
+    Rdpmc,
+    RdpmcDestructive,
+)
+
+#: Safety valve: a safe read that restarts this many times indicates the
+#: thread is being preempted pathologically (or an engine bug).
+MAX_RESTARTS = 1_000
+
+
+def safe_read(index: int, costs: CostModel) -> Generator[Any, Any, int]:
+    """Precise virtualized 64-bit counter read; restarts if interrupted.
+
+    Returns the exact event count for the thread's slot ``index`` at the
+    instant the ``rdpmc`` executed. Typical cost: ``costs.limit_read_total``
+    cycles (~37 ns at 2.4 GHz); each restart re-runs the four-step middle
+    sequence.
+    """
+    yield Compute(costs.pmc_call_overhead, LIBRARY_RATES)
+    restarts = 0
+    while True:
+        yield PmcReadBegin()
+        accumulator = yield LoadVAccum(index)
+        hardware = yield Rdpmc(index)
+        ok = yield PmcReadEnd()
+        if ok:
+            break
+        restarts += 1
+        if restarts > MAX_RESTARTS:
+            raise RuntimeError(
+                f"LiMiT read of slot {index} restarted >{MAX_RESTARTS} times"
+            )
+    yield Compute(costs.pmc_store_result, LIBRARY_RATES)
+    return accumulator + hardware
+
+
+def unsafe_read(index: int, costs: CostModel) -> Generator[Any, Any, int]:
+    """The naive read: no interruption protection.
+
+    A preemption between the accumulator load and the rdpmc makes the
+    result undercount by everything folded at the switch. Kept as the
+    ablation arm of experiment E4.
+    """
+    yield Compute(costs.pmc_call_overhead, LIBRARY_RATES)
+    accumulator = yield LoadVAccum(index)
+    hardware = yield Rdpmc(index)
+    yield Compute(costs.pmc_store_result, LIBRARY_RATES)
+    return accumulator + hardware
+
+
+def destructive_read(index: int, costs: CostModel) -> Generator[Any, Any, int]:
+    """Read-and-reset: returns the delta since the previous destructive
+    read of this slot. Requires no protection (single instruction)."""
+    yield Compute(costs.pmc_call_overhead, LIBRARY_RATES)
+    value = yield RdpmcDestructive(index)
+    yield Compute(costs.pmc_store_result, LIBRARY_RATES)
+    return value

@@ -1,0 +1,9 @@
+"""Experiment harness: one module per reproduced table/figure (E1..E12).
+
+See DESIGN.md's per-experiment index for the mapping from paper artifact to
+module, and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["ExperimentResult"]

@@ -1,0 +1,95 @@
+"""E1 — Table: cost of a single counter read, per access technique.
+
+The paper's headline table: LiMiT reads virtualized counters in low tens of
+nanoseconds, one to two orders of magnitude faster than PAPI-class
+kernel-mediated reads and perf_event ``read(2)``.
+
+Each technique runs a calibration loop (rdtsc around N back-to-back reads)
+on an otherwise idle simulated core, exactly as one would calibrate on real
+hardware.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.papi import PapiLikeSession
+from repro.baselines.perf_read import PerfReadSession
+from repro.common.tables import render_table
+from repro.core.limit import (
+    DestructiveReadSession,
+    LimitSession,
+    UnsafeLimitSession,
+)
+from repro.core.locks import RdtscReader
+from repro.experiments.base import ExperimentResult, single_core_config
+from repro.hw.events import Event
+from repro.sim.engine import run_program
+from repro.workloads.microbench import ReadCostMicrobench
+
+EXP_ID = "E1"
+TITLE = "Cost of a single counter read (Table 1)"
+PAPER_CLAIM = (
+    "LiMiT reads virtualized counters in low tens of ns; PAPI-class reads "
+    "~1 us (~20-25x) and perf_event read(2) ~3.5 us (~90-100x) — one to "
+    "two orders of magnitude slower"
+)
+
+
+def _techniques():
+    """(label, reader factory) in presentation order."""
+    return [
+        ("rdtsc", lambda: RdtscReader()),
+        ("limit", lambda: LimitSession([Event.CYCLES], name="limit")),
+        ("limit_unsafe", lambda: UnsafeLimitSession([Event.CYCLES], name="limit_unsafe")),
+        ("limit_destructive", lambda: DestructiveReadSession([Event.CYCLES], name="limit_destructive")),
+        ("papi", lambda: PapiLikeSession([Event.CYCLES], name="papi")),
+        ("perf_read", lambda: PerfReadSession([Event.CYCLES], name="perf_read")),
+    ]
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    n_reads = 1_000 if quick else 10_000
+    config = single_core_config(seed=11)
+    frequency = config.machine.frequency
+
+    results = {}
+    for label, factory in _techniques():
+        bench = ReadCostMicrobench(factory(), n_reads=n_reads, technique=label)
+        run_result = run_program(bench.build(), config)
+        run_result.check_conservation()
+        assert bench.result is not None
+        results[label] = bench.result
+
+    limit_cy = results["limit"].cycles_per_read
+    rows = []
+    for label, r in results.items():
+        rows.append(
+            [
+                label,
+                round(r.cycles_per_read, 1),
+                round(frequency.cycles_to_ns(r.cycles_per_read), 1),
+                round(r.cycles_per_read / limit_cy, 2),
+            ]
+        )
+    table = render_table(
+        ["technique", "cycles/read", "ns/read", "vs limit"],
+        rows,
+        title="single-read cost by access technique",
+    )
+
+    metrics = {
+        "limit_ns": frequency.cycles_to_ns(limit_cy),
+        "papi_ns": frequency.cycles_to_ns(results["papi"].cycles_per_read),
+        "perf_ns": frequency.cycles_to_ns(results["perf_read"].cycles_per_read),
+        "papi_vs_limit": results["papi"].cycles_per_read / limit_cy,
+        "perf_vs_limit": results["perf_read"].cycles_per_read / limit_cy,
+        "destructive_vs_limit": (
+            results["limit_destructive"].cycles_per_read / limit_cy
+        ),
+    }
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        blocks=[table],
+        metrics=metrics,
+    )

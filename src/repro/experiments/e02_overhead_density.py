@@ -1,0 +1,80 @@
+"""E2 — Figure: application slowdown vs instrumentation density.
+
+Sweeps how often a fixed compute kernel invokes the measurement library and
+reports the wall-time slowdown per access technique. This is the figure
+behind the paper's argument that LiMiT makes *dense* instrumentation
+practical: at densities where PAPI-class reads multiply runtime, LiMiT
+stays within a few percent.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.papi import PapiLikeSession
+from repro.baselines.perf_read import PerfReadSession
+from repro.common.tables import render_series
+from repro.core.limit import LimitSession
+from repro.experiments.base import ExperimentResult, single_core_config
+from repro.hw.events import Event
+from repro.sim.engine import run_program
+from repro.workloads.microbench import DensitySweepWorkload
+
+EXP_ID = "E2"
+TITLE = "Slowdown vs instrumentation density (Figure)"
+PAPER_CLAIM = (
+    "at read densities useful for fine-grained studies, LiMiT's overhead "
+    "stays near 1x while kernel-mediated techniques inflate runtime by "
+    "integer factors"
+)
+
+TECHNIQUES = {
+    "limit": lambda: LimitSession([Event.CYCLES], name="limit"),
+    "papi": lambda: PapiLikeSession([Event.CYCLES], name="papi"),
+    "perf_read": lambda: PerfReadSession([Event.CYCLES], name="perf_read"),
+}
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    total = 3_000_000 if quick else 20_000_000
+    densities = [2, 16, 64, 256] if quick else [2, 8, 32, 128, 512, 2048]
+    config = single_core_config(seed=22)
+
+    def wall(workload: DensitySweepWorkload) -> int:
+        result = run_program(workload.build(), config)
+        result.check_conservation()
+        return result.wall_cycles
+
+    baseline = wall(
+        DensitySweepWorkload(None, total, 0.0, technique="none")
+    )
+
+    series: dict[str, list[float]] = {}
+    for label, factory in TECHNIQUES.items():
+        slowdowns = []
+        for density in densities:
+            w = wall(
+                DensitySweepWorkload(
+                    factory, total, float(density), technique=label
+                )
+            )
+            slowdowns.append(round(w / baseline, 3))
+        series[label] = slowdowns
+
+    block = render_series(
+        "reads/Mcycle",
+        series,
+        densities,
+        title="wall-time slowdown vs uninstrumented run",
+    )
+    metrics = {
+        "limit_slowdown_max_density": series["limit"][-1],
+        "papi_slowdown_max_density": series["papi"][-1],
+        "perf_slowdown_max_density": series["perf_read"][-1],
+        "max_density": float(densities[-1]),
+    }
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        blocks=[block],
+        metrics=metrics,
+    )

@@ -1,0 +1,76 @@
+"""Command-line runner: regenerate every table/figure of the evaluation.
+
+Usage::
+
+    python -m repro.experiments            # run all, print to stdout
+    python -m repro.experiments E1 E4      # a subset
+    python -m repro.experiments --quick    # smaller parameters
+    python -m repro.experiments --out results/   # also write text files
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.registry import all_experiments, get
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's evaluation tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (E1..E12); all when omitted",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller parameters (CI-sized)"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="directory for per-experiment text files"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiments and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for entry in all_experiments():
+            print(f"{entry.exp_id:<4} {entry.title}")
+        return 0
+
+    if args.experiments:
+        entries = [get(e) for e in args.experiments]
+    else:
+        entries = all_experiments()
+
+    if args.out:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    failures = 0
+    for entry in entries:
+        started = time.time()
+        try:
+            result = entry.run(quick=args.quick)
+        except Exception as exc:  # keep going; report at the end
+            failures += 1
+            print(f"[{entry.exp_id}] FAILED: {exc}", file=sys.stderr)
+            continue
+        elapsed = time.time() - started
+        text = result.render()
+        print(text)
+        print(f"({entry.exp_id} regenerated in {elapsed:.1f}s)")
+        print()
+        if args.out:
+            path = args.out / f"{entry.exp_id.lower()}.txt"
+            path.write_text(text + "\n")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,44 @@
+"""Simulated hardware: events, counters, PMUs, cores."""
+
+from repro.hw.counter import HardwareCounter
+from repro.hw.events import (
+    CYCLES_PPM,
+    Domain,
+    Event,
+    EventRates,
+    KERNEL_RATES,
+    LIBRARY_RATES,
+    SPIN_RATES,
+    cycles_until_count,
+    events_in,
+)
+from repro.hw.machine import Core, Machine
+from repro.hw.msr import (
+    EVENT_ENCODINGS,
+    EventEncoding,
+    MsrFile,
+    decode_evtsel,
+    encode_evtsel,
+)
+from repro.hw.pmu import Pmu
+
+__all__ = [
+    "CYCLES_PPM",
+    "Core",
+    "Domain",
+    "EVENT_ENCODINGS",
+    "Event",
+    "EventEncoding",
+    "EventRates",
+    "HardwareCounter",
+    "KERNEL_RATES",
+    "LIBRARY_RATES",
+    "Machine",
+    "MsrFile",
+    "Pmu",
+    "SPIN_RATES",
+    "cycles_until_count",
+    "decode_evtsel",
+    "encode_evtsel",
+    "events_in",
+]

@@ -1,0 +1,232 @@
+"""Hardware event catalog and event-rate descriptions.
+
+Events are the microarchitectural occurrences a PMU counter can be programmed
+to count. Workload phases describe how often each event fires via
+:class:`EventRates` — integer events-per-million-cycles (ppm), which keeps the
+whole accounting pipeline in exact integer arithmetic:
+
+    events(c cycles) = (c_total * ppm) // 1_000_000   (as a running floor)
+
+so splitting a phase at an arbitrary cycle boundary never loses or invents
+events.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, Mapping
+
+from repro.common.errors import ConfigError
+from repro.common.units import per_kilo_instruction
+
+
+class Event(enum.Enum):
+    """Countable hardware events (a Nehalem-flavoured subset)."""
+
+    CYCLES = "cycles"                      #: unhalted core cycles
+    INSTRUCTIONS = "instructions"          #: instructions retired
+    LLC_REFERENCES = "llc_references"      #: last-level cache accesses
+    LLC_MISSES = "llc_misses"              #: last-level cache misses
+    L2_MISSES = "l2_misses"
+    L1D_MISSES = "l1d_misses"
+    BRANCHES = "branches"                  #: branch instructions retired
+    BRANCH_MISSES = "branch_misses"        #: mispredicted branches
+    DTLB_MISSES = "dtlb_misses"
+    ITLB_MISSES = "itlb_misses"
+    STORES = "stores"
+    LOADS = "loads"
+    STALL_CYCLES = "stall_cycles"          #: cycles with no uop issued
+    REMOTE_ACCESSES = "remote_accesses"    #: cross-socket memory accesses
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Event.{self.name}"
+
+
+class Domain(enum.Enum):
+    """Privilege domain in which work executes. PMU counters can be
+    configured to count in either or both domains (the USR/OS bits of the
+    IA32_PERFEVTSEL MSRs)."""
+
+    USER = "user"
+    KERNEL = "kernel"
+
+
+#: Cycles fire once per cycle by definition; its ppm rate is fixed.
+CYCLES_PPM = 1_000_000
+
+
+class EventRates(Mapping[Event, int]):
+    """Immutable mapping of Event -> events-per-million-cycles.
+
+    ``CYCLES`` may not appear: it is implicit (every cycle is a cycle).
+
+    Construct either from raw ppm values or with the architecture-friendly
+    :meth:`profile` constructor (IPC + per-kilo-instruction miss rates).
+    """
+
+    __slots__ = ("_ppm",)
+
+    def __init__(self, ppm: Mapping[Event, int] | None = None) -> None:
+        clean: dict[Event, int] = {}
+        for event, rate in (ppm or {}).items():
+            if not isinstance(event, Event):
+                raise ConfigError(f"event keys must be Event, got {event!r}")
+            if event is Event.CYCLES:
+                raise ConfigError("CYCLES is implicit and cannot be given a rate")
+            if not isinstance(rate, int) or rate < 0:
+                raise ConfigError(
+                    f"rate for {event} must be a non-negative int ppm, got {rate!r}"
+                )
+            if rate:
+                clean[event] = rate
+        self._ppm = clean
+
+    @classmethod
+    def profile(
+        cls,
+        ipc: float = 1.0,
+        llc_mpki: float = 0.0,
+        l2_mpki: float = 0.0,
+        l1d_mpki: float = 0.0,
+        branch_frac: float = 0.0,
+        branch_miss_rate: float = 0.0,
+        dtlb_mpki: float = 0.0,
+        load_frac: float = 0.0,
+        store_frac: float = 0.0,
+        stall_frac: float = 0.0,
+    ) -> "EventRates":
+        """Build rates from the units architecture papers use.
+
+        ``*_mpki`` are misses per kilo-instruction; ``branch_frac`` is the
+        fraction of instructions that are branches; ``branch_miss_rate`` is
+        the misprediction rate among branches; ``stall_frac`` the fraction of
+        cycles stalled.
+        """
+        if ipc <= 0:
+            raise ConfigError(f"IPC must be positive, got {ipc}")
+        insn_ppm = round(ipc * 1_000_000)
+        ppm: dict[Event, int] = {Event.INSTRUCTIONS: insn_ppm}
+
+        def mpki(event: Event, value: float) -> None:
+            if value:
+                ppm[event] = per_kilo_instruction(value, ipc)
+
+        mpki(Event.LLC_MISSES, llc_mpki)
+        mpki(Event.L2_MISSES, l2_mpki)
+        mpki(Event.L1D_MISSES, l1d_mpki)
+        mpki(Event.DTLB_MISSES, dtlb_mpki)
+        if llc_mpki:
+            # References ~ 3x misses by default: a crude but stable inclusive
+            # hierarchy assumption, enough for CPI-stack shapes.
+            ppm[Event.LLC_REFERENCES] = per_kilo_instruction(llc_mpki * 3.0, ipc)
+        if branch_frac:
+            branches = round(insn_ppm * branch_frac)
+            ppm[Event.BRANCHES] = branches
+            if branch_miss_rate:
+                ppm[Event.BRANCH_MISSES] = round(branches * branch_miss_rate)
+        if load_frac:
+            ppm[Event.LOADS] = round(insn_ppm * load_frac)
+        if store_frac:
+            ppm[Event.STORES] = round(insn_ppm * store_frac)
+        if stall_frac:
+            if not 0 <= stall_frac <= 1:
+                raise ConfigError("stall_frac must be in [0,1]")
+            ppm[Event.STALL_CYCLES] = round(stall_frac * 1_000_000)
+        return cls(ppm)
+
+    # -- Mapping interface -------------------------------------------------
+
+    def __getitem__(self, event: Event) -> int:
+        return self._ppm[event]
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._ppm)
+
+    def __len__(self) -> int:
+        return len(self._ppm)
+
+    def ppm(self, event: Event) -> int:
+        """Rate for ``event`` in events-per-million-cycles (CYCLES -> 1e6)."""
+        if event is Event.CYCLES:
+            return CYCLES_PPM
+        return self._ppm.get(event, 0)
+
+    def scaled(self, factor: float) -> "EventRates":
+        """Return rates scaled by ``factor`` (e.g. pressure sweeps)."""
+        if factor < 0:
+            raise ConfigError("scale factor must be non-negative")
+        return EventRates({e: round(r * factor) for e, r in self._ppm.items()})
+
+    def merged(self, other: "EventRates") -> "EventRates":
+        """Return rates where ``other``'s entries override this one's."""
+        ppm = dict(self._ppm)
+        ppm.update(other._ppm)
+        return EventRates(ppm)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{e.value}={r}" for e, r in sorted(
+            self._ppm.items(), key=lambda kv: kv[0].value))
+        return f"EventRates({inner})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EventRates):
+            return NotImplemented
+        return self._ppm == other._ppm
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted((e.value, r) for e, r in self._ppm.items())))
+
+
+#: Rates used for generic kernel-path work (syscall bodies, switches, PMIs).
+#: Kernel code is branchy and cache-unfriendly relative to tuned user loops.
+KERNEL_RATES = EventRates.profile(
+    ipc=0.9,
+    llc_mpki=4.0,
+    l2_mpki=12.0,
+    branch_frac=0.22,
+    branch_miss_rate=0.05,
+    dtlb_mpki=1.5,
+    stall_frac=0.35,
+)
+
+#: Rates for userspace spin-wait loops: high IPC, no misses, all branches.
+SPIN_RATES = EventRates.profile(ipc=1.8, branch_frac=0.5, branch_miss_rate=0.01)
+
+#: Rates for straight-line measurement-library code (LiMiT/PAPI user parts).
+LIBRARY_RATES = EventRates.profile(ipc=1.4, branch_frac=0.12, branch_miss_rate=0.02)
+
+
+def events_in(cycles_before: int, cycles_after: int, ppm: int) -> int:
+    """Exact number of events fired in ``(cycles_before, cycles_after]`` of a
+    phase with rate ``ppm``, using the running-floor rule.
+
+    >>> events_in(0, 1_000_000, 1_500_000)
+    1500000
+    >>> events_in(10, 20, 500_000)
+    5
+    """
+    if cycles_after < cycles_before:
+        raise ValueError("cycles_after must be >= cycles_before")
+    return (cycles_after * ppm) // 1_000_000 - (cycles_before * ppm) // 1_000_000
+
+
+def cycles_until_count(cycles_so_far: int, ppm: int, events_needed: int) -> int | None:
+    """Smallest additional cycle count after which ``events_needed`` more
+    events will have fired, or None if the rate is zero.
+
+    Exact inverse of :func:`events_in`:
+
+    >>> cycles_until_count(0, 1_000_000, 5)
+    5
+    >>> cycles_until_count(3, 500_000, 1)
+    1
+    """
+    if events_needed <= 0:
+        return 0
+    if ppm <= 0:
+        return None
+    target = (cycles_so_far * ppm) // 1_000_000 + events_needed
+    # smallest c_total with (c_total * ppm) // 1e6 >= target
+    # <=> c_total * ppm >= target * 1e6  <=> c_total >= ceil(target*1e6/ppm)
+    c_total = -((-target * 1_000_000) // ppm)
+    return max(0, c_total - cycles_so_far)

@@ -1,0 +1,116 @@
+"""The per-core performance monitoring unit.
+
+Holds the programmable counters, the userspace-read-enable bit (the CR4.PCE
+analog that the LiMiT kernel patch sets), and the event-accrual entry point
+used by the execution engine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.common.config import PmuConfig
+from repro.common.errors import CounterError
+from repro.hw.counter import HardwareCounter
+from repro.hw.events import Domain, EventRates, cycles_until_count, events_in
+
+
+class Pmu:
+    """Performance monitoring unit of one core."""
+
+    def __init__(self, config: PmuConfig) -> None:
+        self.config = config
+        self.counters = [
+            HardwareCounter(config.effective_width) for _ in range(config.n_counters)
+        ]
+        #: Whether userspace rdpmc is permitted (CR4.PCE). Off on an
+        #: unpatched kernel: a user-mode rdpmc then faults.
+        self.user_rdpmc_enabled = False
+
+    def __len__(self) -> int:
+        return len(self.counters)
+
+    def __iter__(self) -> Iterator[HardwareCounter]:
+        return iter(self.counters)
+
+    def counter(self, index: int) -> HardwareCounter:
+        if not 0 <= index < len(self.counters):
+            raise CounterError(
+                f"counter index {index} out of range (PMU has {len(self.counters)})"
+            )
+        return self.counters[index]
+
+    def rdpmc(self, index: int, from_user: bool) -> int:
+        """Read a counter the way the rdpmc instruction does.
+
+        Raises CounterError (standing in for #GP) if executed from user mode
+        without the enable bit — this is exactly what the LiMiT kernel patch
+        changes.
+        """
+        if from_user and not self.user_rdpmc_enabled:
+            raise CounterError(
+                "userspace rdpmc faulted: kernel has not enabled CR4.PCE "
+                "(LiMiT kernel patch not applied?)"
+            )
+        return self.counter(index).read()
+
+    # -- engine-facing accounting -----------------------------------------
+
+    def accrue_phase(
+        self,
+        rates: EventRates,
+        domain: Domain,
+        phase_cycles_before: int,
+        phase_cycles_after: int,
+    ) -> list[int]:
+        """Accrue events for a slice of a phase executing on this core.
+
+        The slice runs from ``phase_cycles_before`` to ``phase_cycles_after``
+        (phase-relative), with the given event rates, in the given domain.
+        Returns the list of counter indices that overflowed during the slice.
+        """
+        overflowed: list[int] = []
+        for index, ctr in enumerate(self.counters):
+            if not ctr.counts_in(domain):
+                continue
+            n = events_in(
+                phase_cycles_before, phase_cycles_after, rates.ppm(ctr.event)
+            )
+            if n and ctr.accrue(n):
+                overflowed.append(index)
+        return overflowed
+
+    def cycles_to_next_overflow(
+        self,
+        rates: EventRates,
+        domain: Domain,
+        phase_cycles_so_far: int,
+    ) -> int | None:
+        """Exact number of further cycles of the current phase after which
+        the *first* enabled counter will overflow, or None if no enabled
+        counter can overflow under these rates.
+
+        Used by the engine to split compute phases so PMIs are delivered
+        with bounded (configured) skid rather than at arbitrary phase ends.
+        """
+        best: int | None = None
+        for ctr in self.counters:
+            if not ctr.counts_in(domain):
+                continue
+            ppm = rates.ppm(ctr.event)
+            d = cycles_until_count(
+                phase_cycles_so_far, ppm, ctr.events_until_overflow()
+            )
+            if d is not None and (best is None or d < best):
+                best = d
+        return best
+
+    def pending_overflow_indices(self) -> list[int]:
+        """Counters with latched, unserviced overflows."""
+        return [i for i, c in enumerate(self.counters) if c.overflow_pending]
+
+    def reset(self) -> None:
+        """Power-on reset: deprogram everything."""
+        for ctr in self.counters:
+            ctr.deprogram()
+        self.user_rdpmc_enabled = False

@@ -1,0 +1,20 @@
+"""Simulated OS kernel mechanisms: scheduling, futexes, perf, virtualization."""
+
+from repro.kernel.futex import FutexTable
+from repro.kernel.locks import LockRegistry, LockState, LockStats
+from repro.kernel.perf import PerfFd, PerfSubsystem, SampleRecord
+from repro.kernel.scheduler import Scheduler
+from repro.kernel.vpmu import SlotSpec, VirtualPmu
+
+__all__ = [
+    "FutexTable",
+    "LockRegistry",
+    "LockState",
+    "LockStats",
+    "PerfFd",
+    "PerfSubsystem",
+    "SampleRecord",
+    "Scheduler",
+    "SlotSpec",
+    "VirtualPmu",
+]

@@ -1,0 +1,46 @@
+"""Futex wait queues — the kernel half of userspace mutexes."""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class FutexTable:
+    """Keyed FIFO wait queues, one per futex word (keyed by string here)."""
+
+    def __init__(self) -> None:
+        self._queues: dict[str, deque[int]] = {}
+        self.total_waits = 0
+        self.total_wakes = 0
+
+    def wait(self, key: str, tid: int) -> None:
+        """Enqueue ``tid`` as a waiter on ``key``."""
+        self._queues.setdefault(key, deque()).append(tid)
+        self.total_waits += 1
+
+    def wake(self, key: str, n: int = 1) -> list[int]:
+        """Dequeue up to ``n`` waiters in FIFO order; returns their tids."""
+        queue = self._queues.get(key)
+        woken: list[int] = []
+        while queue and len(woken) < n:
+            woken.append(queue.popleft())
+        if queue is not None and not queue:
+            del self._queues[key]
+        self.total_wakes += len(woken)
+        return woken
+
+    def remove(self, key: str, tid: int) -> bool:
+        """Remove a specific waiter (used if a thread is torn down)."""
+        queue = self._queues.get(key)
+        if not queue or tid not in queue:
+            return False
+        queue.remove(tid)
+        if not queue:
+            del self._queues[key]
+        return True
+
+    def n_waiters(self, key: str) -> int:
+        return len(self._queues.get(key, ()))
+
+    def waiting_keys(self) -> list[str]:
+        return list(self._queues)

@@ -1,0 +1,98 @@
+"""A perf_event-like kernel subsystem (the baseline interface).
+
+Supports the two modes the paper's baselines use:
+
+* **counting** fds: a 64-bit virtualized count, readable only through the
+  (expensive) ``read(2)`` path — this is what PAPI sits on top of;
+* **sampling** fds: the counter is preloaded to ``2^W - period`` so it
+  overflows every ``period`` events; the PMI handler appends a sample record
+  (with skid-affected attribution) to the fd's buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import SessionError
+from repro.hw.events import Event
+
+
+@dataclass(frozen=True)
+class SampleRecord:
+    """One sample taken by a sampling fd's overflow interrupt."""
+
+    time: int          #: PMI delivery time (includes skid)
+    tid: int
+    region: str | None  #: innermost region at *delivery* time (skidded)
+    event: Event
+    fd: int
+
+
+@dataclass
+class PerfFd:
+    """One open perf_event file descriptor."""
+
+    fd: int
+    tid: int           #: monitored thread (self-monitoring only, like LiMiT)
+    slot: int          #: virtual PMU slot backing this fd
+    event: Event
+    mode: str          #: 'count' | 'sample'
+    period: int = 0
+    enabled: bool = True
+    samples: list[SampleRecord] = field(default_factory=list)
+    n_overflows: int = 0
+
+
+class PerfSubsystem:
+    """fd table + sample buffers."""
+
+    def __init__(self) -> None:
+        self._fds: dict[int, PerfFd] = {}
+        self._closed: list[PerfFd] = []
+        self._next_fd = 3  # 0/1/2 are taken, obviously
+        self.total_samples = 0
+
+    def open(self, tid: int, slot: int, event: Event, mode: str, period: int) -> PerfFd:
+        fd = PerfFd(
+            fd=self._next_fd, tid=tid, slot=slot, event=event, mode=mode, period=period
+        )
+        self._fds[fd.fd] = fd
+        self._next_fd += 1
+        return fd
+
+    def get(self, fd: int) -> PerfFd:
+        try:
+            return self._fds[fd]
+        except KeyError:
+            raise SessionError(f"bad perf fd: {fd}") from None
+
+    def close(self, fd: int) -> PerfFd:
+        """Close an fd. Its sample buffer is retained (the profiler read it
+        out before closing, as perf userspace does with the mmap ring)."""
+        try:
+            closed = self._fds.pop(fd)
+        except KeyError:
+            raise SessionError(f"closing unknown perf fd: {fd}") from None
+        closed.enabled = False
+        self._closed.append(closed)
+        return closed
+
+    def fd_for_slot(self, tid: int, slot: int) -> PerfFd | None:
+        for fd in self._fds.values():
+            if fd.tid == tid and fd.slot == slot:
+                return fd
+        return None
+
+    def record_sample(self, fd: PerfFd, record: SampleRecord) -> None:
+        fd.samples.append(record)
+        fd.n_overflows += 1
+        self.total_samples += 1
+
+    def all_samples(self) -> list[SampleRecord]:
+        out: list[SampleRecord] = []
+        for fd in self._fds.values():
+            out.extend(fd.samples)
+        for fd in self._closed:
+            out.extend(fd.samples)
+        out.sort(key=lambda s: (s.time, s.tid, s.fd))
+        return out

@@ -1,0 +1,1466 @@
+"""The execution engine: deterministic multicore simulation.
+
+The engine advances a set of cores through simulated time, executing thread
+programs (op generators), charging cycle costs, accruing PMU events with
+exact integer arithmetic, and invoking kernel mechanisms (scheduling,
+futexes, counter virtualization, PMIs) at the right instants.
+
+Determinism & causality
+-----------------------
+Each step advances exactly one core — always the one with the smallest local
+clock (ties broken by core id) — by one bounded piece of work whose
+externally visible effects commit at the piece's end. Because the acting
+core's clock is globally minimal, effects are committed in nondecreasing
+global time order, so cross-core interactions (futex wakes, lock handoffs)
+are causally consistent and runs are exactly reproducible.
+
+Compute pieces are additionally split at timeslice boundaries and at the
+exact cycle a PMU counter will overflow, so PMIs are delivered with the
+configured skid rather than at arbitrary op boundaries.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from typing import Any, Callable, Generator
+
+from repro.common.config import SimConfig
+from repro.common.errors import (
+    ConfigError,
+    CounterError,
+    SimulationError,
+)
+from repro.common.rng import RandomStream
+from repro.hw.events import (
+    Domain,
+    Event,
+    EventRates,
+    KERNEL_RATES,
+    LIBRARY_RATES,
+    SPIN_RATES,
+)
+from repro.hw.machine import Core, Machine
+from repro.kernel.futex import FutexTable
+from repro.kernel.locks import LockRegistry
+from repro.kernel.perf import PerfSubsystem, SampleRecord
+from repro.kernel.scheduler import Scheduler
+from repro.kernel.vpmu import MuxState, SlotSpec, VirtualPmu
+from repro.sim import ops
+from repro.sim.program import ThreadContext, ThreadSpec
+from repro.sim.results import (
+    CoreResult,
+    KernelCounters,
+    RegionTruth,
+    RunResult,
+    ThreadResult,
+)
+
+#: Default cap on stored per-invocation region durations (see
+#: SimConfig.region_log_budget).
+REGION_LOG_BUDGET = 2_000_000
+
+
+class ThreadState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    FINISHED = "finished"
+
+
+class _OpExec:
+    """In-flight execution state of one op (a tiny phase state machine)."""
+
+    __slots__ = (
+        "op",
+        "stage",
+        "phase_cycles",
+        "phase_consumed",
+        "phase_rates",
+        "phase_domain",
+        "phase_preemptible",
+        "data",
+    )
+
+    def __init__(self, op: ops.Op) -> None:
+        self.op = op
+        self.stage = "start"
+        self.phase_cycles = 0
+        self.phase_consumed = 0
+        self.phase_rates: EventRates = _EMPTY_RATES
+        self.phase_domain = Domain.USER
+        self.phase_preemptible = True
+        self.data: dict[str, Any] = {}
+
+    def set_phase(
+        self,
+        cycles: int,
+        rates: EventRates,
+        domain: Domain,
+        preemptible: bool,
+    ) -> None:
+        self.phase_cycles = cycles
+        self.phase_consumed = 0
+        self.phase_rates = rates
+        self.phase_domain = domain
+        self.phase_preemptible = preemptible
+
+    @property
+    def phase_done(self) -> bool:
+        return self.phase_consumed >= self.phase_cycles
+
+
+_EMPTY_RATES = EventRates()
+
+
+class SimThread:
+    """Engine-side state of one simulated thread."""
+
+    __slots__ = (
+        "tid",
+        "name",
+        "ctx",
+        "gen",
+        "state",
+        "core_id",
+        "available_at",
+        "send_value",
+        "throw_exc",
+        "cur",
+        "vpmu",
+        "slot_saved",
+        "slot_truth_base",
+        "slot_reset_truth",
+        "mux",
+        "in_pmc_read",
+        "pmc_read_interrupted",
+        "read_restarts",
+        "last_rdpmc_truth",
+        "last_kernel_read_truth",
+        "region_stack",
+        "region_entries",
+        "regions",
+        "owned_locks",
+        "profiler",
+        "ev_user",
+        "ev_kernel",
+        "user_cycles",
+        "kernel_cycles",
+        "n_context_switches",
+        "n_preemptions",
+        "n_migrations",
+        "n_cross_socket_migrations",
+        "n_syscalls",
+        "started_at",
+        "finished_at",
+        "block_key",
+    )
+
+    def __init__(self, tid: int, name: str, ctx: ThreadContext,
+                 gen: Generator, n_slots: int) -> None:
+        self.tid = tid
+        self.name = name
+        self.ctx = ctx
+        self.gen = gen
+        self.state = ThreadState.READY
+        self.core_id: int | None = None
+        self.available_at = 0
+        self.send_value: Any = None
+        self.throw_exc: BaseException | None = None
+        self.cur: _OpExec | None = None
+        self.vpmu = VirtualPmu(n_slots)
+        self.slot_saved: list[int | None] = [None] * n_slots
+        self.slot_truth_base: list[int] = [0] * n_slots
+        self.slot_reset_truth: list[int] = [0] * n_slots
+        self.mux: MuxState | None = None
+        self.in_pmc_read = False
+        self.pmc_read_interrupted = False
+        self.read_restarts = 0
+        self.last_rdpmc_truth: int | None = None
+        self.last_kernel_read_truth: dict[int, int] = {}
+        self.region_stack: list[str] = []
+        self.region_entries: list[tuple[str, int, int]] = []
+        self.regions: dict[str, RegionTruth] = {}
+        self.owned_locks: set[str] = set()
+        self.profiler = None
+        self.ev_user: dict[Event, int] = {}
+        self.ev_kernel: dict[Event, int] = {}
+        self.user_cycles = 0
+        self.kernel_cycles = 0
+        self.n_context_switches = 0
+        self.n_preemptions = 0
+        self.n_migrations = 0
+        self.n_cross_socket_migrations = 0
+        self.n_syscalls = 0
+        self.started_at = 0
+        self.finished_at = 0
+        self.block_key: tuple | None = None
+
+    @property
+    def cpu_cycles(self) -> int:
+        return self.user_cycles + self.kernel_cycles
+
+    def slot_truth(self, spec: SlotSpec) -> int:
+        """Ground-truth event count matching a slot's domain filter."""
+        total = 0
+        if spec.count_user:
+            total += self.ev_user.get(spec.event, 0)
+        if spec.count_kernel:
+            total += self.ev_kernel.get(spec.event, 0)
+        return total
+
+    def slot_truth_since_open(self, idx: int, spec: SlotSpec) -> int:
+        """Ground truth relative to when the slot was programmed — what a
+        counter that started at zero at open time should read now."""
+        return self.slot_truth(spec) - self.slot_truth_base[idx]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimThread {self.tid} {self.name!r} {self.state.value}>"
+
+
+class Engine:
+    """Runs one simulation to completion."""
+
+    def __init__(self, config: SimConfig | None = None) -> None:
+        self.config = config or SimConfig()
+        self.machine = Machine(self.config.machine)
+        self.scheduler = Scheduler(
+            self.config.machine.n_cores,
+            [c.socket_id for c in self.machine.cores],
+        )
+        self.futex = FutexTable()
+        self.locks = LockRegistry()
+        self.perf = PerfSubsystem()
+        self.kernel_counters = KernelCounters()
+        self.threads: dict[int, SimThread] = {}
+        self.live_count = 0
+        self.trace: list[tuple] = []
+        self._next_tid = 1
+        self._seq = 0
+        self._sleep_heap: list[tuple[int, int, int]] = []
+        self._join_waiters: dict[int, list[int]] = {}
+        self._key_credits: dict[str, int] = {}
+        self._region_log_budget = self.config.region_log_budget
+        self._costs = self.config.machine.costs
+        self._finished = False
+        if self.config.kernel.limit_patch:
+            self.machine.enable_user_rdpmc()
+        self._syscalls: dict[str, Callable] = {
+            "work": self._sys_work,
+            "getpid": self._sys_getpid,
+            "pmc_open": self._sys_pmc_open,
+            "pmc_close": self._sys_pmc_close,
+            "perf_open": self._sys_perf_open,
+            "perf_read": self._sys_perf_read,
+            "perf_close": self._sys_perf_close,
+            "papi_read": self._sys_papi_read,
+            "wait_key": self._sys_wait_key,
+            "wake_key": self._sys_wake_key,
+            "mux_open": self._sys_mux_open,
+            "mux_read": self._sys_mux_read,
+            "mux_close": self._sys_mux_close,
+        }
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run(self, specs: list[ThreadSpec]) -> RunResult:
+        """Execute the given threads to completion and return the results."""
+        if self._finished:
+            raise SimulationError("Engine instances are single-use")
+        if not specs:
+            raise ConfigError("need at least one thread spec")
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate thread names: {names}")
+        for spec in specs:
+            thread = self._create_thread(spec.factory, spec.name, at=0)
+            self._make_ready(thread, at=0)
+        self._main_loop()
+        self._finished = True
+        return self._collect()
+
+    def thread(self, tid: int) -> SimThread:
+        try:
+            return self.threads[tid]
+        except KeyError:
+            raise SimulationError(f"no thread with tid {tid}") from None
+
+    def thread_now(self, tid: int) -> int:
+        """Best-known current time for a thread (ground-truth peek)."""
+        thread = self.thread(tid)
+        if thread.core_id is not None:
+            return self.machine.cores[thread.core_id].now
+        return thread.available_at
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def _main_loop(self) -> None:
+        cores = self.machine.cores
+        max_cycles = self.config.max_cycles
+        while self.live_count > 0:
+            active = [c for c in cores if not c.parked]
+            t_next = min((c.now for c in active), default=None)
+            while self._sleep_heap and (
+                t_next is None or self._sleep_heap[0][0] <= t_next
+            ):
+                wake_at, _, tid = heapq.heappop(self._sleep_heap)
+                thread = self.threads[tid]
+                self._make_ready(thread, at=wake_at)
+                active = [c for c in cores if not c.parked]
+                t_next = min((c.now for c in active), default=None)
+            if not active:
+                blocked = [
+                    f"{t.name}({t.block_key})"
+                    for t in self.threads.values()
+                    if t.state is ThreadState.BLOCKED
+                ]
+                raise SimulationError(
+                    f"deadlock: no runnable threads; blocked: {blocked}"
+                )
+            core = min(active, key=lambda c: (c.now, c.core_id))
+            if core.now > max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded max_cycles={max_cycles}"
+                )
+            self._step(core)
+
+    def _step(self, core: Core) -> None:
+        tid = core.current_tid
+        if tid is None:
+            self._dispatch(core)
+            return
+        thread = self.threads[tid]
+        if core.pmi_due_at is not None and core.now >= core.pmi_due_at:
+            self._service_pmi(core, thread)
+            return
+        if core.slice_ends_at is not None and core.now >= core.slice_ends_at:
+            self._timer_tick(core, thread)
+            return
+        self._exec_piece(core, thread)
+
+    # ------------------------------------------------------------------
+    # thread lifecycle
+    # ------------------------------------------------------------------
+
+    def _create_thread(self, factory, name: str, at: int) -> SimThread:
+        tid = self._next_tid
+        self._next_tid += 1
+        rng = RandomStream(self.config.seed, "thread", name, tid)
+        ctx = ThreadContext(name, tid, rng, self)
+        gen = factory(ctx)
+        if not hasattr(gen, "send"):
+            raise ConfigError(
+                f"program factory for thread {name!r} must return a "
+                f"generator, got {type(gen).__name__}"
+            )
+        thread = SimThread(tid, name, ctx, gen, self.config.machine.pmu.n_counters)
+        thread.started_at = at
+        thread.available_at = at
+        self.threads[tid] = thread
+        self.live_count += 1
+        return thread
+
+    def _make_ready(self, thread: SimThread, at: int) -> None:
+        thread.state = ThreadState.READY
+        thread.available_at = at
+        thread.block_key = None
+        idle = [
+            c.core_id
+            for c in self.machine.cores
+            if (c.parked or c.current_tid is None)
+            and self.scheduler.queue_length(c.core_id) == 0
+        ]
+        core_id = self.scheduler.place(thread.core_id, idle)
+        self.scheduler.enqueue(thread.tid, core_id)
+        core = self.machine.cores[core_id]
+        if core.parked:
+            core.parked = False
+            if at > core.now:
+                core.now = at
+        if self.config.trace:
+            self.trace.append((at, core_id, thread.tid, "ready", thread.name))
+
+    def _finish_thread(self, core: Core, thread: SimThread) -> None:
+        if thread.owned_locks:
+            raise SimulationError(
+                f"thread {thread.name!r} exited holding locks "
+                f"{sorted(thread.owned_locks)}"
+            )
+        if thread.region_stack:
+            raise SimulationError(
+                f"thread {thread.name!r} exited with open regions "
+                f"{thread.region_stack}"
+            )
+        self._switch_out(core, thread, requeue=False)
+        thread.state = ThreadState.FINISHED
+        thread.finished_at = core.now
+        self.live_count -= 1
+        for waiter in self._join_waiters.pop(thread.tid, []):
+            self._make_ready(self.threads[waiter], at=core.now)
+        if self.config.trace:
+            self.trace.append((core.now, core.core_id, thread.tid, "exit", thread.name))
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, core: Core) -> None:
+        tid = self.scheduler.pick_next(core.core_id)
+        if tid is None:
+            core.parked = True
+            return
+        self._switch_in(core, self.threads[tid])
+
+    def _switch_in(self, core: Core, thread: SimThread) -> None:
+        core.parked = False
+        if thread.available_at > core.now:
+            core.now = thread.available_at
+        crossed_socket = False
+        if thread.core_id is not None and thread.core_id != core.core_id:
+            thread.n_migrations += 1
+            old_socket = self.machine.cores[thread.core_id].socket_id
+            crossed_socket = old_socket != core.socket_id
+            if crossed_socket:
+                thread.n_cross_socket_migrations += 1
+        thread.core_id = core.core_id
+        thread.state = ThreadState.RUNNING
+        core.current_tid = thread.tid
+        if self.config.trace:
+            self.trace.append(
+                (core.now, core.core_id, thread.tid, "switch_in", thread.name)
+            )
+        # Restore the thread's counters FIRST, then charge the switch
+        # path: the incoming thread's OS-domain counters must observe the
+        # switch-in work, or virtualized kernel-cycle counts would drift
+        # from truth by one switch path per reschedule.
+        self._program_counters(core, thread)
+        cost = self._costs.context_switch
+        if crossed_socket:
+            cost += self._costs.cross_socket_migration
+        n_active = thread.vpmu.n_active()
+        if n_active and not self.config.kernel.hw_thread_virtualization:
+            cost += self._costs.ctx_restore_per_counter * n_active
+        self._account_kernel(core, thread, cost)
+        core.slice_ends_at = core.now + self.config.kernel.timeslice_cycles
+
+    def _switch_out(
+        self, core: Core, thread: SimThread, requeue: bool, preempted: bool = False
+    ) -> None:
+        n_active = thread.vpmu.n_active()
+        if n_active and not self.config.kernel.hw_thread_virtualization:
+            self._account_kernel(
+                core, thread, self._costs.ctx_save_per_counter * n_active
+            )
+        self._fold_counters(core, thread)
+        if thread.in_pmc_read:
+            thread.pmc_read_interrupted = True
+        thread.n_context_switches += 1
+        if preempted:
+            thread.n_preemptions += 1
+        self.kernel_counters.n_context_switches += 1
+        core.current_tid = None
+        core.slice_ends_at = None
+        core.pmi_due_at = None
+        if self.config.trace:
+            self.trace.append(
+                (core.now, core.core_id, thread.tid, "switch_out", thread.name)
+            )
+        if requeue:
+            thread.state = ThreadState.READY
+            thread.available_at = core.now
+            self.scheduler.enqueue(thread.tid, core.core_id)
+            if self.config.trace:
+                self.trace.append(
+                    (core.now, core.core_id, thread.tid, "ready", thread.name)
+                )
+
+    def _timer_tick(self, core: Core, thread: SimThread) -> None:
+        self.kernel_counters.n_timer_ticks += 1
+        self._account_kernel(core, thread, self._costs.timer_tick)
+        if thread.mux is not None and len(thread.mux.specs) > 1:
+            self._account_kernel(core, thread, 2 * self._costs.wrmsr)
+            self._mux_rotate(core, thread)
+        if self.scheduler.queue_length(core.core_id) > 0:
+            self._switch_out(core, thread, requeue=True, preempted=True)
+        else:
+            core.slice_ends_at = core.now + self.config.kernel.timeslice_cycles
+
+    def _block(self, core: Core, thread: SimThread, key: tuple) -> None:
+        thread.state = ThreadState.BLOCKED
+        thread.block_key = key
+        self._switch_out(core, thread, requeue=False)
+
+    # ------------------------------------------------------------------
+    # counter virtualization (the LiMiT kernel patch)
+    # ------------------------------------------------------------------
+
+    def _program_counters(self, core: Core, thread: SimThread) -> None:
+        pmu = core.pmu
+        for idx in thread.vpmu.active_indices():
+            spec = thread.vpmu.slots[idx]
+            ctr = pmu.counter(idx)
+            ctr.program(spec.event, spec.count_user, spec.count_kernel)
+            if spec.mode == "count":
+                ctr.write(0)
+            else:
+                saved = thread.slot_saved[idx]
+                if saved is None:
+                    saved = max(0, ctr.threshold - spec.period)
+                ctr.write(saved)
+
+    def _fold_counters(self, core: Core, thread: SimThread) -> None:
+        pmu = core.pmu
+        for idx in thread.vpmu.active_indices():
+            ctr = pmu.counter(idx)
+            if ctr.overflow_pending:
+                self._apply_overflow(core, thread, idx)
+            spec = thread.vpmu.slots[idx]
+            if spec.mode == "count":
+                thread.vpmu.vaccum[idx] += ctr.read()
+            else:
+                thread.slot_saved[idx] = ctr.read()
+            ctr.deprogram()
+
+    def _apply_overflow(self, core: Core, thread: SimThread, idx: int) -> None:
+        ctr = core.pmu.counter(idx)
+        wraps = ctr.clear_overflow()
+        if not wraps:
+            return
+        self.kernel_counters.n_counter_overflows += wraps
+        spec = thread.vpmu.slots[idx]
+        if spec is None:  # orphaned counter; nothing to attribute
+            return
+        if spec.mode == "count":
+            thread.vpmu.vaccum[idx] += wraps * ctr.threshold
+        else:
+            fd = self.perf.fd_for_slot(thread.tid, idx)
+            region = thread.region_stack[-1] if thread.region_stack else None
+            if fd is not None and fd.enabled:
+                record = SampleRecord(
+                    time=core.now,
+                    tid=thread.tid,
+                    region=region,
+                    event=spec.event,
+                    fd=fd.fd,
+                )
+                self.perf.record_sample(fd, record)
+                self.kernel_counters.n_samples += 1
+            thread.vpmu.sample_counts[idx] += 1
+            ctr.write(max(0, ctr.threshold - spec.period))
+
+    def _service_pmi(self, core: Core, thread: SimThread) -> None:
+        core.pmi_due_at = None
+        pending = core.pmu.pending_overflow_indices()
+        if not pending:
+            return
+        n_samples = sum(
+            1
+            for idx in pending
+            if thread.vpmu.slots[idx] is not None
+            and thread.vpmu.slots[idx].mode == "sample"
+        )
+        cost = self._costs.pmi_handler + self._costs.pmi_sample_record * n_samples
+        self.kernel_counters.n_pmis += 1
+        self._account_kernel(core, thread, cost)
+        # The handler itself may have pushed more counters over the edge
+        # (kernel-domain counting); service everything pending now.
+        for idx in core.pmu.pending_overflow_indices():
+            self._apply_overflow(core, thread, idx)
+        if thread.in_pmc_read:
+            thread.pmc_read_interrupted = True
+        if self.config.trace:
+            self.trace.append((core.now, core.core_id, thread.tid, "pmi", tuple(pending)))
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+
+    def _account(
+        self,
+        core: Core,
+        thread: SimThread,
+        domain: Domain,
+        rates: EventRates,
+        before: int,
+        after: int,
+    ) -> None:
+        """Charge ``after - before`` cycles of a phase to the machine,
+        thread, ground truth, active region and PMU counters."""
+        chunk = after - before
+        core.now += chunk
+        core.busy_cycles += chunk
+        if domain is Domain.USER:
+            core.user_cycles += chunk
+            thread.user_cycles += chunk
+            ev = thread.ev_user
+        else:
+            core.kernel_cycles += chunk
+            thread.kernel_cycles += chunk
+            ev = thread.ev_kernel
+        ev[Event.CYCLES] = ev.get(Event.CYCLES, 0) + chunk
+        deltas: list[tuple[Event, int]] | None = None
+        if rates:
+            deltas = []
+            for event, ppm in rates.items():
+                n = (after * ppm) // 1_000_000 - (before * ppm) // 1_000_000
+                if n:
+                    ev[event] = ev.get(event, 0) + n
+                    deltas.append((event, n))
+        if thread.region_stack:
+            rt = thread.regions[thread.region_stack[-1]]
+            if domain is Domain.USER:
+                rev = rt.events
+                rev[Event.CYCLES] = rev.get(Event.CYCLES, 0) + chunk
+                if deltas:
+                    for event, n in deltas:
+                        rev[event] = rev.get(event, 0) + n
+            else:
+                rt.kernel_cycles += chunk
+        overflowed = core.pmu.accrue_phase(rates, domain, before, after)
+        if overflowed:
+            due = core.now + self._costs.pmi_skid
+            if core.pmi_due_at is None or due < core.pmi_due_at:
+                core.pmi_due_at = due
+
+    def _account_kernel(self, core: Core, thread: SimThread, cycles: int) -> None:
+        """One-shot non-preemptible kernel phase."""
+        if cycles:
+            self._account(core, thread, Domain.KERNEL, KERNEL_RATES, 0, cycles)
+
+    # ------------------------------------------------------------------
+    # op execution
+    # ------------------------------------------------------------------
+
+    def _exec_piece(self, core: Core, thread: SimThread) -> None:
+        ex = thread.cur
+        if ex is None:
+            if not self._fetch_next_op(core, thread):
+                return
+            ex = thread.cur
+        if not ex.phase_done:
+            if not self._run_phase(core, thread, ex):
+                return
+        self._advance(core, thread, ex)
+
+    def _fetch_next_op(self, core: Core, thread: SimThread) -> bool:
+        try:
+            if thread.throw_exc is not None:
+                exc = thread.throw_exc
+                thread.throw_exc = None
+                op = thread.gen.throw(exc)
+            else:
+                op = thread.gen.send(thread.send_value)
+        except StopIteration:
+            self._finish_thread(core, thread)
+            return False
+        thread.send_value = None
+        thread.cur = self._begin_op(core, thread, op)
+        return True
+
+    def _run_phase(self, core: Core, thread: SimThread, ex: _OpExec) -> bool:
+        remaining = ex.phase_cycles - ex.phase_consumed
+        if remaining <= 0:
+            return True
+        if ex.phase_preemptible:
+            limit = remaining
+            if core.slice_ends_at is not None:
+                limit = min(limit, core.slice_ends_at - core.now)
+            if core.pmi_due_at is not None:
+                limit = min(limit, core.pmi_due_at - core.now)
+            split = core.pmu.cycles_to_next_overflow(
+                ex.phase_rates, ex.phase_domain, ex.phase_consumed
+            )
+            if split is not None:
+                limit = min(limit, split)
+            chunk = max(1, min(remaining, limit))
+        else:
+            chunk = remaining
+        self._account(
+            core,
+            thread,
+            ex.phase_domain,
+            ex.phase_rates,
+            ex.phase_consumed,
+            ex.phase_consumed + chunk,
+        )
+        ex.phase_consumed += chunk
+        return ex.phase_done
+
+    def _complete(self, thread: SimThread, value: Any) -> None:
+        thread.send_value = value
+        thread.cur = None
+
+    def _throw(self, thread: SimThread, exc: BaseException) -> None:
+        thread.throw_exc = exc
+        thread.cur = None
+
+    # -- op begin ----------------------------------------------------------
+
+    def _begin_op(self, core: Core, thread: SimThread, op: ops.Op) -> _OpExec:
+        ex = _OpExec(op)
+        costs = self._costs
+        if isinstance(op, ops.Compute):
+            ex.stage = "run"
+            ex.set_phase(op.cycles, op.rates, Domain.USER, True)
+        elif isinstance(op, ops.Rdtsc):
+            ex.stage = "run"
+            ex.set_phase(costs.rdtsc, LIBRARY_RATES, Domain.USER, True)
+        elif isinstance(op, ops.Rdpmc):
+            ex.stage = "run"
+            ex.set_phase(costs.rdpmc, LIBRARY_RATES, Domain.USER, True)
+        elif isinstance(op, ops.RdpmcDestructive):
+            ex.stage = "run"
+            ex.set_phase(costs.rdpmc_destructive, LIBRARY_RATES, Domain.USER, True)
+        elif isinstance(op, ops.PmcReadBegin):
+            ex.stage = "run"
+            ex.set_phase(costs.pmc_read_begin, LIBRARY_RATES, Domain.USER, True)
+        elif isinstance(op, ops.PmcReadEnd):
+            ex.stage = "run"
+            ex.set_phase(costs.pmc_read_end, LIBRARY_RATES, Domain.USER, True)
+        elif isinstance(op, ops.LoadVAccum):
+            ex.stage = "run"
+            ex.set_phase(costs.pmc_load_accum, LIBRARY_RATES, Domain.USER, True)
+        elif isinstance(op, (ops.RegionBegin, ops.RegionEnd)):
+            ex.stage = "run"
+            hook = costs.instrument_hook if thread.profiler is not None else 0
+            ex.set_phase(hook, LIBRARY_RATES, Domain.USER, True)
+        elif isinstance(op, ops.LockAcquire):
+            ex.stage = "cas"
+            ex.data["t0"] = core.now
+            ex.data["spin_used"] = 0
+            ex.data["contended"] = False
+            ex.data["slept"] = False
+            ex.set_phase(costs.cas, LIBRARY_RATES, Domain.USER, True)
+        elif isinstance(op, ops.LockRelease):
+            ex.stage = "cas"
+            ex.set_phase(costs.cas, LIBRARY_RATES, Domain.USER, True)
+        elif isinstance(op, ops.Syscall):
+            handler = self._syscalls.get(op.name)
+            if handler is None:
+                raise SimulationError(f"unknown syscall {op.name!r}")
+            ex.stage = "entry"
+            ex.data["handler"] = handler
+            thread.n_syscalls += 1
+            table = self.kernel_counters.n_syscalls
+            table[op.name] = table.get(op.name, 0) + 1
+            ex.set_phase(costs.syscall_entry, KERNEL_RATES, Domain.KERNEL, False)
+        elif isinstance(op, ops.SpawnThread):
+            ex.stage = "entry"
+            thread.n_syscalls += 1
+            table = self.kernel_counters.n_syscalls
+            table["clone"] = table.get("clone", 0) + 1
+            ex.set_phase(costs.syscall_entry, KERNEL_RATES, Domain.KERNEL, False)
+        elif isinstance(op, ops.JoinThread):
+            ex.stage = "entry"
+            thread.n_syscalls += 1
+            ex.set_phase(costs.syscall_entry, KERNEL_RATES, Domain.KERNEL, False)
+        elif isinstance(op, ops.Sleep):
+            ex.stage = "entry"
+            thread.n_syscalls += 1
+            ex.set_phase(costs.syscall_entry, KERNEL_RATES, Domain.KERNEL, False)
+        elif isinstance(op, ops.YieldCpu):
+            ex.stage = "entry"
+            thread.n_syscalls += 1
+            ex.set_phase(costs.syscall_entry, KERNEL_RATES, Domain.KERNEL, False)
+        else:
+            raise SimulationError(f"thread {thread.name!r} yielded non-op {op!r}")
+        return ex
+
+    # -- op advance ----------------------------------------------------------
+
+    def _advance(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
+        op = ex.op
+        if isinstance(op, ops.Compute):
+            self._complete(thread, None)
+        elif isinstance(op, ops.Rdtsc):
+            self._complete(thread, core.now)
+        elif isinstance(op, ops.Rdpmc):
+            self._adv_rdpmc(core, thread, op)
+        elif isinstance(op, ops.RdpmcDestructive):
+            self._adv_rdpmc_destructive(core, thread, op)
+        elif isinstance(op, ops.PmcReadBegin):
+            thread.in_pmc_read = True
+            thread.pmc_read_interrupted = False
+            self._complete(thread, None)
+        elif isinstance(op, ops.PmcReadEnd):
+            ok = (
+                not thread.pmc_read_interrupted
+                and not core.pmu.pending_overflow_indices()
+            )
+            thread.in_pmc_read = False
+            thread.pmc_read_interrupted = False
+            if not ok:
+                thread.read_restarts += 1
+            self._complete(thread, ok)
+        elif isinstance(op, ops.LoadVAccum):
+            try:
+                value = thread.vpmu.read_accumulator(op.index)
+            except CounterError as exc:
+                self._throw(thread, exc)
+            else:
+                self._complete(thread, value)
+        elif isinstance(op, ops.RegionBegin):
+            self._adv_region_begin(core, thread, op)
+        elif isinstance(op, ops.RegionEnd):
+            self._adv_region_end(core, thread)
+        elif isinstance(op, ops.LockAcquire):
+            self._adv_lock_acquire(core, thread, ex)
+        elif isinstance(op, ops.LockRelease):
+            self._adv_lock_release(core, thread, ex)
+        elif isinstance(op, ops.Syscall):
+            self._adv_syscall(core, thread, ex)
+        elif isinstance(op, ops.SpawnThread):
+            self._adv_spawn(core, thread, ex)
+        elif isinstance(op, ops.JoinThread):
+            self._adv_join(core, thread, ex)
+        elif isinstance(op, ops.Sleep):
+            self._adv_sleep(core, thread, ex)
+        elif isinstance(op, ops.YieldCpu):
+            self._adv_yield(core, thread, ex)
+        else:  # pragma: no cover - _begin_op already rejects these
+            raise SimulationError(f"cannot advance op {op!r}")
+
+    def _adv_rdpmc(self, core: Core, thread: SimThread, op: ops.Rdpmc) -> None:
+        try:
+            value = core.pmu.rdpmc(op.index, from_user=True)
+        except CounterError as exc:
+            self._throw(thread, exc)
+            return
+        if 0 <= op.index < len(thread.vpmu.slots):
+            spec = thread.vpmu.slots[op.index]
+            if spec is not None:
+                thread.last_rdpmc_truth = thread.slot_truth_since_open(
+                    op.index, spec
+                )
+        self._complete(thread, value)
+
+    def _adv_rdpmc_destructive(
+        self, core: Core, thread: SimThread, op: ops.RdpmcDestructive
+    ) -> None:
+        pmu = core.pmu
+        try:
+            hw = pmu.rdpmc(op.index, from_user=True)
+        except CounterError as exc:
+            self._throw(thread, exc)
+            return
+        try:
+            spec = thread.vpmu.spec(op.index)
+        except CounterError as exc:
+            self._throw(thread, exc)
+            return
+        ctr = pmu.counter(op.index)
+        if ctr.overflow_pending:
+            # the instruction folds pending overflow state atomically
+            self._apply_overflow(core, thread, op.index)
+            hw = ctr.read()
+        value = thread.vpmu.vaccum[op.index] + hw
+        thread.vpmu.vaccum[op.index] = 0
+        ctr.write(0)
+        truth = thread.slot_truth(spec)
+        thread.last_rdpmc_truth = truth - thread.slot_reset_truth[op.index]
+        thread.slot_reset_truth[op.index] = truth
+        self._complete(thread, value)
+
+    def _adv_region_begin(self, core: Core, thread: SimThread, op: ops.RegionBegin) -> None:
+        thread.region_stack.append(op.name)
+        if op.name not in thread.regions:
+            thread.regions[op.name] = RegionTruth(name=op.name)
+        thread.region_entries.append((op.name, thread.cpu_cycles, core.now))
+        if thread.profiler is not None:
+            thread.profiler.on_enter(thread.tid, op.name, core.now)
+        self._complete(thread, None)
+
+    def _adv_region_end(self, core: Core, thread: SimThread) -> None:
+        if not thread.region_stack:
+            raise SimulationError(
+                f"thread {thread.name!r}: RegionEnd with no open region"
+            )
+        name = thread.region_stack.pop()
+        entry_name, cpu_snap, t0 = thread.region_entries.pop()
+        if entry_name != name:  # pragma: no cover - structurally impossible
+            raise SimulationError("region stack corrupted")
+        rt = thread.regions[name]
+        rt.invocations += 1
+        if self._region_log_budget > 0:
+            rt.exec_cycles.append(thread.cpu_cycles - cpu_snap)
+            rt.wall_cycles.append(core.now - t0)
+            self._region_log_budget -= 1
+        if thread.profiler is not None:
+            thread.profiler.on_exit(thread.tid, name, core.now)
+        self._complete(thread, None)
+
+    # -- locks ---------------------------------------------------------------
+
+    def _adv_lock_acquire(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
+        op: ops.LockAcquire = ex.op
+        costs = self._costs
+        lock = self.locks.get(op.lock)
+        stage = ex.stage
+        if stage == "cas":
+            if not lock.held:
+                waited = core.now - ex.data["t0"]
+                lock.take(
+                    thread.tid,
+                    core.now,
+                    waited=waited,
+                    contended=ex.data["contended"],
+                    slept=ex.data["slept"],
+                )
+                thread.owned_locks.add(op.lock)
+                if self.config.trace:
+                    self.trace.append(
+                        (core.now, core.core_id, thread.tid, "lock_acq", op.lock)
+                    )
+                self._complete(thread, None)
+                return
+            ex.data["contended"] = True
+            if ex.data["spin_used"] < self.config.locks.spin_limit_cycles:
+                ex.stage = "spin"
+                ex.data["spin_used"] += costs.spin_quantum
+                ex.set_phase(costs.spin_quantum, SPIN_RATES, Domain.USER, True)
+                return
+            ex.stage = "fbody"
+            self.kernel_counters.n_futex_waits += 1
+            ex.set_phase(
+                costs.syscall_entry + costs.futex_wait_kernel,
+                KERNEL_RATES,
+                Domain.KERNEL,
+                False,
+            )
+            return
+        if stage == "spin":
+            ex.stage = "cas"
+            ex.set_phase(costs.cas, LIBRARY_RATES, Domain.USER, True)
+            return
+        if stage == "fbody":
+            ex.stage = "fexit"
+            ex.set_phase(costs.syscall_exit, KERNEL_RATES, Domain.KERNEL, False)
+            if lock.held:
+                # genuinely sleep; retry CAS when woken
+                self.futex.wait(op.lock, thread.tid)
+                lock.n_sleepers += 1
+                ex.data["slept"] = True
+                self._block(core, thread, ("futex", op.lock))
+            # else: lost the race with a release; fall through to fexit
+            return
+        if stage == "fexit":
+            ex.stage = "cas"
+            ex.data["spin_used"] = 0
+            ex.set_phase(costs.cas, LIBRARY_RATES, Domain.USER, True)
+            return
+        raise SimulationError(f"bad LockAcquire stage {stage!r}")
+
+    def _adv_lock_release(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
+        op: ops.LockRelease = ex.op
+        costs = self._costs
+        stage = ex.stage
+        if stage == "cas":
+            lock = self.locks.get(op.lock)
+            lock.release(thread.tid, core.now)
+            thread.owned_locks.discard(op.lock)
+            if self.config.trace:
+                self.trace.append(
+                    (core.now, core.core_id, thread.tid, "lock_rel", op.lock)
+                )
+            if lock.n_sleepers > 0:
+                ex.stage = "wbody"
+                self.kernel_counters.n_futex_wakes += 1
+                ex.set_phase(
+                    costs.syscall_entry + costs.futex_wake_kernel,
+                    KERNEL_RATES,
+                    Domain.KERNEL,
+                    False,
+                )
+                return
+            self._complete(thread, None)
+            return
+        if stage == "wbody":
+            lock = self.locks.get(op.lock)
+            woken = self.futex.wake(op.lock, 1)
+            lock.n_sleepers -= len(woken)
+            for tid in woken:
+                self._make_ready(self.threads[tid], at=core.now)
+            ex.stage = "wexit"
+            ex.set_phase(costs.syscall_exit, KERNEL_RATES, Domain.KERNEL, False)
+            return
+        if stage == "wexit":
+            self._complete(thread, None)
+            return
+        raise SimulationError(f"bad LockRelease stage {stage!r}")
+
+    # -- syscalls ----------------------------------------------------------
+
+    def _adv_syscall(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
+        op: ops.Syscall = ex.op
+        costs = self._costs
+        if ex.stage == "entry":
+            handler = ex.data["handler"]
+            try:
+                body_cycles, action = handler(core, thread, op.args)
+            except Exception as exc:  # deliver as the syscall's "errno"
+                ex.data["action"] = None
+                ex.data["exc"] = exc
+                ex.stage = "exit"
+                ex.set_phase(costs.syscall_exit, KERNEL_RATES, Domain.KERNEL, False)
+                return
+            ex.data["action"] = action
+            ex.stage = "body"
+            ex.set_phase(body_cycles, KERNEL_RATES, Domain.KERNEL, False)
+            return
+        if ex.stage == "body":
+            action = ex.data.get("action")
+            result: Any = None
+            block: tuple | None = None
+            if action is not None:
+                try:
+                    result, block = action(core, thread)
+                except Exception as exc:
+                    ex.data["exc"] = exc
+                    block = None
+            ex.data["result"] = result
+            ex.stage = "exit"
+            ex.set_phase(costs.syscall_exit, KERNEL_RATES, Domain.KERNEL, False)
+            if block is not None:
+                kind, arg = block
+                if kind == "sleep":
+                    self._seq += 1
+                    heapq.heappush(
+                        self._sleep_heap, (core.now + arg, self._seq, thread.tid)
+                    )
+                    self._block(core, thread, ("sleep", arg))
+                elif kind == "join":
+                    self._join_waiters.setdefault(arg, []).append(thread.tid)
+                    self._block(core, thread, ("join", arg))
+                elif kind == "key":
+                    self.futex.wait("key:" + arg, thread.tid)
+                    self._block(core, thread, ("key", arg))
+                else:  # pragma: no cover
+                    raise SimulationError(f"bad block kind {kind!r}")
+            return
+        if ex.stage == "exit":
+            exc = ex.data.get("exc")
+            if exc is not None:
+                self._throw(thread, exc)
+            else:
+                self._complete(thread, ex.data.get("result"))
+            return
+        raise SimulationError(f"bad Syscall stage {ex.stage!r}")
+
+    def _adv_spawn(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
+        op: ops.SpawnThread = ex.op
+        costs = self._costs
+        if ex.stage == "entry":
+            ex.stage = "body"
+            ex.set_phase(2600, KERNEL_RATES, Domain.KERNEL, False)
+            return
+        if ex.stage == "body":
+            child = self._create_thread(op.factory, op.name, at=core.now)
+            self._make_ready(child, at=core.now)
+            ex.data["result"] = child.tid
+            ex.stage = "exit"
+            ex.set_phase(costs.syscall_exit, KERNEL_RATES, Domain.KERNEL, False)
+            return
+        if ex.stage == "exit":
+            self._complete(thread, ex.data["result"])
+            return
+        raise SimulationError(f"bad SpawnThread stage {ex.stage!r}")
+
+    def _adv_join(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
+        op: ops.JoinThread = ex.op
+        costs = self._costs
+        if ex.stage == "entry":
+            ex.stage = "body"
+            ex.set_phase(600, KERNEL_RATES, Domain.KERNEL, False)
+            return
+        if ex.stage == "body":
+            target = self.threads.get(op.tid)
+            if target is None:
+                ex.data["exc"] = SimulationError(f"join: no thread {op.tid}")
+            ex.stage = "exit"
+            ex.set_phase(costs.syscall_exit, KERNEL_RATES, Domain.KERNEL, False)
+            if target is not None and target.state is not ThreadState.FINISHED:
+                self._join_waiters.setdefault(op.tid, []).append(thread.tid)
+                self._block(core, thread, ("join", op.tid))
+            return
+        if ex.stage == "exit":
+            exc = ex.data.get("exc")
+            if exc is not None:
+                self._throw(thread, exc)
+            else:
+                self._complete(thread, None)
+            return
+        raise SimulationError(f"bad JoinThread stage {ex.stage!r}")
+
+    def _adv_sleep(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
+        op: ops.Sleep = ex.op
+        costs = self._costs
+        if ex.stage == "entry":
+            ex.stage = "body"
+            ex.set_phase(900, KERNEL_RATES, Domain.KERNEL, False)
+            return
+        if ex.stage == "body":
+            ex.stage = "exit"
+            ex.set_phase(costs.syscall_exit, KERNEL_RATES, Domain.KERNEL, False)
+            self._seq += 1
+            heapq.heappush(
+                self._sleep_heap, (core.now + op.cycles, self._seq, thread.tid)
+            )
+            self._block(core, thread, ("sleep", op.cycles))
+            return
+        if ex.stage == "exit":
+            self._complete(thread, None)
+            return
+        raise SimulationError(f"bad Sleep stage {ex.stage!r}")
+
+    def _adv_yield(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
+        costs = self._costs
+        if ex.stage == "entry":
+            ex.stage = "body"
+            ex.set_phase(400, KERNEL_RATES, Domain.KERNEL, False)
+            return
+        if ex.stage == "body":
+            ex.stage = "exit"
+            ex.set_phase(costs.syscall_exit, KERNEL_RATES, Domain.KERNEL, False)
+            return
+        if ex.stage == "exit":
+            self._complete(thread, None)
+            if self.scheduler.queue_length(core.core_id) > 0:
+                self._switch_out(core, thread, requeue=True)
+            return
+        raise SimulationError(f"bad YieldCpu stage {ex.stage!r}")
+
+    # -- syscall handlers: (core, thread, args) -> (body_cycles, action) ------
+
+    def _sys_work(self, core, thread, args):
+        (cycles,) = args
+        if cycles < 0:
+            raise ConfigError("work syscall needs non-negative cycles")
+        return cycles, None
+
+    def _sys_getpid(self, core, thread, args):
+        def action(core, thread):
+            return thread.tid, None
+
+        return 150, action
+
+    def _sys_pmc_open(self, core, thread, args):
+        (spec,) = args
+        if not isinstance(spec, SlotSpec):
+            raise ConfigError("pmc_open takes a SlotSpec")
+        if spec.mode != "count":
+            raise ConfigError("pmc_open supports counting slots only")
+        cost = 800 + 2 * self._costs.wrmsr
+
+        def action(core, thread):
+            idx = thread.vpmu.allocate(spec)
+            ctr = core.pmu.counter(idx)
+            ctr.program(spec.event, spec.count_user, spec.count_kernel)
+            ctr.write(0)
+            base = thread.slot_truth(spec)
+            thread.slot_truth_base[idx] = base
+            thread.slot_reset_truth[idx] = base
+            return idx, None
+
+        return cost, action
+
+    def _sys_pmc_close(self, core, thread, args):
+        (idx,) = args
+
+        def action(core, thread):
+            thread.vpmu.spec(idx)  # validates
+            core.pmu.counter(idx).deprogram()
+            thread.vpmu.free(idx)
+            thread.slot_saved[idx] = None
+            return None, None
+
+        return 400, action
+
+    def _sys_perf_open(self, core, thread, args):
+        event, mode, period, count_user, count_kernel = args
+        spec = SlotSpec(
+            event=event,
+            count_user=count_user,
+            count_kernel=count_kernel,
+            mode=mode,
+            period=period,
+            owner="perf",
+            user_readable=False,
+        )
+        if mode == "sample" and period >= core.pmu.config.overflow_threshold:
+            raise ConfigError(
+                f"sampling period {period} exceeds counter range "
+                f"{core.pmu.config.overflow_threshold}"
+            )
+
+        def action(core, thread):
+            idx = thread.vpmu.allocate(spec)
+            ctr = core.pmu.counter(idx)
+            ctr.program(spec.event, spec.count_user, spec.count_kernel)
+            if mode == "count":
+                ctr.write(0)
+            else:
+                ctr.write(max(0, ctr.threshold - period))
+            base = thread.slot_truth(spec)
+            thread.slot_truth_base[idx] = base
+            thread.slot_reset_truth[idx] = base
+            fd = self.perf.open(thread.tid, idx, event, mode, period)
+            return fd.fd, None
+
+        return 3500, action
+
+    def _sys_perf_read(self, core, thread, args):
+        (fd_no,) = args
+        cost = self._costs.perf_read_kernel_work + self._costs.perf_copyout
+
+        def action(core, thread):
+            fd = self.perf.get(fd_no)
+            if fd.tid != thread.tid:
+                raise ConfigError("cross-thread perf reads are not modelled")
+            spec = thread.vpmu.spec(fd.slot)
+            value = thread.vpmu.vaccum[fd.slot] + core.pmu.counter(fd.slot).read()
+            thread.last_kernel_read_truth[fd.slot] = thread.slot_truth_since_open(
+                fd.slot, spec
+            )
+            return value, None
+
+        return cost, action
+
+    def _sys_perf_close(self, core, thread, args):
+        (fd_no,) = args
+
+        def action(core, thread):
+            fd = self.perf.close(fd_no)
+            core.pmu.counter(fd.slot).deprogram()
+            thread.vpmu.free(fd.slot)
+            thread.slot_saved[fd.slot] = None
+            return fd, None
+
+        return 1500, action
+
+    def _sys_papi_read(self, core, thread, args):
+        (indices,) = args
+        indices = tuple(indices)
+        cost = (
+            self._costs.papi_kernel_read_work
+            + self._costs.papi_copyout
+            + 150 * max(0, len(indices) - 1)
+        )
+
+        def action(core, thread):
+            values = []
+            for idx in indices:
+                spec = thread.vpmu.spec(idx)
+                value = thread.vpmu.vaccum[idx] + core.pmu.counter(idx).read()
+                thread.last_kernel_read_truth[idx] = (
+                    thread.slot_truth_since_open(idx, spec)
+                )
+                values.append(value)
+            return values, None
+
+        return cost, action
+
+    def _sys_wait_key(self, core, thread, args):
+        """Keyed-event wait: consume a pending credit if one exists,
+        otherwise block until a wake_key posts one. The credit semantics
+        (a wake with no waiter is remembered) make the primitive race-free
+        for building semaphores/condvars in userspace."""
+        (key,) = args
+        if not isinstance(key, str) or not key:
+            raise ConfigError("wait_key needs a non-empty string key")
+
+        def action(core, thread):
+            credits = self._key_credits.get(key, 0)
+            if credits > 0:
+                self._key_credits[key] = credits - 1
+                return True, None  # consumed a credit; no blocking
+            return False, ("key", key)
+
+        return 900, action
+
+    def _sys_wake_key(self, core, thread, args):
+        """Keyed-event wake: release up to ``n`` waiters; excess wakes are
+        stored as credits. ``n = -1`` wakes every current waiter and clears
+        any stored credits (broadcast)."""
+        key, n = args
+        if not isinstance(key, str) or not key:
+            raise ConfigError("wake_key needs a non-empty string key")
+
+        def action(core, thread):
+            fkey = "key:" + key
+            if n == -1:
+                woken = self.futex.wake(fkey, 1 << 30)
+                self._key_credits.pop(key, None)
+            else:
+                if n < 0:
+                    raise ConfigError("wake_key count must be >= 0 or -1")
+                woken = self.futex.wake(fkey, n)
+                excess = n - len(woken)
+                if excess > 0:
+                    self._key_credits[key] = (
+                        self._key_credits.get(key, 0) + excess
+                    )
+            for tid in woken:
+                self._make_ready(self.threads[tid], at=core.now)
+            return len(woken), None
+
+        return 1_100, action
+
+    # -- perf-style event multiplexing ----------------------------------
+
+    def _mux_fold(self, core: Core, thread: SimThread) -> None:
+        """Fold the live event's accumulated count into its group entry."""
+        state = thread.mux
+        ctr = core.pmu.counter(state.slot)
+        state.counts[state.active] += (
+            thread.vpmu.vaccum[state.slot] + ctr.read()
+        )
+        thread.vpmu.vaccum[state.slot] = 0
+        if ctr.enabled:
+            ctr.write(0)
+        state.enabled_cpu[state.active] += (
+            thread.cpu_cycles - state.active_since_cpu
+        )
+        state.active_since_cpu = thread.cpu_cycles
+
+    def _mux_rotate(self, core: Core, thread: SimThread) -> None:
+        """Rotate the multiplexed group to its next event (timer driven)."""
+        state = thread.mux
+        self._mux_fold(core, thread)
+        state.active = (state.active + 1) % len(state.specs)
+        state.rotations += 1
+        spec = state.specs[state.active]
+        ctr = core.pmu.counter(state.slot)
+        if ctr.enabled or core.current_tid == thread.tid:
+            ctr.program(spec.event, spec.count_user, spec.count_kernel)
+            ctr.write(0)
+        # keep the slot's bookkeeping spec in sync with the live event
+        thread.vpmu.slots[state.slot] = spec
+
+    def _sys_mux_open(self, core, thread, args):
+        events, count_user, count_kernel = args
+        events = tuple(events)
+        if not events:
+            raise ConfigError("mux_open needs at least one event")
+        if thread.mux is not None:
+            raise ConfigError("thread already has a multiplexed group")
+        specs = [
+            SlotSpec(
+                event=e,
+                count_user=count_user,
+                count_kernel=count_kernel,
+                mode="count",
+                owner="perf-mux",
+                user_readable=False,
+            )
+            for e in events
+        ]
+        cost = 3500 + 2 * self._costs.wrmsr
+
+        def action(core, thread):
+            idx = thread.vpmu.allocate(specs[0])
+            ctr = core.pmu.counter(idx)
+            ctr.program(specs[0].event, count_user, count_kernel)
+            ctr.write(0)
+            thread.mux = MuxState(
+                slot=idx,
+                specs=specs,
+                truth_base=[thread.slot_truth(s) for s in specs],
+                active_since_cpu=thread.cpu_cycles,
+                total_cpu_base=thread.cpu_cycles,
+            )
+            thread.slot_truth_base[idx] = thread.slot_truth(specs[0])
+            return idx, None
+
+        return cost, action
+
+    def _sys_mux_read(self, core, thread, args):
+        cost = self._costs.perf_read_kernel_work + self._costs.perf_copyout
+
+        def action(core, thread):
+            state = thread.mux
+            if state is None:
+                raise ConfigError("mux_read without a multiplexed group")
+            self._mux_fold(core, thread)
+            total_cpu = thread.cpu_cycles - state.total_cpu_base
+            triples = [
+                (state.counts[i], state.enabled_cpu[i], total_cpu)
+                for i in range(len(state.specs))
+            ]
+            thread.last_kernel_read_truth[state.slot] = 0  # unused for mux
+            thread.ctx.scratch["_mux_truth"] = [
+                thread.slot_truth(spec) - base
+                for spec, base in zip(state.specs, state.truth_base)
+            ]
+            return triples, None
+
+        return cost, action
+
+    def _sys_mux_close(self, core, thread, args):
+        def action(core, thread):
+            state = thread.mux
+            if state is None:
+                raise ConfigError("mux_close without a multiplexed group")
+            core.pmu.counter(state.slot).deprogram()
+            thread.vpmu.free(state.slot)
+            thread.slot_saved[state.slot] = None
+            thread.mux = None
+            return state.rotations, None
+
+        return 1500, action
+
+    # ------------------------------------------------------------------
+    # result collection
+    # ------------------------------------------------------------------
+
+    def _collect(self) -> RunResult:
+        threads = {}
+        for tid, t in self.threads.items():
+            threads[tid] = ThreadResult(
+                tid=tid,
+                name=t.name,
+                started_at=t.started_at,
+                finished_at=t.finished_at,
+                user_cycles=t.user_cycles,
+                kernel_cycles=t.kernel_cycles,
+                n_context_switches=t.n_context_switches,
+                n_preemptions=t.n_preemptions,
+                n_migrations=t.n_migrations,
+                n_cross_socket_migrations=t.n_cross_socket_migrations,
+                n_syscalls=t.n_syscalls,
+                read_restarts=t.read_restarts,
+                events_user=dict(t.ev_user),
+                events_kernel=dict(t.ev_kernel),
+                regions=t.regions,
+            )
+        cores = [
+            CoreResult(
+                core_id=c.core_id,
+                final_time=c.now,
+                busy_cycles=c.busy_cycles,
+                user_cycles=c.user_cycles,
+                kernel_cycles=c.kernel_cycles,
+            )
+            for c in self.machine.cores
+        ]
+        self.kernel_counters.n_steals = self.scheduler.n_steals
+        return RunResult(
+            config=self.config,
+            wall_cycles=self.machine.max_time(),
+            threads=threads,
+            cores=cores,
+            kernel=self.kernel_counters,
+            locks=self.locks.stats(),
+            samples=self.perf.all_samples(),
+            trace=self.trace,
+        )
+
+
+def run_program(
+    specs: list[ThreadSpec], config: SimConfig | None = None
+) -> RunResult:
+    """Convenience: build an engine, run the threads, return the results."""
+    return Engine(config).run(specs)

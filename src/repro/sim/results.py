@@ -1,0 +1,236 @@
+"""Results of a simulation run.
+
+The engine assembles a :class:`RunResult` when the last thread finishes. It
+contains *ground truth*: exact per-thread, per-domain, per-region event
+counts that no measurement tool running inside the simulation can see.
+Accuracy experiments compare tool observations against these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.common.config import SimConfig
+from repro.common.errors import SimulationError
+from repro.hw.events import Domain, Event
+from repro.kernel.locks import LockStats
+from repro.kernel.perf import SampleRecord
+
+
+@dataclass
+class RegionTruth:
+    """Ground truth for one region name within one thread."""
+
+    name: str
+    invocations: int = 0
+    #: exact user-domain event counts accrued while innermost (CYCLES incl.)
+    events: dict[Event, int] = field(default_factory=dict)
+    #: kernel cycles charged while this region was innermost
+    kernel_cycles: int = 0
+    #: per-invocation executed cycles (user+kernel), for length histograms
+    exec_cycles: list[int] = field(default_factory=list)
+    #: per-invocation wall cycles (includes descheduled time)
+    wall_cycles: list[int] = field(default_factory=list)
+
+    @property
+    def user_cycles(self) -> int:
+        return self.events.get(Event.CYCLES, 0)
+
+    @property
+    def total_cycles(self) -> int:
+        return self.user_cycles + self.kernel_cycles
+
+
+@dataclass
+class ThreadResult:
+    """Final, exact statistics of one simulated thread."""
+
+    tid: int
+    name: str
+    started_at: int
+    finished_at: int
+    user_cycles: int
+    kernel_cycles: int
+    n_context_switches: int
+    n_preemptions: int
+    n_migrations: int
+    n_cross_socket_migrations: int
+    n_syscalls: int
+    read_restarts: int      #: LiMiT safe-read retries this thread performed
+    events_user: dict[Event, int]
+    events_kernel: dict[Event, int]
+    regions: dict[str, RegionTruth]
+
+    @property
+    def cpu_cycles(self) -> int:
+        return self.user_cycles + self.kernel_cycles
+
+    @property
+    def wall_cycles(self) -> int:
+        return self.finished_at - self.started_at
+
+    @property
+    def kernel_fraction(self) -> float:
+        return self.kernel_cycles / self.cpu_cycles if self.cpu_cycles else 0.0
+
+    def truth(self, event: Event, domain: Domain | None = None) -> int:
+        """Exact count of ``event`` in the given domain (both if None)."""
+        if domain is Domain.USER:
+            return self.events_user.get(event, 0)
+        if domain is Domain.KERNEL:
+            return self.events_kernel.get(event, 0)
+        return self.events_user.get(event, 0) + self.events_kernel.get(event, 0)
+
+
+@dataclass
+class CoreResult:
+    core_id: int
+    final_time: int
+    busy_cycles: int
+    user_cycles: int
+    kernel_cycles: int
+
+    @property
+    def idle_cycles(self) -> int:
+        return self.final_time - self.busy_cycles
+
+    @property
+    def utilization(self) -> float:
+        return self.busy_cycles / self.final_time if self.final_time else 0.0
+
+
+@dataclass
+class KernelCounters:
+    """Aggregate kernel activity during the run."""
+
+    n_context_switches: int = 0
+    n_timer_ticks: int = 0
+    n_pmis: int = 0
+    n_counter_overflows: int = 0
+    n_samples: int = 0
+    n_syscalls: dict[str, int] = field(default_factory=dict)
+    n_futex_waits: int = 0
+    n_futex_wakes: int = 0
+    n_steals: int = 0
+
+    def syscall_total(self) -> int:
+        return sum(self.n_syscalls.values())
+
+
+@dataclass
+class RunResult:
+    """Everything a finished simulation exposes."""
+
+    config: SimConfig
+    wall_cycles: int
+    threads: dict[int, ThreadResult]
+    cores: list[CoreResult]
+    kernel: KernelCounters
+    locks: dict[str, LockStats]
+    samples: list[SampleRecord]
+    trace: list[tuple] = field(default_factory=list)
+
+    # -- lookups -----------------------------------------------------------
+
+    def thread_by_name(self, name: str) -> ThreadResult:
+        for t in self.threads.values():
+            if t.name == name:
+                return t
+        raise SimulationError(f"no thread named {name!r}")
+
+    def threads_matching(self, prefix: str) -> list[ThreadResult]:
+        return [t for t in self.threads.values() if t.name.startswith(prefix)]
+
+    # -- aggregates ----------------------------------------------------------
+
+    @property
+    def wall_ns(self) -> float:
+        return self.config.machine.frequency.cycles_to_ns(self.wall_cycles)
+
+    def total(self, event: Event, domain: Domain | None = None) -> int:
+        return sum(t.truth(event, domain) for t in self.threads.values())
+
+    def total_cpu_cycles(self) -> int:
+        return sum(t.cpu_cycles for t in self.threads.values())
+
+    def total_user_cycles(self) -> int:
+        return sum(t.user_cycles for t in self.threads.values())
+
+    def total_kernel_cycles(self) -> int:
+        return sum(t.kernel_cycles for t in self.threads.values())
+
+    def kernel_fraction(self) -> float:
+        cpu = self.total_cpu_cycles()
+        return self.total_kernel_cycles() / cpu if cpu else 0.0
+
+    def region_truths(self, name: str) -> list[RegionTruth]:
+        """The RegionTruth of ``name`` in every thread that has it."""
+        out = []
+        for t in self.threads.values():
+            if name in t.regions:
+                out.append(t.regions[name])
+        return out
+
+    def merged_region(self, name: str) -> RegionTruth:
+        """Merge one region's truth across all threads."""
+        merged = RegionTruth(name=name)
+        for rt in self.region_truths(name):
+            merged.invocations += rt.invocations
+            merged.kernel_cycles += rt.kernel_cycles
+            for event, n in rt.events.items():
+                merged.events[event] = merged.events.get(event, 0) + n
+            merged.exec_cycles.extend(rt.exec_cycles)
+            merged.wall_cycles.extend(rt.wall_cycles)
+        return merged
+
+    def all_region_names(self) -> list[str]:
+        names: set[str] = set()
+        for t in self.threads.values():
+            names.update(t.regions)
+        return sorted(names)
+
+    def samples_in_region(self, region: str) -> list[SampleRecord]:
+        return [s for s in self.samples if s.region == region]
+
+    def check_conservation(self) -> None:
+        """Assert the core accounting invariants; raises SimulationError.
+
+        * per-core: busy == user + kernel and busy <= final time;
+        * machine: sum of thread cpu cycles == sum of core busy cycles.
+        """
+        for core in self.cores:
+            if core.user_cycles + core.kernel_cycles != core.busy_cycles:
+                raise SimulationError(
+                    f"core {core.core_id}: user {core.user_cycles} + kernel "
+                    f"{core.kernel_cycles} != busy {core.busy_cycles}"
+                )
+            if core.busy_cycles > core.final_time:
+                raise SimulationError(
+                    f"core {core.core_id}: busy {core.busy_cycles} exceeds "
+                    f"final time {core.final_time}"
+                )
+        thread_cpu = self.total_cpu_cycles()
+        core_busy = sum(c.busy_cycles for c in self.cores)
+        if thread_cpu != core_busy:
+            raise SimulationError(
+                f"thread cpu cycles {thread_cpu} != core busy cycles {core_busy}"
+            )
+
+
+def merge_histogram(values: Iterable[int], edges: list[int]) -> list[int]:
+    """Bucket values by the given ascending edges; last bucket is overflow.
+
+    Returns len(edges)+1 counts: [<e0, [e0,e1), ..., >=e_last].
+    """
+    counts = [0] * (len(edges) + 1)
+    for v in values:
+        placed = False
+        for i, edge in enumerate(edges):
+            if v < edge:
+                counts[i] += 1
+                placed = True
+                break
+        if not placed:
+            counts[-1] += 1
+    return counts

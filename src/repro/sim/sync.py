@@ -1,0 +1,193 @@
+"""Userspace synchronization primitives built on the simulated kernel.
+
+The engine provides mutexes (spin-then-futex) natively and a race-free
+keyed-event syscall pair (``wait_key`` / ``wake_key`` with wake credits).
+This module builds the higher-level primitives multithreaded workloads
+need — semaphores, condition variables, barriers and bounded queues — the
+same way a userspace runtime would build them on futexes.
+
+All methods are generators (use with ``yield from``). Python-side state
+(counters, buffers) is safe to share across thread closures because every
+mutation happens under a simulated mutex, and the engine serializes
+critical sections in simulated-time order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.sim.ops import LockAcquire, LockRelease, Syscall
+from repro.sim.program import ThreadContext
+
+
+class Semaphore:
+    """A counting semaphore.
+
+    The count lives kernel-side as wake credits on the semaphore's key, so
+    ``post`` and ``acquire`` are single syscalls and cannot lose wakeups.
+    """
+
+    def __init__(self, name: str, initial: int = 0) -> None:
+        if initial < 0:
+            raise ConfigError("semaphore initial count must be >= 0")
+        self.name = name
+        self._initial = initial
+        self._seeded = False
+
+    def _key(self) -> str:
+        return f"sem:{self.name}"
+
+    def seed(self, ctx: ThreadContext) -> Generator[Any, Any, None]:
+        """Post the initial count (call once, from any thread, before use)."""
+        if self._seeded:
+            raise SimulationError(f"semaphore {self.name!r} already seeded")
+        self._seeded = True
+        if self._initial > 0:
+            yield Syscall("wake_key", (self._key(), self._initial))
+
+    def acquire(self, ctx: ThreadContext) -> Generator[Any, Any, None]:
+        """P(): decrement, blocking while the count is zero."""
+        yield Syscall("wait_key", (self._key(),))
+
+    def post(self, ctx: ThreadContext, n: int = 1) -> Generator[Any, Any, None]:
+        """V(): increment by ``n``, waking blocked acquirers."""
+        if n < 1:
+            raise ConfigError("post count must be >= 1")
+        yield Syscall("wake_key", (self._key(), n))
+
+
+class CondVar:
+    """A condition variable tied to a named engine mutex.
+
+    Uses per-generation keys so a broadcast can never wake a waiter from a
+    later generation (no stolen wakeups), mirroring how real futex-based
+    condvars version their sequence word.
+    """
+
+    def __init__(self, name: str, lock: str) -> None:
+        self.name = name
+        self.lock = lock
+        self._generation = 0
+        self._waiters = 0  # protected by self.lock
+
+    def _key(self, generation: int) -> str:
+        return f"cv:{self.name}:{generation}"
+
+    def wait(self, ctx: ThreadContext) -> Generator[Any, Any, None]:
+        """Release the lock, sleep until signalled, reacquire the lock.
+
+        Caller must hold ``self.lock``; as with pthreads, the predicate
+        must be rechecked in a loop around the wait.
+        """
+        generation = self._generation
+        self._waiters += 1
+        yield LockRelease(self.lock)
+        yield Syscall("wait_key", (self._key(generation),))
+        yield LockAcquire(self.lock)
+
+    def signal(self, ctx: ThreadContext) -> Generator[Any, Any, None]:
+        """Wake one waiter (caller should hold the lock)."""
+        if self._waiters > 0:
+            self._waiters -= 1
+            yield Syscall("wake_key", (self._key(self._generation), 1))
+
+    def broadcast(self, ctx: ThreadContext) -> Generator[Any, Any, None]:
+        """Wake every current waiter (caller should hold the lock)."""
+        if self._waiters > 0:
+            generation = self._generation
+            self._generation += 1
+            self._waiters = 0
+            yield Syscall("wake_key", (self._key(generation), -1))
+
+
+class Barrier:
+    """An N-party reusable barrier (sense-reversing via generations)."""
+
+    def __init__(self, name: str, parties: int) -> None:
+        if parties < 1:
+            raise ConfigError("barrier needs at least one party")
+        self.name = name
+        self.parties = parties
+        self._lock = f"barrier:{name}:lock"
+        self._count = 0
+        self._generation = 0
+
+    def _key(self, generation: int) -> str:
+        return f"barrier:{self.name}:{generation}"
+
+    def arrive(self, ctx: ThreadContext) -> Generator[Any, Any, int]:
+        """Block until all parties arrive; returns the generation index."""
+        yield LockAcquire(self._lock)
+        generation = self._generation
+        self._count += 1
+        if self._count == self.parties:
+            self._count = 0
+            self._generation += 1
+            yield LockRelease(self._lock)
+            if self.parties > 1:
+                yield Syscall("wake_key", (self._key(generation), -1))
+        else:
+            yield LockRelease(self._lock)
+            yield Syscall("wait_key", (self._key(generation),))
+        return generation
+
+
+class BoundedQueue:
+    """A bounded FIFO queue (producer/consumer channel).
+
+    Classic two-condvar construction under one mutex. ``None`` is a legal
+    payload; use :meth:`close` + the ``Closed`` sentinel for shutdown.
+    """
+
+    class Closed:
+        """Sentinel returned by get() after close() drains."""
+
+    def __init__(self, name: str, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigError("queue capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self.lock = f"queue:{name}:lock"
+        self._items: deque = deque()
+        self._closed = False
+        self._not_full = CondVar(f"queue:{name}:not_full", self.lock)
+        self._not_empty = CondVar(f"queue:{name}:not_empty", self.lock)
+        self.total_put = 0
+        self.total_got = 0
+        self.max_depth = 0
+
+    def put(self, ctx: ThreadContext, item: Any) -> Generator[Any, Any, None]:
+        yield LockAcquire(self.lock)
+        while len(self._items) >= self.capacity and not self._closed:
+            yield from self._not_full.wait(ctx)
+        if self._closed:
+            yield LockRelease(self.lock)
+            raise SimulationError(f"put() on closed queue {self.name!r}")
+        self._items.append(item)
+        self.total_put += 1
+        self.max_depth = max(self.max_depth, len(self._items))
+        yield from self._not_empty.signal(ctx)
+        yield LockRelease(self.lock)
+
+    def get(self, ctx: ThreadContext) -> Generator[Any, Any, Any]:
+        yield LockAcquire(self.lock)
+        while not self._items and not self._closed:
+            yield from self._not_empty.wait(ctx)
+        if self._items:
+            item = self._items.popleft()
+            self.total_got += 1
+            yield from self._not_full.signal(ctx)
+            yield LockRelease(self.lock)
+            return item
+        yield LockRelease(self.lock)
+        return BoundedQueue.Closed
+
+    def close(self, ctx: ThreadContext) -> Generator[Any, Any, None]:
+        """Mark the queue closed and wake everyone blocked on it."""
+        yield LockAcquire(self.lock)
+        self._closed = True
+        yield from self._not_empty.broadcast(ctx)
+        yield from self._not_full.broadcast(ctx)
+        yield LockRelease(self.lock)

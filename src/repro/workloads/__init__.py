@@ -1,0 +1,92 @@
+"""Generative application models: the paper's case-study workloads."""
+
+from repro.workloads.apache import ACCEPT_LOCK, ApacheConfig, ApacheWorkload
+from repro.workloads.apache import LOG_LOCK as APACHE_LOG_LOCK
+from repro.workloads.base import (
+    COMPUTE_RATES,
+    GC_RATES,
+    HTTP_PARSE_RATES,
+    Instrumentation,
+    JS_INTERP_RATES,
+    PARSE_RATES,
+    ROW_ACCESS_RATES,
+    Workload,
+    plain,
+)
+from repro.workloads.firefox import (
+    FirefoxConfig,
+    FirefoxWorkload,
+    JsFunction,
+    default_function_catalog,
+)
+from repro.workloads.microbench import (
+    DensitySweepWorkload,
+    ReadCostMicrobench,
+    ReadCostResult,
+)
+from repro.workloads.memcached import (
+    LRU_LOCK,
+    MemcachedConfig,
+    MemcachedWorkload,
+    shard_lock,
+)
+from repro.workloads.mysql import LOG_LOCK as MYSQL_LOG_LOCK
+from repro.workloads.mysql import MysqlConfig, MysqlWorkload, table_lock
+from repro.workloads.pipeline import PipelineConfig, PipelineWorkload
+from repro.workloads.spec import (
+    KernelSpec,
+    SpecKernelWorkload,
+    SpecSuiteWorkload,
+    kernel_catalog,
+)
+from repro.workloads.streamcluster import (
+    StreamclusterConfig,
+    StreamclusterWorkload,
+)
+from repro.workloads.synthetic import (
+    BusyWorkload,
+    ContentionConfig,
+    ContentionWorkload,
+)
+
+__all__ = [
+    "ACCEPT_LOCK",
+    "APACHE_LOG_LOCK",
+    "ApacheConfig",
+    "ApacheWorkload",
+    "BusyWorkload",
+    "COMPUTE_RATES",
+    "ContentionConfig",
+    "ContentionWorkload",
+    "DensitySweepWorkload",
+    "FirefoxConfig",
+    "FirefoxWorkload",
+    "GC_RATES",
+    "HTTP_PARSE_RATES",
+    "Instrumentation",
+    "JS_INTERP_RATES",
+    "JsFunction",
+    "KernelSpec",
+    "LRU_LOCK",
+    "MYSQL_LOG_LOCK",
+    "MemcachedConfig",
+    "MemcachedWorkload",
+    "MysqlConfig",
+    "MysqlWorkload",
+    "PARSE_RATES",
+    "ROW_ACCESS_RATES",
+    "PipelineConfig",
+    "PipelineWorkload",
+    "ReadCostMicrobench",
+    "ReadCostResult",
+    "SpecKernelWorkload",
+    "SpecSuiteWorkload",
+    "StreamclusterConfig",
+    "StreamclusterWorkload",
+    "Workload",
+    "default_function_catalog",
+    "kernel_catalog",
+    "plain",
+    "shard_lock",
+    "table_lock",
+]

@@ -1,0 +1,103 @@
+"""A generative model of Apache-style request serving.
+
+The stand-in for the paper's web-server case study: worker threads loop
+accepting, parsing, handling and answering requests. The defining feature
+is *kernel dominance* — most request time is syscalls (accept/read/write)
+— plus a briefly-held shared logging lock. Used by the user/kernel
+breakdown experiment (E8) and the critical-section histogram (E7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.sim.ops import Compute, RegionBegin, RegionEnd, Sleep, Syscall
+from repro.sim.program import ThreadContext, ThreadSpec
+from repro.workloads.base import (
+    COMPUTE_RATES,
+    HTTP_PARSE_RATES,
+    Instrumentation,
+    Workload,
+)
+
+ACCEPT_LOCK = "apache:accept"
+LOG_LOCK = "apache:log"
+
+
+@dataclass
+class ApacheConfig:
+    """Tunable shape of the Apache model."""
+
+    n_workers: int = 8
+    requests_per_worker: int = 60
+    #: kernel cycles of the accept/read/write syscalls
+    accept_kernel_cycles: int = 3_800
+    read_kernel_cycles: int = 2_600
+    write_kernel_cycles: int = 4_200
+    #: mean cycles of user-space request parsing
+    parse_mean_cycles: int = 3_500
+    #: mean cycles of content generation (user space)
+    handler_mean_cycles: int = 16_000
+    #: probability a request waits for slow client I/O
+    slow_client_prob: float = 0.12
+    slow_client_mean_cycles: int = 80_000
+    #: median cycles the shared log lock is held
+    log_cs_median_cycles: int = 350
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ConfigError("need at least one worker")
+        if self.requests_per_worker < 1:
+            raise ConfigError("need at least one request per worker")
+
+
+class ApacheWorkload(Workload):
+    """Syscall-heavy request loop with a shared accept and log lock."""
+
+    name = "apache"
+
+    def __init__(self, config: ApacheConfig | None = None) -> None:
+        self.config = config or ApacheConfig()
+
+    def build(self, instr: Instrumentation | None = None) -> list[ThreadSpec]:
+        instr = instr or Instrumentation()
+        cfg = self.config
+
+        def worker(ctx: ThreadContext):
+            yield from instr.thread_setup(ctx)
+            rng = ctx.rng
+            accept_lock = instr.lock(ACCEPT_LOCK)
+            log_lock = instr.lock(LOG_LOCK)
+            for _ in range(cfg.requests_per_worker):
+                yield RegionBegin("request")
+                # -- accept under the accept mutex (pre-fork era Apache) ----
+                yield from accept_lock.acquire(ctx)
+                yield Syscall("work", (rng.exp_cycles(cfg.accept_kernel_cycles),))
+                yield from accept_lock.release(ctx)
+                # -- read & parse the request --------------------------------
+                yield Syscall("work", (rng.exp_cycles(cfg.read_kernel_cycles),))
+                if rng.bernoulli(cfg.slow_client_prob):
+                    yield Sleep(rng.exp_cycles(cfg.slow_client_mean_cycles))
+                yield RegionBegin("parse")
+                yield Compute(rng.exp_cycles(cfg.parse_mean_cycles), HTTP_PARSE_RATES)
+                yield RegionEnd()
+                # -- generate the response ----------------------------------
+                yield RegionBegin("handler")
+                yield Compute(rng.exp_cycles(cfg.handler_mean_cycles), COMPUTE_RATES)
+                yield RegionEnd()
+                # -- send + log ------------------------------------------------
+                yield Syscall("work", (rng.exp_cycles(cfg.write_kernel_cycles),))
+                yield from log_lock.acquire(ctx)
+                yield Compute(
+                    rng.lognormal_cycles(cfg.log_cs_median_cycles, 0.7, minimum=40),
+                    COMPUTE_RATES,
+                )
+                yield from log_lock.release(ctx)
+                yield RegionEnd()  # request
+                yield from instr.checkpoint(ctx)
+            yield from instr.thread_teardown(ctx)
+
+        return [
+            ThreadSpec(f"apache:worker:{i}", worker) for i in range(cfg.n_workers)
+        ]

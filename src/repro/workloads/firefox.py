@@ -1,0 +1,156 @@
+"""A generative model of Firefox's JavaScript engine event loop.
+
+The stand-in for the paper's Firefox case study: a main thread dispatching
+a stream of *very short* JS functions (median durations from a fraction of
+a microsecond to a few microseconds), occasional garbage-collection pauses,
+and a helper thread doing periodic compositing. The point of the case study
+is that functions this short are invisible to samplers and hopelessly
+perturbed by microsecond-cost reads — only LiMiT-class access can profile
+them (experiment E9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.common.rng import RandomStream
+from repro.sim.ops import Compute, RegionBegin, RegionEnd, Sleep
+from repro.sim.program import ThreadContext, ThreadSpec
+from repro.workloads.base import (
+    COMPUTE_RATES,
+    GC_RATES,
+    Instrumentation,
+    JS_INTERP_RATES,
+    Workload,
+    run_region,
+)
+
+DOM_LOCK = "firefox:dom"
+
+
+def _compute_body(cycles, rates):
+    yield Compute(cycles, rates)
+
+
+@dataclass(frozen=True)
+class JsFunction:
+    """One function in the synthetic JS engine's catalog."""
+
+    name: str
+    median_cycles: int
+    sigma: float
+    weight: float        #: relative call frequency
+
+
+def default_function_catalog(n: int = 24, seed: int = 7) -> list[JsFunction]:
+    """A catalog of short functions with a realistic (heavy-tailed) spread
+    of durations: most medians land well under 10k cycles (~4 us)."""
+    rng = RandomStream(seed, "js-catalog")
+    catalog = []
+    for i in range(n):
+        # medians from ~200 cycles (~80ns) up to ~30k cycles (~12.5us)
+        median = round(200 * (1.26 ** i))
+        catalog.append(
+            JsFunction(
+                name=f"js::fn{i:02d}",
+                median_cycles=min(median, 30_000),
+                sigma=rng.uniform(0.3, 0.8),
+                weight=1.0 / (1 + i * 0.35),  # short functions run more often
+            )
+        )
+    return catalog
+
+
+@dataclass
+class FirefoxConfig:
+    """Tunable shape of the Firefox model."""
+
+    events: int = 400                    #: event-loop iterations
+    functions_per_event: int = 6         #: JS calls per dispatched event
+    gc_every_events: int = 60            #: GC pause cadence
+    gc_mean_cycles: int = 220_000
+    idle_between_events_cycles: int = 2_000
+    with_compositor: bool = True
+    compositor_frames: int = 40
+    compositor_frame_cycles: int = 30_000
+    compositor_interval_cycles: int = 120_000
+    catalog: list[JsFunction] = field(default_factory=default_function_catalog)
+
+    def __post_init__(self) -> None:
+        if self.events < 1:
+            raise ConfigError("need at least one event")
+        if not self.catalog:
+            raise ConfigError("function catalog is empty")
+
+
+class FirefoxWorkload(Workload):
+    """Event loop of many short JS functions plus a compositor thread."""
+
+    name = "firefox"
+
+    def __init__(self, config: FirefoxConfig | None = None) -> None:
+        self.config = config or FirefoxConfig()
+
+    def _pick_function(self, rng) -> JsFunction:
+        catalog = self.config.catalog
+        total = sum(f.weight for f in catalog)
+        target = rng.random() * total
+        acc = 0.0
+        for fn in catalog:
+            acc += fn.weight
+            if target <= acc:
+                return fn
+        return catalog[-1]
+
+    def build(self, instr: Instrumentation | None = None) -> list[ThreadSpec]:
+        instr = instr or Instrumentation()
+        cfg = self.config
+
+        def main_thread(ctx: ThreadContext):
+            yield from instr.thread_setup(ctx)
+            rng = ctx.rng
+            dom_lock = instr.lock(DOM_LOCK)
+            for event_no in range(cfg.events):
+                yield RegionBegin("event")
+                for _ in range(cfg.functions_per_event):
+                    fn = self._pick_function(rng)
+                    cycles = rng.lognormal_cycles(
+                        fn.median_cycles, fn.sigma, minimum=50
+                    )
+                    yield from run_region(
+                        instr, ctx, fn.name, _compute_body(cycles, JS_INTERP_RATES)
+                    )
+                # brief DOM mutation under the shared lock
+                yield from dom_lock.acquire(ctx)
+                yield Compute(rng.lognormal_cycles(400, 0.6, minimum=40), COMPUTE_RATES)
+                yield from dom_lock.release(ctx)
+                if cfg.gc_every_events and (event_no + 1) % cfg.gc_every_events == 0:
+                    yield RegionBegin("gc")
+                    yield Compute(rng.exp_cycles(cfg.gc_mean_cycles), GC_RATES)
+                    yield RegionEnd()
+                yield RegionEnd()  # event
+                yield from instr.checkpoint(ctx)
+                if cfg.idle_between_events_cycles:
+                    yield Sleep(max(1, rng.exp_cycles(cfg.idle_between_events_cycles)))
+            yield from instr.thread_teardown(ctx)
+
+        def compositor(ctx: ThreadContext):
+            yield from instr.thread_setup(ctx)
+            rng = ctx.rng
+            dom_lock = instr.lock(DOM_LOCK)
+            for _ in range(cfg.compositor_frames):
+                yield RegionBegin("composite")
+                # snapshot layer state under the DOM lock, then rasterise
+                yield from dom_lock.acquire(ctx)
+                yield Compute(rng.lognormal_cycles(900, 0.5, minimum=80), GC_RATES)
+                yield from dom_lock.release(ctx)
+                yield Compute(rng.exp_cycles(cfg.compositor_frame_cycles), GC_RATES)
+                yield RegionEnd()
+                yield Sleep(max(1, rng.exp_cycles(cfg.compositor_interval_cycles)))
+            yield from instr.thread_teardown(ctx)
+
+        specs = [ThreadSpec("firefox:main", main_thread)]
+        if cfg.with_compositor:
+            specs.append(ThreadSpec("firefox:compositor", compositor))
+        return specs

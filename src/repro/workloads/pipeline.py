@@ -1,0 +1,122 @@
+"""A pbzip2-style pipeline-parallel compressor model.
+
+One reader thread produces blocks into a bounded queue, N compressor
+threads drain it (compute-heavy, no locks beyond the queue), and one
+writer thread orders and writes results. Exercises the producer/consumer
+synchronization primitives (condvars over futex-keyed events) and gives
+the analysis layer a workload whose bottleneck moves with the thread
+count: reader-bound at high N, compressor-bound at low N.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.hw.events import EventRates
+from repro.sim.ops import Compute, RegionBegin, RegionEnd, Sleep, Syscall
+from repro.sim.program import ThreadContext, ThreadSpec
+from repro.sim.sync import BoundedQueue
+from repro.workloads.base import Instrumentation, Workload
+
+#: block compression: high IPC with periodic table misses
+COMPRESS_RATES = EventRates.profile(
+    ipc=1.7, llc_mpki=1.5, l2_mpki=6.0, branch_frac=0.18,
+    branch_miss_rate=0.04, load_frac=0.3, store_frac=0.15, stall_frac=0.2,
+)
+
+
+@dataclass
+class PipelineConfig:
+    """Tunable shape of the compression pipeline."""
+
+    n_compressors: int = 4
+    n_blocks: int = 60
+    queue_capacity: int = 8
+    #: kernel cycles to read one input block from disk
+    read_kernel_cycles: int = 6_000
+    #: additional blocking disk latency per read
+    read_io_mean_cycles: int = 12_000
+    #: mean cycles to compress one block
+    compress_mean_cycles: int = 120_000
+    #: kernel cycles to write one output block
+    write_kernel_cycles: int = 5_000
+
+    def __post_init__(self) -> None:
+        if self.n_compressors < 1:
+            raise ConfigError("need at least one compressor")
+        if self.n_blocks < 1:
+            raise ConfigError("need at least one block")
+
+
+class PipelineWorkload(Workload):
+    """reader -> [compressors] -> writer over bounded queues."""
+
+    name = "pipeline"
+
+    def __init__(self, config: PipelineConfig | None = None) -> None:
+        self.config = config or PipelineConfig()
+        self.input_queue: BoundedQueue | None = None
+        self.output_queue: BoundedQueue | None = None
+
+    def build(self, instr: Instrumentation | None = None) -> list[ThreadSpec]:
+        instr = instr or Instrumentation()
+        cfg = self.config
+        in_q = BoundedQueue("pipeline:in", cfg.queue_capacity)
+        out_q = BoundedQueue("pipeline:out", cfg.queue_capacity)
+        self.input_queue = in_q
+        self.output_queue = out_q
+        live_compressors = {"n": cfg.n_compressors}
+
+        def reader(ctx: ThreadContext):
+            yield from instr.thread_setup(ctx)
+            rng = ctx.rng
+            for block in range(cfg.n_blocks):
+                yield RegionBegin("read")
+                yield Syscall("work", (rng.exp_cycles(cfg.read_kernel_cycles),))
+                yield Sleep(max(1, rng.exp_cycles(cfg.read_io_mean_cycles)))
+                yield RegionEnd()
+                yield from in_q.put(ctx, block)
+            yield from in_q.close(ctx)
+            yield from instr.thread_teardown(ctx)
+
+        def compressor(ctx: ThreadContext):
+            yield from instr.thread_setup(ctx)
+            rng = ctx.rng
+            while True:
+                block = yield from in_q.get(ctx)
+                if block is BoundedQueue.Closed:
+                    break
+                yield RegionBegin("compress")
+                yield Compute(
+                    rng.exp_cycles(cfg.compress_mean_cycles), COMPRESS_RATES
+                )
+                yield RegionEnd()
+                yield from out_q.put(ctx, block)
+            live_compressors["n"] -= 1
+            if live_compressors["n"] == 0:
+                yield from out_q.close(ctx)
+            yield from instr.thread_teardown(ctx)
+
+        def writer(ctx: ThreadContext):
+            yield from instr.thread_setup(ctx)
+            rng = ctx.rng
+            written = 0
+            while True:
+                block = yield from out_q.get(ctx)
+                if block is BoundedQueue.Closed:
+                    break
+                yield RegionBegin("write")
+                yield Syscall("work", (rng.exp_cycles(cfg.write_kernel_cycles),))
+                yield RegionEnd()
+                written += 1
+            ctx.scratch["written"] = written
+            yield from instr.thread_teardown(ctx)
+
+        specs = [ThreadSpec("pipeline:reader", reader)]
+        specs += [
+            ThreadSpec(f"pipeline:compress:{i}", compressor)
+            for i in range(cfg.n_compressors)
+        ]
+        specs.append(ThreadSpec("pipeline:writer", writer))
+        return specs

@@ -1,0 +1,132 @@
+"""SPEC-CPU-like single-threaded compute kernels.
+
+Used where the paper needs a quiet, lock-free compute workload: the
+instrumentation-density overhead sweep (E2), the profiler comparison (E10)
+and CPI-stack demonstrations. Each kernel runs phases with a distinct,
+calibrated event-rate signature loosely patterned on the named SPEC
+benchmark's published characteristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.hw.events import EventRates
+from repro.sim.ops import Compute
+from repro.sim.program import ThreadContext, ThreadSpec
+from repro.workloads.base import Instrumentation, Workload, run_region
+
+
+def _compute_body(cycles: int, rates: EventRates):
+    yield Compute(cycles, rates)
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One synthetic compute kernel."""
+
+    name: str
+    rates: EventRates
+    phase_cycles: int
+    n_phases: int
+
+    @property
+    def total_cycles(self) -> int:
+        return self.phase_cycles * self.n_phases
+
+
+def kernel_catalog(scale: float = 1.0) -> dict[str, KernelSpec]:
+    """The four stock kernels, optionally scaled in length."""
+
+    def spec(name, rates, phase_cycles, n_phases):
+        return KernelSpec(
+            name=name,
+            rates=rates,
+            phase_cycles=max(1, round(phase_cycles * scale)),
+            n_phases=n_phases,
+        )
+
+    return {
+        "mcf_like": spec(
+            "mcf_like",
+            EventRates.profile(
+                ipc=0.45, llc_mpki=28.0, l2_mpki=60.0, branch_frac=0.2,
+                branch_miss_rate=0.04, dtlb_mpki=6.0, load_frac=0.4,
+                stall_frac=0.7,
+            ),
+            50_000,
+            40,
+        ),
+        "gcc_like": spec(
+            "gcc_like",
+            EventRates.profile(
+                ipc=1.1, llc_mpki=3.0, l2_mpki=14.0, branch_frac=0.25,
+                branch_miss_rate=0.08, dtlb_mpki=1.2, stall_frac=0.35,
+            ),
+            50_000,
+            40,
+        ),
+        "libquantum_like": spec(
+            "libquantum_like",
+            EventRates.profile(
+                ipc=1.4, llc_mpki=16.0, l2_mpki=20.0, branch_frac=0.15,
+                branch_miss_rate=0.01, load_frac=0.45, store_frac=0.1,
+                stall_frac=0.3,
+            ),
+            50_000,
+            40,
+        ),
+        "povray_like": spec(
+            "povray_like",
+            EventRates.profile(
+                ipc=1.9, llc_mpki=0.3, l2_mpki=1.5, branch_frac=0.12,
+                branch_miss_rate=0.02, stall_frac=0.1,
+            ),
+            50_000,
+            40,
+        ),
+    }
+
+
+class SpecKernelWorkload(Workload):
+    """Runs one kernel on one thread, phases wrapped as regions."""
+
+    name = "spec"
+
+    def __init__(self, kernel: KernelSpec) -> None:
+        if kernel.n_phases < 1:
+            raise ConfigError("kernel needs at least one phase")
+        self.kernel = kernel
+
+    def build(self, instr: Instrumentation | None = None) -> list[ThreadSpec]:
+        instr = instr or Instrumentation()
+        kernel = self.kernel
+
+        def program(ctx: ThreadContext):
+            yield from instr.thread_setup(ctx)
+            for _ in range(kernel.n_phases):
+                yield from run_region(
+                    instr,
+                    ctx,
+                    f"{kernel.name}:phase",
+                    _compute_body(kernel.phase_cycles, kernel.rates),
+                )
+            yield from instr.thread_teardown(ctx)
+
+        return [ThreadSpec(f"spec:{kernel.name}", program)]
+
+
+class SpecSuiteWorkload(Workload):
+    """All catalog kernels, one thread each (a rate-mix suite run)."""
+
+    name = "spec_suite"
+
+    def __init__(self, scale: float = 1.0) -> None:
+        self.catalog = kernel_catalog(scale)
+
+    def build(self, instr: Instrumentation | None = None) -> list[ThreadSpec]:
+        specs: list[ThreadSpec] = []
+        for kernel in self.catalog.values():
+            specs.extend(SpecKernelWorkload(kernel).build(instr))
+        return specs

@@ -1,0 +1,99 @@
+"""A streamcluster/barnes-style barrier-synchronized parallel kernel.
+
+PARSEC-class data-parallel structure: N workers iterate over phases, each
+computing its share of the points and meeting at a barrier before the next
+phase. A designated coordinator does a short serial reduction between
+phases. Exercises the Barrier primitive and produces the classic
+barrier-imbalance behaviour (per-phase time = slowest worker), which makes
+it the natural workload for studying load imbalance with precise per-phase
+measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.hw.events import EventRates
+from repro.sim.ops import Compute, RegionBegin, RegionEnd
+from repro.sim.program import ThreadContext, ThreadSpec
+from repro.sim.sync import Barrier
+from repro.workloads.base import Instrumentation, Workload
+
+#: distance computation: FP heavy with streaming loads
+KERNEL_RATES = EventRates.profile(
+    ipc=1.6, llc_mpki=6.0, l2_mpki=12.0, branch_frac=0.1,
+    branch_miss_rate=0.02, load_frac=0.4, stall_frac=0.25,
+)
+
+REDUCE_RATES = EventRates.profile(ipc=1.2, llc_mpki=2.0, branch_frac=0.15)
+
+
+@dataclass
+class StreamclusterConfig:
+    """Tunable shape of the barrier-parallel kernel."""
+
+    n_workers: int = 4
+    n_phases: int = 20
+    #: mean compute per worker per phase
+    phase_mean_cycles: int = 80_000
+    #: load imbalance: worker i's share is scaled by 1 + imbalance * i / N
+    imbalance: float = 0.3
+    #: serial reduction by worker 0 between phases
+    reduce_mean_cycles: int = 8_000
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ConfigError("need at least one worker")
+        if self.n_phases < 1:
+            raise ConfigError("need at least one phase")
+        if self.imbalance < 0:
+            raise ConfigError("imbalance must be non-negative")
+
+
+class StreamclusterWorkload(Workload):
+    """Phase-parallel compute with barriers and a serial reduction."""
+
+    name = "streamcluster"
+
+    def __init__(self, config: StreamclusterConfig | None = None) -> None:
+        self.config = config or StreamclusterConfig()
+        self._barrier = Barrier("streamcluster", self.config.n_workers)
+
+    def build(self, instr: Instrumentation | None = None) -> list[ThreadSpec]:
+        instr = instr or Instrumentation()
+        cfg = self.config
+        barrier = self._barrier
+
+        def make_worker(rank: int):
+            share = 1.0 + cfg.imbalance * rank / max(1, cfg.n_workers - 1)
+
+            def worker(ctx: ThreadContext):
+                yield from instr.thread_setup(ctx)
+                rng = ctx.rng
+                for _ in range(cfg.n_phases):
+                    yield RegionBegin("phase")
+                    yield Compute(
+                        max(1, round(rng.exp_cycles(cfg.phase_mean_cycles) * share)),
+                        KERNEL_RATES,
+                    )
+                    yield RegionEnd()
+                    yield RegionBegin("barrier")
+                    yield from barrier.arrive(ctx)
+                    yield RegionEnd()
+                    if rank == 0 and cfg.reduce_mean_cycles:
+                        yield RegionBegin("reduce")
+                        yield Compute(
+                            rng.exp_cycles(cfg.reduce_mean_cycles), REDUCE_RATES
+                        )
+                        yield RegionEnd()
+                    if cfg.n_workers > 1:
+                        yield from barrier.arrive(ctx)
+                yield from instr.thread_teardown(ctx)
+
+            return worker
+
+        return [
+            ThreadSpec(f"streamcluster:worker:{i}", make_worker(i))
+            for i in range(cfg.n_workers)
+        ]

@@ -1,0 +1,103 @@
+"""Fully parameterised synthetic workloads for tests and sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.hw.events import EventRates
+from repro.sim.ops import Compute
+from repro.sim.program import ThreadContext, ThreadSpec
+from repro.workloads.base import COMPUTE_RATES, Instrumentation, Workload
+
+
+@dataclass
+class ContentionConfig:
+    """Knobs of the lock-contention generator."""
+
+    n_threads: int = 4
+    n_locks: int = 1
+    iterations: int = 100
+    hold_cycles: int = 1_000
+    think_cycles: int = 5_000
+    rates: EventRates = COMPUTE_RATES
+    #: jitter factor: hold/think drawn exponentially around the means when
+    #: True, constant otherwise (constant is useful in invariants tests).
+    randomize: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_threads < 1 or self.n_locks < 1 or self.iterations < 1:
+            raise ConfigError("threads, locks and iterations must be >= 1")
+
+
+class ContentionWorkload(Workload):
+    """N threads hammering M locks with configurable hold/think times."""
+
+    name = "contention"
+
+    def __init__(self, config: ContentionConfig | None = None) -> None:
+        self.config = config or ContentionConfig()
+
+    @staticmethod
+    def lock_name(i: int) -> str:
+        return f"contention:lock:{i}"
+
+    def build(self, instr: Instrumentation | None = None) -> list[ThreadSpec]:
+        instr = instr or Instrumentation()
+        cfg = self.config
+
+        def worker(ctx: ThreadContext):
+            yield from instr.thread_setup(ctx)
+            rng = ctx.rng
+            for i in range(cfg.iterations):
+                lock = instr.lock(self.lock_name(i % cfg.n_locks))
+                think = (
+                    rng.exp_cycles(cfg.think_cycles)
+                    if cfg.randomize
+                    else cfg.think_cycles
+                )
+                hold = (
+                    rng.exp_cycles(cfg.hold_cycles)
+                    if cfg.randomize
+                    else cfg.hold_cycles
+                )
+                yield Compute(think, cfg.rates)
+                yield from lock.acquire(ctx)
+                yield Compute(hold, cfg.rates)
+                yield from lock.release(ctx)
+            yield from instr.thread_teardown(ctx)
+
+        return [
+            ThreadSpec(f"contention:worker:{i}", worker)
+            for i in range(cfg.n_threads)
+        ]
+
+
+class BusyWorkload(Workload):
+    """Pure compute threads (scheduler / accounting tests)."""
+
+    name = "busy"
+
+    def __init__(
+        self,
+        n_threads: int = 2,
+        cycles_per_thread: int = 1_000_000,
+        rates: EventRates = COMPUTE_RATES,
+    ) -> None:
+        if n_threads < 1 or cycles_per_thread < 1:
+            raise ConfigError("need threads and cycles")
+        self.n_threads = n_threads
+        self.cycles_per_thread = cycles_per_thread
+        self.rates = rates
+
+    def build(self, instr: Instrumentation | None = None) -> list[ThreadSpec]:
+        instr = instr or Instrumentation()
+
+        def worker(ctx: ThreadContext):
+            yield from instr.thread_setup(ctx)
+            yield Compute(self.cycles_per_thread, self.rates)
+            yield from instr.thread_teardown(ctx)
+
+        return [
+            ThreadSpec(f"busy:worker:{i}", worker) for i in range(self.n_threads)
+        ]

@@ -1,0 +1,93 @@
+"""Tests of the bottleneck diagnosis (the paper's titular application)."""
+
+import pytest
+
+from repro.analysis.bottlenecks import describe, diagnose
+from repro.hw.events import EventRates
+from repro.sim.ops import Compute, LockAcquire, LockRelease, Syscall
+from tests.conftest import run_threads
+
+MEMORY_BOUND = EventRates.profile(ipc=0.4, llc_mpki=30.0)
+COMPUTE_BOUND = EventRates.profile(ipc=2.0, llc_mpki=0.05)
+
+
+class TestDiagnose:
+    def test_memory_bound_identified(self, uniprocessor):
+        def program(ctx):
+            yield Compute(2_000_000, MEMORY_BOUND)
+
+        result = run_threads(uniprocessor, program)
+        diagnosis = diagnose(result)
+        assert diagnosis.primary.kind == "memory"
+        assert diagnosis.cpi > 2.0
+
+    def test_compute_bound_identified(self, uniprocessor):
+        def program(ctx):
+            yield Compute(2_000_000, COMPUTE_BOUND)
+
+        result = run_threads(uniprocessor, program)
+        diagnosis = diagnose(result)
+        assert diagnosis.primary.kind == "compute"
+
+    def test_kernel_bound_identified(self, uniprocessor):
+        def program(ctx):
+            for _ in range(20):
+                yield Compute(2_000, COMPUTE_BOUND)
+                yield Syscall("work", (40_000,))
+
+        result = run_threads(uniprocessor, program)
+        diagnosis = diagnose(result)
+        assert diagnosis.primary.kind == "kernel"
+        assert diagnosis.kernel_fraction > 0.5
+
+    def test_lock_wait_surfaces(self, quad_core):
+        def worker(ctx):
+            for _ in range(15):
+                yield LockAcquire("hot")
+                yield Compute(30_000, COMPUTE_BOUND)
+                yield LockRelease("hot")
+
+        result = run_threads(quad_core, *[worker] * 4)
+        diagnosis = diagnose(result)
+        kinds = [b.kind for b in diagnosis.bottlenecks]
+        assert "sync_wait" in kinds
+        assert diagnosis.sync_wait_fraction > 0.1
+
+    def test_prefix_filter(self, quad_core):
+        def mem(ctx):
+            yield Compute(500_000, MEMORY_BOUND)
+
+        def cpu(ctx):
+            yield Compute(500_000, COMPUTE_BOUND)
+
+        result = run_threads(quad_core, mem, cpu, names=["m:0", "c:0"])
+        assert diagnose(result, "m:").primary.kind == "memory"
+        assert diagnose(result, "c:").primary.kind == "compute"
+
+    def test_unknown_prefix_raises(self, uniprocessor):
+        def program(ctx):
+            yield Compute(100, COMPUTE_BOUND)
+
+        result = run_threads(uniprocessor, program)
+        with pytest.raises(ValueError):
+            diagnose(result, "nope:")
+
+    def test_severities_ranked(self, uniprocessor):
+        def program(ctx):
+            yield Compute(1_000_000, MEMORY_BOUND)
+
+        result = run_threads(uniprocessor, program)
+        sev = [b.severity for b in diagnose(result).bottlenecks]
+        assert sev == sorted(sev, reverse=True)
+
+
+class TestDescribe:
+    def test_readable_output(self, uniprocessor):
+        def program(ctx):
+            yield Compute(500_000, MEMORY_BOUND)
+
+        result = run_threads(uniprocessor, program)
+        text = describe(diagnose(result))
+        assert "CPI" in text
+        assert "ranked bottlenecks:" in text
+        assert "memory" in text

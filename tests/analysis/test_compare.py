@@ -1,0 +1,92 @@
+"""Tests of the A/B run comparator."""
+
+import pytest
+
+from repro.analysis.compare import compare_runs, render_comparison
+from repro.baselines.papi import PapiLikeSession
+from repro.common.errors import ReproError
+from repro.common.config import MachineConfig, SimConfig
+from repro.core.limit import LimitSession
+from repro.hw.events import Event
+from repro.sim.engine import run_program
+from repro.workloads.base import Instrumentation
+from repro.workloads.mysql import MysqlConfig, MysqlWorkload
+
+
+def mysql_run(instr=None, seed=17):
+    config = SimConfig(machine=MachineConfig(n_cores=4), seed=seed)
+    workload = MysqlWorkload(
+        MysqlConfig(n_workers=4, transactions_per_worker=15)
+    )
+    result = run_program(workload.build(instr), config)
+    result.check_conservation()
+    return result
+
+
+class TestCompareRuns:
+    def test_identical_runs_compare_flat(self):
+        a = mysql_run()
+        b = mysql_run()
+        comparison = compare_runs(a, b)
+        assert comparison.wall_ratio == 1.0
+        assert comparison.user_ratio == 1.0
+        assert comparison.kernel_ratio == 1.0
+        assert comparison.worst_lock_inflation() == pytest.approx(1.0)
+
+    def test_papi_treatment_shows_perturbation(self):
+        baseline = mysql_run()
+        session = PapiLikeSession([Event.CYCLES], count_kernel=True)
+        treatment = mysql_run(
+            Instrumentation(sessions=[session], lock_reader=session)
+        )
+        comparison = compare_runs(baseline, treatment)
+        assert comparison.slowdown > 1.2
+        assert comparison.kernel_ratio > 1.5   # all those read syscalls
+        assert comparison.worst_lock_inflation() > 2.0
+        # same transactions -> same acquisition counts
+        assert all(d.acquires_match for d in comparison.lock_deltas.values())
+
+    def test_limit_treatment_nearly_flat(self):
+        baseline = mysql_run()
+        session = LimitSession([Event.CYCLES], count_kernel=True)
+        treatment = mysql_run(
+            Instrumentation(sessions=[session], lock_reader=session)
+        )
+        comparison = compare_runs(baseline, treatment)
+        assert comparison.slowdown < 1.15
+
+    def test_different_workloads_rejected(self):
+        from repro.workloads.apache import ApacheConfig, ApacheWorkload
+
+        a = mysql_run()
+        config = SimConfig(machine=MachineConfig(n_cores=4), seed=17)
+        b = run_program(
+            ApacheWorkload(ApacheConfig(n_workers=4, requests_per_worker=5)).build(),
+            config,
+        )
+        with pytest.raises(ReproError, match="different thread sets"):
+            compare_runs(a, b)
+
+
+class TestRenderComparison:
+    def test_renders_sections(self):
+        baseline = mysql_run()
+        session = PapiLikeSession([Event.CYCLES], count_kernel=True)
+        treatment = mysql_run(
+            Instrumentation(sessions=[session], lock_reader=session)
+        )
+        out = render_comparison(
+            compare_runs(baseline, treatment), "plain", "papi"
+        )
+        assert "run comparison" in out
+        assert "papi / plain" in out
+        assert "most-perturbed locks" in out
+
+    def test_renders_without_locks(self):
+        from repro.workloads.synthetic import BusyWorkload
+
+        config = SimConfig(machine=MachineConfig(n_cores=2), seed=1)
+        a = run_program(BusyWorkload(2, 10_000).build(), config)
+        b = run_program(BusyWorkload(2, 10_000).build(), config)
+        out = render_comparison(compare_runs(a, b))
+        assert "most-perturbed locks" not in out

@@ -1,0 +1,129 @@
+"""Tests of derived metrics and run-result exports."""
+
+import json
+
+import pytest
+
+from repro.analysis.derived import (
+    branch_miss_rate,
+    cpi,
+    deltas_to_counts,
+    ipc,
+    llc_miss_ratio,
+    mpki,
+    stall_fraction,
+    summarize,
+)
+from repro.analysis.reports import result_to_dict, result_to_json, run_report
+from repro.hw.events import Event, EventRates
+from repro.sim.ops import Compute, LockAcquire, LockRelease, Syscall
+from tests.conftest import run_threads
+
+COUNTS = {
+    Event.CYCLES: 1_000_000,
+    Event.INSTRUCTIONS: 1_500_000,
+    Event.LLC_MISSES: 3_000,
+    Event.LLC_REFERENCES: 9_000,
+    Event.L2_MISSES: 12_000,
+    Event.BRANCHES: 300_000,
+    Event.BRANCH_MISSES: 15_000,
+    Event.DTLB_MISSES: 600,
+    Event.STALL_CYCLES: 250_000,
+}
+
+
+class TestDerivedMetrics:
+    def test_ipc_cpi(self):
+        assert ipc(COUNTS) == pytest.approx(1.5)
+        assert cpi(COUNTS) == pytest.approx(1 / 1.5)
+
+    def test_mpki(self):
+        assert mpki(COUNTS, Event.LLC_MISSES) == pytest.approx(2.0)
+        assert mpki(COUNTS, Event.L2_MISSES) == pytest.approx(8.0)
+
+    def test_ratios(self):
+        assert llc_miss_ratio(COUNTS) == pytest.approx(1 / 3)
+        assert branch_miss_rate(COUNTS) == pytest.approx(0.05)
+        assert stall_fraction(COUNTS) == pytest.approx(0.25)
+
+    def test_empty_counts_all_zero(self):
+        assert ipc({}) == 0.0
+        assert cpi({}) == 0.0
+        assert mpki({}, Event.LLC_MISSES) == 0.0
+        assert llc_miss_ratio({}) == 0.0
+
+    def test_summarize_bundle(self):
+        s = summarize(COUNTS)
+        assert s.ipc == pytest.approx(1.5)
+        assert s.llc_mpki == pytest.approx(2.0)
+        assert s.as_dict()["branch_miss_rate"] == pytest.approx(0.05)
+
+    def test_summarize_matches_profile_inputs(self, uniprocessor):
+        """Round trip: profile() rates -> simulation -> summarize()."""
+        rates = EventRates.profile(
+            ipc=1.25, llc_mpki=4.0, branch_frac=0.2, branch_miss_rate=0.1
+        )
+
+        def program(ctx):
+            yield Compute(2_000_000, rates)
+
+        result = run_threads(uniprocessor, program)
+        s = summarize(result.thread_by_name("t0").events_user)
+        assert s.ipc == pytest.approx(1.25, rel=0.001)
+        assert s.llc_mpki == pytest.approx(4.0, rel=0.001)
+        assert s.branch_miss_rate == pytest.approx(0.1, rel=0.001)
+
+    def test_deltas_to_counts(self):
+        counts = deltas_to_counts(
+            [Event.CYCLES, Event.LLC_MISSES], [100, 5], [600, 25]
+        )
+        assert counts == {Event.CYCLES: 500, Event.LLC_MISSES: 20}
+
+    def test_deltas_length_mismatch(self):
+        with pytest.raises(ValueError):
+            deltas_to_counts([Event.CYCLES], [1, 2], [3])
+
+
+def _lockful_run(quad_core):
+    def worker(ctx):
+        yield Compute(20_000, EventRates.profile(ipc=1.0))
+        yield LockAcquire("L")
+        yield Compute(1_000, EventRates.profile(ipc=1.0))
+        yield LockRelease("L")
+        yield Syscall("work", (5_000,))
+
+    return run_threads(quad_core, worker, worker)
+
+
+class TestReports:
+    def test_dict_roundtrips_json(self, quad_core):
+        result = _lockful_run(quad_core)
+        data = result_to_dict(result)
+        text = result_to_json(result)
+        assert json.loads(text) == json.loads(json.dumps(data, sort_keys=True))
+
+    def test_dict_contents(self, quad_core):
+        result = _lockful_run(quad_core)
+        data = result_to_dict(result)
+        assert data["wall_cycles"] == result.wall_cycles
+        assert len(data["threads"]) == 2
+        assert data["locks"]["L"]["acquires"] == 2
+        assert data["kernel"]["syscalls"]["work"] == 2
+        thread = data["threads"][0]
+        assert thread["events_user"]["cycles"] == thread["user_cycles"]
+
+    def test_run_report_sections(self, quad_core):
+        result = _lockful_run(quad_core)
+        report = run_report(result)
+        assert "threads" in report
+        assert "hottest locks" in report
+        assert "kernel share" in report
+        assert "t0" in report and "t1" in report
+
+    def test_report_without_locks(self, uniprocessor):
+        def program(ctx):
+            yield Compute(10_000, EventRates.profile(ipc=1.0))
+
+        result = run_threads(uniprocessor, program)
+        report = run_report(result)
+        assert "hottest locks" not in report

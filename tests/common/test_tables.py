@@ -1,0 +1,81 @@
+"""Tests for text table/histogram rendering."""
+
+import pytest
+
+from repro.common.tables import render_histogram, render_series, render_table
+
+
+class TestRenderTable:
+    def test_basic_shape(self):
+        out = render_table(["name", "n"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "name" in lines[0]
+        assert "-+-" in lines[1]
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+        assert out.splitlines()[1] == "========"
+
+    def test_numeric_formatting(self):
+        out = render_table(["a", "b"], [["r", 1234567]])
+        assert "1,234,567" in out
+
+    def test_float_formatting(self):
+        out = render_table(["a", "b", "c", "d"], [["r", 0.1234, 12.34, 1234.5]])
+        assert "0.123" in out
+        assert "12.3" in out
+        assert "1,234" in out  # large floats get thousands separators
+
+    def test_zero_float(self):
+        assert "0" in render_table(["a", "b"], [["r", 0.0]])
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_alignment(self):
+        out = render_table(["label", "value"], [["x", 5], ["longer", 500]])
+        rows = out.splitlines()[2:]
+        # numeric column right-aligned: short number padded on the left
+        assert rows[0].endswith("  5")
+
+
+class TestRenderHistogram:
+    def test_bars_scale_to_peak(self):
+        out = render_histogram(["a", "b"], [10, 5], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_percentages(self):
+        out = render_histogram(["a", "b"], [75, 25])
+        assert "(75.0%)" in out
+        assert "(25.0%)" in out
+
+    def test_empty_counts_ok(self):
+        out = render_histogram(["a"], [0])
+        assert "(0.0%)" in out
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            render_histogram(["a"], [1, 2])
+
+    def test_title(self):
+        out = render_histogram(["a"], [1], title="H")
+        assert out.startswith("H\n=")
+
+
+class TestRenderSeries:
+    def test_series_as_columns(self):
+        out = render_series(
+            "x", {"s1": [1.0, 2.0], "s2": [3.0, 4.0]}, [10, 20], title="T"
+        )
+        assert "s1" in out and "s2" in out
+        assert "10" in out and "20" in out
+
+    def test_rows_align_with_x(self):
+        out = render_series("x", {"y": [5.5]}, ["only"])
+        assert "only" in out
+        assert "5.5" in out

@@ -1,0 +1,52 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import KernelConfig, MachineConfig, SimConfig
+from repro.hw.events import EventRates
+from repro.sim.engine import Engine
+from repro.sim.ops import Compute
+from repro.sim.program import ThreadSpec
+
+#: A plain event-rate profile used across many tests.
+SIMPLE_RATES = EventRates.profile(ipc=1.0, llc_mpki=1.0, branch_frac=0.2,
+                                  branch_miss_rate=0.05)
+
+
+@pytest.fixture
+def uniprocessor() -> SimConfig:
+    """One core, standard timeslice."""
+    return SimConfig(machine=MachineConfig(n_cores=1), seed=1234)
+
+
+@pytest.fixture
+def quad_core() -> SimConfig:
+    return SimConfig(machine=MachineConfig(n_cores=4), seed=1234)
+
+
+@pytest.fixture
+def preemptive() -> SimConfig:
+    """One core with a tiny timeslice: heavy preemption."""
+    return SimConfig(
+        machine=MachineConfig(n_cores=1),
+        kernel=KernelConfig(timeslice_cycles=10_000),
+        seed=1234,
+    )
+
+
+def run_threads(config: SimConfig, *factories, names=None):
+    """Run bare program factories and return the RunResult."""
+    names = names or [f"t{i}" for i in range(len(factories))]
+    specs = [ThreadSpec(n, f) for n, f in zip(names, factories)]
+    return Engine(config).run(specs)
+
+
+def compute_program(cycles: int, rates: EventRates = SIMPLE_RATES):
+    """A factory for a thread that just computes."""
+
+    def program(ctx):
+        yield Compute(cycles, rates)
+
+    return program

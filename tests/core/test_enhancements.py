@@ -1,0 +1,36 @@
+"""Tests of the hardware-enhancement config helpers."""
+
+from repro.common.config import SimConfig
+from repro.core.enhancements import (
+    with_all_enhancements,
+    with_hw_thread_virtualization,
+    with_wide_counters,
+)
+
+
+class TestConfigHelpers:
+    def test_wide_counters(self):
+        cfg = with_wide_counters(SimConfig())
+        assert cfg.machine.pmu.wide_counters
+        assert cfg.machine.pmu.effective_width == 64
+
+    def test_hw_thread_virtualization(self):
+        cfg = with_hw_thread_virtualization(SimConfig())
+        assert cfg.kernel.hw_thread_virtualization
+
+    def test_all_enhancements(self):
+        cfg = with_all_enhancements(SimConfig())
+        assert cfg.machine.pmu.wide_counters
+        assert cfg.kernel.hw_thread_virtualization
+
+    def test_originals_untouched(self):
+        base = SimConfig()
+        with_all_enhancements(base)
+        assert not base.machine.pmu.wide_counters
+        assert not base.kernel.hw_thread_virtualization
+
+    def test_other_settings_preserved(self):
+        base = SimConfig(seed=99).with_kernel(timeslice_cycles=77_000)
+        cfg = with_all_enhancements(base)
+        assert cfg.seed == 99
+        assert cfg.kernel.timeslice_cycles == 77_000

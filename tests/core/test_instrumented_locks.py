@@ -1,0 +1,160 @@
+"""Tests of instrumented locks: measurement and perturbation."""
+
+import pytest
+
+from repro.common.errors import SessionError
+from repro.core.limit import LimitSession
+from repro.core.locks import InstrumentedLock, PlainLock, RdtscReader
+from repro.hw.events import Event, EventRates
+from repro.sim.ops import Compute
+from tests.conftest import run_threads
+
+RATES = EventRates.profile(ipc=1.0)
+
+
+def cs_worker(lock, hold=2_000, iters=10):
+    def program(ctx):
+        if hasattr(lock.reader, "setup") if isinstance(lock, InstrumentedLock) else False:
+            yield from lock.reader.setup(ctx)
+        for _ in range(iters):
+            yield from lock.acquire(ctx)
+            yield Compute(hold, RATES)
+            yield from lock.release(ctx)
+            yield Compute(500, RATES)
+
+    return program
+
+
+class TestInstrumentedLock:
+    def test_observed_hold_close_to_body(self, uniprocessor):
+        session = LimitSession([Event.CYCLES], count_kernel=True)
+        lock = InstrumentedLock("L", session)
+
+        def program(ctx):
+            yield from session.setup(ctx)
+            for _ in range(10):
+                yield from lock.acquire(ctx)
+                yield Compute(2_000, RATES)
+                yield from lock.release(ctx)
+
+        result = run_threads(uniprocessor, program)
+        obs = lock.observation
+        assert obs.n_acquires == 10
+        # observed hold: body + one read + lock release entry overheads
+        assert all(2_000 <= h <= 2_600 for h in obs.holds)
+        # ground truth hold includes both reads around the body
+        truth = result.locks["L"]
+        assert truth.mean_hold > obs.mean_hold
+
+    def test_wait_observed_when_contended(self, quad_core):
+        session = LimitSession([Event.CYCLES], count_kernel=True)
+        lock = InstrumentedLock("L", session)
+
+        def program(ctx):
+            yield from session.setup(ctx)
+            for _ in range(15):
+                yield from lock.acquire(ctx)
+                yield Compute(5_000, RATES)
+                yield from lock.release(ctx)
+
+        run_threads(quad_core, program, program, program)
+        obs = lock.observation
+        assert obs.n_acquires == 45
+        assert obs.total_wait > 0  # someone spun
+
+    def test_release_without_acquire_rejected(self, uniprocessor):
+        session = LimitSession([Event.CYCLES])
+        lock = InstrumentedLock("L", session)
+
+        def program(ctx):
+            yield from session.setup(ctx)
+            yield from lock.release(ctx)
+
+        with pytest.raises(SessionError, match="without a matching acquire"):
+            run_threads(uniprocessor, program)
+
+    def test_critical_section_wrapper(self, uniprocessor):
+        session = LimitSession([Event.CYCLES])
+        lock = InstrumentedLock("L", session)
+
+        def body():
+            yield Compute(1_000, RATES)
+            return "done"
+
+        outcome = {}
+
+        def program(ctx):
+            yield from session.setup(ctx)
+            outcome["r"] = yield from lock.critical_section(ctx, body())
+
+        result = run_threads(uniprocessor, program)
+        assert outcome["r"] == "done"
+        assert result.locks["L"].n_acquires == 1
+        assert lock.observation.n_acquires == 1
+
+
+class TestRdtscReader:
+    def test_measures_wall_time(self, uniprocessor):
+        reader = RdtscReader()
+        lock = InstrumentedLock("L", reader)
+
+        def program(ctx):
+            yield from lock.acquire(ctx)
+            yield Compute(3_000, RATES)
+            yield from lock.release(ctx)
+
+        run_threads(uniprocessor, program)
+        assert 3_000 <= lock.observation.holds[0] <= 3_200
+
+
+class TestPlainLock:
+    def test_no_observation_overhead(self, uniprocessor):
+        lock = PlainLock("L")
+
+        def program(ctx):
+            yield from lock.acquire(ctx)
+            yield Compute(1_000, RATES)
+            yield from lock.release(ctx)
+
+        result = run_threads(uniprocessor, program)
+        truth = result.locks["L"]
+        # hold = body + release cas only: no reads inflate it
+        assert truth.hold_cycles[0] < 1_100
+
+    def test_critical_section(self, uniprocessor):
+        lock = PlainLock("L")
+
+        def body():
+            yield Compute(500, RATES)
+            return 42
+
+        got = {}
+
+        def program(ctx):
+            got["r"] = yield from lock.critical_section(ctx, body())
+
+        run_threads(uniprocessor, program)
+        assert got["r"] == 42
+
+
+class TestPerturbationOrdering:
+    def test_papi_inflates_holds_more_than_limit(self, uniprocessor):
+        """The E6 mechanism in miniature."""
+        from repro.baselines.papi import PapiLikeSession
+
+        def run_with(reader_session):
+            lock = InstrumentedLock("L", reader_session)
+
+            def program(ctx):
+                yield from reader_session.setup(ctx)
+                for _ in range(5):
+                    yield from lock.acquire(ctx)
+                    yield Compute(1_000, RATES)
+                    yield from lock.release(ctx)
+
+            result = run_threads(uniprocessor, program)
+            return result.locks["L"].mean_hold
+
+        limit_hold = run_with(LimitSession([Event.CYCLES], count_kernel=True))
+        papi_hold = run_with(PapiLikeSession([Event.CYCLES], count_kernel=True))
+        assert papi_hold > limit_hold * 1.5

@@ -1,0 +1,103 @@
+"""Tests of process-level counter aggregation."""
+
+from repro.core.limit import LimitSession
+from repro.core.process import ProcessCounters
+from repro.hw.events import Event, EventRates
+from repro.sim.ops import Compute
+from tests.conftest import run_threads
+
+RATES = EventRates.profile(ipc=1.0)
+
+
+def make_worker(session, cycles):
+    def worker(ctx):
+        yield from session.setup(ctx)
+        yield Compute(cycles, RATES)
+        yield from session.read_all(ctx)   # the teardown-pattern final read
+
+    return worker
+
+
+class TestProcessTotals:
+    def test_totals_sum_threads(self, quad_core):
+        session = LimitSession([Event.INSTRUCTIONS])
+        run_threads(
+            quad_core,
+            make_worker(session, 10_000),
+            make_worker(session, 20_000),
+            make_worker(session, 30_000),
+        )
+        process = ProcessCounters(session)
+        totals = process.totals()
+        assert totals.n_threads == 3
+        # 60k instructions of work plus a few library instructions/thread
+        assert 60_000 <= totals.total(Event.INSTRUCTIONS) <= 60_600
+
+    def test_per_thread_breakdown(self, quad_core):
+        session = LimitSession([Event.CYCLES])
+        run_threads(
+            quad_core,
+            make_worker(session, 5_000),
+            make_worker(session, 50_000),
+        )
+        totals = ProcessCounters(session).totals()
+        values = sorted(
+            t[Event.CYCLES] for t in totals.per_thread.values()
+        )
+        assert values[0] < values[1]
+
+    def test_final_read_wins(self, uniprocessor):
+        """Intermediate reads don't double count."""
+        session = LimitSession([Event.CYCLES])
+
+        def worker(ctx):
+            yield from session.setup(ctx)
+            for _ in range(5):
+                yield Compute(1_000, RATES)
+                yield from session.read(ctx, 0)
+
+        run_threads(uniprocessor, worker)
+        totals = ProcessCounters(session).totals()
+        # roughly 5k of work + 5 reads of overhead, not 15k of partial sums
+        assert totals.total(Event.CYCLES) < 7_000
+
+    def test_audit_zero_for_safe_sessions(self, preemptive):
+        session = LimitSession([Event.INSTRUCTIONS])
+        result = run_threads(
+            preemptive,
+            make_worker(session, 200_000),
+            make_worker(session, 200_000),
+        )
+        process = ProcessCounters(session)
+        errors = process.audit(result)
+        assert errors[Event.INSTRUCTIONS] == 0
+
+    def test_audit_nonzero_for_unsafe_sessions(self, preemptive):
+        from repro.core.limit import UnsafeLimitSession
+
+        session = UnsafeLimitSession([Event.CYCLES])
+
+        def worker(ctx):
+            yield from session.setup(ctx)
+            for _ in range(1_000):
+                yield Compute(80, RATES)
+                yield from session.read(ctx, 0)
+
+        result = run_threads(preemptive, worker, worker, worker)
+        errors = ProcessCounters(session).audit(result)
+        # at least some unsafe final reads were wrong under this pressure
+        assert any(e != 0 for e in errors.values()) or (
+            sum(1 for r in session.records if r.error) == 0
+        )
+
+    def test_coverage_near_one_with_teardown_pattern(self, quad_core):
+        session = LimitSession([Event.INSTRUCTIONS])
+        result = run_threads(
+            quad_core,
+            make_worker(session, 40_000),
+            make_worker(session, 40_000),
+        )
+        coverage = ProcessCounters(session).coverage(
+            result, Event.INSTRUCTIONS
+        )
+        assert 0.95 <= coverage <= 1.0

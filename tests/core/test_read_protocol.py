@@ -1,0 +1,119 @@
+"""Tests of the three read protocols at the op-sequence level."""
+
+import pytest
+
+from repro.common.config import CostModel
+from repro.core.read_protocol import destructive_read, safe_read, unsafe_read
+from repro.sim.ops import (
+    Compute,
+    LoadVAccum,
+    PmcReadBegin,
+    PmcReadEnd,
+    Rdpmc,
+    RdpmcDestructive,
+)
+
+COSTS = CostModel()
+
+
+def drive(gen, responses):
+    """Run a protocol generator feeding canned responses; returns
+    (ops_seen, return_value)."""
+    ops = []
+    try:
+        op = next(gen)
+        while True:
+            ops.append(op)
+            op = gen.send(responses(op))
+    except StopIteration as stop:
+        return ops, stop.value
+
+
+class TestSafeRead:
+    def test_uninterrupted_sequence(self):
+        def responses(op):
+            if isinstance(op, LoadVAccum):
+                return 1_000
+            if isinstance(op, Rdpmc):
+                return 23
+            if isinstance(op, PmcReadEnd):
+                return True
+            return None
+
+        ops, value = drive(safe_read(0, COSTS), responses)
+        assert value == 1_023
+        kinds = [type(o).__name__ for o in ops]
+        assert kinds == [
+            "Compute", "PmcReadBegin", "LoadVAccum", "Rdpmc", "PmcReadEnd",
+            "Compute",
+        ]
+
+    def test_restarts_until_clean(self):
+        state = {"attempts": 0}
+
+        def responses(op):
+            if isinstance(op, LoadVAccum):
+                return 100 if state["attempts"] else 0  # value changes!
+            if isinstance(op, Rdpmc):
+                return 5
+            if isinstance(op, PmcReadEnd):
+                state["attempts"] += 1
+                return state["attempts"] >= 3  # fail twice
+            return None
+
+        ops, value = drive(safe_read(0, COSTS), responses)
+        # the final (successful) attempt's values are used
+        assert value == 105
+        assert sum(isinstance(o, PmcReadBegin) for o in ops) == 3
+
+    def test_gives_up_after_pathological_restarts(self):
+        def responses(op):
+            if isinstance(op, (LoadVAccum, Rdpmc)):
+                return 0
+            if isinstance(op, PmcReadEnd):
+                return False  # never clean
+            return None
+
+        with pytest.raises(RuntimeError, match="restarted"):
+            drive(safe_read(0, COSTS), responses)
+
+    def test_total_cost_matches_cost_model(self):
+        def responses(op):
+            if isinstance(op, PmcReadEnd):
+                return True
+            return 0
+
+        ops, _ = drive(safe_read(0, COSTS), responses)
+        compute_cycles = sum(o.cycles for o in ops if isinstance(o, Compute))
+        assert (
+            compute_cycles + COSTS.pmc_read_begin + COSTS.pmc_load_accum
+            + COSTS.rdpmc + COSTS.pmc_read_end
+            == COSTS.limit_read_total
+        )
+
+
+class TestUnsafeRead:
+    def test_no_protection_ops(self):
+        def responses(op):
+            if isinstance(op, LoadVAccum):
+                return 7
+            if isinstance(op, Rdpmc):
+                return 3
+            return None
+
+        ops, value = drive(unsafe_read(0, COSTS), responses)
+        assert value == 10
+        assert not any(isinstance(o, (PmcReadBegin, PmcReadEnd)) for o in ops)
+
+
+class TestDestructiveRead:
+    def test_single_instruction(self):
+        def responses(op):
+            if isinstance(op, RdpmcDestructive):
+                return 55
+            return None
+
+        ops, value = drive(destructive_read(0, COSTS), responses)
+        assert value == 55
+        assert sum(isinstance(o, RdpmcDestructive) for o in ops) == 1
+        assert not any(isinstance(o, (LoadVAccum, Rdpmc)) for o in ops)

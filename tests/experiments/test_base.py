@@ -1,0 +1,58 @@
+"""Tests of the experiment framework itself."""
+
+import pytest
+
+from repro.common.errors import ExperimentError
+from repro.experiments.base import (
+    ExperimentResult,
+    multicore_config,
+    single_core_config,
+)
+
+
+def make_result(**kw):
+    defaults = dict(
+        exp_id="EX",
+        title="A title",
+        paper_claim="a claim",
+        blocks=["table text"],
+        metrics={"m": 1.5},
+        notes="a note",
+    )
+    defaults.update(kw)
+    return ExperimentResult(**defaults)
+
+
+class TestExperimentResult:
+    def test_render_sections(self):
+        text = make_result().render()
+        assert "[EX] A title" in text
+        assert "paper claim: a claim" in text
+        assert "table text" in text
+        assert "m = 1.5" in text
+        assert "note: a note" in text
+
+    def test_render_without_optionals(self):
+        text = make_result(blocks=[], metrics={}, notes="").render()
+        assert "headline metrics" not in text
+        assert "note:" not in text
+
+    def test_metric_lookup(self):
+        assert make_result().metric("m") == 1.5
+
+    def test_metric_missing_lists_available(self):
+        with pytest.raises(ExperimentError, match="available"):
+            make_result().metric("nope")
+
+
+class TestConfigHelpers:
+    def test_single_core(self):
+        config = single_core_config(seed=7, timeslice=50_000)
+        assert config.machine.n_cores == 1
+        assert config.kernel.timeslice_cycles == 50_000
+        assert config.seed == 7
+
+    def test_multicore(self):
+        config = multicore_config(n_cores=6, seed=9)
+        assert config.machine.n_cores == 6
+        assert config.seed == 9

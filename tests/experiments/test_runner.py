@@ -1,0 +1,24 @@
+"""Tests of the experiment CLI runner."""
+
+from pathlib import Path
+
+from repro.experiments.runner import main
+
+
+class TestRunnerCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E12" in out
+
+    def test_run_one_quick(self, capsys):
+        assert main(["--quick", "E1"]) == 0
+        out = capsys.readouterr().out
+        assert "[E1]" in out
+        assert "regenerated in" in out
+
+    def test_out_dir(self, tmp_path: Path, capsys):
+        assert main(["--quick", "--out", str(tmp_path), "E5"]) == 0
+        written = tmp_path / "e5.txt"
+        assert written.exists()
+        assert "[E5]" in written.read_text()

@@ -1,0 +1,60 @@
+"""Tests for cores and the machine."""
+
+import pytest
+
+from repro.common.config import MachineConfig
+from repro.common.errors import ConfigError
+from repro.hw.machine import Machine
+
+
+class TestMachine:
+    def test_core_count(self):
+        m = Machine(MachineConfig(n_cores=6))
+        assert m.n_cores == 6
+        assert len(m.cores) == 6
+
+    def test_core_ids(self):
+        m = Machine(MachineConfig(n_cores=3))
+        assert [c.core_id for c in m.cores] == [0, 1, 2]
+
+    def test_core_lookup_bounds(self):
+        m = Machine(MachineConfig(n_cores=2))
+        assert m.core(1).core_id == 1
+        with pytest.raises(ConfigError):
+            m.core(2)
+
+    def test_enable_user_rdpmc_hits_all_cores(self):
+        m = Machine(MachineConfig(n_cores=3))
+        m.enable_user_rdpmc()
+        assert all(c.pmu.user_rdpmc_enabled for c in m.cores)
+
+    def test_max_time(self):
+        m = Machine(MachineConfig(n_cores=2))
+        m.cores[0].now = 100
+        m.cores[1].now = 250
+        assert m.max_time() == 250
+
+    def test_total_busy(self):
+        m = Machine(MachineConfig(n_cores=2))
+        m.cores[0].busy_cycles = 10
+        m.cores[1].busy_cycles = 30
+        assert m.total_busy_cycles() == 40
+
+
+class TestCore:
+    def test_initial_state(self):
+        core = Machine(MachineConfig(n_cores=1)).cores[0]
+        assert core.now == 0
+        assert core.parked
+        assert core.current_tid is None
+
+    def test_rdtsc_tracks_now(self):
+        core = Machine(MachineConfig(n_cores=1)).cores[0]
+        core.now = 12345
+        assert core.rdtsc() == 12345
+
+    def test_idle_cycles(self):
+        core = Machine(MachineConfig(n_cores=1)).cores[0]
+        core.now = 100
+        core.busy_cycles = 60
+        assert core.idle_cycles == 40

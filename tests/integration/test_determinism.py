@@ -1,0 +1,90 @@
+"""Determinism: identical config+seed => bit-identical results."""
+
+from repro.common.config import KernelConfig, MachineConfig, SimConfig
+from repro.core.limit import LimitSession
+from repro.hw.events import Event
+from repro.sim.engine import run_program
+from repro.workloads.apache import ApacheConfig, ApacheWorkload
+from repro.workloads.base import Instrumentation
+from repro.workloads.firefox import FirefoxConfig, FirefoxWorkload
+from repro.workloads.mysql import MysqlConfig, MysqlWorkload
+
+
+def fingerprint(result):
+    """A deep digest of a run's observable state."""
+    threads = tuple(
+        (
+            t.name,
+            t.user_cycles,
+            t.kernel_cycles,
+            t.n_context_switches,
+            t.n_syscalls,
+            tuple(sorted((e.value, n) for e, n in t.events_user.items())),
+        )
+        for t in sorted(result.threads.values(), key=lambda t: t.tid)
+    )
+    locks = tuple(
+        (name, st.n_acquires, st.total_hold, st.total_wait)
+        for name, st in sorted(result.locks.items())
+    )
+    samples = tuple((s.time, s.tid, s.region) for s in result.samples)
+    return (result.wall_cycles, threads, locks, samples)
+
+
+def config(seed=7, cores=4, timeslice=100_000):
+    return SimConfig(
+        machine=MachineConfig(n_cores=cores),
+        kernel=KernelConfig(timeslice_cycles=timeslice),
+        seed=seed,
+    )
+
+
+class TestDeterminism:
+    def test_mysql_bit_identical(self):
+        cfg = MysqlConfig(n_workers=6, transactions_per_worker=15)
+        r1 = run_program(MysqlWorkload(cfg).build(), config())
+        r2 = run_program(MysqlWorkload(cfg).build(), config())
+        assert fingerprint(r1) == fingerprint(r2)
+
+    def test_apache_bit_identical(self):
+        cfg = ApacheConfig(n_workers=5, requests_per_worker=12)
+        r1 = run_program(ApacheWorkload(cfg).build(), config())
+        r2 = run_program(ApacheWorkload(cfg).build(), config())
+        assert fingerprint(r1) == fingerprint(r2)
+
+    def test_firefox_bit_identical(self):
+        cfg = FirefoxConfig(events=60)
+        r1 = run_program(FirefoxWorkload(cfg).build(), config())
+        r2 = run_program(FirefoxWorkload(cfg).build(), config())
+        assert fingerprint(r1) == fingerprint(r2)
+
+    def test_instrumented_run_identical(self):
+        def one():
+            session = LimitSession([Event.CYCLES], count_kernel=True)
+            instr = Instrumentation(sessions=[session], lock_reader=session)
+            cfg = MysqlConfig(n_workers=4, transactions_per_worker=10)
+            result = run_program(MysqlWorkload(cfg).build(instr), config())
+            return fingerprint(result), tuple(
+                (r.tid, r.value, r.truth) for r in session.records
+            )
+
+        assert one() == one()
+
+    def test_seed_matters(self):
+        cfg = MysqlConfig(n_workers=4, transactions_per_worker=10)
+        r1 = run_program(MysqlWorkload(cfg).build(), config(seed=1))
+        r2 = run_program(MysqlWorkload(cfg).build(), config(seed=2))
+        assert fingerprint(r1) != fingerprint(r2)
+
+    def test_core_count_changes_interleaving_not_work(self):
+        cfg = MysqlConfig(n_workers=4, transactions_per_worker=10)
+        r1 = run_program(MysqlWorkload(cfg).build(), config(cores=1))
+        r4 = run_program(MysqlWorkload(cfg).build(), config(cores=4))
+        # same per-thread user work regardless of schedule (locks aside,
+        # user compute totals are schedule-independent in this workload mix
+        # up to contention-path spinning, so compare the txn counts instead)
+        assert (
+            r1.merged_region("txn").invocations
+            == r4.merged_region("txn").invocations
+        )
+        assert r4.wall_cycles < r1.wall_cycles

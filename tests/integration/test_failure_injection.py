@@ -1,0 +1,153 @@
+"""Failure injection: the simulator must fail loudly and cleanly when
+workload code misbehaves, and recover when the workload handles its own
+errors."""
+
+import pytest
+
+from repro.common.errors import (
+    LockProtocolError,
+    SimulationError,
+)
+from repro.hw.events import Event, EventRates
+from repro.sim.ops import (
+    Compute,
+    JoinThread,
+    LockAcquire,
+    LockRelease,
+    RegionBegin,
+    SpawnThread,
+    Syscall,
+)
+from tests.conftest import run_threads
+
+RATES = EventRates.profile(ipc=1.0)
+
+
+class TestWorkloadCrashes:
+    def test_exception_inside_critical_section(self, quad_core):
+        """A crash while holding a lock is surfaced, not swallowed."""
+
+        def crasher(ctx):
+            yield LockAcquire("L")
+            yield Compute(100, RATES)
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            run_threads(quad_core, crasher)
+
+    def test_spawned_child_crash_propagates(self, quad_core):
+        def child(ctx):
+            yield Compute(100, RATES)
+            raise ValueError("child died")
+
+        def parent(ctx):
+            tid = yield SpawnThread(child, "kid")
+            yield JoinThread(tid)
+
+        with pytest.raises(ValueError, match="child died"):
+            run_threads(quad_core, parent)
+
+    def test_generator_return_mid_region_detected(self, uniprocessor):
+        def program(ctx):
+            yield RegionBegin("open")
+            yield Compute(100, RATES)
+            return  # forgot RegionEnd
+            yield  # pragma: no cover
+
+        with pytest.raises(SimulationError, match="open regions"):
+            run_threads(uniprocessor, program)
+
+    def test_double_release_detected(self, uniprocessor):
+        def program(ctx):
+            yield LockAcquire("L")
+            yield LockRelease("L")
+            yield LockRelease("L")
+
+        with pytest.raises(LockProtocolError):
+            run_threads(uniprocessor, program)
+
+
+class TestHandledErrors:
+    def test_thread_survives_handled_syscall_error(self, uniprocessor):
+        """A thread that handles its 'errno' continues normally and its
+        accounting stays consistent."""
+        attempts = []
+
+        def program(ctx):
+            for _ in range(3):
+                try:
+                    yield Syscall("work", (-1,))
+                except Exception:
+                    attempts.append("handled")
+                yield Compute(1_000, RATES)
+
+        result = run_threads(uniprocessor, program)
+        result.check_conservation()
+        assert attempts == ["handled"] * 3
+        assert result.thread_by_name("t0").user_cycles == 3_000
+
+    def test_session_errors_leave_machine_usable(self, uniprocessor):
+        from repro.core.limit import LimitSession
+
+        session = LimitSession([Event.CYCLES])
+        outcome = {}
+
+        def program(ctx):
+            yield from session.setup(ctx)
+            # exhaust the PMU, handle the failure, keep measuring
+            try:
+                for _ in range(10):
+                    yield Syscall(
+                        "pmc_open",
+                        (session.specs[0],),
+                    )
+            except Exception:
+                outcome["exhausted"] = True
+            value = yield from session.read(ctx, 0)
+            outcome["value"] = value
+
+        result = run_threads(uniprocessor, program)
+        result.check_conservation()
+        assert outcome["exhausted"]
+        assert outcome["value"] >= 0
+        assert session.max_abs_error() == 0
+
+    def test_other_threads_unaffected_until_crash(self, quad_core):
+        """Conservation holds in the partial state when a run aborts."""
+
+        def crasher(ctx):
+            yield Compute(5_000, RATES)
+            raise RuntimeError("late crash")
+
+        def worker(ctx):
+            yield Compute(200_000, RATES)
+
+        with pytest.raises(RuntimeError):
+            run_threads(quad_core, crasher, worker)
+
+
+class TestResourceLeaks:
+    def test_closed_session_slots_reusable_across_threads(self, quad_core):
+        """Teardown must free physical counters for subsequent users."""
+        from repro.core.limit import LimitSession
+
+        sessions = [LimitSession([Event.CYCLES] * 1) for _ in range(2)]
+
+        def phase_one(ctx):
+            s = sessions[0]
+            yield from s.setup(ctx)
+            yield Compute(1_000, RATES)
+            yield from s.read(ctx, 0)
+            yield from s.teardown(ctx)
+
+        def phase_two(ctx):
+            yield Compute(50_000, RATES)  # run after phase_one finishes
+            s = sessions[1]
+            yield from s.setup(ctx)
+            yield Compute(1_000, RATES)
+            yield from s.read(ctx, 0)
+            yield from s.teardown(ctx)
+
+        result = run_threads(quad_core, phase_one, phase_two)
+        result.check_conservation()
+        assert all(s.max_abs_error() == 0 for s in sessions)

@@ -1,0 +1,75 @@
+"""Tests for the perf_event-like subsystem."""
+
+import pytest
+
+from repro.common.errors import SessionError
+from repro.hw.events import Event
+from repro.kernel.perf import PerfSubsystem, SampleRecord
+
+
+def sample(fd, time=100, tid=1, region="r"):
+    return SampleRecord(time=time, tid=tid, region=region,
+                        event=Event.CYCLES, fd=fd)
+
+
+class TestFdLifecycle:
+    def test_open_assigns_increasing_fds(self):
+        p = PerfSubsystem()
+        fd1 = p.open(1, 0, Event.CYCLES, "count", 0)
+        fd2 = p.open(1, 1, Event.CYCLES, "count", 0)
+        assert fd2.fd > fd1.fd >= 3
+
+    def test_get(self):
+        p = PerfSubsystem()
+        fd = p.open(1, 0, Event.CYCLES, "count", 0)
+        assert p.get(fd.fd) is fd
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(SessionError):
+            PerfSubsystem().get(99)
+
+    def test_close_disables_and_retains(self):
+        p = PerfSubsystem()
+        fd = p.open(1, 0, Event.CYCLES, "sample", 100)
+        p.record_sample(fd, sample(fd.fd))
+        closed = p.close(fd.fd)
+        assert not closed.enabled
+        with pytest.raises(SessionError):
+            p.get(fd.fd)
+        # samples survive the close (profilers read them post-run)
+        assert len(p.all_samples()) == 1
+
+    def test_double_close_raises(self):
+        p = PerfSubsystem()
+        fd = p.open(1, 0, Event.CYCLES, "count", 0)
+        p.close(fd.fd)
+        with pytest.raises(SessionError):
+            p.close(fd.fd)
+
+
+class TestSlotLookup:
+    def test_fd_for_slot(self):
+        p = PerfSubsystem()
+        fd = p.open(7, 2, Event.CYCLES, "sample", 100)
+        assert p.fd_for_slot(7, 2) is fd
+        assert p.fd_for_slot(7, 1) is None
+        assert p.fd_for_slot(8, 2) is None
+
+
+class TestSamples:
+    def test_record_counts(self):
+        p = PerfSubsystem()
+        fd = p.open(1, 0, Event.CYCLES, "sample", 100)
+        p.record_sample(fd, sample(fd.fd))
+        p.record_sample(fd, sample(fd.fd, time=200))
+        assert fd.n_overflows == 2
+        assert p.total_samples == 2
+
+    def test_all_samples_sorted_by_time(self):
+        p = PerfSubsystem()
+        fd1 = p.open(1, 0, Event.CYCLES, "sample", 100)
+        fd2 = p.open(2, 0, Event.CYCLES, "sample", 100)
+        p.record_sample(fd1, sample(fd1.fd, time=300))
+        p.record_sample(fd2, sample(fd2.fd, time=100))
+        times = [s.time for s in p.all_samples()]
+        assert times == [100, 300]

@@ -1,0 +1,102 @@
+"""Property tests of the exact event-accounting arithmetic.
+
+These are the foundations of the whole simulator: if split-accrual or
+overflow prediction ever loses an event, every 'precise counting' claim
+upstream is void.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.counter import HardwareCounter
+from repro.hw.events import Event, cycles_until_count, events_in
+
+ppm_values = st.integers(min_value=0, max_value=5_000_000)
+cycle_values = st.integers(min_value=0, max_value=10_000_000)
+
+
+class TestEventsIn:
+    @given(ppm=ppm_values, total=cycle_values, data=st.data())
+    @settings(max_examples=200)
+    def test_arbitrary_splits_conserve_events(self, ppm, total, data):
+        """Splitting a phase at any boundaries never loses/invents events."""
+        n_cuts = data.draw(st.integers(min_value=0, max_value=6))
+        cuts = sorted(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=total),
+                    min_size=n_cuts,
+                    max_size=n_cuts,
+                )
+            )
+        )
+        edges = [0] + cuts + [total]
+        split_total = sum(
+            events_in(a, b, ppm) for a, b in zip(edges, edges[1:])
+        )
+        assert split_total == events_in(0, total, ppm)
+
+    @given(ppm=ppm_values, a=cycle_values, b=cycle_values)
+    @settings(max_examples=200)
+    def test_monotone_and_nonnegative(self, ppm, a, b):
+        lo, hi = min(a, b), max(a, b)
+        n = events_in(lo, hi, ppm)
+        assert n >= 0
+        assert n <= events_in(0, hi, ppm)
+
+    @given(ppm=ppm_values, total=cycle_values)
+    @settings(max_examples=200)
+    def test_total_matches_closed_form(self, ppm, total):
+        assert events_in(0, total, ppm) == (total * ppm) // 1_000_000
+
+
+class TestCyclesUntilCount:
+    @given(
+        ppm=st.integers(min_value=1, max_value=5_000_000),
+        consumed=cycle_values,
+        needed=st.integers(min_value=1, max_value=1_000_000),
+    )
+    @settings(max_examples=200)
+    def test_exact_inverse(self, ppm, consumed, needed):
+        d = cycles_until_count(consumed, ppm, needed)
+        assert d is not None and d >= 1
+        assert events_in(consumed, consumed + d, ppm) >= needed
+        assert events_in(consumed, consumed + d - 1, ppm) < needed
+
+    @given(consumed=cycle_values, needed=st.integers(min_value=1, max_value=100))
+    def test_zero_rate_is_never(self, consumed, needed):
+        assert cycles_until_count(consumed, 0, needed) is None
+
+
+class TestCounterWrap:
+    @given(
+        width=st.integers(min_value=8, max_value=20),
+        increments=st.lists(
+            st.integers(min_value=0, max_value=1 << 22), min_size=1, max_size=30
+        ),
+    )
+    @settings(max_examples=200)
+    def test_value_plus_wraps_conserves_counts(self, width, increments):
+        """raw value + wraps * 2^W always equals the true total."""
+        ctr = HardwareCounter(width)
+        ctr.program(Event.INSTRUCTIONS)
+        total_wraps = 0
+        for n in increments:
+            total_wraps += ctr.accrue(n)
+        assert ctr.value + total_wraps * ctr.threshold == sum(increments)
+        assert 0 <= ctr.value < ctr.threshold
+        assert ctr.overflow_total == total_wraps
+
+    @given(
+        width=st.integers(min_value=8, max_value=16),
+        preload=st.integers(min_value=0, max_value=(1 << 16) - 1),
+        n=st.integers(min_value=0, max_value=1 << 18),
+    )
+    @settings(max_examples=200)
+    def test_preload_wrap_count(self, width, preload, n):
+        ctr = HardwareCounter(width)
+        ctr.program(Event.CYCLES)
+        preload %= ctr.threshold
+        ctr.write(preload)
+        wraps = ctr.accrue(n)
+        assert wraps == (preload + n) >> width

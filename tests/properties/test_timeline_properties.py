@@ -1,0 +1,71 @@
+"""Property test: timeline reconstruction partitions each thread's wall
+time into run/ready/blocked with nothing lost."""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.timeline import build_timelines
+from repro.common.config import KernelConfig, MachineConfig, SimConfig
+from repro.hw.events import Event, EventRates
+from repro.sim.engine import run_program
+from repro.sim.ops import Compute, LockAcquire, LockRelease, Sleep
+from repro.sim.program import ThreadSpec
+
+RATES = EventRates.profile(ipc=1.0)
+
+scenario = st.fixed_dictionaries(
+    {
+        "n_cores": st.integers(min_value=1, max_value=3),
+        "n_threads": st.integers(min_value=1, max_value=4),
+        "iters": st.integers(min_value=1, max_value=6),
+        "work": st.integers(min_value=1_000, max_value=60_000),
+        "timeslice": st.sampled_from([10_000, 100_000]),
+        "with_lock": st.booleans(),
+        "with_sleep": st.booleans(),
+        "seed": st.integers(min_value=0, max_value=10_000),
+    }
+)
+
+
+def run_scenario(params):
+    def worker(ctx):
+        for i in range(params["iters"]):
+            yield Compute(params["work"], RATES)
+            if params["with_lock"]:
+                yield LockAcquire("L")
+                yield Compute(500, RATES)
+                yield LockRelease("L")
+            if params["with_sleep"] and i % 2 == 0:
+                yield Sleep(3_000)
+
+    specs = [ThreadSpec(f"w{i}", worker) for i in range(params["n_threads"])]
+    config = SimConfig(
+        machine=MachineConfig(n_cores=params["n_cores"]),
+        kernel=KernelConfig(timeslice_cycles=params["timeslice"]),
+        seed=params["seed"],
+        trace=True,
+    )
+    return run_program(specs, config)
+
+
+class TestTimelinePartition:
+    @given(params=scenario)
+    @settings(max_examples=30, deadline=None)
+    def test_states_partition_wall_time(self, params):
+        result = run_scenario(params)
+        timelines = build_timelines(result)
+        for tid, timeline in timelines.items():
+            thread = result.threads[tid]
+            covered = (
+                timeline.run_cycles
+                + timeline.ready_cycles
+                + timeline.blocked_cycles
+            )
+            assert covered == thread.finished_at - thread.started_at
+            # run time covers exactly the thread's cpu time
+            assert timeline.run_cycles == thread.cpu_cycles
+            # intervals are contiguous and ordered
+            for a, b in zip(timeline.intervals, timeline.intervals[1:]):
+                assert a.end == b.start

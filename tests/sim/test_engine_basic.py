@@ -1,0 +1,140 @@
+"""Basic engine behaviour: accounting, ground truth, lifecycle."""
+
+import pytest
+
+from repro.common.config import MachineConfig, SimConfig
+from repro.common.errors import ConfigError, SimulationError
+from repro.hw.events import Domain, Event, EventRates
+from repro.sim.engine import Engine, run_program
+from repro.sim.ops import Compute, Rdtsc
+from repro.sim.program import ThreadSpec
+
+from tests.conftest import SIMPLE_RATES, compute_program, run_threads
+
+
+class TestBasicExecution:
+    def test_single_compute_thread(self, uniprocessor):
+        result = run_threads(uniprocessor, compute_program(100_000))
+        t = result.thread_by_name("t0")
+        assert t.user_cycles == 100_000
+        # the only kernel time is the initial dispatch
+        assert t.kernel_cycles > 0
+        result.check_conservation()
+
+    def test_exact_event_ground_truth(self, uniprocessor):
+        rates = EventRates.profile(ipc=1.5, llc_mpki=2.0)
+        result = run_threads(uniprocessor, compute_program(1_000_000, rates))
+        t = result.thread_by_name("t0")
+        assert t.truth(Event.INSTRUCTIONS, Domain.USER) == 1_500_000
+        assert t.truth(Event.CYCLES, Domain.USER) == 1_000_000
+        # 2 MPKI at IPC 1.5 -> 3 misses per 1000 cycles
+        assert t.truth(Event.LLC_MISSES, Domain.USER) == 3_000
+
+    def test_zero_cycle_compute_ok(self, uniprocessor):
+        def program(ctx):
+            yield Compute(0)
+            yield Compute(10, SIMPLE_RATES)
+
+        result = run_threads(uniprocessor, program)
+        assert result.thread_by_name("t0").user_cycles == 10
+
+    def test_rdtsc_monotonic_and_costed(self, uniprocessor):
+        stamps = []
+
+        def program(ctx):
+            stamps.append((yield Rdtsc()))
+            yield Compute(500, SIMPLE_RATES)
+            stamps.append((yield Rdtsc()))
+
+        run_threads(uniprocessor, program)
+        assert stamps[1] - stamps[0] >= 500 + 24  # body + one rdtsc cost
+
+    def test_wall_cycles_cover_thread_time(self, uniprocessor):
+        result = run_threads(uniprocessor, compute_program(50_000))
+        t = result.thread_by_name("t0")
+        assert result.wall_cycles >= t.cpu_cycles
+        assert t.finished_at > t.started_at
+
+    def test_send_values_flow_back(self, uniprocessor):
+        seen = {}
+
+        def program(ctx):
+            seen["tsc"] = yield Rdtsc()
+            seen["none"] = yield Compute(10, SIMPLE_RATES)
+
+        run_threads(uniprocessor, program)
+        assert isinstance(seen["tsc"], int)
+        assert seen["none"] is None
+
+
+class TestLifecycleErrors:
+    def test_engine_single_use(self, uniprocessor):
+        engine = Engine(uniprocessor)
+        engine.run([ThreadSpec("a", compute_program(10))])
+        with pytest.raises(SimulationError, match="single-use"):
+            engine.run([ThreadSpec("b", compute_program(10))])
+
+    def test_duplicate_names_rejected(self, uniprocessor):
+        specs = [
+            ThreadSpec("same", compute_program(10)),
+            ThreadSpec("same", compute_program(10)),
+        ]
+        with pytest.raises(ConfigError, match="duplicate"):
+            Engine(uniprocessor).run(specs)
+
+    def test_no_threads_rejected(self, uniprocessor):
+        with pytest.raises(ConfigError):
+            Engine(uniprocessor).run([])
+
+    def test_non_generator_factory_rejected(self, uniprocessor):
+        with pytest.raises(ConfigError, match="generator"):
+            Engine(uniprocessor).run([ThreadSpec("bad", lambda ctx: 42)])
+
+    def test_non_op_yield_rejected(self, uniprocessor):
+        def program(ctx):
+            yield "not an op"
+
+        with pytest.raises(SimulationError, match="non-op"):
+            run_threads(uniprocessor, program)
+
+    def test_max_cycles_guard(self):
+        config = SimConfig(
+            machine=MachineConfig(n_cores=1), max_cycles=100_000
+        )
+        with pytest.raises(SimulationError, match="max_cycles"):
+            run_threads(config, compute_program(10_000_000))
+
+    def test_user_exception_propagates(self, uniprocessor):
+        def program(ctx):
+            yield Compute(10, SIMPLE_RATES)
+            raise RuntimeError("workload bug")
+
+        with pytest.raises(RuntimeError, match="workload bug"):
+            run_threads(uniprocessor, program)
+
+
+class TestConservation:
+    def test_multi_thread_conservation(self, quad_core):
+        factories = [compute_program(200_000 + 13 * i) for i in range(6)]
+        result = run_threads(quad_core, *factories)
+        result.check_conservation()
+        assert sum(t.user_cycles for t in result.threads.values()) == sum(
+            200_000 + 13 * i for i in range(6)
+        )
+
+    def test_cycles_truth_matches_counters(self, uniprocessor):
+        """user_cycles equals the CYCLES ground-truth event count."""
+        result = run_threads(uniprocessor, compute_program(77_777))
+        t = result.thread_by_name("t0")
+        assert t.truth(Event.CYCLES, Domain.USER) == t.user_cycles
+        assert t.truth(Event.CYCLES, Domain.KERNEL) == t.kernel_cycles
+
+
+class TestRunProgram:
+    def test_convenience_wrapper(self):
+        result = run_program([ThreadSpec("x", compute_program(1_000))])
+        assert result.thread_by_name("x").user_cycles == 1_000
+
+    def test_default_config(self):
+        result = run_program([ThreadSpec("x", compute_program(10))])
+        assert result.config.machine.n_cores >= 1

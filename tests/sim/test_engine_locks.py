@@ -1,0 +1,137 @@
+"""Engine lock semantics: mutual exclusion, futex path, statistics."""
+
+import pytest
+
+from repro.common.config import KernelConfig, LockConfig, MachineConfig, SimConfig
+from repro.common.errors import LockProtocolError, SimulationError
+from repro.sim.ops import Compute, LockAcquire, LockRelease
+from repro.sim.program import ThreadSpec
+
+from tests.conftest import SIMPLE_RATES, run_threads
+
+
+def locked_worker(lock="L", hold=1_000, iters=20, think=500):
+    def program(ctx):
+        for _ in range(iters):
+            yield Compute(think, SIMPLE_RATES)
+            yield LockAcquire(lock)
+            yield Compute(hold, SIMPLE_RATES)
+            yield LockRelease(lock)
+
+    return program
+
+
+class TestMutualExclusion:
+    def test_critical_sections_never_overlap(self, quad_core):
+        """With 4 threads hammering one lock, total hold time can never
+        exceed wall time (sections are serialized)."""
+        result = run_threads(quad_core, *[locked_worker(iters=40)] * 4)
+        stats = result.locks["L"]
+        assert stats.n_acquires == 160
+        assert stats.total_hold <= result.wall_cycles
+
+    def test_every_acquire_released(self, quad_core):
+        result = run_threads(quad_core, *[locked_worker(iters=15)] * 3)
+        stats = result.locks["L"]
+        assert len(stats.hold_cycles) == stats.n_acquires
+
+    def test_hold_time_at_least_body(self, uniprocessor):
+        result = run_threads(uniprocessor, locked_worker(hold=2_000, iters=5))
+        assert all(h >= 2_000 for h in result.locks["L"].hold_cycles)
+
+
+class TestContention:
+    def test_uncontended_no_futex(self, uniprocessor):
+        result = run_threads(uniprocessor, locked_worker(iters=10))
+        stats = result.locks["L"]
+        assert stats.n_contended == 0
+        assert result.kernel.n_futex_waits == 0
+
+    def test_long_holds_force_futex_sleeps(self, quad_core):
+        """Holds far beyond the spin limit must put waiters to sleep."""
+        config = SimConfig(
+            machine=MachineConfig(n_cores=4),
+            locks=LockConfig(spin_limit_cycles=1_000),
+        )
+        result = run_threads(
+            config, *[locked_worker(hold=50_000, think=100, iters=10)] * 4
+        )
+        stats = result.locks["L"]
+        assert stats.n_futex_sleeps > 0
+        assert result.kernel.n_futex_waits > 0
+        assert result.kernel.n_futex_wakes > 0
+
+    def test_short_holds_resolved_by_spinning(self, quad_core):
+        """Sub-spin-limit holds should mostly avoid the futex."""
+        config = SimConfig(
+            machine=MachineConfig(n_cores=4),
+            locks=LockConfig(spin_limit_cycles=100_000),
+        )
+        result = run_threads(
+            config, *[locked_worker(hold=300, think=900, iters=30)] * 2
+        )
+        stats = result.locks["L"]
+        assert stats.n_futex_sleeps == 0
+
+    def test_wait_times_recorded_for_contended(self, quad_core):
+        result = run_threads(
+            quad_core, *[locked_worker(hold=20_000, think=50, iters=8)] * 4
+        )
+        stats = result.locks["L"]
+        assert stats.n_contended > 0
+        assert stats.total_wait > 0
+
+    def test_independent_locks_do_not_contend(self, quad_core):
+        result = run_threads(
+            quad_core,
+            locked_worker(lock="A", iters=20),
+            locked_worker(lock="B", iters=20),
+        )
+        assert result.locks["A"].n_contended == 0
+        assert result.locks["B"].n_contended == 0
+
+
+class TestProtocolErrors:
+    def test_release_without_acquire(self, uniprocessor):
+        def program(ctx):
+            yield LockRelease("L")
+
+        with pytest.raises(LockProtocolError):
+            run_threads(uniprocessor, program)
+
+    def test_release_other_threads_lock(self, quad_core):
+        def owner(ctx):
+            yield LockAcquire("L")
+            yield Compute(500_000, SIMPLE_RATES)
+            yield LockRelease("L")
+
+        def thief(ctx):
+            yield Compute(50_000, SIMPLE_RATES)
+            yield LockRelease("L")
+
+        with pytest.raises(LockProtocolError):
+            run_threads(quad_core, owner, thief)
+
+    def test_exit_holding_lock_detected(self, uniprocessor):
+        def program(ctx):
+            yield LockAcquire("L")
+
+        with pytest.raises(SimulationError, match="holding locks"):
+            run_threads(uniprocessor, program)
+
+
+class TestFairnessish:
+    def test_all_threads_make_progress(self, quad_core):
+        """No starvation: every thread completes all its iterations."""
+        done = []
+
+        def worker(ctx):
+            for _ in range(25):
+                yield LockAcquire("L")
+                yield Compute(400, SIMPLE_RATES)
+                yield LockRelease("L")
+                yield Compute(100, SIMPLE_RATES)
+            done.append(ctx.name)
+
+        run_threads(quad_core, *[worker] * 4)
+        assert len(done) == 4

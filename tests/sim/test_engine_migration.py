@@ -1,0 +1,111 @@
+"""Scheduler behaviour across cores: stealing, migration, spawn trees."""
+
+from repro.common.config import KernelConfig, MachineConfig, SimConfig
+from repro.hw.events import EventRates
+from repro.sim.ops import Compute, JoinThread, Sleep, SpawnThread
+from repro.sim.program import ThreadSpec
+from tests.conftest import compute_program, run_threads
+
+RATES = EventRates.profile(ipc=1.0)
+
+
+class TestWorkStealing:
+    def test_idle_core_steals_backlog(self):
+        """Many threads pinned by affinity to one core get redistributed."""
+        config = SimConfig(
+            machine=MachineConfig(n_cores=4),
+            kernel=KernelConfig(timeslice_cycles=20_000),
+            seed=1,
+        )
+        # 8 threads, 4 cores: after initial placement, finishing cores
+        # steal from the backlog
+        result = run_threads(config, *[compute_program(300_000)] * 8)
+        result.check_conservation()
+        busy = [c.busy_cycles for c in result.cores]
+        # work is reasonably balanced (no core got everything)
+        assert max(busy) < 2.5 * max(1, min(busy))
+
+    def test_migrations_counted(self):
+        config = SimConfig(
+            machine=MachineConfig(n_cores=2),
+            kernel=KernelConfig(timeslice_cycles=10_000),
+            seed=2,
+        )
+
+        def sleepy(ctx):
+            for _ in range(5):
+                yield Compute(20_000, RATES)
+                yield Sleep(30_000)
+
+        result = run_threads(config, sleepy, sleepy, sleepy)
+        total_migrations = sum(
+            t.n_migrations for t in result.threads.values()
+        )
+        # wakeups prefer idle cores, so threads move around
+        assert total_migrations >= 1
+
+
+class TestSpawnTrees:
+    def test_nested_spawn_tree_completes(self, quad_core):
+        finished = []
+
+        def leaf(ctx):
+            yield Compute(5_000, RATES)
+            finished.append(ctx.name)
+
+        def branch(ctx):
+            kids = []
+            for i in range(2):
+                tid = yield SpawnThread(leaf, f"{ctx.name}/leaf{i}")
+                kids.append(tid)
+            for tid in kids:
+                yield JoinThread(tid)
+            finished.append(ctx.name)
+
+        def root(ctx):
+            kids = []
+            for i in range(3):
+                tid = yield SpawnThread(branch, f"branch{i}")
+                kids.append(tid)
+            for tid in kids:
+                yield JoinThread(tid)
+            finished.append("root")
+
+        result = run_threads(quad_core, root, names=["root-thread"])
+        result.check_conservation()
+        assert finished[-1] == "root"
+        assert len(finished) == 1 + 3 + 6  # root + branches + leaves
+        assert len(result.threads) == 10
+
+    def test_spawned_threads_balanced_across_cores(self, quad_core):
+        def child(ctx):
+            yield Compute(100_000, RATES)
+
+        def root(ctx):
+            kids = []
+            for i in range(4):
+                kids.append((yield SpawnThread(child, f"c{i}")))
+            for tid in kids:
+                yield JoinThread(tid)
+
+        result = run_threads(quad_core, root)
+        used = {c.core_id for c in result.cores if c.busy_cycles > 50_000}
+        assert len(used) >= 3  # children spread to idle cores
+
+
+class TestAffinity:
+    def test_single_thread_stays_put(self):
+        config = SimConfig(
+            machine=MachineConfig(n_cores=4),
+            kernel=KernelConfig(timeslice_cycles=50_000),
+            seed=3,
+        )
+
+        def sleepy(ctx):
+            for _ in range(10):
+                yield Compute(10_000, RATES)
+                yield Sleep(5_000)
+
+        result = run_threads(config, sleepy)
+        t = list(result.threads.values())[0]
+        assert t.n_migrations == 0  # its core is always the idle choice

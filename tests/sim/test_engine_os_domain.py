@@ -1,0 +1,73 @@
+"""Regression tests: OS-domain (kernel-counting) virtualized counters stay
+exact across context switches.
+
+The switch-in path must restore a thread's counters *before* charging the
+switch cost, or kernel-counting counters silently drift from ground truth
+by one switch path per reschedule (caught by the soak test; pinned here).
+"""
+
+from repro.core.limit import LimitSession
+from repro.hw.events import Event, EventRates
+from repro.sim.ops import Compute, Sleep, Syscall
+from tests.conftest import run_threads
+
+RATES = EventRates.profile(ipc=1.0)
+
+
+class TestOsDomainExactness:
+    def test_exact_across_heavy_preemption(self, preemptive):
+        session = LimitSession([Event.CYCLES], count_kernel=True)
+
+        def measured(ctx):
+            yield from session.setup(ctx)
+            for _ in range(40):
+                yield Compute(20_000, RATES)
+                yield from session.read(ctx, 0)
+
+        def noise(ctx):
+            yield Compute(800_000, RATES)
+
+        result = run_threads(preemptive, measured, noise, noise)
+        assert result.kernel.n_context_switches > 20
+        assert session.max_abs_error() == 0
+
+    def test_exact_across_blocking(self, quad_core):
+        """Sleep/wake cycles (block + re-dispatch) must not leak kernel
+        cycles past the counter."""
+        session = LimitSession([Event.CYCLES], count_kernel=True)
+
+        def sleeper(ctx):
+            yield from session.setup(ctx)
+            for _ in range(10):
+                yield Compute(5_000, RATES)
+                yield Sleep(20_000)
+                yield from session.read(ctx, 0)
+
+        run_threads(quad_core, sleeper)
+        assert session.max_abs_error() == 0
+
+    def test_exact_with_syscalls_and_instructions(self, preemptive):
+        session = LimitSession([Event.INSTRUCTIONS], count_kernel=True)
+
+        def worker(ctx):
+            yield from session.setup(ctx)
+            for _ in range(25):
+                yield Compute(10_000, RATES)
+                yield Syscall("work", (8_000,))
+                yield from session.read(ctx, 0)
+
+        run_threads(preemptive, worker, worker)
+        assert session.max_abs_error() == 0
+
+    def test_user_only_still_exact(self, preemptive):
+        """The reorder must not have broken user-only counting."""
+        session = LimitSession([Event.CYCLES], count_kernel=False)
+
+        def worker(ctx):
+            yield from session.setup(ctx)
+            for _ in range(40):
+                yield Compute(15_000, RATES)
+                yield from session.read(ctx, 0)
+
+        run_threads(preemptive, worker, worker, worker)
+        assert session.max_abs_error() == 0

@@ -1,0 +1,126 @@
+"""Multi-socket behaviour: topology, placement, migration penalties."""
+
+import pytest
+
+from repro.common.config import KernelConfig, MachineConfig, SimConfig
+from repro.common.errors import ConfigError
+from repro.hw.events import EventRates
+from repro.hw.machine import Machine
+from repro.kernel.scheduler import Scheduler
+from repro.sim.ops import Compute, Sleep
+from tests.conftest import compute_program, run_threads
+
+RATES = EventRates.profile(ipc=1.0)
+
+
+class TestTopologyConfig:
+    def test_socket_assignment(self):
+        cfg = MachineConfig(n_cores=8, n_sockets=2)
+        assert cfg.cores_per_socket == 4
+        assert [cfg.socket_of(i) for i in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_cores_must_divide(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(n_cores=6, n_sockets=4)
+
+    def test_needs_a_socket(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(n_cores=4, n_sockets=0)
+
+    def test_machine_cores_carry_socket_ids(self):
+        machine = Machine(MachineConfig(n_cores=4, n_sockets=2))
+        assert [c.socket_id for c in machine.cores] == [0, 0, 1, 1]
+
+    def test_single_socket_default(self):
+        machine = Machine(MachineConfig(n_cores=4))
+        assert all(c.socket_id == 0 for c in machine.cores)
+
+
+class TestSocketAwarePlacement:
+    def test_prefers_same_socket_idle(self):
+        sched = Scheduler(4, socket_of=[0, 0, 1, 1])
+        # preferred core 3 busy; idles on both sockets
+        assert sched.place(preferred_core=3, idle_cores=[0, 2]) == 2
+
+    def test_falls_back_to_other_socket(self):
+        sched = Scheduler(4, socket_of=[0, 0, 1, 1])
+        assert sched.place(preferred_core=3, idle_cores=[0, 1]) == 0
+
+    def test_steal_prefers_same_socket_victim(self):
+        sched = Scheduler(4, socket_of=[0, 0, 1, 1])
+        sched.enqueue(10, 0)   # other socket, longer queue
+        sched.enqueue(11, 0)
+        sched.enqueue(12, 3)   # same socket as thief (2), shorter queue
+        assert sched.pick_next(2) == 12
+
+    def test_steal_crosses_socket_when_necessary(self):
+        sched = Scheduler(4, socket_of=[0, 0, 1, 1])
+        sched.enqueue(10, 0)
+        assert sched.pick_next(3) == 10
+
+    def test_socket_map_length_validated(self):
+        from repro.common.errors import SchedulerError
+
+        with pytest.raises(SchedulerError):
+            Scheduler(4, socket_of=[0, 0])
+
+
+class TestCrossSocketMigrationCost:
+    def two_socket_config(self, **kw):
+        return SimConfig(
+            machine=MachineConfig(n_cores=4, n_sockets=2),
+            kernel=KernelConfig(timeslice_cycles=20_000),
+            seed=7,
+            **kw,
+        )
+
+    def test_migrations_tracked_per_kind(self):
+        config = self.two_socket_config()
+        # oversubscribe so stealing moves threads across sockets
+        result = run_threads(config, *[compute_program(400_000)] * 8)
+        result.check_conservation()
+        total = sum(t.n_migrations for t in result.threads.values())
+        cross = sum(
+            t.n_cross_socket_migrations for t in result.threads.values()
+        )
+        assert 0 <= cross <= total
+
+    def test_cross_socket_costs_kernel_time(self):
+        """A thread forced across sockets pays the migration penalty."""
+
+        def pinned_hopper(ctx):
+            # sleep/wake repeatedly: wakeups prefer the same socket but an
+            # oversubscribed home socket forces cross-socket placement
+            for _ in range(10):
+                yield Compute(5_000, RATES)
+                yield Sleep(2_000)
+
+        def hog(ctx):
+            yield Compute(1_000_000, RATES)
+
+        config = self.two_socket_config()
+        result = run_threads(config, pinned_hopper, hog, hog, hog, hog)
+        result.check_conservation()
+        hopper = result.thread_by_name("t0")
+        if hopper.n_cross_socket_migrations:
+            penalty = config.machine.costs.cross_socket_migration
+            assert hopper.kernel_cycles >= (
+                hopper.n_cross_socket_migrations * penalty
+            )
+
+    def test_same_work_slower_with_forced_crossings(self):
+        """Kernel time grows with cross-socket migrations, all else equal."""
+        one_socket = SimConfig(
+            machine=MachineConfig(n_cores=4, n_sockets=1),
+            kernel=KernelConfig(timeslice_cycles=20_000),
+            seed=7,
+        )
+        two_socket = self.two_socket_config()
+        factories = [compute_program(300_000) for _ in range(8)]
+        r1 = run_threads(one_socket, *factories)
+        r2 = run_threads(two_socket, *factories)
+        cross = sum(
+            t.n_cross_socket_migrations for t in r2.threads.values()
+        )
+        if cross:
+            assert r2.total_kernel_cycles() > r1.total_kernel_cycles()

@@ -1,0 +1,121 @@
+"""Engine syscall machinery: costs, results, error delivery."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.hw.events import Event
+from repro.sim.ops import Compute, Syscall
+from tests.conftest import SIMPLE_RATES, run_threads
+
+
+class TestGenericSyscalls:
+    def test_work_costs_kernel_cycles(self, uniprocessor):
+        def program(ctx):
+            yield Syscall("work", (40_000,))
+
+        result = run_threads(uniprocessor, program)
+        t = result.thread_by_name("t0")
+        costs = uniprocessor.machine.costs
+        assert t.kernel_cycles >= 40_000 + costs.syscall_entry + costs.syscall_exit
+
+    def test_getpid_returns_tid(self, uniprocessor):
+        seen = {}
+
+        def program(ctx):
+            seen["pid"] = yield Syscall("getpid")
+            seen["tid"] = ctx.tid
+
+        run_threads(uniprocessor, program)
+        assert seen["pid"] == seen["tid"]
+
+    def test_syscall_counts_tracked(self, uniprocessor):
+        def program(ctx):
+            for _ in range(5):
+                yield Syscall("getpid")
+            yield Syscall("work", (100,))
+
+        result = run_threads(uniprocessor, program)
+        assert result.kernel.n_syscalls["getpid"] == 5
+        assert result.kernel.n_syscalls["work"] == 1
+        assert result.thread_by_name("t0").n_syscalls == 6
+
+    def test_unknown_syscall_raises(self, uniprocessor):
+        def program(ctx):
+            yield Syscall("frobnicate")
+
+        with pytest.raises(SimulationError, match="unknown syscall"):
+            run_threads(uniprocessor, program)
+
+    def test_bad_args_delivered_as_exception(self, uniprocessor):
+        caught = {}
+
+        def program(ctx):
+            try:
+                yield Syscall("work", (-5,))
+            except Exception as exc:
+                caught["exc"] = exc
+            # thread continues after handling its "errno"
+            yield Compute(10, SIMPLE_RATES)
+
+        result = run_threads(uniprocessor, program)
+        assert "exc" in caught
+        assert result.thread_by_name("t0").user_cycles >= 10
+
+
+class TestPerfSyscalls:
+    def test_perf_open_read_close(self, uniprocessor):
+        seen = {}
+
+        def program(ctx):
+            fd = yield Syscall("perf_open", (Event.INSTRUCTIONS, "count", 0, True, False))
+            yield Compute(100_000, SIMPLE_RATES)
+            seen["value"] = yield Syscall("perf_read", (fd,))
+            yield Syscall("perf_close", (fd,))
+
+        result = run_threads(uniprocessor, program)
+        # IPC 1.0 over 100k cycles
+        assert 100_000 <= seen["value"] < 103_000
+        result.check_conservation()
+
+    def test_perf_read_bad_fd(self, uniprocessor):
+        caught = {}
+
+        def program(ctx):
+            try:
+                yield Syscall("perf_read", (1234,))
+            except Exception as exc:
+                caught["exc"] = exc
+
+        run_threads(uniprocessor, program)
+        assert "exc" in caught
+
+    def test_perf_read_is_expensive(self, uniprocessor):
+        """The whole point: read(2) costs microseconds."""
+
+        def program(ctx):
+            fd = yield Syscall("perf_open", (Event.CYCLES, "count", 0, True, False))
+            for _ in range(10):
+                yield Syscall("perf_read", (fd,))
+
+        result = run_threads(uniprocessor, program)
+        t = result.thread_by_name("t0")
+        costs = uniprocessor.machine.costs
+        assert t.kernel_cycles > 10 * costs.perf_read_kernel_work
+
+
+class TestPapiSyscall:
+    def test_papi_read_multiple_counters(self, uniprocessor):
+        from repro.kernel.vpmu import SlotSpec
+
+        seen = {}
+
+        def program(ctx):
+            i0 = yield Syscall("pmc_open", (SlotSpec(event=Event.CYCLES),))
+            i1 = yield Syscall("pmc_open", (SlotSpec(event=Event.INSTRUCTIONS),))
+            yield Compute(50_000, SIMPLE_RATES)
+            seen["values"] = yield Syscall("papi_read", ((i0, i1),))
+
+        run_threads(uniprocessor, program)
+        cycles, instructions = seen["values"]
+        assert cycles >= 50_000
+        assert instructions >= 50_000  # SIMPLE_RATES has IPC 1.0

@@ -1,0 +1,99 @@
+"""Tests of the engine's event trace content."""
+
+import dataclasses
+
+from repro.common.config import KernelConfig, MachineConfig, SimConfig
+from repro.hw.events import Event, EventRates
+from repro.sim.engine import run_program
+from repro.sim.ops import Compute, LockAcquire, LockRelease, Syscall
+from repro.sim.program import ThreadSpec
+
+RATES = EventRates.profile(ipc=1.0)
+
+
+def traced(seed=1, timeslice=1_000_000, pmu_width=48):
+    return SimConfig(
+        machine=MachineConfig(n_cores=1),
+        kernel=KernelConfig(timeslice_cycles=timeslice),
+        seed=seed,
+        trace=True,
+    ).with_pmu(counter_width=pmu_width)
+
+
+def kinds(result):
+    return [rec[3] for rec in result.trace]
+
+
+class TestTraceContent:
+    def test_untraced_run_has_empty_trace(self):
+        config = dataclasses.replace(traced(), trace=False)
+
+        def program(ctx):
+            yield Compute(10_000, RATES)
+
+        result = run_program([ThreadSpec("t", program)], config)
+        assert result.trace == []
+
+    def test_lifecycle_records(self):
+        def program(ctx):
+            yield Compute(10_000, RATES)
+
+        result = run_program([ThreadSpec("t", program)], traced())
+        ks = kinds(result)
+        assert ks[0] == "ready"
+        assert "switch_in" in ks
+        assert ks[-1] == "exit"
+
+    def test_lock_records(self):
+        def program(ctx):
+            yield LockAcquire("L")
+            yield Compute(1_000, RATES)
+            yield LockRelease("L")
+
+        result = run_program([ThreadSpec("t", program)], traced())
+        lock_records = [r for r in result.trace if r[3] in ("lock_acq", "lock_rel")]
+        assert [r[3] for r in lock_records] == ["lock_acq", "lock_rel"]
+        assert all(r[4] == "L" for r in lock_records)
+
+    def test_pmi_records(self):
+        from repro.kernel.vpmu import SlotSpec
+
+        def program(ctx):
+            yield Syscall("pmc_open", (SlotSpec(event=Event.INSTRUCTIONS),))
+            yield Compute(400_000, RATES)  # overflows a 16-bit counter
+
+        result = run_program([ThreadSpec("t", program)], traced(pmu_width=16))
+        assert any(r[3] == "pmi" for r in result.trace)
+
+    def test_timestamps_nondecreasing(self):
+        def program(ctx):
+            for _ in range(3):
+                yield Compute(30_000, RATES)
+                yield LockAcquire("L")
+                yield Compute(500, RATES)
+                yield LockRelease("L")
+
+        result = run_program(
+            [ThreadSpec("a", program), ThreadSpec("b", program)],
+            traced(timeslice=10_000),
+        )
+        times = [r[0] for r in result.trace]
+        assert times == sorted(times)
+
+    def test_preemption_emits_out_then_ready(self):
+        def program(ctx):
+            yield Compute(50_000, RATES)
+
+        result = run_program(
+            [ThreadSpec("a", program), ThreadSpec("b", program)],
+            traced(timeslice=10_000),
+        )
+        ks = kinds(result)
+        # find a switch_out followed immediately by the same thread's ready
+        found = False
+        for i in range(len(result.trace) - 1):
+            a, b = result.trace[i], result.trace[i + 1]
+            if a[3] == "switch_out" and b[3] == "ready" and a[2] == b[2]:
+                found = True
+                break
+        assert found

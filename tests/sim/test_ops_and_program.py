@@ -1,0 +1,98 @@
+"""Validation tests for ops and thread program plumbing."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.hw.events import EventRates
+from repro.sim.ops import Compute, Sleep
+from repro.sim.program import ThreadContext, ThreadSpec
+
+from tests.conftest import SIMPLE_RATES, run_threads
+
+
+class TestOpValidation:
+    def test_compute_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            Compute(-1)
+
+    def test_compute_default_rates_empty(self):
+        assert len(Compute(10).rates) == 0
+
+    def test_sleep_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            Sleep(0)
+
+    def test_ops_are_frozen(self):
+        op = Compute(10, SIMPLE_RATES)
+        with pytest.raises(Exception):
+            op.cycles = 20
+
+
+class TestThreadSpec:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigError):
+            ThreadSpec("", lambda ctx: iter(()))
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(ConfigError):
+            ThreadSpec("x", "not callable")
+
+
+class TestThreadContext:
+    def test_identity_and_rng(self, uniprocessor):
+        seen = {}
+
+        def program(ctx):
+            seen["name"] = ctx.name
+            seen["tid"] = ctx.tid
+            seen["rand"] = ctx.rng.random()
+            seen["freq"] = ctx.frequency.hz
+            seen["cost"] = ctx.costs.rdpmc
+            yield Compute(10, SIMPLE_RATES)
+
+        run_threads(uniprocessor, program)
+        assert seen["name"] == "t0"
+        assert seen["tid"] >= 1
+        assert 0 <= seen["rand"] < 1
+        assert seen["freq"] == uniprocessor.machine.frequency.hz
+        assert seen["cost"] == uniprocessor.machine.costs.rdpmc
+
+    def test_rng_differs_per_thread(self, quad_core):
+        draws = {}
+
+        def program(ctx):
+            draws[ctx.name] = ctx.rng.random()
+            yield Compute(10, SIMPLE_RATES)
+
+        run_threads(quad_core, program, program)
+        assert draws["t0"] != draws["t1"]
+
+    def test_rng_stable_across_runs(self, uniprocessor):
+        draws = []
+
+        def program(ctx):
+            draws.append(ctx.rng.random())
+            yield Compute(10, SIMPLE_RATES)
+
+        run_threads(uniprocessor, program)
+        run_threads(uniprocessor, program)
+        assert draws[0] == draws[1]
+
+    def test_now_advances(self, uniprocessor):
+        stamps = []
+
+        def program(ctx):
+            stamps.append(ctx.now())
+            yield Compute(10_000, SIMPLE_RATES)
+            stamps.append(ctx.now())
+
+        run_threads(uniprocessor, program)
+        assert stamps[1] - stamps[0] >= 10_000
+
+    def test_scratch_is_per_thread(self, quad_core):
+        def writer(ctx):
+            ctx.scratch["mine"] = ctx.name
+            yield Compute(1_000, SIMPLE_RATES)
+            assert ctx.scratch["mine"] == ctx.name
+
+        run_threads(quad_core, writer, writer)

@@ -1,0 +1,62 @@
+"""Coverage for remaining RunResult / kernel-counter surfaces."""
+
+from repro.baselines.sampling import SamplingProfiler
+from repro.common.config import KernelConfig, MachineConfig, SimConfig
+from repro.hw.events import Event, EventRates
+from repro.sim.ops import Compute, RegionBegin, RegionEnd
+from tests.conftest import compute_program, run_threads
+
+RATES = EventRates.profile(ipc=1.0)
+
+
+class TestSamplesInRegion:
+    def test_filters_by_region(self, uniprocessor):
+        profiler = SamplingProfiler(Event.CYCLES, period=20_000)
+
+        def program(ctx):
+            yield from profiler.setup(ctx)
+            yield RegionBegin("a")
+            yield Compute(200_000, RATES)
+            yield RegionEnd()
+            yield RegionBegin("b")
+            yield Compute(200_000, RATES)
+            yield RegionEnd()
+
+        result = run_threads(uniprocessor, program)
+        in_a = result.samples_in_region("a")
+        in_b = result.samples_in_region("b")
+        assert in_a and in_b
+        assert all(s.region == "a" for s in in_a)
+        assert len(in_a) + len(in_b) <= len(result.samples)
+
+
+class TestKernelCounters:
+    def test_steals_surfaced(self):
+        config = SimConfig(
+            machine=MachineConfig(n_cores=4),
+            kernel=KernelConfig(timeslice_cycles=20_000),
+            seed=3,
+        )
+        # 5 equal threads on 4 cores: the 5th queues behind one core's
+        # first thread; another core finishes and steals it
+        result = run_threads(config, *[compute_program(400_000)] * 5)
+        assert result.kernel.n_steals >= 1
+
+    def test_syscall_total(self, uniprocessor):
+        from repro.sim.ops import Syscall
+
+        def program(ctx):
+            yield Syscall("getpid")
+            yield Syscall("work", (100,))
+
+        result = run_threads(uniprocessor, program)
+        assert result.kernel.syscall_total() == 2
+
+
+class TestWallNs:
+    def test_matches_frequency(self, uniprocessor):
+        result = run_threads(uniprocessor, compute_program(240_000))
+        expected = uniprocessor.machine.frequency.cycles_to_ns(
+            result.wall_cycles
+        )
+        assert result.wall_ns == expected

@@ -1,0 +1,160 @@
+"""Tests of spec kernels, microbenchmarks and synthetic workloads."""
+
+import pytest
+
+from repro.common.config import MachineConfig, SimConfig
+from repro.common.errors import ConfigError
+from repro.core.limit import LimitSession
+from repro.core.locks import RdtscReader
+from repro.hw.events import Event
+from repro.sim.engine import run_program
+from repro.workloads.microbench import (
+    DensitySweepWorkload,
+    ReadCostMicrobench,
+)
+from repro.workloads.spec import (
+    SpecKernelWorkload,
+    SpecSuiteWorkload,
+    kernel_catalog,
+)
+from repro.workloads.synthetic import (
+    BusyWorkload,
+    ContentionConfig,
+    ContentionWorkload,
+)
+
+
+def run_workload(workload, seed=5, cores=2):
+    config = SimConfig(machine=MachineConfig(n_cores=cores), seed=seed)
+    result = run_program(workload.build(), config)
+    result.check_conservation()
+    return result
+
+
+class TestSpecKernels:
+    def test_catalog_has_four_kernels(self):
+        catalog = kernel_catalog()
+        assert set(catalog) == {
+            "mcf_like", "gcc_like", "libquantum_like", "povray_like",
+        }
+
+    def test_scale(self):
+        assert (
+            kernel_catalog(scale=0.5)["mcf_like"].phase_cycles
+            == kernel_catalog()["mcf_like"].phase_cycles // 2
+        )
+
+    def test_kernel_rate_signatures_distinct(self):
+        """mcf is memory-bound; povray is compute-bound."""
+        catalog = kernel_catalog(scale=0.2)
+        mcf = run_workload(SpecKernelWorkload(catalog["mcf_like"]))
+        povray = run_workload(SpecKernelWorkload(catalog["povray_like"]))
+        mcf_mpk = mcf.total(Event.LLC_MISSES) / mcf.total(Event.INSTRUCTIONS)
+        povray_mpk = povray.total(Event.LLC_MISSES) / povray.total(
+            Event.INSTRUCTIONS
+        )
+        assert mcf_mpk > 20 * povray_mpk
+
+    def test_total_cycles_exact(self):
+        catalog = kernel_catalog(scale=0.1)
+        kernel = catalog["gcc_like"]
+        result = run_workload(SpecKernelWorkload(kernel))
+        thread = result.threads_matching("spec:")[0]
+        assert thread.user_cycles == kernel.total_cycles
+
+    def test_suite_runs_all(self):
+        result = run_workload(SpecSuiteWorkload(scale=0.05), cores=4)
+        assert len(result.threads_matching("spec:")) == 4
+
+    def test_rejects_empty_kernel(self):
+        import dataclasses
+
+        kernel = dataclasses.replace(kernel_catalog()["gcc_like"], n_phases=0)
+        with pytest.raises(ConfigError):
+            SpecKernelWorkload(kernel)
+
+
+class TestReadCostMicrobench:
+    def test_measures_limit_read_cost(self):
+        bench = ReadCostMicrobench(
+            LimitSession([Event.CYCLES]), n_reads=500, technique="limit"
+        )
+        run_workload(bench, cores=1)
+        costs = SimConfig().machine.costs
+        assert bench.result.cycles_per_read == pytest.approx(
+            costs.limit_read_total, rel=0.02
+        )
+
+    def test_rdtsc_reader_needs_no_setup(self):
+        bench = ReadCostMicrobench(RdtscReader(), n_reads=100, technique="tsc")
+        run_workload(bench, cores=1)
+        assert bench.result.cycles_per_read == pytest.approx(24, rel=0.1)
+
+    def test_rejects_zero_reads(self):
+        with pytest.raises(ConfigError):
+            ReadCostMicrobench(RdtscReader(), n_reads=0)
+
+
+class TestDensitySweep:
+    def test_zero_density_is_baseline(self):
+        workload = DensitySweepWorkload(None, 1_000_000, 0.0)
+        result = run_workload(workload, cores=1)
+        t = list(result.threads.values())[0]
+        assert t.user_cycles == 1_000_000
+
+    def test_density_adds_reads(self):
+        def factory():
+            return LimitSession([Event.CYCLES])
+
+        lo = run_workload(
+            DensitySweepWorkload(factory, 1_000_000, 10.0, technique="lo"),
+            cores=1,
+        )
+        hi = run_workload(
+            DensitySweepWorkload(factory, 1_000_000, 200.0, technique="hi"),
+            cores=1,
+        )
+        assert hi.wall_cycles > lo.wall_cycles
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DensitySweepWorkload(None, 0, 1.0)
+        with pytest.raises(ConfigError):
+            DensitySweepWorkload(None, 100, -1.0)
+
+
+class TestContention:
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            ContentionConfig(n_threads=0)
+
+    def test_single_lock_fully_shared(self):
+        cfg = ContentionConfig(
+            n_threads=4, n_locks=1, iterations=20, randomize=False
+        )
+        result = run_workload(ContentionWorkload(cfg), cores=4)
+        name = ContentionWorkload.lock_name(0)
+        assert result.locks[name].n_acquires == 80
+
+    def test_many_locks_spread(self):
+        cfg = ContentionConfig(n_threads=2, n_locks=4, iterations=8)
+        result = run_workload(ContentionWorkload(cfg), cores=2)
+        lock_names = [n for n in result.locks if n.startswith("contention:")]
+        assert len(lock_names) == 4
+
+    def test_deterministic_when_not_randomized(self):
+        cfg = ContentionConfig(n_threads=2, iterations=10, randomize=False)
+        r1 = run_workload(ContentionWorkload(cfg), seed=3)
+        r2 = run_workload(ContentionWorkload(cfg), seed=3)
+        assert r1.wall_cycles == r2.wall_cycles
+
+
+class TestBusy:
+    def test_exact_cycles(self):
+        result = run_workload(BusyWorkload(n_threads=3, cycles_per_thread=50_000))
+        for t in result.threads.values():
+            assert t.user_cycles == 50_000
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BusyWorkload(n_threads=0)

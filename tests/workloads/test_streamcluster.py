@@ -1,0 +1,64 @@
+"""Tests of the barrier-parallel streamcluster workload."""
+
+import pytest
+
+from repro.common.config import MachineConfig, SimConfig
+from repro.common.errors import ConfigError
+from repro.sim.engine import run_program
+from repro.workloads.streamcluster import (
+    StreamclusterConfig,
+    StreamclusterWorkload,
+)
+
+
+def run_sc(cfg, seed=5, cores=4):
+    config = SimConfig(machine=MachineConfig(n_cores=cores), seed=seed)
+    result = run_program(StreamclusterWorkload(cfg).build(), config)
+    result.check_conservation()
+    return result
+
+
+class TestStreamcluster:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            StreamclusterConfig(n_workers=0)
+        with pytest.raises(ConfigError):
+            StreamclusterConfig(n_phases=0)
+        with pytest.raises(ConfigError):
+            StreamclusterConfig(imbalance=-0.1)
+
+    def test_all_phases_complete(self):
+        cfg = StreamclusterConfig(n_workers=4, n_phases=8)
+        result = run_sc(cfg)
+        assert result.merged_region("phase").invocations == 32
+        assert result.merged_region("reduce").invocations == 8
+
+    def test_single_worker_no_deadlock(self):
+        cfg = StreamclusterConfig(n_workers=1, n_phases=5)
+        result = run_sc(cfg, cores=1)
+        assert result.merged_region("phase").invocations == 5
+
+    def test_barrier_couples_finish_times(self):
+        """Workers finish together (within a phase of each other) despite
+        imbalanced per-phase work."""
+        cfg = StreamclusterConfig(n_workers=4, n_phases=10, imbalance=0.8)
+        result = run_sc(cfg)
+        finishes = [t.finished_at for t in result.threads.values()]
+        assert max(finishes) - min(finishes) < 150_000
+
+    def test_imbalance_shows_up_in_barrier_region(self):
+        """The fastest worker spends the most wall time at barriers."""
+        cfg = StreamclusterConfig(n_workers=4, n_phases=12, imbalance=1.0)
+        result = run_sc(cfg)
+        fast = result.thread_by_name("streamcluster:worker:0")
+        slow = result.thread_by_name("streamcluster:worker:3")
+        fast_wait = sum(fast.regions["barrier"].wall_cycles)
+        slow_wait = sum(slow.regions["barrier"].wall_cycles)
+        assert slow.regions["phase"].user_cycles > fast.regions["phase"].user_cycles
+        assert fast_wait > slow_wait
+
+    def test_deterministic(self):
+        cfg = StreamclusterConfig(n_workers=3, n_phases=6)
+        r1 = run_sc(cfg, seed=9)
+        r2 = run_sc(cfg, seed=9)
+        assert r1.wall_cycles == r2.wall_cycles
