@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments experiments-quick examples lint clean
+.PHONY: install test bench experiments experiments-quick trace-smoke examples lint clean
 
 install:
 	pip install -e .
@@ -18,6 +18,13 @@ experiments:
 
 experiments-quick:
 	$(PYTHON) -m repro.experiments --quick
+
+# quick observability end-to-end check: run E1, write a manifest and traces,
+# then summarize the captured event stream
+trace-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments --quick E1 \
+		--manifest results/smoke/manifest.json --trace-dir results/smoke/traces
+	PYTHONPATH=src $(PYTHON) -m repro.trace summarize results/smoke/traces/e1.jsonl
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f || exit 1; done

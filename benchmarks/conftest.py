@@ -4,15 +4,39 @@ Each ``bench_eNN_*.py`` regenerates one of the paper's evaluation artifacts
 (tables/figures E1..E12) under pytest-benchmark timing, asserts the paper's
 qualitative claim still holds, and writes the rendered artifact to
 ``results/`` so the reproduced tables are inspectable after the run.
+
+Pass ``--bench-obs [PATH]`` to additionally dump per-benchmark simulator
+telemetry — wall seconds, engine runs, simulated cycles and sim events/sec
+— as JSON (default ``BENCH_obs.json`` in the working directory).
 """
 
 from __future__ import annotations
 
+import json
+import time
 from pathlib import Path
 
 import pytest
 
+from repro.obs import runtime as obs_runtime
+
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: benchmark-name -> observability record, filled by the `regenerate`
+#: fixture, dumped by pytest_sessionfinish when --bench-obs is given.
+_OBS_RECORDS: dict[str, dict] = {}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-obs",
+        nargs="?",
+        const="BENCH_obs.json",
+        default=None,
+        metavar="PATH",
+        help="dump per-benchmark wall time and sim events/sec as JSON "
+        "(default: BENCH_obs.json)",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -22,18 +46,38 @@ def results_dir() -> Path:
 
 
 @pytest.fixture
-def regenerate(benchmark, results_dir):
+def regenerate(benchmark, results_dir, request):
     """Run an experiment once under the benchmark timer, persist its
     rendered artifact, and return the ExperimentResult."""
 
     def _run(run_fn, quick: bool = True):
-        result = benchmark.pedantic(
-            lambda: run_fn(quick=quick), rounds=1, iterations=1
-        )
+        with obs_runtime.collect(label=request.node.name) as collector:
+            started = time.perf_counter()
+            result = benchmark.pedantic(
+                lambda: run_fn(quick=quick), rounds=1, iterations=1
+            )
+            wall = time.perf_counter() - started
         path = results_dir / f"{result.exp_id.lower()}.txt"
         path.write_text(result.render() + "\n")
         for key, value in result.metrics.items():
             benchmark.extra_info[key] = round(float(value), 6)
+        _OBS_RECORDS[request.node.name] = {
+            "exp_id": result.exp_id,
+            "wall_seconds": wall,
+            "engine_runs": collector.n_runs,
+            "sim_cycles": collector.sim_cycles,
+            "sim_events": collector.sim_events,
+            "sim_events_per_sec": collector.sim_events / wall if wall > 0 else 0.0,
+        }
         return result
 
     return _run
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--bench-obs")
+    if not path or not _OBS_RECORDS:
+        return
+    Path(path).write_text(
+        json.dumps({"benchmarks": _OBS_RECORDS}, indent=2) + "\n"
+    )

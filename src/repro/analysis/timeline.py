@@ -1,11 +1,17 @@
 """Execution-timeline analysis from the engine's event trace.
 
 When a run is configured with ``trace=True`` the engine records scheduling
-and synchronization events. This module turns that stream into per-thread
-timelines (run/ready/blocked intervals), summary statistics (scheduling
-latency, time-state breakdowns) and an ASCII Gantt rendering — the kind of
-visualization one builds on top of precise measurement to *see* where a
-parallel program's time goes.
+and synchronization events on its :class:`~repro.obs.trace.TraceBus`. This
+module turns that stream into per-thread timelines (run/ready/blocked
+intervals), summary statistics (scheduling latency, time-state breakdowns)
+and an ASCII Gantt rendering — the kind of visualization one builds on top
+of precise measurement to *see* where a parallel program's time goes.
+
+The bus records are :class:`~repro.obs.trace.TraceEvent` named tuples
+``(time, core, tid, kind, arg)``; this module indexes them positionally so
+it also accepts plain 5-tuples (e.g. traces loaded from old JSON dumps).
+For richer consumers — Perfetto export, JSONL round-trips, kind-filtered
+summaries — see :mod:`repro.obs.export` and ``python -m repro.trace``.
 """
 
 from __future__ import annotations

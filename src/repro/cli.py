@@ -6,6 +6,9 @@ Usage::
     python -m repro run apache --diagnose     # + bottleneck diagnosis
     python -m repro run firefox --json out.json
     python -m repro run pipeline --gantt      # + execution timeline
+    python -m repro run mysql --manifest m.json --trace-dir traces/
+                                              # + run manifest and
+                                              #   Perfetto/JSONL traces
     python -m repro list                      # available workloads
     python -m repro calibrate                 # measure read costs
 
@@ -17,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 from repro.analysis import (
@@ -87,6 +91,8 @@ def _cmd_run(args) -> int:
             file=sys.stderr,
         )
         return 2
+    from repro.obs import runtime as obs_runtime
+
     config = SimConfig(
         machine=MachineConfig(n_cores=args.cores, n_sockets=args.sockets),
         kernel=KernelConfig(timeslice_cycles=args.timeslice),
@@ -94,7 +100,13 @@ def _cmd_run(args) -> int:
         trace=args.gantt,
     )
     workload = factory(args.scale)
-    result = run_program(workload.build(), config)
+    want_traces = args.trace_dir is not None
+    started = time.perf_counter()
+    with obs_runtime.collect(
+        capture_traces=want_traces, label=args.workload
+    ) as collector:
+        result = run_program(workload.build(), config)
+    wall = time.perf_counter() - started
     result.check_conservation()
     print(run_report(result))
     if args.diagnose:
@@ -108,6 +120,34 @@ def _cmd_run(args) -> int:
     if args.json:
         Path(args.json).write_text(result_to_json(result) + "\n")
         print(f"\n(wrote {args.json})")
+    if args.trace_dir:
+        from repro.obs.export import events_to_jsonl, write_perfetto
+
+        args.trace_dir.mkdir(parents=True, exist_ok=True)
+        perfetto_path = args.trace_dir / f"{args.workload}.trace.json"
+        jsonl_path = args.trace_dir / f"{args.workload}.jsonl"
+        write_perfetto(perfetto_path, collector.perfetto_runs())
+        events_to_jsonl(collector.all_events(), jsonl_path)
+        print(f"\n(wrote {perfetto_path} and {jsonl_path})")
+    if args.manifest:
+        from repro.obs.export import write_manifest
+
+        args.manifest.parent.mkdir(parents=True, exist_ok=True)
+        write_manifest(
+            args.manifest,
+            {
+                "workload": args.workload,
+                "status": "passed",
+                "wall_seconds": wall,
+                "engine_runs": collector.n_runs,
+                "sim_cycles": collector.sim_cycles,
+                "sim_events": collector.sim_events,
+                "context_switches": collector.context_switches,
+                "config_hash": collector.config_hash(),
+                "metrics": collector.metrics_snapshot(),
+            },
+        )
+        print(f"(wrote {args.manifest})")
     return 0
 
 
@@ -156,6 +196,10 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument("--gantt-width", type=int, default=72)
     run_p.add_argument("--json", metavar="PATH",
                        help="write the full result as JSON")
+    run_p.add_argument("--manifest", type=Path, metavar="PATH",
+                       help="write a machine-readable run manifest (JSON)")
+    run_p.add_argument("--trace-dir", type=Path, metavar="DIR",
+                       help="capture a trace; write Perfetto + JSONL files here")
 
     cal_p = sub.add_parser("calibrate", help="measure per-read costs")
     cal_p.add_argument("--reads", type=int, default=2_000)

@@ -269,6 +269,10 @@ class SimConfig:
     max_cycles: int = 2_000_000_000_000
     #: Record a per-thread trace of scheduling and lock events (costly).
     trace: bool = False
+    #: Record simulator self-telemetry metrics (host-side counters/timers in
+    #: :mod:`repro.obs.metrics`). Never perturbs simulated results — metrics
+    #: observe the simulator, not the simulated machine.
+    metrics: bool = True
     #: Cap on stored per-invocation region durations across a run
     #: (invocation *counts* stay exact beyond the cap).
     region_log_budget: int = 2_000_000

@@ -20,6 +20,12 @@ precise counter access describes, expressed as simulator ops:
   instruction (enhancement E11b): a single instruction returns the
   virtualized delta since the previous destructive read; no accumulator
   load, no interruption window.
+
+On a traced run the engine brackets each safe/unsafe read with
+``pmc_read_begin``/``pmc_read_end`` events on the trace bus (the end
+event's arg records whether the attempt survived without a restart), so
+read-protocol behaviour is visible in trace summaries and Perfetto dumps
+(see :mod:`repro.obs.trace`).
 """
 
 from __future__ import annotations

@@ -6,6 +6,16 @@ Usage::
     python -m repro.experiments E1 E4      # a subset
     python -m repro.experiments --quick    # smaller parameters
     python -m repro.experiments --out results/   # also write text files
+    python -m repro.experiments --manifest results/manifest.json \
+        --trace-dir traces/                # machine-readable run manifest
+                                           # + Perfetto/JSONL traces
+
+With ``--manifest`` the runner writes a JSON document (schema
+``repro.obs/manifest/v1``) with one entry per experiment: id, status, wall
+seconds, simulated cycles, sim events and a metrics snapshot, plus a
+reproducibility hash over every (seed, config) the experiment ran. With
+``--trace-dir`` each experiment additionally dumps a Perfetto-loadable
+``<id>.trace.json`` and a lossless ``<id>.jsonl`` event stream.
 """
 
 from __future__ import annotations
@@ -14,8 +24,77 @@ import argparse
 import sys
 import time
 from pathlib import Path
+from typing import Any
 
 from repro.experiments.registry import all_experiments, get
+from repro.obs import runtime as obs_runtime
+from repro.obs.export import events_to_jsonl, write_manifest, write_perfetto
+
+
+def run_entries(
+    entries,
+    quick: bool = False,
+    out: Path | None = None,
+    trace_dir: Path | None = None,
+    stdout=None,
+    stderr=None,
+) -> tuple[list[dict[str, Any]], float]:
+    """Run experiments; returns (manifest entry dicts, total wall seconds)."""
+    stdout = stdout or sys.stdout
+    stderr = stderr or sys.stderr
+    records: list[dict[str, Any]] = []
+    total_started = time.perf_counter()
+    for entry in entries:
+        started = time.perf_counter()
+        with obs_runtime.collect(
+            capture_traces=trace_dir is not None, label=entry.exp_id
+        ) as collector:
+            try:
+                result = entry.run(quick=quick)
+                error = None
+            except Exception as exc:  # keep going; report at the end
+                result = None
+                error = f"{type(exc).__name__}: {exc}"
+        elapsed = time.perf_counter() - started
+
+        record: dict[str, Any] = {
+            "id": entry.exp_id,
+            "title": entry.title,
+            "status": "passed" if error is None else "failed",
+            "wall_seconds": elapsed,
+            "engine_runs": collector.n_runs,
+            "sim_cycles": collector.sim_cycles,
+            "sim_events": collector.sim_events,
+            "context_switches": collector.context_switches,
+            "config_hash": collector.config_hash(),
+            "metrics": collector.metrics_snapshot(),
+        }
+        if error is not None:
+            record["error"] = error
+            print(f"[{entry.exp_id}] FAILED: {error}", file=stderr)
+        else:
+            text = result.render()
+            print(text, file=stdout)
+            print(f"({entry.exp_id} regenerated in {elapsed:.1f}s)", file=stdout)
+            print(file=stdout)
+            if out:
+                path = out / f"{entry.exp_id.lower()}.txt"
+                path.write_text(text + "\n")
+
+        if trace_dir is not None:
+            runs = collector.perfetto_runs()
+            if runs:
+                perfetto_path = trace_dir / f"{entry.exp_id.lower()}.trace.json"
+                jsonl_path = trace_dir / f"{entry.exp_id.lower()}.jsonl"
+                write_perfetto(perfetto_path, runs)
+                n_lines = events_to_jsonl(collector.all_events(), jsonl_path)
+                record["trace_files"] = {
+                    "perfetto": str(perfetto_path),
+                    "jsonl": str(jsonl_path),
+                    "n_trace_events": n_lines,
+                }
+        records.append(record)
+    return records, time.perf_counter() - total_started
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -26,13 +105,25 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids (E1..E12); all when omitted",
+        help="experiment ids (E1..E16); all when omitted",
     )
     parser.add_argument(
         "--quick", action="store_true", help="smaller parameters (CI-sized)"
     )
     parser.add_argument(
         "--out", type=Path, default=None, help="directory for per-experiment text files"
+    )
+    parser.add_argument(
+        "--manifest",
+        type=Path,
+        default=None,
+        help="write a machine-readable run manifest (JSON) to this path",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        type=Path,
+        default=None,
+        help="capture traces; write per-experiment Perfetto + JSONL files here",
     )
     parser.add_argument(
         "--list", action="store_true", help="list experiments and exit"
@@ -51,25 +142,35 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.out:
         args.out.mkdir(parents=True, exist_ok=True)
+    if args.trace_dir:
+        args.trace_dir.mkdir(parents=True, exist_ok=True)
 
-    failures = 0
-    for entry in entries:
-        started = time.time()
-        try:
-            result = entry.run(quick=args.quick)
-        except Exception as exc:  # keep going; report at the end
-            failures += 1
-            print(f"[{entry.exp_id}] FAILED: {exc}", file=sys.stderr)
-            continue
-        elapsed = time.time() - started
-        text = result.render()
-        print(text)
-        print(f"({entry.exp_id} regenerated in {elapsed:.1f}s)")
-        print()
-        if args.out:
-            path = args.out / f"{entry.exp_id.lower()}.txt"
-            path.write_text(text + "\n")
-    return 1 if failures else 0
+    records, total_wall = run_entries(
+        entries, quick=args.quick, out=args.out, trace_dir=args.trace_dir
+    )
+    passed = sum(1 for r in records if r["status"] == "passed")
+    failed = len(records) - passed
+
+    if args.manifest:
+        args.manifest.parent.mkdir(parents=True, exist_ok=True)
+        write_manifest(
+            args.manifest,
+            {
+                "quick": args.quick,
+                "experiments": records,
+                "summary": {
+                    "n_experiments": len(records),
+                    "passed": passed,
+                    "failed": failed,
+                    "wall_seconds": total_wall,
+                    "sim_events": sum(r["sim_events"] for r in records),
+                    "sim_cycles": sum(r["sim_cycles"] for r in records),
+                },
+            },
+        )
+
+    print(f"{passed} passed, {failed} failed, total wall time {total_wall:.1f}s")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,7 +7,7 @@ used by the execution engine.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.common.config import PmuConfig
 from repro.common.errors import CounterError
@@ -26,6 +26,9 @@ class Pmu:
         #: Whether userspace rdpmc is permitted (CR4.PCE). Off on an
         #: unpatched kernel: a user-mode rdpmc then faults.
         self.user_rdpmc_enabled = False
+        #: observability hook: called with the counter index when a counter
+        #: wraps during accrual. Installed by the engine only when tracing.
+        self.on_overflow: Callable[[int], None] | None = None
 
     def __len__(self) -> int:
         return len(self.counters)
@@ -78,6 +81,8 @@ class Pmu:
             )
             if n and ctr.accrue(n):
                 overflowed.append(index)
+                if self.on_overflow is not None:
+                    self.on_overflow(index)
         return overflowed
 
     def cycles_to_next_overflow(

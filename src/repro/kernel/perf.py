@@ -12,6 +12,7 @@ Supports the two modes the paper's baselines use:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.common.errors import SessionError
 from repro.hw.events import Event
@@ -51,6 +52,9 @@ class PerfSubsystem:
         self._closed: list[PerfFd] = []
         self._next_fd = 3  # 0/1/2 are taken, obviously
         self.total_samples = 0
+        #: observability hook: called as (fd, record) for every sample taken.
+        #: Installed by the engine only when tracing.
+        self.on_sample: Callable[[PerfFd, SampleRecord], None] | None = None
 
     def open(self, tid: int, slot: int, event: Event, mode: str, period: int) -> PerfFd:
         fd = PerfFd(
@@ -87,6 +91,8 @@ class PerfSubsystem:
         fd.samples.append(record)
         fd.n_overflows += 1
         self.total_samples += 1
+        if self.on_sample is not None:
+            self.on_sample(fd, record)
 
     def all_samples(self) -> list[SampleRecord]:
         out: list[SampleRecord] = []

@@ -11,6 +11,7 @@ next here".
 from __future__ import annotations
 
 from collections import deque
+from typing import Callable
 
 from repro.common.errors import SchedulerError
 
@@ -28,6 +29,10 @@ class Scheduler:
         self._rr_next = 0
         self.n_enqueues = 0
         self.n_steals = 0
+        #: observability hook: called as (thief_core, victim_core, tid) when
+        #: a steal happens. Installed by the engine only when tracing, so an
+        #: untraced run pays one is-None branch per steal.
+        self.on_steal: Callable[[int, int, int], None] | None = None
 
     def queue_length(self, core_id: int) -> int:
         return len(self.runqueues[core_id])
@@ -76,7 +81,10 @@ class Scheduler:
         if victim is None:
             return None
         self.n_steals += 1
-        return self.runqueues[victim].popleft()
+        tid = self.runqueues[victim].popleft()
+        if self.on_steal is not None:
+            self.on_steal(core_id, victim, tid)
+        return tid
 
     def _steal_victim(self, thief: int) -> int | None:
         """Busiest other queue, preferring victims on the thief's socket

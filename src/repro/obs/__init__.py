@@ -1,0 +1,56 @@
+"""repro.obs — structured observability for the simulator itself.
+
+The paper's thesis is that precise, low-overhead observation changes what
+you can see; this package holds the reproduction to the same standard:
+
+* :mod:`repro.obs.trace` — a structured trace bus with typed events
+  (scheduling, syscalls, futexes, locks, PMIs, counter-read protocol
+  steps, regions/phases) emitted by the engine and kernel subsystems;
+* :mod:`repro.obs.metrics` — counters/gauges/wall-time timers recording
+  simulator self-telemetry (sim events processed, events/sec, context
+  switches, …), cheap enough to stay on by default and strictly
+  zero-perturbation of simulated results;
+* :mod:`repro.obs.export` — JSONL and Chrome/Perfetto ``trace_event``
+  exporters plus run-manifest helpers, so any run can be opened in
+  https://ui.perfetto.dev;
+* :mod:`repro.obs.runtime` — a run collector that aggregates every engine
+  run inside a ``with collect():`` block (used by the experiment runner,
+  the workbench CLI and the benchmark harness).
+
+The ``python -m repro.trace`` CLI converts/summarizes/filters trace files.
+"""
+
+from repro.obs.export import (
+    MANIFEST_SCHEMA,
+    events_to_jsonl,
+    perfetto_document,
+    perfetto_events,
+    read_jsonl,
+    summarize_events,
+    write_manifest,
+    write_perfetto,
+)
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer
+from repro.obs.runtime import RunCollector, collect, current
+from repro.obs.trace import KINDS, TraceBus, TraceEvent
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "KINDS",
+    "MANIFEST_SCHEMA",
+    "MetricsRegistry",
+    "RunCollector",
+    "Timer",
+    "TraceBus",
+    "TraceEvent",
+    "collect",
+    "current",
+    "events_to_jsonl",
+    "perfetto_document",
+    "perfetto_events",
+    "read_jsonl",
+    "summarize_events",
+    "write_manifest",
+    "write_perfetto",
+]

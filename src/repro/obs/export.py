@@ -1,0 +1,317 @@
+"""Trace and manifest exporters: JSONL, Chrome/Perfetto, run manifests.
+
+Two interchange formats for :class:`~repro.obs.trace.TraceEvent` streams:
+
+* **JSONL** — one event per line, lossless round-trip (tuples included),
+  the format the ``python -m repro.trace`` CLI consumes;
+* **Chrome ``trace_event`` JSON** — loadable in https://ui.perfetto.dev or
+  ``chrome://tracing``: per-thread "run" slices reconstructed from
+  switch_in/switch_out, nestable async slices for instrumented regions,
+  instants for everything else. Multiple engine runs stack as separate
+  process groups in one document.
+
+Plus the machine-readable **run manifest** the experiment runner and the
+workbench CLI write (schema ``repro.obs/manifest/v1``): per-experiment id,
+status, wall seconds, simulated cycles, sim events and a metrics snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.common.errors import ReproError
+from repro.common.units import DEFAULT_FREQUENCY, Frequency
+from repro.obs import trace as tr
+from repro.obs.trace import TraceEvent
+
+MANIFEST_SCHEMA = "repro.obs/manifest/v1"
+
+# -- JSONL -------------------------------------------------------------------
+
+
+def _arg_to_json(arg: Any) -> Any:
+    if isinstance(arg, tuple):
+        return [_arg_to_json(a) for a in arg]
+    return arg
+
+
+def _arg_from_json(arg: Any) -> Any:
+    if isinstance(arg, list):
+        return tuple(_arg_from_json(a) for a in arg)
+    return arg
+
+
+def event_to_dict(event: TraceEvent) -> dict[str, Any]:
+    return {
+        "t": event.time,
+        "core": event.core,
+        "tid": event.tid,
+        "kind": str(event.kind),
+        "arg": _arg_to_json(event.arg),
+    }
+
+
+def event_from_dict(data: dict[str, Any]) -> TraceEvent:
+    return TraceEvent(
+        time=data["t"],
+        core=data["core"],
+        tid=data["tid"],
+        kind=data["kind"],
+        arg=_arg_from_json(data.get("arg")),
+    )
+
+
+def events_to_jsonl(events: Iterable[tuple], path: str | Path) -> int:
+    """Write events (TraceEvents or legacy 5-tuples) as JSONL; returns the
+    number of lines written."""
+    n = 0
+    with open(path, "w", encoding="utf-8") as fp:
+        for event in tr.as_events(events):
+            fp.write(json.dumps(event_to_dict(event), separators=(",", ":")))
+            fp.write("\n")
+            n += 1
+    return n
+
+
+def read_jsonl(path: str | Path) -> list[TraceEvent]:
+    """Parse a JSONL trace file back into TraceEvents (lossless)."""
+    events: list[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as fp:
+        for lineno, line in enumerate(fp, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(event_from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError) as exc:
+                raise ReproError(
+                    f"{path}:{lineno}: not a trace event line ({exc})"
+                ) from None
+    return events
+
+
+# -- Chrome/Perfetto trace_event ---------------------------------------------
+
+#: Kinds rendered as thread-track instant events (everything that isn't a
+#: scheduling interval or a region boundary).
+_INSTANT_KINDS = frozenset(
+    {
+        tr.READY,
+        tr.SCHED_STEAL,
+        tr.SYSCALL_ENTER,
+        tr.SYSCALL_EXIT,
+        tr.PMI,
+        tr.TIMER_TICK,
+        tr.LOCK_ACQ,
+        tr.LOCK_REL,
+        tr.FUTEX_WAIT,
+        tr.FUTEX_WAKE,
+        tr.PMC_READ_BEGIN,
+        tr.PMC_READ_END,
+        tr.CTR_OVERFLOW,
+        tr.SAMPLE,
+        tr.PHASE_BEGIN,
+        tr.PHASE_END,
+    }
+)
+
+
+def perfetto_events(
+    events: Sequence[tuple],
+    frequency: Frequency = DEFAULT_FREQUENCY,
+    pid: int = 0,
+    process_name: str = "sim",
+    thread_names: dict[int, str] | None = None,
+) -> list[dict[str, Any]]:
+    """Convert one engine run's trace into ``trace_event`` dicts.
+
+    Timestamps are microseconds (the format's unit), converted from cycles
+    at ``frequency``. ``pid`` groups the run; several runs can share one
+    document under different pids (see :func:`perfetto_document`).
+    """
+    evs = tr.as_events(events)
+    us_per_cycle = frequency.cycles_to_ns(1) / 1000.0
+    out: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": process_name},
+        }
+    ]
+    names = dict(thread_names or {})
+    for e in evs:
+        if e.kind in (tr.READY, tr.SWITCH_IN, tr.SWITCH_OUT, tr.EXIT):
+            if isinstance(e.arg, str):
+                names.setdefault(e.tid, e.arg)
+    for tid in sorted(names):
+        out.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": names[tid]},
+            }
+        )
+    open_run: dict[int, int] = {}
+    last_time = 0
+    for e in sorted(evs, key=lambda e: e.time):
+        ts = e.time * us_per_cycle
+        last_time = max(last_time, e.time)
+        if e.kind == tr.SWITCH_IN:
+            open_run[e.tid] = e.time
+        elif e.kind in (tr.SWITCH_OUT, tr.EXIT):
+            start = open_run.pop(e.tid, None)
+            if start is not None:
+                out.append(
+                    {
+                        "ph": "X",
+                        "pid": pid,
+                        "tid": e.tid,
+                        "ts": start * us_per_cycle,
+                        "dur": max(0.0, (e.time - start) * us_per_cycle),
+                        "name": "run",
+                        "cat": "sched",
+                    }
+                )
+            if e.kind == tr.EXIT:
+                out.append(_instant(e, ts, pid))
+        elif e.kind == tr.REGION_BEGIN:
+            out.append(
+                {
+                    "ph": "b",
+                    "cat": "region",
+                    "id": str(e.tid),
+                    "pid": pid,
+                    "tid": e.tid,
+                    "ts": ts,
+                    "name": str(e.arg),
+                }
+            )
+        elif e.kind == tr.REGION_END:
+            out.append(
+                {
+                    "ph": "e",
+                    "cat": "region",
+                    "id": str(e.tid),
+                    "pid": pid,
+                    "tid": e.tid,
+                    "ts": ts,
+                    "name": str(e.arg),
+                }
+            )
+        elif e.kind in _INSTANT_KINDS:
+            out.append(_instant(e, ts, pid))
+        # unknown kinds are skipped: the JSONL format is the lossless one
+    # close run slices left open at the trace horizon
+    for tid, start in sorted(open_run.items()):
+        out.append(
+            {
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "ts": start * us_per_cycle,
+                "dur": max(0.0, (last_time - start) * us_per_cycle),
+                "name": "run",
+                "cat": "sched",
+            }
+        )
+    return out
+
+
+def _instant(e: TraceEvent, ts: float, pid: int) -> dict[str, Any]:
+    name = e.kind
+    if isinstance(e.arg, str):
+        name = f"{e.kind}:{e.arg}"
+    return {
+        "ph": "i",
+        "s": "t",
+        "pid": pid,
+        "tid": e.tid,
+        "ts": ts,
+        "name": name,
+        "cat": "event",
+        "args": {"arg": _arg_to_json(e.arg), "core": e.core},
+    }
+
+
+def perfetto_document(
+    runs: Sequence[tuple[str, Sequence[tuple], Frequency, dict[int, str] | None]],
+) -> dict[str, Any]:
+    """Assemble a loadable trace document from ``(label, events, frequency,
+    thread_names)`` tuples, one process group per run."""
+    trace_events: list[dict[str, Any]] = []
+    for pid, (label, events, frequency, thread_names) in enumerate(runs):
+        trace_events.extend(
+            perfetto_events(
+                events,
+                frequency=frequency,
+                pid=pid,
+                process_name=label,
+                thread_names=thread_names,
+            )
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_perfetto(
+    path: str | Path,
+    runs: Sequence[tuple[str, Sequence[tuple], Frequency, dict[int, str] | None]],
+) -> dict[str, Any]:
+    """Write a Perfetto-loadable document; returns the document dict."""
+    doc = perfetto_document(runs)
+    Path(path).write_text(json.dumps(doc) + "\n")
+    return doc
+
+
+def result_runs(result, label: str = "run"):
+    """The ``runs`` entry for :func:`write_perfetto` from one RunResult."""
+    names = {tid: t.name for tid, t in result.threads.items()}
+    return (label, list(result.trace), result.config.machine.frequency, names)
+
+
+# -- summaries ---------------------------------------------------------------
+
+
+def summarize_events(events: Sequence[tuple]) -> dict[str, Any]:
+    """Counts and span of a trace: total, by kind, by tid, time bounds."""
+    evs = tr.as_events(events)
+    by_kind: dict[str, int] = {}
+    by_tid: dict[int, int] = {}
+    t_min: int | None = None
+    t_max: int | None = None
+    for e in evs:
+        by_kind[e.kind] = by_kind.get(e.kind, 0) + 1
+        by_tid[e.tid] = by_tid.get(e.tid, 0) + 1
+        t_min = e.time if t_min is None else min(t_min, e.time)
+        t_max = e.time if t_max is None else max(t_max, e.time)
+    return {
+        "n_events": len(evs),
+        "t_first": t_min or 0,
+        "t_last": t_max or 0,
+        "by_kind": dict(sorted(by_kind.items())),
+        "by_tid": dict(sorted(by_tid.items())),
+    }
+
+
+# -- run manifests -----------------------------------------------------------
+
+
+def write_manifest(path: str | Path, manifest: dict[str, Any]) -> None:
+    """Write a run manifest, stamping the schema id."""
+    data = {"schema": MANIFEST_SCHEMA}
+    data.update(manifest)
+    Path(path).write_text(json.dumps(data, indent=2, sort_keys=False) + "\n")
+
+
+def read_manifest(path: str | Path) -> dict[str, Any]:
+    data = json.loads(Path(path).read_text())
+    if data.get("schema") != MANIFEST_SCHEMA:
+        raise ReproError(
+            f"{path}: not a run manifest (schema={data.get('schema')!r})"
+        )
+    return data

@@ -1,0 +1,175 @@
+"""Self-telemetry metrics: counters, gauges and wall-time timers.
+
+These measure the *simulator as a program* — how many engine events it
+processed, how fast, how much host wall time each phase took — never the
+simulated machine's state. They are therefore zero-perturbation by
+construction: nothing here reads or writes simulated state, so identical
+seed+config runs produce identical :class:`~repro.sim.results.RunResult`
+ground truth whether metrics are on or off (a property test enforces it).
+
+The registry is cheap enough to stay on by default: the engine updates it
+once per *run* (from totals it keeps anyway), not once per simulated event.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    add = inc  # alias: reads better for bulk updates
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A last-write-wins number."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Timer:
+    """Accumulated wall-clock seconds plus a call count."""
+
+    __slots__ = ("name", "total_seconds", "calls")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total_seconds = 0.0
+        self.calls = 0
+
+    def add(self, seconds: float) -> None:
+        self.total_seconds += seconds
+        self.calls += 1
+
+    @contextmanager
+    def time(self):
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add(time.perf_counter() - start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Timer {self.name}={self.total_seconds:.6f}s/{self.calls}>"
+
+
+class _NullTimer:
+    """Timer stand-in returned by a disabled registry: records nothing."""
+
+    __slots__ = ()
+
+    def add(self, seconds: float) -> None:
+        pass
+
+    @contextmanager
+    def time(self):
+        yield self
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class MetricsRegistry:
+    """Named counters/gauges/timers with a flat numeric snapshot.
+
+    When ``enabled`` is False every accessor returns a shared no-op object
+    and :meth:`snapshot` is empty — one branch per lookup, no allocation.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._timers: dict[str, Timer] = {}
+
+    # -- accessors (create-or-get) -----------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL_COUNTER
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL_GAUGE
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def timer(self, name: str) -> Timer:
+        if not self.enabled:
+            return _NULL_TIMER  # type: ignore[return-value]
+        t = self._timers.get(name)
+        if t is None:
+            t = self._timers[name] = Timer(name)
+        return t
+
+    # -- export -------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat ``name -> number`` view: counters and gauges under their own
+        names, timers as ``<name>_seconds`` and ``<name>_calls``."""
+        out: dict[str, float] = {}
+        for name, c in self._counters.items():
+            out[name] = c.value
+        for name, g in self._gauges.items():
+            out[name] = g.value
+        for name, t in self._timers.items():
+            out[f"{name}_seconds"] = t.total_seconds
+            out[f"{name}_calls"] = t.calls
+        return dict(sorted(out.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "on" if self.enabled else "off"
+        return (
+            f"<MetricsRegistry {state}: {len(self._counters)} counters, "
+            f"{len(self._gauges)} gauges, {len(self._timers)} timers>"
+        )
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    add = inc
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter("null")
+_NULL_GAUGE = _NullGauge("null")

@@ -1,0 +1,164 @@
+"""Run collection: aggregate every engine run inside a scope.
+
+The experiment runner, the workbench CLI and the benchmark harness all need
+the same thing: "how much simulation happened while this block ran, how
+fast, and (optionally) give me the traces". A :class:`RunCollector` pushed
+with :func:`collect` receives a record from every :class:`~repro.sim.engine.
+Engine` run that completes inside the ``with`` block, without the caller
+having to thread anything through experiment code.
+
+When ``capture_traces`` is set, engines created inside the scope turn
+tracing on even if their config didn't ask for it — safe, because tracing
+is zero-perturbation by contract (see tests/properties).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.units import Frequency
+from repro.obs.trace import TraceEvent
+
+
+@dataclass
+class EngineRunRecord:
+    """One engine run observed by a collector."""
+
+    index: int
+    seed: int
+    config_repr: str
+    frequency: Frequency
+    wall_seconds: float
+    sim_cycles: int
+    sim_events: int
+    context_switches: int
+    pmis: int
+    syscalls: int
+    metrics: dict[str, float] = field(default_factory=dict)
+    trace: list[TraceEvent] = field(default_factory=list)
+    thread_names: dict[int, str] = field(default_factory=dict)
+
+
+class RunCollector:
+    """Aggregates engine runs; see module docstring."""
+
+    def __init__(self, capture_traces: bool = False, label: str | None = None) -> None:
+        self.capture_traces = capture_traces
+        self.label = label
+        self.records: list[EngineRunRecord] = []
+
+    # -- engine-facing ------------------------------------------------------
+
+    def record_run(self, result: Any, wall_seconds: float, sim_events: int) -> None:
+        """Called by the engine when a run completes inside this scope."""
+        self.records.append(
+            EngineRunRecord(
+                index=len(self.records),
+                seed=result.config.seed,
+                config_repr=repr(result.config),
+                frequency=result.config.machine.frequency,
+                wall_seconds=wall_seconds,
+                sim_cycles=result.wall_cycles,
+                sim_events=sim_events,
+                context_switches=result.kernel.n_context_switches,
+                pmis=result.kernel.n_pmis,
+                syscalls=result.kernel.syscall_total(),
+                metrics=dict(result.metrics),
+                trace=list(result.trace) if self.capture_traces else [],
+                thread_names={tid: t.name for tid, t in result.threads.items()},
+            )
+        )
+
+    # -- aggregates ---------------------------------------------------------
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.records)
+
+    @property
+    def sim_events(self) -> int:
+        return sum(r.sim_events for r in self.records)
+
+    @property
+    def sim_cycles(self) -> int:
+        return sum(r.sim_cycles for r in self.records)
+
+    @property
+    def context_switches(self) -> int:
+        return sum(r.context_switches for r in self.records)
+
+    @property
+    def pmis(self) -> int:
+        return sum(r.pmis for r in self.records)
+
+    @property
+    def syscalls(self) -> int:
+        return sum(r.syscalls for r in self.records)
+
+    @property
+    def wall_seconds(self) -> float:
+        return sum(r.wall_seconds for r in self.records)
+
+    def metrics_snapshot(self) -> dict[str, float]:
+        """The manifest's metrics block: totals across every run."""
+        wall = self.wall_seconds
+        return {
+            "engine_runs": self.n_runs,
+            "sim_events": self.sim_events,
+            "sim_cycles": self.sim_cycles,
+            "context_switches": self.context_switches,
+            "pmis": self.pmis,
+            "syscalls": self.syscalls,
+            "wall_seconds": wall,
+            "sim_events_per_sec": self.sim_events / wall if wall > 0 else 0.0,
+        }
+
+    def config_hash(self) -> str:
+        """Stable digest of every distinct (seed, config) this scope ran —
+        the manifest's reproducibility fingerprint."""
+        digest = hashlib.sha256()
+        for key in sorted({(r.seed, r.config_repr) for r in self.records}):
+            digest.update(repr(key).encode())
+        return digest.hexdigest()[:16]
+
+    def perfetto_runs(self):
+        """``runs`` input for :func:`repro.obs.export.write_perfetto`."""
+        return [
+            (
+                f"{self.label or 'run'}[{r.index}] seed={r.seed}",
+                r.trace,
+                r.frequency,
+                r.thread_names,
+            )
+            for r in self.records
+            if r.trace
+        ]
+
+    def all_events(self) -> list[TraceEvent]:
+        """Every captured event, run order preserved (for JSONL dumps)."""
+        out: list[TraceEvent] = []
+        for r in self.records:
+            out.extend(r.trace)
+        return out
+
+
+_stack: list[RunCollector] = []
+
+
+def current() -> RunCollector | None:
+    """The innermost active collector, or None."""
+    return _stack[-1] if _stack else None
+
+
+@contextmanager
+def collect(capture_traces: bool = False, label: str | None = None):
+    """Collect every engine run completed within the block."""
+    collector = RunCollector(capture_traces=capture_traces, label=label)
+    _stack.append(collector)
+    try:
+        yield collector
+    finally:
+        _stack.pop()

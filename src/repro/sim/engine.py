@@ -21,8 +21,10 @@ configured skid rather than at arbitrary op boundaries.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import heapq
+import time
 from typing import Any, Callable, Generator
 
 from repro.common.config import SimConfig
@@ -32,6 +34,10 @@ from repro.common.errors import (
     SimulationError,
 )
 from repro.common.rng import RandomStream
+from repro.obs import runtime as obs_runtime
+from repro.obs import trace as tr
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceBus
 from repro.hw.events import (
     Domain,
     Event,
@@ -234,7 +240,23 @@ class Engine:
         self.kernel_counters = KernelCounters()
         self.threads: dict[int, SimThread] = {}
         self.live_count = 0
-        self.trace: list[tuple] = []
+        # Observability: an active collector may force tracing on (tracing
+        # is zero-perturbation by contract, so results are unchanged).
+        self._collector = obs_runtime.current()
+        if (
+            self._collector is not None
+            and self._collector.capture_traces
+            and not self.config.trace
+        ):
+            self.config = dataclasses.replace(self.config, trace=True)
+        self._tracing = self.config.trace
+        self.obs = TraceBus(enabled=self._tracing)
+        self.trace = self.obs.events  # same list; legacy alias
+        self.metrics = MetricsRegistry(enabled=self.config.metrics)
+        self._n_steps = 0
+        self._acting_core: Core | None = None
+        if self._tracing:
+            self._wire_subsystem_tracers()
         self._next_tid = 1
         self._seq = 0
         self._sleep_heap: list[tuple[int, int, int]] = []
@@ -262,6 +284,75 @@ class Engine:
         }
 
     # ------------------------------------------------------------------
+    # observability wiring
+    # ------------------------------------------------------------------
+
+    def _wire_subsystem_tracers(self) -> None:
+        """Hook the kernel/hw subsystems into the trace bus. Only installed
+        when tracing is on, so disabled runs pay nothing here."""
+        emit = self.obs.emit
+        cores = self.machine.cores
+
+        def on_steal(thief: int, victim: int, tid: int) -> None:
+            emit(cores[thief].now, thief, tid, tr.SCHED_STEAL, victim)
+
+        def on_wait(key: str, tid: int) -> None:
+            core = self._acting_core
+            emit(core.now, core.core_id, tid, tr.FUTEX_WAIT, key)
+
+        def on_wake(key: str, woken: list[int]) -> None:
+            core = self._acting_core
+            waker = core.current_tid if core.current_tid is not None else 0
+            emit(core.now, core.core_id, waker, tr.FUTEX_WAKE, (key, len(woken)))
+
+        def on_sample(fd, record) -> None:
+            core_id = self.threads[record.tid].core_id
+            emit(record.time, core_id if core_id is not None else 0,
+                 record.tid, tr.SAMPLE, fd.fd)
+
+        self.scheduler.on_steal = on_steal
+        self.futex.on_wait = on_wait
+        self.futex.on_wake = on_wake
+        self.perf.on_sample = on_sample
+        for core in cores:
+            def on_overflow(index: int, core: Core = core) -> None:
+                tid = core.current_tid if core.current_tid is not None else 0
+                emit(core.now, core.core_id, tid, tr.CTR_OVERFLOW, index)
+
+            core.pmu.on_overflow = on_overflow
+
+    def _record_metrics(self, run_wall: float, collect_wall: float,
+                        result: RunResult) -> None:
+        """Fill the self-telemetry registry from totals the run kept anyway
+        (one pass per run, nothing per simulated event)."""
+        reg = self.metrics
+        k = self.kernel_counters
+        reg.counter("sim_events").add(self._n_steps)
+        reg.counter("context_switches").add(k.n_context_switches)
+        reg.counter("preemptions").add(
+            sum(t.n_preemptions for t in self.threads.values())
+        )
+        reg.counter("pmis").add(k.n_pmis)
+        reg.counter("counter_overflows").add(k.n_counter_overflows)
+        reg.counter("timer_ticks").add(k.n_timer_ticks)
+        reg.counter("syscalls").add(k.syscall_total())
+        reg.counter("futex_waits").add(k.n_futex_waits)
+        reg.counter("futex_wakes").add(k.n_futex_wakes)
+        reg.counter("samples").add(k.n_samples)
+        reg.counter("steals").add(k.n_steals)
+        reg.counter("read_restarts").add(
+            sum(t.read_restarts for t in self.threads.values())
+        )
+        reg.counter("threads").add(len(self.threads))
+        reg.counter("trace_events").add(len(self.obs.events))
+        reg.gauge("sim_cycles").set(result.wall_cycles)
+        if run_wall > 0:
+            reg.gauge("sim_events_per_sec").set(self._n_steps / run_wall)
+            reg.gauge("sim_cycles_per_sec").set(result.wall_cycles / run_wall)
+        reg.timer("wall.engine_run").add(run_wall)
+        reg.timer("wall.collect").add(collect_wall)
+
+    # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
 
@@ -277,9 +368,23 @@ class Engine:
         for spec in specs:
             thread = self._create_thread(spec.factory, spec.name, at=0)
             self._make_ready(thread, at=0)
+        t0 = time.perf_counter()
         self._main_loop()
+        run_wall = time.perf_counter() - t0
         self._finished = True
-        return self._collect()
+        t1 = time.perf_counter()
+        result = self._collect()
+        collect_wall = time.perf_counter() - t1
+        if self.metrics.enabled:
+            self._record_metrics(run_wall, collect_wall, result)
+            result.metrics = self.metrics.snapshot()
+        if self._collector is not None:
+            self._collector.record_run(
+                result,
+                wall_seconds=run_wall + collect_wall,
+                sim_events=self._n_steps,
+            )
+        return result
 
     def thread(self, tid: int) -> SimThread:
         try:
@@ -301,7 +406,9 @@ class Engine:
     def _main_loop(self) -> None:
         cores = self.machine.cores
         max_cycles = self.config.max_cycles
+        n_steps = 0
         while self.live_count > 0:
+            n_steps += 1
             active = [c for c in cores if not c.parked]
             t_next = min((c.now for c in active), default=None)
             while self._sleep_heap and (
@@ -327,8 +434,11 @@ class Engine:
                     f"simulation exceeded max_cycles={max_cycles}"
                 )
             self._step(core)
+        self._n_steps = n_steps
 
     def _step(self, core: Core) -> None:
+        if self._tracing:
+            self._acting_core = core
         tid = core.current_tid
         if tid is None:
             self._dispatch(core)
@@ -381,8 +491,8 @@ class Engine:
             core.parked = False
             if at > core.now:
                 core.now = at
-        if self.config.trace:
-            self.trace.append((at, core_id, thread.tid, "ready", thread.name))
+        if self._tracing:
+            self.obs.emit(at, core_id, thread.tid, tr.READY, thread.name)
 
     def _finish_thread(self, core: Core, thread: SimThread) -> None:
         if thread.owned_locks:
@@ -401,8 +511,8 @@ class Engine:
         self.live_count -= 1
         for waiter in self._join_waiters.pop(thread.tid, []):
             self._make_ready(self.threads[waiter], at=core.now)
-        if self.config.trace:
-            self.trace.append((core.now, core.core_id, thread.tid, "exit", thread.name))
+        if self._tracing:
+            self.obs.emit(core.now, core.core_id, thread.tid, tr.EXIT, thread.name)
 
     # ------------------------------------------------------------------
     # scheduling
@@ -429,9 +539,9 @@ class Engine:
         thread.core_id = core.core_id
         thread.state = ThreadState.RUNNING
         core.current_tid = thread.tid
-        if self.config.trace:
-            self.trace.append(
-                (core.now, core.core_id, thread.tid, "switch_in", thread.name)
+        if self._tracing:
+            self.obs.emit(
+                core.now, core.core_id, thread.tid, tr.SWITCH_IN, thread.name
             )
         # Restore the thread's counters FIRST, then charge the switch
         # path: the incoming thread's OS-domain counters must observe the
@@ -465,20 +575,22 @@ class Engine:
         core.current_tid = None
         core.slice_ends_at = None
         core.pmi_due_at = None
-        if self.config.trace:
-            self.trace.append(
-                (core.now, core.core_id, thread.tid, "switch_out", thread.name)
+        if self._tracing:
+            self.obs.emit(
+                core.now, core.core_id, thread.tid, tr.SWITCH_OUT, thread.name
             )
         if requeue:
             thread.state = ThreadState.READY
             thread.available_at = core.now
             self.scheduler.enqueue(thread.tid, core.core_id)
-            if self.config.trace:
-                self.trace.append(
-                    (core.now, core.core_id, thread.tid, "ready", thread.name)
+            if self._tracing:
+                self.obs.emit(
+                    core.now, core.core_id, thread.tid, tr.READY, thread.name
                 )
 
     def _timer_tick(self, core: Core, thread: SimThread) -> None:
+        if self._tracing:
+            self.obs.emit(core.now, core.core_id, thread.tid, tr.TIMER_TICK)
         self.kernel_counters.n_timer_ticks += 1
         self._account_kernel(core, thread, self._costs.timer_tick)
         if thread.mux is not None and len(thread.mux.specs) > 1:
@@ -572,8 +684,8 @@ class Engine:
             self._apply_overflow(core, thread, idx)
         if thread.in_pmc_read:
             thread.pmc_read_interrupted = True
-        if self.config.trace:
-            self.trace.append((core.now, core.core_id, thread.tid, "pmi", tuple(pending)))
+        if self._tracing:
+            self.obs.emit(core.now, core.core_id, thread.tid, tr.PMI, tuple(pending))
 
     # ------------------------------------------------------------------
     # accounting
@@ -747,28 +859,52 @@ class Engine:
             thread.n_syscalls += 1
             table = self.kernel_counters.n_syscalls
             table[op.name] = table.get(op.name, 0) + 1
-            ex.set_phase(costs.syscall_entry, KERNEL_RATES, Domain.KERNEL, False)
+            self._begin_syscall(core, thread, ex, op.name)
         elif isinstance(op, ops.SpawnThread):
             ex.stage = "entry"
             thread.n_syscalls += 1
             table = self.kernel_counters.n_syscalls
             table["clone"] = table.get("clone", 0) + 1
-            ex.set_phase(costs.syscall_entry, KERNEL_RATES, Domain.KERNEL, False)
+            self._begin_syscall(core, thread, ex, "clone")
         elif isinstance(op, ops.JoinThread):
             ex.stage = "entry"
             thread.n_syscalls += 1
-            ex.set_phase(costs.syscall_entry, KERNEL_RATES, Domain.KERNEL, False)
+            self._begin_syscall(core, thread, ex, "join")
         elif isinstance(op, ops.Sleep):
             ex.stage = "entry"
             thread.n_syscalls += 1
-            ex.set_phase(costs.syscall_entry, KERNEL_RATES, Domain.KERNEL, False)
+            self._begin_syscall(core, thread, ex, "sleep")
         elif isinstance(op, ops.YieldCpu):
             ex.stage = "entry"
             thread.n_syscalls += 1
-            ex.set_phase(costs.syscall_entry, KERNEL_RATES, Domain.KERNEL, False)
+            self._begin_syscall(core, thread, ex, "yield")
         else:
             raise SimulationError(f"thread {thread.name!r} yielded non-op {op!r}")
         return ex
+
+    def _begin_syscall(
+        self, core: Core, thread: SimThread, ex: _OpExec, name: str
+    ) -> None:
+        """Common entry path of every syscall-class op: trace + entry phase."""
+        ex.data["sys_name"] = name
+        if self._tracing:
+            self.obs.emit(
+                core.now, core.core_id, thread.tid, tr.SYSCALL_ENTER, name
+            )
+        ex.set_phase(
+            self._costs.syscall_entry, KERNEL_RATES, Domain.KERNEL, False
+        )
+
+    def _end_syscall(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
+        """Trace the kernel->user return of a syscall-class op."""
+        if self._tracing:
+            self.obs.emit(
+                core.now,
+                core.core_id,
+                thread.tid,
+                tr.SYSCALL_EXIT,
+                ex.data.get("sys_name"),
+            )
 
     # -- op advance ----------------------------------------------------------
 
@@ -785,6 +921,10 @@ class Engine:
         elif isinstance(op, ops.PmcReadBegin):
             thread.in_pmc_read = True
             thread.pmc_read_interrupted = False
+            if self._tracing:
+                self.obs.emit(
+                    core.now, core.core_id, thread.tid, tr.PMC_READ_BEGIN
+                )
             self._complete(thread, None)
         elif isinstance(op, ops.PmcReadEnd):
             ok = (
@@ -795,6 +935,10 @@ class Engine:
             thread.pmc_read_interrupted = False
             if not ok:
                 thread.read_restarts += 1
+            if self._tracing:
+                self.obs.emit(
+                    core.now, core.core_id, thread.tid, tr.PMC_READ_END, ok
+                )
             self._complete(thread, ok)
         elif isinstance(op, ops.LoadVAccum):
             try:
@@ -866,6 +1010,10 @@ class Engine:
         self._complete(thread, value)
 
     def _adv_region_begin(self, core: Core, thread: SimThread, op: ops.RegionBegin) -> None:
+        if self._tracing:
+            self.obs.emit(
+                core.now, core.core_id, thread.tid, tr.REGION_BEGIN, op.name
+            )
         thread.region_stack.append(op.name)
         if op.name not in thread.regions:
             thread.regions[op.name] = RegionTruth(name=op.name)
@@ -891,6 +1039,10 @@ class Engine:
             self._region_log_budget -= 1
         if thread.profiler is not None:
             thread.profiler.on_exit(thread.tid, name, core.now)
+        if self._tracing:
+            self.obs.emit(
+                core.now, core.core_id, thread.tid, tr.REGION_END, name
+            )
         self._complete(thread, None)
 
     # -- locks ---------------------------------------------------------------
@@ -911,9 +1063,9 @@ class Engine:
                     slept=ex.data["slept"],
                 )
                 thread.owned_locks.add(op.lock)
-                if self.config.trace:
-                    self.trace.append(
-                        (core.now, core.core_id, thread.tid, "lock_acq", op.lock)
+                if self._tracing:
+                    self.obs.emit(
+                        core.now, core.core_id, thread.tid, tr.LOCK_ACQ, op.lock
                     )
                 self._complete(thread, None)
                 return
@@ -962,9 +1114,9 @@ class Engine:
             lock = self.locks.get(op.lock)
             lock.release(thread.tid, core.now)
             thread.owned_locks.discard(op.lock)
-            if self.config.trace:
-                self.trace.append(
-                    (core.now, core.core_id, thread.tid, "lock_rel", op.lock)
+            if self._tracing:
+                self.obs.emit(
+                    core.now, core.core_id, thread.tid, tr.LOCK_REL, op.lock
                 )
             if lock.n_sleepers > 0:
                 ex.stage = "wbody"
@@ -1042,6 +1194,7 @@ class Engine:
                     raise SimulationError(f"bad block kind {kind!r}")
             return
         if ex.stage == "exit":
+            self._end_syscall(core, thread, ex)
             exc = ex.data.get("exc")
             if exc is not None:
                 self._throw(thread, exc)
@@ -1065,6 +1218,7 @@ class Engine:
             ex.set_phase(costs.syscall_exit, KERNEL_RATES, Domain.KERNEL, False)
             return
         if ex.stage == "exit":
+            self._end_syscall(core, thread, ex)
             self._complete(thread, ex.data["result"])
             return
         raise SimulationError(f"bad SpawnThread stage {ex.stage!r}")
@@ -1087,6 +1241,7 @@ class Engine:
                 self._block(core, thread, ("join", op.tid))
             return
         if ex.stage == "exit":
+            self._end_syscall(core, thread, ex)
             exc = ex.data.get("exc")
             if exc is not None:
                 self._throw(thread, exc)
@@ -1112,6 +1267,7 @@ class Engine:
             self._block(core, thread, ("sleep", op.cycles))
             return
         if ex.stage == "exit":
+            self._end_syscall(core, thread, ex)
             self._complete(thread, None)
             return
         raise SimulationError(f"bad Sleep stage {ex.stage!r}")
@@ -1127,6 +1283,7 @@ class Engine:
             ex.set_phase(costs.syscall_exit, KERNEL_RATES, Domain.KERNEL, False)
             return
         if ex.stage == "exit":
+            self._end_syscall(core, thread, ex)
             self._complete(thread, None)
             if self.scheduler.queue_length(core.core_id) > 0:
                 self._switch_out(core, thread, requeue=True)

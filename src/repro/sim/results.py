@@ -8,6 +8,8 @@ Accuracy experiments compare tool observations against these.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -130,6 +132,8 @@ class RunResult:
     locks: dict[str, LockStats]
     samples: list[SampleRecord]
     trace: list[tuple] = field(default_factory=list)
+    #: simulator self-telemetry (host-side; excluded from fingerprint())
+    metrics: dict[str, float] = field(default_factory=dict)
 
     # -- lookups -----------------------------------------------------------
 
@@ -192,6 +196,93 @@ class RunResult:
 
     def samples_in_region(self, region: str) -> list[SampleRecord]:
         return [s for s in self.samples if s.region == region]
+
+    def fingerprint(self) -> str:
+        """Digest of every *simulated* quantity in this result.
+
+        Deliberately excludes the host-side extras (``trace``, ``metrics``)
+        and the config: two runs of the same workload must produce the same
+        fingerprint whether or not tracing/metrics were on. The
+        zero-perturbation property tests rest on this.
+        """
+        def thread_dict(t: ThreadResult) -> dict:
+            return {
+                "tid": t.tid,
+                "name": t.name,
+                "started_at": t.started_at,
+                "finished_at": t.finished_at,
+                "user_cycles": t.user_cycles,
+                "kernel_cycles": t.kernel_cycles,
+                "n_context_switches": t.n_context_switches,
+                "n_preemptions": t.n_preemptions,
+                "n_migrations": t.n_migrations,
+                "n_cross_socket_migrations": t.n_cross_socket_migrations,
+                "n_syscalls": t.n_syscalls,
+                "read_restarts": t.read_restarts,
+                "events_user": {e.name: n for e, n in sorted(
+                    t.events_user.items(), key=lambda kv: kv[0].name)},
+                "events_kernel": {e.name: n for e, n in sorted(
+                    t.events_kernel.items(), key=lambda kv: kv[0].name)},
+                "regions": {
+                    name: {
+                        "invocations": r.invocations,
+                        "events": {e.name: n for e, n in sorted(
+                            r.events.items(), key=lambda kv: kv[0].name)},
+                        "kernel_cycles": r.kernel_cycles,
+                        "exec_cycles": r.exec_cycles,
+                        "wall_cycles": r.wall_cycles,
+                    }
+                    for name, r in sorted(t.regions.items())
+                },
+            }
+
+        payload = {
+            "wall_cycles": self.wall_cycles,
+            "threads": {tid: thread_dict(t) for tid, t in sorted(self.threads.items())},
+            "cores": [
+                {
+                    "core_id": c.core_id,
+                    "final_time": c.final_time,
+                    "busy_cycles": c.busy_cycles,
+                    "user_cycles": c.user_cycles,
+                    "kernel_cycles": c.kernel_cycles,
+                }
+                for c in self.cores
+            ],
+            "kernel": {
+                "n_context_switches": self.kernel.n_context_switches,
+                "n_timer_ticks": self.kernel.n_timer_ticks,
+                "n_pmis": self.kernel.n_pmis,
+                "n_counter_overflows": self.kernel.n_counter_overflows,
+                "n_samples": self.kernel.n_samples,
+                "n_syscalls": dict(sorted(self.kernel.n_syscalls.items())),
+                "n_futex_waits": self.kernel.n_futex_waits,
+                "n_futex_wakes": self.kernel.n_futex_wakes,
+                "n_steals": self.kernel.n_steals,
+            },
+            "locks": {
+                name: {
+                    "n_acquires": s.n_acquires,
+                    "n_contended": s.n_contended,
+                    "n_futex_sleeps": s.n_futex_sleeps,
+                    "hold_cycles": s.hold_cycles,
+                    "wait_cycles": s.wait_cycles,
+                }
+                for name, s in sorted(self.locks.items())
+            },
+            "samples": [
+                {
+                    "time": s.time,
+                    "tid": s.tid,
+                    "region": s.region,
+                    "event": s.event.name,
+                    "fd": s.fd,
+                }
+                for s in self.samples
+            ],
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
 
     def check_conservation(self) -> None:
         """Assert the core accounting invariants; raises SimulationError.

@@ -1,0 +1,154 @@
+"""Trace toolbox: summarize, convert and filter JSONL trace files.
+
+Usage::
+
+    python -m repro.trace summarize traces/e1.jsonl
+    python -m repro.trace convert traces/e1.jsonl -o e1.trace.json \
+        --freq-ghz 2.4 --label "E1 quick"      # JSONL -> Perfetto
+    python -m repro.trace filter traces/e1.jsonl --kind syscall_enter \
+        --tid 3 -o subset.jsonl                # subset, still JSONL
+    python -m repro.trace kinds                # list known event kinds
+
+The JSONL files come from ``python -m repro.experiments --trace-dir`` or
+``python -m repro run --trace-dir`` (see :mod:`repro.obs.export`). The
+``convert`` output loads in https://ui.perfetto.dev or ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.common.errors import ReproError
+from repro.common.units import Frequency
+from repro.obs import trace as tr
+from repro.obs.export import (
+    events_to_jsonl,
+    perfetto_document,
+    read_jsonl,
+    summarize_events,
+)
+
+
+def _cmd_summarize(args) -> int:
+    events = read_jsonl(args.file)
+    summary = summarize_events(events)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(f"{args.file}: {summary['n_events']} events, "
+          f"cycles {summary['t_first']}..{summary['t_last']}")
+    print()
+    print("by kind")
+    for kind, n in summary["by_kind"].items():
+        print(f"  {kind:<16} {n}")
+    print()
+    print("by tid")
+    for tid, n in summary["by_tid"].items():
+        print(f"  tid {tid:<12} {n}")
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    events = read_jsonl(args.file)
+    frequency = Frequency(round(args.freq_ghz * 1e9))
+    label = args.label or Path(args.file).stem
+    doc = perfetto_document([(label, events, frequency, None)])
+    out = Path(args.out) if args.out else Path(args.file).with_suffix(".trace.json")
+    out.write_text(json.dumps(doc) + "\n")
+    print(f"wrote {out} ({len(doc['traceEvents'])} trace events)")
+    return 0
+
+
+def _cmd_filter(args) -> int:
+    events = read_jsonl(args.file)
+    kinds = set(args.kind or [])
+    unknown = kinds - tr.KINDS
+    if unknown:
+        print(f"warning: unknown kind(s): {', '.join(sorted(unknown))}",
+              file=sys.stderr)
+    kept = [
+        e
+        for e in events
+        if (not kinds or e.kind in kinds)
+        and (args.tid is None or e.tid == args.tid)
+        and (args.core is None or e.core == args.core)
+        and (args.after is None or e.time >= args.after)
+        and (args.before is None or e.time < args.before)
+    ]
+    if args.out:
+        n = events_to_jsonl(kept, args.out)
+        print(f"wrote {args.out} ({n}/{len(events)} events kept)")
+    else:
+        from repro.obs.export import event_to_dict
+
+        for e in kept:
+            print(json.dumps(event_to_dict(e), separators=(",", ":")))
+    return 0
+
+
+def _cmd_kinds(args) -> int:
+    for kind in sorted(tr.KINDS):
+        print(f"{kind:<16} {tr.KIND_DESCRIPTIONS.get(kind, '')}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Summarize, convert and filter simulator trace files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sum_p = sub.add_parser("summarize", help="event counts and time span")
+    sum_p.add_argument("file", help="JSONL trace file")
+    sum_p.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+
+    conv_p = sub.add_parser("convert", help="JSONL -> Perfetto trace_event JSON")
+    conv_p.add_argument("file", help="JSONL trace file")
+    conv_p.add_argument("-o", "--out", help="output path "
+                        "(default: <file>.trace.json)")
+    conv_p.add_argument("--freq-ghz", type=float, default=2.4,
+                        help="simulated clock for cycle->us conversion")
+    conv_p.add_argument("--label", help="process label in the trace UI")
+
+    filt_p = sub.add_parser("filter", help="subset a JSONL trace")
+    filt_p.add_argument("file", help="JSONL trace file")
+    filt_p.add_argument("--kind", action="append",
+                        help="keep this kind (repeatable)")
+    filt_p.add_argument("--tid", type=int, help="keep this thread only")
+    filt_p.add_argument("--core", type=int, help="keep this core only")
+    filt_p.add_argument("--after", type=int, metavar="CYCLE",
+                        help="keep events at/after this cycle")
+    filt_p.add_argument("--before", type=int, metavar="CYCLE",
+                        help="keep events before this cycle")
+    filt_p.add_argument("-o", "--out", help="write JSONL here "
+                        "(default: print to stdout)")
+
+    sub.add_parser("kinds", help="list known trace event kinds")
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "summarize":
+            return _cmd_summarize(args)
+        if args.command == "convert":
+            return _cmd_convert(args)
+        if args.command == "filter":
+            return _cmd_filter(args)
+        if args.command == "kinds":
+            return _cmd_kinds(args)
+    except BrokenPipeError:
+        # stdout piped into e.g. `head`; normal usage, not an error
+        return 0
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,189 @@
+"""Exporter round-trips: JSONL, Perfetto, manifests, summaries.
+
+Also pins the refactor-safety property the tentpole promised: building a
+timeline from the typed trace bus gives exactly the intervals the old
+plain-tuple trace gave.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.timeline import build_timelines
+from repro.common.config import KernelConfig, MachineConfig, SimConfig
+from repro.common.errors import ReproError
+from repro.hw.events import EventRates
+from repro.obs import trace as tr
+from repro.obs.export import (
+    events_to_jsonl,
+    perfetto_document,
+    perfetto_events,
+    read_jsonl,
+    read_manifest,
+    summarize_events,
+    write_manifest,
+    write_perfetto,
+)
+from repro.obs.trace import TraceEvent
+from repro.sim.engine import run_program
+from repro.sim.ops import Compute, LockAcquire, LockRelease
+from repro.sim.program import ThreadSpec
+
+RATES = EventRates.profile(ipc=1.0)
+
+
+def traced_result(n_threads=2, seed=3):
+    def worker(ctx):
+        for i in range(4):
+            yield Compute(20_000, RATES)
+            yield LockAcquire("L")
+            yield Compute(2_000, RATES)
+            yield LockRelease("L")
+
+    config = SimConfig(
+        machine=MachineConfig(n_cores=2),
+        kernel=KernelConfig(timeslice_cycles=10_000),
+        seed=seed,
+        trace=True,
+    )
+    return run_program(
+        [ThreadSpec(f"w{i}", worker) for i in range(n_threads)], config
+    )
+
+
+class TestJsonlRoundTrip:
+    def test_lossless(self, tmp_path):
+        result = traced_result()
+        path = tmp_path / "t.jsonl"
+        n = events_to_jsonl(result.trace, path)
+        assert n == len(result.trace)
+        back = read_jsonl(path)
+        assert back == list(result.trace)
+
+    def test_tuple_args_survive(self, tmp_path):
+        events = [
+            TraceEvent(5, 0, 1, tr.PMI, (0, 2)),
+            TraceEvent(9, 1, 2, tr.FUTEX_WAKE, ("lk", 3)),
+        ]
+        path = tmp_path / "t.jsonl"
+        events_to_jsonl(events, path)
+        back = read_jsonl(path)
+        assert back == events
+        assert isinstance(back[0].arg, tuple)
+
+    def test_bad_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"t": 1}\nnot json\n')
+        with pytest.raises(ReproError):
+            read_jsonl(path)
+
+    def test_ordering_preserved(self, tmp_path):
+        result = traced_result()
+        path = tmp_path / "t.jsonl"
+        events_to_jsonl(result.trace, path)
+        back = read_jsonl(path)
+        assert [e.time for e in back] == [e.time for e in result.trace]
+
+
+class TestPerfetto:
+    def test_document_is_json_and_loadable_shape(self, tmp_path):
+        result = traced_result()
+        names = {tid: t.name for tid, t in result.threads.items()}
+        path = tmp_path / "t.trace.json"
+        write_perfetto(
+            path,
+            [("run", list(result.trace),
+              result.config.machine.frequency, names)],
+        )
+        doc = json.loads(path.read_text())
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["traceEvents"], "no events exported"
+        for e in doc["traceEvents"]:
+            assert e["ph"] in ("M", "X", "i", "b", "e")
+
+    def test_run_slices_match_trace_switch_pairs(self):
+        result = traced_result()
+        evs = perfetto_events(result.trace)
+        slices = [e for e in evs if e["ph"] == "X"]
+        switch_ins = [e for e in result.trace if e[3] == "switch_in"]
+        assert len(slices) == len(switch_ins)
+
+    def test_thread_names_in_metadata(self):
+        result = traced_result()
+        evs = perfetto_events(result.trace)
+        names = {
+            e["args"]["name"]
+            for e in evs
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert {"w0", "w1"} <= names
+
+    def test_multi_run_document_distinct_pids(self):
+        r1, r2 = traced_result(seed=1), traced_result(seed=2)
+        doc = perfetto_document(
+            [
+                ("a", list(r1.trace), r1.config.machine.frequency, None),
+                ("b", list(r2.trace), r2.config.machine.frequency, None),
+            ]
+        )
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert pids == {0, 1}
+
+    def test_instants_carry_core_and_arg(self):
+        result = traced_result()
+        evs = perfetto_events(result.trace)
+        locks = [e for e in evs if e["ph"] == "i" and "lock_acq" in e["name"]]
+        assert locks
+        assert all("core" in e["args"] for e in locks)
+
+
+class TestTimelineEquivalence:
+    def test_bus_trace_equals_plain_tuple_trace(self):
+        """The refactor guarantee: timelines built from TraceEvents match
+        timelines built from the same records as plain tuples."""
+        result = traced_result()
+        from_bus = build_timelines(result)
+        result.trace = [tuple(e) for e in result.trace]
+        from_tuples = build_timelines(result)
+        assert set(from_bus) == set(from_tuples)
+        for tid in from_bus:
+            assert from_bus[tid].intervals == from_tuples[tid].intervals
+
+    def test_jsonl_round_trip_preserves_timeline(self, tmp_path):
+        result = traced_result()
+        original = build_timelines(result)
+        path = tmp_path / "t.jsonl"
+        events_to_jsonl(result.trace, path)
+        result.trace = read_jsonl(path)
+        rebuilt = build_timelines(result)
+        for tid in original:
+            assert original[tid].intervals == rebuilt[tid].intervals
+
+
+class TestSummaries:
+    def test_summary_counts(self):
+        result = traced_result()
+        summary = summarize_events(result.trace)
+        assert summary["n_events"] == len(result.trace)
+        assert sum(summary["by_kind"].values()) == len(result.trace)
+        assert sum(summary["by_tid"].values()) == len(result.trace)
+        assert summary["t_first"] <= summary["t_last"]
+
+    def test_empty(self):
+        summary = summarize_events([])
+        assert summary["n_events"] == 0
+
+
+class TestManifest:
+    def test_round_trip_stamps_schema(self, tmp_path):
+        path = tmp_path / "m.json"
+        write_manifest(path, {"experiments": []})
+        data = read_manifest(path)
+        assert data["schema"] == "repro.obs/manifest/v1"
+        assert data["experiments"] == []
+
+    def test_rejects_non_manifest(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(ReproError):
+            read_manifest(path)

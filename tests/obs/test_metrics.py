@@ -1,0 +1,72 @@
+"""Tests of the self-telemetry metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestCounters:
+    def test_inc_and_add(self):
+        reg = MetricsRegistry()
+        c = reg.counter("steps")
+        c.inc()
+        c.add(4)
+        assert reg.snapshot()["steps"] == 5
+
+    def test_create_or_get(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+
+class TestGauges:
+    def test_set(self):
+        reg = MetricsRegistry()
+        reg.gauge("cycles").set(123)
+        reg.gauge("cycles").set(456)
+        assert reg.snapshot()["cycles"] == 456
+
+
+class TestTimers:
+    def test_add_seconds(self):
+        reg = MetricsRegistry()
+        t = reg.timer("run")
+        t.add(0.25)
+        t.add(0.5)
+        snap = reg.snapshot()
+        assert snap["run_seconds"] == pytest.approx(0.75)
+        assert snap["run_calls"] == 2
+
+    def test_context_manager(self):
+        reg = MetricsRegistry()
+        with reg.timer("block").time():
+            pass
+        snap = reg.snapshot()
+        assert snap["block_seconds"] >= 0.0
+        assert snap["block_calls"] == 1
+
+
+class TestDisabledRegistry:
+    def test_disabled_registry_records_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("a").inc()
+        reg.gauge("b").set(9)
+        reg.timer("c").add(1.0)
+        with reg.timer("c").time():
+            pass
+        assert reg.snapshot() == {}
+
+    def test_disabled_objects_are_null(self):
+        reg = MetricsRegistry(enabled=False)
+        # same null object handed out every time: no per-call allocation
+        assert reg.counter("a") is reg.counter("b")
+
+
+class TestSnapshot:
+    def test_flat_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc()
+        reg.gauge("a").set(1)
+        reg.timer("m").add(0.1)
+        snap = reg.snapshot()
+        assert list(snap) == sorted(snap)
+        assert all(isinstance(v, (int, float)) for v in snap.values())

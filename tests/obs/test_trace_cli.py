@@ -1,0 +1,127 @@
+"""Tests of the ``python -m repro.trace`` toolbox."""
+
+import json
+
+from repro import trace as trace_cli
+from repro.common.config import KernelConfig, MachineConfig, SimConfig
+from repro.hw.events import EventRates
+from repro.obs.export import events_to_jsonl, read_jsonl
+from repro.sim.engine import run_program
+from repro.sim.ops import Compute, LockAcquire, LockRelease
+from repro.sim.program import ThreadSpec
+
+RATES = EventRates.profile(ipc=1.0)
+
+
+def make_jsonl(tmp_path):
+    def worker(ctx):
+        for _ in range(3):
+            yield Compute(20_000, RATES)
+            yield LockAcquire("L")
+            yield Compute(1_000, RATES)
+            yield LockRelease("L")
+
+    config = SimConfig(
+        machine=MachineConfig(n_cores=2),
+        kernel=KernelConfig(timeslice_cycles=10_000),
+        seed=5,
+        trace=True,
+    )
+    result = run_program(
+        [ThreadSpec("a", worker), ThreadSpec("b", worker)], config
+    )
+    path = tmp_path / "run.jsonl"
+    events_to_jsonl(result.trace, path)
+    return path, result
+
+
+class TestSummarize:
+    def test_text(self, tmp_path, capsys):
+        path, result = make_jsonl(tmp_path)
+        assert trace_cli.main(["summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"{len(result.trace)} events" in out
+        assert "lock_acq" in out
+
+    def test_json(self, tmp_path, capsys):
+        path, result = make_jsonl(tmp_path)
+        assert trace_cli.main(["summarize", str(path), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["n_events"] == len(result.trace)
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        rc = trace_cli.main(["summarize", str(tmp_path / "nope.jsonl")])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestConvert:
+    def test_writes_perfetto(self, tmp_path, capsys):
+        path, _ = make_jsonl(tmp_path)
+        out = tmp_path / "run.trace.json"
+        rc = trace_cli.main(
+            ["convert", str(path), "-o", str(out), "--label", "demo"]
+        )
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+        labels = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert labels == {"demo"}
+
+    def test_default_output_path(self, tmp_path):
+        path, _ = make_jsonl(tmp_path)
+        assert trace_cli.main(["convert", str(path)]) == 0
+        assert (tmp_path / "run.trace.json").exists()
+
+
+class TestFilter:
+    def test_by_kind_to_file(self, tmp_path, capsys):
+        path, result = make_jsonl(tmp_path)
+        out = tmp_path / "locks.jsonl"
+        rc = trace_cli.main(
+            ["filter", str(path), "--kind", "lock_acq", "-o", str(out)]
+        )
+        assert rc == 0
+        kept = read_jsonl(out)
+        assert kept
+        assert all(e.kind == "lock_acq" for e in kept)
+        expected = [e for e in result.trace if e[3] == "lock_acq"]
+        assert len(kept) == len(expected)
+
+    def test_by_tid_stdout(self, tmp_path, capsys):
+        path, _ = make_jsonl(tmp_path)
+        rc = trace_cli.main(["filter", str(path), "--tid", "1"])
+        assert rc == 0
+        lines = [
+            json.loads(l) for l in capsys.readouterr().out.splitlines() if l
+        ]
+        assert lines
+        assert all(rec["tid"] == 1 for rec in lines)
+
+    def test_time_window(self, tmp_path, capsys):
+        path, result = make_jsonl(tmp_path)
+        mid = max(e[0] for e in result.trace) // 2
+        rc = trace_cli.main(["filter", str(path), "--before", str(mid)])
+        assert rc == 0
+        lines = [
+            json.loads(l) for l in capsys.readouterr().out.splitlines() if l
+        ]
+        assert all(rec["t"] < mid for rec in lines)
+
+    def test_unknown_kind_warns(self, tmp_path, capsys):
+        path, _ = make_jsonl(tmp_path)
+        rc = trace_cli.main(["filter", str(path), "--kind", "nonsense"])
+        assert rc == 0
+        assert "unknown kind" in capsys.readouterr().err
+
+
+class TestKinds:
+    def test_lists_catalog(self, capsys):
+        assert trace_cli.main(["kinds"]) == 0
+        out = capsys.readouterr().out
+        assert "switch_in" in out
+        assert "pmc_read_end" in out
