@@ -24,7 +24,7 @@ experiments-quick:
 trace-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments --quick E1 \
 		--manifest results/smoke/manifest.json --trace-dir results/smoke/traces
-	PYTHONPATH=src $(PYTHON) -m repro.trace summarize results/smoke/traces/e1.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro.trace summarize results/smoke/traces/e1.quick.jsonl
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f || exit 1; done

@@ -8,6 +8,12 @@ qualitative claim still holds, and writes the rendered artifact to
 Pass ``--bench-obs [PATH]`` to additionally dump per-benchmark simulator
 telemetry — wall seconds, engine runs, simulated cycles and sim events/sec
 — as JSON (default ``BENCH_obs.json`` in the working directory).
+
+Pass ``--bench-cache-dir DIR`` to enable the fabric result cache for the
+session: fabric-converted experiments replay their runs from DIR, and each
+benchmark's record gains that run's hit/miss counters. Useful to measure
+harness overhead in isolation — with a warm cache the timer sees everything
+*except* simulation.
 """
 
 from __future__ import annotations
@@ -18,6 +24,8 @@ from pathlib import Path
 
 import pytest
 
+from repro import fabric
+from repro.experiments.runner import artifact_stem
 from repro.obs import runtime as obs_runtime
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
@@ -37,6 +45,18 @@ def pytest_addoption(parser):
         help="dump per-benchmark wall time and sim events/sec as JSON "
         "(default: BENCH_obs.json)",
     )
+    parser.addoption(
+        "--bench-cache-dir",
+        default=None,
+        metavar="DIR",
+        help="enable the fabric result cache under DIR for this session",
+    )
+
+
+def pytest_configure(config):
+    cache_dir = config.getoption("--bench-cache-dir")
+    if cache_dir:
+        fabric.configure(cache_dir=cache_dir)
 
 
 @pytest.fixture(scope="session")
@@ -51,17 +71,19 @@ def regenerate(benchmark, results_dir, request):
     rendered artifact, and return the ExperimentResult."""
 
     def _run(run_fn, quick: bool = True):
+        cache = fabric.current().cache
+        stats_before = cache.stats.copy() if cache is not None else None
         with obs_runtime.collect(label=request.node.name) as collector:
             started = time.perf_counter()
             result = benchmark.pedantic(
                 lambda: run_fn(quick=quick), rounds=1, iterations=1
             )
             wall = time.perf_counter() - started
-        path = results_dir / f"{result.exp_id.lower()}.txt"
+        path = results_dir / f"{artifact_stem(result.exp_id, quick)}.txt"
         path.write_text(result.render() + "\n")
         for key, value in result.metrics.items():
             benchmark.extra_info[key] = round(float(value), 6)
-        _OBS_RECORDS[request.node.name] = {
+        record = {
             "exp_id": result.exp_id,
             "wall_seconds": wall,
             "engine_runs": collector.n_runs,
@@ -69,6 +91,9 @@ def regenerate(benchmark, results_dir, request):
             "sim_events": collector.sim_events,
             "sim_events_per_sec": collector.sim_events / wall if wall > 0 else 0.0,
         }
+        if cache is not None:
+            record["cache"] = cache.stats.delta(stats_before).as_dict()
+        _OBS_RECORDS[request.node.name] = record
         return result
 
     return _run

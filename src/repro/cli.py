@@ -76,6 +76,11 @@ def _workload_catalog():
     }
 
 
+def build_workload_specs(name: str, scale: float):
+    """Thread specs for a catalog workload (fabric job factory)."""
+    return _workload_catalog()[name](scale).build()
+
+
 def _cmd_list(args) -> int:
     for name in sorted(_workload_catalog()):
         print(name)
@@ -99,13 +104,41 @@ def _cmd_run(args) -> int:
         seed=args.seed,
         trace=args.gantt,
     )
-    workload = factory(args.scale)
     want_traces = args.trace_dir is not None
+    cache = None
+    cache_dir = args.cache_dir
+    if cache_dir is None and args.cache:
+        from repro.fabric import default_cache_dir
+
+        cache_dir = default_cache_dir()
+    if args.no_cache:
+        cache_dir = None
+    # Traces and gantt timelines must come from a real execution.
+    if cache_dir and not want_traces and not args.gantt:
+        from repro.fabric import ResultCache
+
+        cache = ResultCache(cache_dir)
+
+    cached = False
     started = time.perf_counter()
     with obs_runtime.collect(
         capture_traces=want_traces, label=args.workload
     ) as collector:
-        result = run_program(workload.build(), config)
+        if cache is not None:
+            from repro import fabric
+
+            outcome = fabric.run_one(
+                fabric.RunJob(
+                    workload="repro.cli.build_workload_specs",
+                    config=config,
+                    kwargs={"name": args.workload, "scale": args.scale},
+                    label=args.workload,
+                ),
+                cache=cache,
+            )
+            result, cached = outcome.result, outcome.cached
+        else:
+            result = run_program(factory(args.scale).build(), config)
     wall = time.perf_counter() - started
     result.check_conservation()
     print(run_report(result))
@@ -145,6 +178,8 @@ def _cmd_run(args) -> int:
                 "context_switches": collector.context_switches,
                 "config_hash": collector.config_hash(),
                 "metrics": collector.metrics_snapshot(),
+                "cached": cached,
+                "cache": cache.stats.as_dict() if cache is not None else None,
             },
         )
         print(f"(wrote {args.manifest})")
@@ -200,6 +235,12 @@ def main(argv: list[str] | None = None) -> int:
                        help="write a machine-readable run manifest (JSON)")
     run_p.add_argument("--trace-dir", type=Path, metavar="DIR",
                        help="capture a trace; write Perfetto + JSONL files here")
+    run_p.add_argument("--cache", action="store_true",
+                       help="reuse cached simulation results (default dir)")
+    run_p.add_argument("--cache-dir", type=Path, metavar="DIR",
+                       help="result cache directory (implies --cache)")
+    run_p.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache")
 
     cal_p = sub.add_parser("calibrate", help="measure per-read costs")
     cal_p.add_argument("--reads", type=int, default=2_000)

@@ -5,17 +5,21 @@ reports the wall-time slowdown per access technique. This is the figure
 behind the paper's argument that LiMiT makes *dense* instrumentation
 practical: at densities where PAPI-class reads multiply runtime, LiMiT
 stays within a few percent.
+
+Each (technique, density) point is an independent engine run, submitted to
+:func:`repro.fabric.run_many` as a picklable job so the sweep parallelises
+and caches.
 """
 
 from __future__ import annotations
 
+from repro import fabric
 from repro.baselines.papi import PapiLikeSession
 from repro.baselines.perf_read import PerfReadSession
 from repro.common.tables import render_series
 from repro.core.limit import LimitSession
 from repro.experiments.base import ExperimentResult, single_core_config
 from repro.hw.events import Event
-from repro.sim.engine import run_program
 from repro.workloads.microbench import DensitySweepWorkload
 
 EXP_ID = "E2"
@@ -32,32 +36,42 @@ TECHNIQUES = {
     "perf_read": lambda: PerfReadSession([Event.CYCLES], name="perf_read"),
 }
 
+_TRIAL = "repro.experiments.e02_overhead_density.density_trial"
+
+
+def density_trial(total: int, density: int, technique: str):
+    """Fabric job factory: the thread specs for one sweep point."""
+    return DensitySweepWorkload(
+        TECHNIQUES.get(technique), total, float(density), technique=technique
+    ).build()
+
 
 def run(quick: bool = False) -> ExperimentResult:
     total = 3_000_000 if quick else 20_000_000
     densities = [2, 16, 64, 256] if quick else [2, 8, 32, 128, 512, 2048]
     config = single_core_config(seed=22)
 
-    def wall(workload: DensitySweepWorkload) -> int:
-        result = run_program(workload.build(), config)
-        result.check_conservation()
-        return result.wall_cycles
+    def job(technique: str, density: int) -> fabric.RunJob:
+        return fabric.RunJob(
+            workload=_TRIAL,
+            config=config,
+            kwargs={"total": total, "density": density, "technique": technique},
+            label=f"{EXP_ID}:{technique}:{density}",
+        )
 
-    baseline = wall(
-        DensitySweepWorkload(None, total, 0.0, technique="none")
-    )
+    jobs = [job("none", 0)]
+    jobs += [job(t, d) for t in TECHNIQUES for d in densities]
+    outcomes = fabric.run_many(jobs)
+    walls = []
+    for outcome in outcomes:
+        outcome.result.check_conservation()
+        walls.append(outcome.result.wall_cycles)
 
+    baseline, rest = walls[0], walls[1:]
     series: dict[str, list[float]] = {}
-    for label, factory in TECHNIQUES.items():
-        slowdowns = []
-        for density in densities:
-            w = wall(
-                DensitySweepWorkload(
-                    factory, total, float(density), technique=label
-                )
-            )
-            slowdowns.append(round(w / baseline, 3))
-        series[label] = slowdowns
+    for t_index, label in enumerate(TECHNIQUES):
+        chunk = rest[t_index * len(densities):(t_index + 1) * len(densities)]
+        series[label] = [round(w / baseline, 3) for w in chunk]
 
     block = render_series(
         "reads/Mcycle",

@@ -14,6 +14,7 @@ against ground truth:
 
 from __future__ import annotations
 
+from repro import fabric
 from repro.analysis.accuracy import relative_error
 from repro.baselines.sampling import SamplingProfiler
 from repro.common.tables import render_table
@@ -21,7 +22,6 @@ from repro.core.limit import LimitSession
 from repro.core.regions import PreciseRegionProfiler
 from repro.experiments.base import ExperimentResult, single_core_config
 from repro.hw.events import Event
-from repro.sim.engine import run_program
 from repro.sim.ops import Compute
 from repro.sim.program import ThreadSpec
 from repro.workloads.base import COMPUTE_RATES
@@ -71,40 +71,92 @@ def _workload(reps: int, profiler: PreciseRegionProfiler | None,
     return [ThreadSpec("precision", program)]
 
 
+class PrecisionTrial:
+    """Fabric job factory for one arm of the precision experiment.
+
+    ``arm`` is ``limit`` (precise region profiler), ``plain`` (baseline)
+    or ``sample`` (PMI sampler with the given period). The measurement
+    tools live and die in the executing process; :meth:`extract` ships
+    their observations back as plain data.
+    """
+
+    def __init__(self, reps: int, arm: str, period: int = 0) -> None:
+        self.reps = reps
+        self.arm = arm
+        self.period = period
+        self.profiler: PreciseRegionProfiler | None = None
+        self.sampler: SamplingProfiler | None = None
+
+    def build(self):
+        if self.arm == "limit":
+            session = LimitSession([Event.CYCLES], name="limit")
+            self.profiler = PreciseRegionProfiler(session)
+        elif self.arm == "sample":
+            self.sampler = SamplingProfiler(
+                Event.CYCLES, self.period, name=f"p{self.period}"
+            )
+        return _workload(self.reps, self.profiler, self.sampler)
+
+    def extract(self, result):
+        if self.profiler is not None:
+            observed = {}
+            for length in REGION_LENGTHS:
+                obs = self.profiler.observation(_region_name(length))
+                observed[length] = (obs.invocations, obs.total)
+            return observed
+        if self.sampler is not None:
+            return {
+                length: self.sampler.estimate_for(result, _region_name(length))
+                for length in REGION_LENGTHS
+            }
+        return None
+
+
+_TRIAL = "repro.experiments.e03_precision.PrecisionTrial"
+
+
 def run(quick: bool = False) -> ExperimentResult:
     reps = 60 if quick else 400
     periods = [50_000, 500_000] if quick else [20_000, 200_000, 2_000_000]
     config = single_core_config(seed=33)
     costs = config.machine.costs
 
+    def job(arm: str, period: int = 0) -> fabric.RunJob:
+        label = f"{EXP_ID}:{arm}" + (f":{period}" if period else "")
+        return fabric.RunJob(
+            workload=_TRIAL,
+            config=config,
+            kwargs={"reps": reps, "arm": arm, "period": period},
+            label=label,
+        )
+
+    jobs = [job("limit"), job("plain")]
+    jobs += [job("sample", period) for period in periods]
+    limit_out, plain_out, *sample_outs = fabric.run_many(jobs)
+
     # -- LiMiT precise measurement ------------------------------------------
-    session = LimitSession([Event.CYCLES], name="limit")
-    profiler = PreciseRegionProfiler(session)
-    limit_result = run_program(_workload(reps, profiler, None), config)
-    limit_result.check_conservation()
+    limit_out.result.check_conservation()
     limit_errors: dict[int, float] = {}
     for length in REGION_LENGTHS:
-        obs = profiler.observation(_region_name(length))
+        invocations, total = limit_out.extra[length]
         # calibrated: subtract the known in-delta read overhead
-        estimate = obs.total - obs.invocations * costs.limit_delta_overhead
-        truth = length * obs.invocations
+        estimate = total - invocations * costs.limit_delta_overhead
+        truth = length * invocations
         limit_errors[length] = relative_error(estimate, truth)
 
     # -- sampling at each period ---------------------------------------------
     sampler_errors: dict[int, dict[int, float]] = {}
     sampler_resolution: dict[int, float] = {}
     sampler_slowdown: dict[int, float] = {}
-    baseline = run_program(_workload(reps, None, None), config)
-    for period in periods:
-        sampler = SamplingProfiler(Event.CYCLES, period, name=f"p{period}")
-        result = run_program(_workload(reps, None, sampler), config)
+    baseline = plain_out.result
+    for period, sample_out in zip(periods, sample_outs):
+        result = sample_out.result
         result.check_conservation()
         errors = {}
         resolved = 0
         for length in REGION_LENGTHS:
-            name = _region_name(length)
-            truth = result.merged_region(name).user_cycles
-            estimate = sampler.estimate_for(result, name)
+            truth = result.merged_region(_region_name(length)).user_cycles
+            estimate = sample_out.extra[length]
             if estimate > 0:
                 resolved += 1
             errors[length] = relative_error(estimate, truth)

@@ -14,12 +14,12 @@ DESIGN.md calls out.
 
 from __future__ import annotations
 
+from repro import fabric
 from repro.baselines.multiplexing import MultiplexedSession
 from repro.common.tables import render_table
 from repro.core.limit import LimitSession
 from repro.experiments.base import ExperimentResult, single_core_config
 from repro.hw.events import Event, EventRates
-from repro.sim.engine import run_program
 from repro.sim.ops import Compute
 from repro.sim.program import ThreadSpec
 
@@ -57,43 +57,98 @@ def _phased_program(session_setup, session_read, n_phases, phase_cycles):
     return program
 
 
+class MuxTrial:
+    """Fabric job factory: the multiplexed arm (3+ events on 1 counter)."""
+
+    def __init__(self, n_phases: int, phase_cycles: int) -> None:
+        self.n_phases = n_phases
+        self.phase_cycles = phase_cycles
+        self.session: MultiplexedSession | None = None
+
+    def build(self):
+        mux = self.session = MultiplexedSession(EVENTS, name="mux")
+
+        def mux_read(ctx):
+            yield from mux.read_all(ctx)
+            yield from mux.teardown(ctx)
+
+        return [
+            ThreadSpec(
+                "mux",
+                _phased_program(
+                    mux.setup, mux_read, self.n_phases, self.phase_cycles
+                ),
+            )
+        ]
+
+    def extract(self, result):
+        return {
+            "estimates": list(self.session.estimates),
+            "worst_error": self.session.worst_relative_error(),
+            "mean_error": self.session.mean_relative_error(),
+        }
+
+
+class LimitTrial:
+    """Fabric job factory: the dedicated-counter (exact) arm."""
+
+    def __init__(self, n_phases: int, phase_cycles: int) -> None:
+        self.n_phases = n_phases
+        self.phase_cycles = phase_cycles
+        self.session: LimitSession | None = None
+
+    def build(self):
+        limit = self.session = LimitSession(EVENTS, name="limit")
+
+        def limit_read(ctx):
+            yield from limit.read_all(ctx)
+            yield from limit.teardown(ctx)
+
+        return [
+            ThreadSpec(
+                "limit",
+                _phased_program(
+                    limit.setup, limit_read, self.n_phases, self.phase_cycles
+                ),
+            )
+        ]
+
+    def extract(self, result):
+        return {
+            "records": list(self.session.records),
+            "max_abs_error": self.session.max_abs_error(),
+        }
+
+
 def run(quick: bool = False) -> ExperimentResult:
     n_phases = 12 if quick else 40
     phase_cycles = 1_000_000  # matches the rotation (timeslice) period
     config = single_core_config(seed=1313)
+    kwargs = {"n_phases": n_phases, "phase_cycles": phase_cycles}
 
-    # -- multiplexed arm: 3 events on 1 counter --------------------------------
-    mux = MultiplexedSession(EVENTS, name="mux")
-
-    def mux_read(ctx):
-        yield from mux.read_all(ctx)
-        yield from mux.teardown(ctx)
-
-    mux_result = run_program(
-        [ThreadSpec("mux", _phased_program(mux.setup, mux_read,
-                                           n_phases, phase_cycles))],
-        config,
+    mux_out, limit_out = fabric.run_many(
+        [
+            fabric.RunJob(
+                workload="repro.experiments.e13_multiplexing.MuxTrial",
+                config=config,
+                kwargs=kwargs,
+                label=f"{EXP_ID}:mux",
+            ),
+            fabric.RunJob(
+                workload="repro.experiments.e13_multiplexing.LimitTrial",
+                config=config,
+                kwargs=kwargs,
+                label=f"{EXP_ID}:limit",
+            ),
+        ]
     )
-    mux_result.check_conservation()
-
-    # -- LiMiT arm: dedicated counters, exact ----------------------------------
-    limit = LimitSession(EVENTS, name="limit")
-
-    def limit_read(ctx):
-        yield from limit.read_all(ctx)
-        yield from limit.teardown(ctx)
-
-    limit_result = run_program(
-        [ThreadSpec("limit", _phased_program(limit.setup, limit_read,
-                                             n_phases, phase_cycles))],
-        config,
-    )
-    limit_result.check_conservation()
+    mux_out.result.check_conservation()
+    limit_out.result.check_conservation()
 
     rows = []
-    for estimate in mux.estimates:
+    for estimate in mux_out.extra["estimates"]:
         limit_record = next(
-            r for r in limit.records if r.event is estimate.event
+            r for r in limit_out.extra["records"] if r.event is estimate.event
         )
         rows.append(
             [
@@ -113,9 +168,9 @@ def run(quick: bool = False) -> ExperimentResult:
         ),
     )
     metrics = {
-        "mux_worst_error": mux.worst_relative_error(),
-        "mux_mean_error": mux.mean_relative_error(),
-        "limit_max_abs_error": float(limit.max_abs_error()),
+        "mux_worst_error": mux_out.extra["worst_error"],
+        "mux_mean_error": mux_out.extra["mean_error"],
+        "limit_max_abs_error": float(limit_out.extra["max_abs_error"]),
         "n_events": float(len(EVENTS)),
     }
     return ExperimentResult(

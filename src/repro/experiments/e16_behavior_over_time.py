@@ -13,12 +13,12 @@ the same run uninstrumented (baseline wall time, ground-truth GC count).
 
 from __future__ import annotations
 
+from repro import fabric
 from repro.analysis.timeseries import interval_samples, spikes, windowed_series
 from repro.common.tables import render_table
 from repro.core.limit import LimitSession
 from repro.experiments.base import ExperimentResult, multicore_config
 from repro.hw.events import Event
-from repro.sim.engine import run_program
 from repro.workloads.base import Instrumentation
 from repro.workloads.firefox import FirefoxConfig, FirefoxWorkload
 
@@ -38,25 +38,63 @@ def _firefox_config(quick: bool) -> FirefoxConfig:
     )
 
 
+def plain_trial(quick: bool):
+    """Fabric job factory: uninstrumented Firefox (baseline + GC truth)."""
+    return FirefoxWorkload(_firefox_config(quick)).build()
+
+
+class CheckpointTrial:
+    """Fabric job factory: Firefox with LiMiT boundary checkpoints."""
+
+    def __init__(self, quick: bool) -> None:
+        self.quick = quick
+        self.session: LimitSession | None = None
+
+    def build(self):
+        self.session = LimitSession(
+            [Event.CYCLES, Event.INSTRUCTIONS, Event.LLC_MISSES], name="ts"
+        )
+        instr = Instrumentation(
+            sessions=[self.session], checkpoint_session=self.session
+        )
+        return FirefoxWorkload(_firefox_config(self.quick)).build(instr)
+
+    def extract(self, result):
+        return {
+            "samples": interval_samples(self.session),
+            "max_abs_error": self.session.max_abs_error(),
+        }
+
+
 def run(quick: bool = False) -> ExperimentResult:
     config = multicore_config(n_cores=2, seed=1616)
 
-    plain_result = run_program(
-        FirefoxWorkload(_firefox_config(quick)).build(), config
+    plain_out, measured_out = fabric.run_many(
+        [
+            fabric.RunJob(
+                workload="repro.experiments.e16_behavior_over_time.plain_trial",
+                config=config,
+                kwargs={"quick": quick},
+                label=f"{EXP_ID}:plain",
+            ),
+            fabric.RunJob(
+                workload=(
+                    "repro.experiments.e16_behavior_over_time.CheckpointTrial"
+                ),
+                config=config,
+                kwargs={"quick": quick},
+                label=f"{EXP_ID}:checkpoints",
+            ),
+        ]
     )
+    plain_result = plain_out.result
     plain_result.check_conservation()
     true_gc_pauses = plain_result.merged_region("gc").invocations
 
-    session = LimitSession(
-        [Event.CYCLES, Event.INSTRUCTIONS, Event.LLC_MISSES], name="ts"
-    )
-    instr = Instrumentation(sessions=[session], checkpoint_session=session)
-    measured_result = run_program(
-        FirefoxWorkload(_firefox_config(quick)).build(instr), config
-    )
+    measured_result = measured_out.result
     measured_result.check_conservation()
 
-    samples = interval_samples(session)
+    samples = measured_out.extra["samples"]
     window = 400_000  # ~167 us windows
     points = windowed_series(samples, window, (Event.LLC_MISSES,))
     gc_windows = spikes(points, Event.LLC_MISSES, factor=2.0)
@@ -87,7 +125,9 @@ def run(quick: bool = False) -> ExperimentResult:
         "n_checkpoints": float(len(samples)),
         "gc_windows_detected": float(detected),
         "true_gc_pauses": float(true_gc_pauses),
-        "all_reads_exact": 1.0 if session.max_abs_error() == 0 else 0.0,
+        "all_reads_exact": (
+            1.0 if measured_out.extra["max_abs_error"] == 0 else 0.0
+        ),
     }
     return ExperimentResult(
         exp_id=EXP_ID,

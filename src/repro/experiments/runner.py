@@ -5,6 +5,8 @@ Usage::
     python -m repro.experiments            # run all, print to stdout
     python -m repro.experiments E1 E4      # a subset
     python -m repro.experiments --quick    # smaller parameters
+    python -m repro.experiments --jobs 4   # experiments in worker processes
+    python -m repro.experiments --cache    # reuse cached simulation results
     python -m repro.experiments --out results/   # also write text files
     python -m repro.experiments --manifest results/manifest.json \
         --trace-dir traces/                # machine-readable run manifest
@@ -15,20 +17,157 @@ With ``--manifest`` the runner writes a JSON document (schema
 seconds, simulated cycles, sim events and a metrics snapshot, plus a
 reproducibility hash over every (seed, config) the experiment ran. With
 ``--trace-dir`` each experiment additionally dumps a Perfetto-loadable
-``<id>.trace.json`` and a lossless ``<id>.jsonl`` event stream.
+``<id>.trace.json`` and a lossless ``<id>.jsonl`` event stream. Under
+``--quick`` artifact files carry a ``.quick`` stem suffix (``e2.quick.txt``)
+so CI-sized output can never clobber full results.
+
+``--jobs N`` fans experiments out over a process pool (or, for a single
+experiment, lets its internal run fan out via :mod:`repro.fabric`); wall
+times reported per experiment are measured in the executing process, so
+they reflect compute, not queueing. ``--cache``/``--cache-dir`` enable the
+deterministic result cache at both the experiment and the individual-run
+level; simulation is reproducible, so cached replays are exact. Cache hits
+are marked on the progress line and counted in the manifest and in the
+``--cache-stats`` JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
 from repro.experiments.registry import all_experiments, get
+from repro.fabric import ResultCache, default_cache_dir
 from repro.obs import runtime as obs_runtime
 from repro.obs.export import events_to_jsonl, write_manifest, write_perfetto
+
+
+def artifact_stem(exp_id: str, quick: bool) -> str:
+    """File stem for an experiment's artifacts; quick mode is suffixed so
+    ``--quick`` runs can't overwrite full results under the same ``--out``."""
+    stem = exp_id.lower()
+    return f"{stem}.quick" if quick else stem
+
+
+@dataclass
+class EntryOutcome:
+    """Everything one executed experiment produced (picklable/cacheable)."""
+
+    exp_id: str
+    title: str
+    error: str | None
+    text: str | None
+    wall_seconds: float
+    records: list = field(default_factory=list)  #: EngineRunRecord list
+    cache_stats: dict | None = None  #: worker-side run-cache counters
+    cached: bool = False
+
+
+def _execute(entry, quick: bool, capture_traces: bool) -> EntryOutcome:
+    """Run one experiment in the current process, collecting its runs."""
+    started = time.perf_counter()
+    with obs_runtime.collect(
+        capture_traces=capture_traces, label=entry.exp_id
+    ) as collector:
+        try:
+            result = entry.run(quick=quick)
+            error, text = None, result.render()
+        except Exception as exc:  # keep going; report at the end
+            error, text = f"{type(exc).__name__}: {exc}", None
+    return EntryOutcome(
+        exp_id=entry.exp_id,
+        title=entry.title,
+        error=error,
+        text=text,
+        wall_seconds=time.perf_counter() - started,
+        records=collector.records,
+    )
+
+
+def _execute_in_worker(
+    exp_id: str,
+    quick: bool,
+    capture_traces: bool,
+    cache_dir: str | None,
+    cache_salt: str | None,
+) -> EntryOutcome:
+    """Pool-worker entry point: look the experiment up by id and run it.
+
+    The worker gets its own run-level fabric cache (same directory, own
+    counters) and ships its hit/miss delta back in the outcome.
+    """
+    from repro import fabric
+
+    fabric.configure(jobs=1, cache_dir=cache_dir, salt=cache_salt)
+    outcome = _execute(get(exp_id), quick, capture_traces)
+    worker_cache = fabric.current().cache
+    if worker_cache is not None:
+        outcome.cache_stats = worker_cache.stats.as_dict()
+    return outcome
+
+
+def _emit(
+    outcome: EntryOutcome,
+    quick: bool,
+    out: Path | None,
+    trace_dir: Path | None,
+    stdout,
+    stderr,
+) -> dict[str, Any]:
+    """Print one experiment's output and build its manifest record."""
+    collector = obs_runtime.RunCollector(
+        capture_traces=trace_dir is not None, label=outcome.exp_id
+    )
+    collector.merge_records(outcome.records, keep_traces=trace_dir is not None)
+
+    record: dict[str, Any] = {
+        "id": outcome.exp_id,
+        "title": outcome.title,
+        "status": "passed" if outcome.error is None else "failed",
+        "wall_seconds": outcome.wall_seconds,
+        "engine_runs": collector.n_runs,
+        "sim_cycles": collector.sim_cycles,
+        "sim_events": collector.sim_events,
+        "context_switches": collector.context_switches,
+        "config_hash": collector.config_hash(),
+        "metrics": collector.metrics_snapshot(),
+    }
+    if outcome.cached:
+        record["cached"] = True
+    stem = artifact_stem(outcome.exp_id, quick)
+    if outcome.error is not None:
+        record["error"] = outcome.error
+        print(f"[{outcome.exp_id}] FAILED: {outcome.error}", file=stderr)
+    else:
+        print(outcome.text, file=stdout)
+        suffix = ", cache hit" if outcome.cached else ""
+        print(
+            f"({outcome.exp_id} regenerated in "
+            f"{outcome.wall_seconds:.1f}s{suffix})",
+            file=stdout,
+        )
+        print(file=stdout)
+        if out:
+            (out / f"{stem}.txt").write_text(outcome.text + "\n")
+
+    if trace_dir is not None:
+        runs = collector.perfetto_runs()
+        if runs:
+            perfetto_path = trace_dir / f"{stem}.trace.json"
+            jsonl_path = trace_dir / f"{stem}.jsonl"
+            write_perfetto(perfetto_path, runs)
+            n_lines = events_to_jsonl(collector.all_events(), jsonl_path)
+            record["trace_files"] = {
+                "perfetto": str(perfetto_path),
+                "jsonl": str(jsonl_path),
+                "n_trace_events": n_lines,
+            }
+    return record
 
 
 def run_entries(
@@ -38,62 +177,90 @@ def run_entries(
     trace_dir: Path | None = None,
     stdout=None,
     stderr=None,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
 ) -> tuple[list[dict[str, Any]], float]:
-    """Run experiments; returns (manifest entry dicts, total wall seconds)."""
+    """Run experiments; returns (manifest entry dicts, total wall seconds).
+
+    ``jobs > 1`` runs experiments in worker processes (a single experiment
+    instead fans out its internal runs through the fabric). ``cache``
+    replays previously simulated experiments/runs; tracing bypasses it so
+    trace files always reflect a real execution.
+    """
+    from repro import fabric
+
     stdout = stdout or sys.stdout
     stderr = stderr or sys.stderr
-    records: list[dict[str, Any]] = []
+    capture_traces = trace_dir is not None
+    use_cache = cache if not capture_traces else None
     total_started = time.perf_counter()
-    for entry in entries:
-        started = time.perf_counter()
-        with obs_runtime.collect(
-            capture_traces=trace_dir is not None, label=entry.exp_id
-        ) as collector:
-            try:
-                result = entry.run(quick=quick)
-                error = None
-            except Exception as exc:  # keep going; report at the end
-                result = None
-                error = f"{type(exc).__name__}: {exc}"
-        elapsed = time.perf_counter() - started
 
-        record: dict[str, Any] = {
-            "id": entry.exp_id,
-            "title": entry.title,
-            "status": "passed" if error is None else "failed",
-            "wall_seconds": elapsed,
-            "engine_runs": collector.n_runs,
-            "sim_cycles": collector.sim_cycles,
-            "sim_events": collector.sim_events,
-            "context_switches": collector.context_switches,
-            "config_hash": collector.config_hash(),
-            "metrics": collector.metrics_snapshot(),
-        }
-        if error is not None:
-            record["error"] = error
-            print(f"[{entry.exp_id}] FAILED: {error}", file=stderr)
-        else:
-            text = result.render()
-            print(text, file=stdout)
-            print(f"({entry.exp_id} regenerated in {elapsed:.1f}s)", file=stdout)
-            print(file=stdout)
-            if out:
-                path = out / f"{entry.exp_id.lower()}.txt"
-                path.write_text(text + "\n")
+    outcomes: list[EntryOutcome | None] = [None] * len(entries)
+    pending: list[tuple[int, str | None]] = []
+    if use_cache is not None:
+        for i, entry in enumerate(entries):
+            key = use_cache.key("experiment", entry.exp_id, quick)
+            loaded = time.perf_counter()
+            hit = use_cache.get(key)
+            if hit is not None:
+                hit.cached = True
+                hit.wall_seconds = time.perf_counter() - loaded
+                outcomes[i] = hit
+            else:
+                pending.append((i, key))
+    else:
+        pending = [(i, None) for i in range(len(entries))]
 
-        if trace_dir is not None:
-            runs = collector.perfetto_runs()
-            if runs:
-                perfetto_path = trace_dir / f"{entry.exp_id.lower()}.trace.json"
-                jsonl_path = trace_dir / f"{entry.exp_id.lower()}.jsonl"
-                write_perfetto(perfetto_path, runs)
-                n_lines = events_to_jsonl(collector.all_events(), jsonl_path)
-                record["trace_files"] = {
-                    "perfetto": str(perfetto_path),
-                    "jsonl": str(jsonl_path),
-                    "n_trace_events": n_lines,
-                }
-        records.append(record)
+    if jobs > 1 and len(pending) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.fabric.jobs import _mp_context
+
+        cache_dir = str(use_cache.root) if use_cache is not None else None
+        cache_salt = use_cache.salt if use_cache is not None else None
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(pending)), mp_context=_mp_context()
+        ) as pool:
+            futures = [
+                (
+                    i,
+                    key,
+                    pool.submit(
+                        _execute_in_worker,
+                        entries[i].exp_id,
+                        quick,
+                        capture_traces,
+                        cache_dir,
+                        cache_salt,
+                    ),
+                )
+                for i, key in pending
+            ]
+            for i, key, future in futures:
+                outcomes[i] = future.result()
+    else:
+        # In-process: a lone experiment under --jobs N fans out internally.
+        previous = fabric.current()
+        prev_jobs, prev_cache = previous.jobs, previous.cache
+        fabric.configure(jobs=jobs, cache=use_cache)
+        try:
+            for i, key in pending:
+                outcomes[i] = _execute(entries[i], quick, capture_traces)
+        finally:
+            fabric.configure(jobs=prev_jobs, cache=prev_cache)
+
+    if use_cache is not None:
+        for i, key in pending:
+            outcome = outcomes[i]
+            if outcome.cache_stats is not None:
+                use_cache.stats.add(outcome.cache_stats)
+            if outcome.error is None:
+                use_cache.put(key, outcome)
+
+    records = [
+        _emit(outcome, quick, out, trace_dir, stdout, stderr)
+        for outcome in outcomes
+    ]
     return records, time.perf_counter() - total_started
 
 
@@ -109,6 +276,36 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--quick", action="store_true", help="smaller parameters (CI-sized)"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run experiments in N worker processes (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help=f"cache simulation results under {default_cache_dir()}",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="cache simulation results under this directory (implies --cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache even if other cache flags are given",
+    )
+    parser.add_argument(
+        "--cache-stats",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write cache hit/miss counters as JSON to PATH (implies --cache)",
     )
     parser.add_argument(
         "--out", type=Path, default=None, help="directory for per-experiment text files"
@@ -140,13 +337,28 @@ def main(argv: list[str] | None = None) -> int:
     else:
         entries = all_experiments()
 
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    cache_dir: Path | None = args.cache_dir
+    if cache_dir is None and (args.cache or args.cache_stats):
+        cache_dir = default_cache_dir()
+    if args.no_cache:
+        cache_dir = None
+    cache = ResultCache(cache_dir) if cache_dir else None
+
     if args.out:
         args.out.mkdir(parents=True, exist_ok=True)
     if args.trace_dir:
         args.trace_dir.mkdir(parents=True, exist_ok=True)
 
     records, total_wall = run_entries(
-        entries, quick=args.quick, out=args.out, trace_dir=args.trace_dir
+        entries,
+        quick=args.quick,
+        out=args.out,
+        trace_dir=args.trace_dir,
+        jobs=args.jobs,
+        cache=cache,
     )
     passed = sum(1 for r in records if r["status"] == "passed")
     failed = len(records) - passed
@@ -165,9 +377,17 @@ def main(argv: list[str] | None = None) -> int:
                     "wall_seconds": total_wall,
                     "sim_events": sum(r["sim_events"] for r in records),
                     "sim_cycles": sum(r["sim_cycles"] for r in records),
+                    "jobs": args.jobs,
+                    "cache": cache.stats.as_dict() if cache else None,
                 },
             },
         )
+
+    if args.cache_stats:
+        args.cache_stats.parent.mkdir(parents=True, exist_ok=True)
+        stats = cache.stats.as_dict() if cache else {}
+        stats["wall_seconds"] = total_wall
+        args.cache_stats.write_text(json.dumps(stats, indent=2) + "\n")
 
     print(f"{passed} passed, {failed} failed, total wall time {total_wall:.1f}s")
     return 1 if failed else 0

@@ -1,0 +1,40 @@
+"""repro.fabric: parallel run execution and deterministic result caching.
+
+The fabric turns the evaluation suite's independent (seed, config) runs
+into picklable job specs that can execute in a process pool and be replayed
+from a content-addressed on-disk cache. Determinism is the contract: a
+run's outputs depend only on its inputs and the simulator source, so
+serial, parallel and cached execution all produce identical results.
+"""
+
+from repro.fabric.cache import (
+    CacheStats,
+    ResultCache,
+    code_salt,
+    default_cache_dir,
+)
+from repro.fabric.jobs import (
+    FabricConfig,
+    JobOutcome,
+    RunJob,
+    configure,
+    current,
+    execute_job,
+    run_many,
+    run_one,
+)
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "code_salt",
+    "default_cache_dir",
+    "FabricConfig",
+    "JobOutcome",
+    "RunJob",
+    "configure",
+    "current",
+    "execute_job",
+    "run_many",
+    "run_one",
+]

@@ -1,0 +1,170 @@
+"""Content-addressed on-disk cache for deterministic simulation results.
+
+Every engine run is a pure function of (workload factory, kwargs, SimConfig
+— which includes the seed) plus the simulator's source code. The cache
+exploits that: entries are keyed by a SHA-256 over those inputs and a
+*code-version salt* (a digest of every ``repro`` source file), so any code
+change invalidates the whole cache automatically and no entry can ever be
+served for inputs it was not computed from.
+
+Entries are integrity-checked: each file stores the payload's own SHA-256
+ahead of the pickled bytes, and a corrupted/truncated entry is detected on
+load, counted in :class:`CacheStats`, deleted, and treated as a miss — the
+run is simply re-simulated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+#: bump to invalidate every cache entry regardless of code salt
+CACHE_FORMAT = 1
+
+_code_salt: str | None = None
+
+
+def code_salt() -> str:
+    """Digest of every ``repro`` source file (memoised per process).
+
+    Two processes running the same source tree compute the same salt; any
+    edit to any ``.py`` file under the package changes it.
+    """
+    global _code_salt
+    if _code_salt is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _code_salt = digest.hexdigest()[:16]
+    return _code_salt
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters, exposed in manifests and ``--cache-stats``."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0  #: corrupted/unreadable entries detected (and evicted)
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "errors": self.errors,
+        }
+
+    def add(self, other: "CacheStats | dict") -> None:
+        if isinstance(other, CacheStats):
+            other = other.as_dict()
+        self.hits += other.get("hits", 0)
+        self.misses += other.get("misses", 0)
+        self.stores += other.get("stores", 0)
+        self.errors += other.get("errors", 0)
+
+    def delta(self, since: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            hits=self.hits - since.hits,
+            misses=self.misses - since.misses,
+            stores=self.stores - since.stores,
+            errors=self.errors - since.errors,
+        )
+
+    def copy(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.stores, self.errors)
+
+
+class ResultCache:
+    """A directory of integrity-checked pickled values, addressed by key.
+
+    ``salt`` defaults to :func:`code_salt`; tests pass an explicit salt to
+    exercise invalidation without editing source files.
+    """
+
+    def __init__(
+        self,
+        root: Path | str,
+        salt: str | None = None,
+        stats: CacheStats | None = None,
+    ) -> None:
+        self.root = Path(root)
+        self.salt = salt if salt is not None else code_salt()
+        self.stats = stats if stats is not None else CacheStats()
+
+    # -- keys ---------------------------------------------------------------
+
+    def key(self, kind: str, *parts: Any) -> str:
+        """Content address for a value of ``kind`` derived from ``parts``.
+
+        Parts are folded in via ``repr``, so they must have deterministic
+        reprs (ints, floats, strings, tuples, dataclasses of those).
+        """
+        digest = hashlib.sha256()
+        digest.update(f"repro-cache/{CACHE_FORMAT}/{self.salt}/{kind}".encode())
+        for part in parts:
+            digest.update(b"\0")
+            digest.update(repr(part).encode())
+        return digest.hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    # -- IO -----------------------------------------------------------------
+
+    def get(self, key: str) -> Any | None:
+        """The stored value, or None on miss/corruption (corrupt entries
+        are evicted so the next store rewrites them cleanly)."""
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            header, payload = blob.split(b"\n", 1)
+            if header.decode() != hashlib.sha256(payload).hexdigest():
+                raise ValueError("payload digest mismatch")
+            value = pickle.loads(payload)
+        except Exception:
+            self.stats.errors += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` atomically (write-to-temp + rename)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = hashlib.sha256(payload).hexdigest().encode() + b"\n" + payload
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_bytes(blob)
+        os.replace(tmp, path)
+        self.stats.stores += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ResultCache {self.root} salt={self.salt}>"

@@ -1,0 +1,224 @@
+"""Picklable run jobs and the process-pool execution fabric.
+
+A :class:`RunJob` names everything one engine run needs — a dotted-path
+workload factory, its keyword arguments and a :class:`SimConfig` (which
+carries the seed). Because the factory is resolved *inside* the executing
+process, session/profiler objects the workload creates live and die with
+the run; whatever the caller needs back travels as picklable data:
+
+* ``outcome.result`` — the full :class:`~repro.sim.results.RunResult`;
+* ``outcome.extra`` — the factory's optional ``extract(result)`` payload
+  (use it to ship tool-side observations such as session read records).
+
+:func:`run_many` executes a batch of jobs — in worker processes when the
+fabric is configured with ``jobs > 1``, inline otherwise — consults the
+result cache when one is configured, and merges every engine run into the
+ambient :mod:`repro.obs` collector so manifests stay correct regardless of
+where runs physically executed. Simulation is deterministic, so outcomes
+are byte-identical across serial, parallel and cache-hit execution (a
+property test enforces this).
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.config import SimConfig
+from repro.common.errors import ConfigError
+from repro.fabric.cache import ResultCache
+from repro.obs import runtime as obs_runtime
+from repro.obs.runtime import EngineRunRecord
+from repro.sim.results import RunResult
+
+_UNSET = object()
+
+
+@dataclass
+class FabricConfig:
+    """Process-local execution policy: pool width and result cache."""
+
+    jobs: int = 1
+    cache: ResultCache | None = None
+
+
+_config = FabricConfig()
+
+
+def configure(
+    jobs: int | None = None,
+    cache: "ResultCache | None | object" = _UNSET,
+    cache_dir: "str | None | object" = _UNSET,
+    salt: str | None = None,
+) -> FabricConfig:
+    """Set the process-wide fabric policy; returns the live config.
+
+    ``cache`` takes a ready :class:`ResultCache` (or None to disable);
+    ``cache_dir`` builds one at that path. Passing neither leaves the
+    current cache untouched.
+    """
+    if jobs is not None:
+        if jobs < 1:
+            raise ConfigError(f"fabric jobs must be >= 1, got {jobs}")
+        _config.jobs = jobs
+    if cache is not _UNSET:
+        _config.cache = cache  # type: ignore[assignment]
+    elif cache_dir is not _UNSET:
+        _config.cache = (
+            ResultCache(cache_dir, salt=salt) if cache_dir else None
+        )
+    return _config
+
+
+def current() -> FabricConfig:
+    return _config
+
+
+@dataclass
+class RunJob:
+    """One engine run as a picklable spec.
+
+    ``workload`` is a dotted path to a factory; called with ``kwargs`` it
+    returns either a list of :class:`~repro.sim.program.ThreadSpec` or an
+    object with ``build() -> specs`` and (optionally) ``extract(result)``
+    returning a picklable payload. ``kwargs`` values must have
+    deterministic reprs (they are part of the cache key).
+    """
+
+    workload: str
+    config: SimConfig
+    kwargs: dict[str, Any] = field(default_factory=dict)
+    label: str | None = None
+
+
+@dataclass
+class JobOutcome:
+    """What one executed (or cache-replayed) job produced."""
+
+    job: RunJob
+    result: RunResult
+    extra: Any
+    records: list[EngineRunRecord]
+    wall_seconds: float
+    cached: bool = False
+
+
+def resolve(path: str) -> Any:
+    """Import ``pkg.module.attr`` and return the attribute."""
+    module_name, _, attr = path.rpartition(".")
+    if not module_name:
+        raise ConfigError(f"not a dotted path: {path!r}")
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, attr)
+    except AttributeError:
+        raise ConfigError(f"{module_name} has no attribute {attr!r}") from None
+
+
+def job_key(cache: ResultCache, job: RunJob) -> str:
+    return cache.key(
+        "run", job.workload, tuple(sorted(job.kwargs.items())), job.config
+    )
+
+
+def execute_job(job: RunJob, capture_traces: bool = False) -> JobOutcome:
+    """Run one job in the current process (pool workers land here too)."""
+    from repro.sim.engine import Engine
+
+    factory = resolve(job.workload)
+    started = time.perf_counter()
+    trial = factory(**job.kwargs)
+    specs = trial.build() if hasattr(trial, "build") else trial
+    with obs_runtime.collect(
+        capture_traces=capture_traces, label=job.label or job.workload
+    ) as collector:
+        result = Engine(job.config).run(specs)
+    extra = trial.extract(result) if hasattr(trial, "extract") else None
+    return JobOutcome(
+        job=job,
+        result=result,
+        extra=extra,
+        records=collector.records,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def run_many(
+    jobs: list[RunJob],
+    *,
+    jobs_n: int | None = None,
+    cache: "ResultCache | None | object" = _UNSET,
+    capture_traces: bool | None = None,
+) -> list[JobOutcome]:
+    """Execute a batch of jobs; outcomes come back in submission order.
+
+    Defaults come from :func:`configure`: pool width from ``jobs`` and the
+    result cache from ``cache``. When the ambient collector captures
+    traces, caching is bypassed (trace events are host-side artifacts that
+    must reflect a real execution) and traces ship back from the workers.
+    """
+    if jobs_n is None:
+        jobs_n = _config.jobs
+    if cache is _UNSET:
+        cache = _config.cache
+    collector = obs_runtime.current()
+    if capture_traces is None:
+        capture_traces = collector.capture_traces if collector else False
+    if capture_traces:
+        cache = None
+
+    outcomes: list[JobOutcome | None] = [None] * len(jobs)
+    pending: list[tuple[int, str | None, RunJob]] = []
+    if cache is not None:
+        for i, job in enumerate(jobs):
+            key = job_key(cache, job)
+            hit = cache.get(key)
+            if hit is not None:
+                hit.cached = True
+                outcomes[i] = hit
+            else:
+                pending.append((i, key, job))
+    else:
+        pending = [(i, None, job) for i, job in enumerate(jobs)]
+
+    if len(pending) > 1 and jobs_n > 1:
+        workers = min(jobs_n, len(pending))
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=_mp_context()
+        ) as pool:
+            futures = [
+                (i, key, pool.submit(execute_job, job, capture_traces))
+                for i, key, job in pending
+            ]
+            for i, key, future in futures:
+                outcomes[i] = future.result()
+    else:
+        for i, key, job in pending:
+            outcomes[i] = execute_job(job, capture_traces)
+
+    if cache is not None:
+        for i, key, _job in pending:
+            cache.put(key, outcomes[i])
+
+    if collector is not None:
+        for outcome in outcomes:
+            collector.merge_records(
+                outcome.records, keep_traces=capture_traces
+            )
+    return outcomes  # type: ignore[return-value]
+
+
+def run_one(job: RunJob, **kwargs) -> JobOutcome:
+    """Convenience wrapper: ``run_many([job])[0]``."""
+    return run_many([job], **kwargs)[0]

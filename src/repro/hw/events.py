@@ -145,6 +145,15 @@ class EventRates(Mapping[Event, int]):
     def __len__(self) -> int:
         return len(self._ppm)
 
+    def items(self):
+        """Direct view of the underlying dict.
+
+        Overrides the ``Mapping`` mixin, which materialises an ItemsView
+        that re-hashes every key through ``__getitem__``; the engine
+        iterates rates once per executed piece, so this is hot.
+        """
+        return self._ppm.items()
+
     def ppm(self, event: Event) -> int:
         """Rate for ``event`` in events-per-million-cycles (CYCLES -> 1e6)."""
         if event is Event.CYCLES:

@@ -73,16 +73,18 @@ class Pmu:
         Returns the list of counter indices that overflowed during the slice.
         """
         overflowed: list[int] = []
+        rate_of = rates.ppm
+        on_overflow = self.on_overflow
         for index, ctr in enumerate(self.counters):
             if not ctr.counts_in(domain):
                 continue
             n = events_in(
-                phase_cycles_before, phase_cycles_after, rates.ppm(ctr.event)
+                phase_cycles_before, phase_cycles_after, rate_of(ctr.event)
             )
             if n and ctr.accrue(n):
                 overflowed.append(index)
-                if self.on_overflow is not None:
-                    self.on_overflow(index)
+                if on_overflow is not None:
+                    on_overflow(index)
         return overflowed
 
     def cycles_to_next_overflow(

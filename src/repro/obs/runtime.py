@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import hashlib
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.common.units import Frequency
@@ -71,6 +71,26 @@ class RunCollector:
                 thread_names={tid: t.name for tid, t in result.threads.items()},
             )
         )
+
+    def merge_records(
+        self, records: list[EngineRunRecord], keep_traces: bool | None = None
+    ) -> None:
+        """Adopt records collected elsewhere (a fabric worker, a cache hit).
+
+        Records are re-indexed to this collector's sequence; traces are
+        dropped unless this collector captures them (matching what
+        :meth:`record_run` would have kept for an in-process run).
+        """
+        if keep_traces is None:
+            keep_traces = self.capture_traces
+        for r in records:
+            self.records.append(
+                replace(
+                    r,
+                    index=len(self.records),
+                    trace=list(r.trace) if keep_traces else [],
+                )
+            )
 
     # -- aggregates ---------------------------------------------------------
 

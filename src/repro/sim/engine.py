@@ -405,30 +405,38 @@ class Engine:
 
     def _main_loop(self) -> None:
         cores = self.machine.cores
+        threads = self.threads
+        sleep_heap = self._sleep_heap
+        heappop = heapq.heappop
         max_cycles = self.config.max_cycles
         n_steps = 0
         while self.live_count > 0:
             n_steps += 1
-            active = [c for c in cores if not c.parked]
-            t_next = min((c.now for c in active), default=None)
-            while self._sleep_heap and (
-                t_next is None or self._sleep_heap[0][0] <= t_next
-            ):
-                wake_at, _, tid = heapq.heappop(self._sleep_heap)
-                thread = self.threads[tid]
-                self._make_ready(thread, at=wake_at)
-                active = [c for c in cores if not c.parked]
-                t_next = min((c.now for c in active), default=None)
-            if not active:
+            # Acting core: smallest clock among unparked cores, ties by core
+            # id. A strict `<` scan in core order matches min((now, id)).
+            core = None
+            t_next = 0
+            for c in cores:
+                if not c.parked and (core is None or c.now < t_next):
+                    core = c
+                    t_next = c.now
+            while sleep_heap and (core is None or sleep_heap[0][0] <= t_next):
+                wake_at, _, tid = heappop(sleep_heap)
+                self._make_ready(threads[tid], at=wake_at)
+                core = None
+                for c in cores:
+                    if not c.parked and (core is None or c.now < t_next):
+                        core = c
+                        t_next = c.now
+            if core is None:
                 blocked = [
                     f"{t.name}({t.block_key})"
-                    for t in self.threads.values()
+                    for t in threads.values()
                     if t.state is ThreadState.BLOCKED
                 ]
                 raise SimulationError(
                     f"deadlock: no runnable threads; blocked: {blocked}"
                 )
-            core = min(active, key=lambda c: (c.now, c.core_id))
             if core.now > max_cycles:
                 raise SimulationError(
                     f"simulation exceeded max_cycles={max_cycles}"
@@ -705,7 +713,8 @@ class Engine:
         chunk = after - before
         core.now += chunk
         core.busy_cycles += chunk
-        if domain is Domain.USER:
+        user = domain is Domain.USER
+        if user:
             core.user_cycles += chunk
             thread.user_cycles += chunk
             ev = thread.ev_user
@@ -713,25 +722,30 @@ class Engine:
             core.kernel_cycles += chunk
             thread.kernel_cycles += chunk
             ev = thread.ev_kernel
-        ev[Event.CYCLES] = ev.get(Event.CYCLES, 0) + chunk
-        deltas: list[tuple[Event, int]] | None = None
-        if rates:
-            deltas = []
-            for event, ppm in rates.items():
-                n = (after * ppm) // 1_000_000 - (before * ppm) // 1_000_000
-                if n:
-                    ev[event] = ev.get(event, 0) + n
-                    deltas.append((event, n))
-        if thread.region_stack:
-            rt = thread.regions[thread.region_stack[-1]]
-            if domain is Domain.USER:
+        ev_get = ev.get
+        ev[Event.CYCLES] = ev_get(Event.CYCLES, 0) + chunk
+        region_stack = thread.region_stack
+        rev = None
+        if region_stack:
+            rt = thread.regions[region_stack[-1]]
+            if user:
                 rev = rt.events
                 rev[Event.CYCLES] = rev.get(Event.CYCLES, 0) + chunk
-                if deltas:
-                    for event, n in deltas:
-                        rev[event] = rev.get(event, 0) + n
             else:
                 rt.kernel_cycles += chunk
+        if rates:
+            if rev is None:
+                for event, ppm in rates.items():
+                    n = (after * ppm) // 1_000_000 - (before * ppm) // 1_000_000
+                    if n:
+                        ev[event] = ev_get(event, 0) + n
+            else:
+                rev_get = rev.get
+                for event, ppm in rates.items():
+                    n = (after * ppm) // 1_000_000 - (before * ppm) // 1_000_000
+                    if n:
+                        ev[event] = ev_get(event, 0) + n
+                        rev[event] = rev_get(event, 0) + n
         overflowed = core.pmu.accrue_phase(rates, domain, before, after)
         if overflowed:
             due = core.now + self._costs.pmi_skid
@@ -774,21 +788,27 @@ class Engine:
         return True
 
     def _run_phase(self, core: Core, thread: SimThread, ex: _OpExec) -> bool:
-        remaining = ex.phase_cycles - ex.phase_consumed
+        consumed = ex.phase_consumed
+        remaining = ex.phase_cycles - consumed
         if remaining <= 0:
             return True
         if ex.phase_preemptible:
+            # limit only ever shrinks from `remaining`, so the final chunk
+            # is max(1, limit) — identical to max(1, min(remaining, limit)).
             limit = remaining
-            if core.slice_ends_at is not None:
-                limit = min(limit, core.slice_ends_at - core.now)
-            if core.pmi_due_at is not None:
-                limit = min(limit, core.pmi_due_at - core.now)
+            now = core.now
+            bound = core.slice_ends_at
+            if bound is not None and bound - now < limit:
+                limit = bound - now
+            bound = core.pmi_due_at
+            if bound is not None and bound - now < limit:
+                limit = bound - now
             split = core.pmu.cycles_to_next_overflow(
-                ex.phase_rates, ex.phase_domain, ex.phase_consumed
+                ex.phase_rates, ex.phase_domain, consumed
             )
-            if split is not None:
-                limit = min(limit, split)
-            chunk = max(1, min(remaining, limit))
+            if split is not None and split < limit:
+                limit = split
+            chunk = limit if limit > 0 else 1
         else:
             chunk = remaining
         self._account(
@@ -796,11 +816,11 @@ class Engine:
             thread,
             ex.phase_domain,
             ex.phase_rates,
-            ex.phase_consumed,
-            ex.phase_consumed + chunk,
+            consumed,
+            consumed + chunk,
         )
-        ex.phase_consumed += chunk
-        return ex.phase_done
+        ex.phase_consumed = consumed + chunk
+        return ex.phase_consumed >= ex.phase_cycles
 
     def _complete(self, thread: SimThread, value: Any) -> None:
         thread.send_value = value

@@ -17,8 +17,14 @@ class TestRunnerCli:
         assert "[E1]" in out
         assert "regenerated in" in out
 
-    def test_out_dir(self, tmp_path: Path, capsys):
+    def test_out_dir_quick_suffix(self, tmp_path: Path, capsys):
         assert main(["--quick", "--out", str(tmp_path), "E5"]) == 0
-        written = tmp_path / "e5.txt"
+        written = tmp_path / "e5.quick.txt"
         assert written.exists()
         assert "[E5]" in written.read_text()
+        # quick artifacts must never clobber full results
+        assert not (tmp_path / "e5.txt").exists()
+
+    def test_out_dir_full_name(self, tmp_path: Path, capsys):
+        assert main(["--out", str(tmp_path), "E5"]) == 0
+        assert (tmp_path / "e5.txt").exists()
