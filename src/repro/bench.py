@@ -1,0 +1,288 @@
+"""Tracked performance baseline: ``python -m repro.bench``.
+
+Measures the two workloads the macro-stepping / composite-read work is
+judged on and writes the results as ``BENCH_PR3.json`` (schema
+``repro.bench/v1``, documented in docs/performance.md):
+
+* **contention microbench** — two threads on two cores alternating long
+  solo compute stretches (many scheduler quanta: the macro-stepping sweet
+  spot) with short critical sections on a shared lock and a LiMiT counter
+  read per iteration. Run twice in-process — macro-stepping on and off —
+  so the reported speedup is a same-machine, same-process A/B ratio.
+* **experiment sweep** — every registered experiment in quick mode, timed
+  per experiment, with the engines' fast-path telemetry (macro-step hit
+  rate, batched quanta, composite fast reads, bailouts) aggregated from
+  the run collector.
+
+``--check BASELINE.json`` is the CI regression gate. Wall-clock seconds are
+not comparable across machines, so the gate compares machine-independent
+quantities against the committed baseline: the deterministic sweep piece
+count (``sim_events`` — un-fusing ops or losing a fast path inflates it),
+the sweep macro hit rate, and the microbench on/off speedup (a ratio of
+two runs on the *same* host). Any of them regressing by more than
+``--threshold`` (default 25%) fails the check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.common.config import KernelConfig, MachineConfig, SimConfig
+from repro.core.limit import LimitSession
+from repro.hw.events import Event
+from repro.obs import runtime as obs_runtime
+from repro.sim.engine import run_program
+from repro.sim.ops import Compute, LockAcquire, LockRelease
+from repro.sim.program import ThreadSpec
+from repro.workloads.base import COMPUTE_RATES
+
+SCHEMA = "repro.bench/v1"
+DEFAULT_OUT = "BENCH_PR3.json"
+
+#: Microbench shape: the two threads alternate long critical sections on a
+#: shared lock. While one computes for many scheduler quanta, the other is
+#: blocked on the futex and its core parks — the running thread is the sole
+#: runnable on its core with no near actor, exactly the macro-stepping fast
+#: path's case. The short parallel stretch before each acquire keeps the
+#: lock genuinely contended (spin, futex sleep, cross-core wake) every
+#: iteration, and the in-section LiMiT read exercises the composite read.
+MICRO_COMPUTE = 20_000_000
+MICRO_PARALLEL = 50_000
+MICRO_ITERS = 800
+MICRO_ITERS_QUICK = 200
+
+
+def _micro_specs(session: LimitSession, iters: int) -> list[ThreadSpec]:
+    def worker(ctx):
+        yield from session.setup(ctx)
+        for _ in range(iters):
+            yield Compute(MICRO_PARALLEL, COMPUTE_RATES)
+            yield LockAcquire("bench:hot")
+            yield Compute(MICRO_COMPUTE, COMPUTE_RATES)
+            value = yield from session.read(ctx, 0)
+            assert value >= 0
+            yield LockRelease("bench:hot")
+
+    return [ThreadSpec(f"bench:{i}", worker) for i in range(2)]
+
+
+def _run_micro(iters: int, macro: bool) -> dict:
+    config = SimConfig(
+        machine=MachineConfig(n_cores=2),
+        kernel=KernelConfig(timeslice_cycles=1_000_000),
+        seed=7,
+        macro_stepping=macro,
+    )
+    session = LimitSession(
+        [Event.CYCLES, Event.INSTRUCTIONS], name=f"bench:{macro}"
+    )
+    started = time.perf_counter()
+    with obs_runtime.collect(label="bench-micro") as collector:
+        result = run_program(_micro_specs(session, iters), config)
+    wall = time.perf_counter() - started
+    summary = collector.macro_summary()
+    return {
+        "wall_seconds": wall,
+        "sim_events": collector.sim_events,
+        "fingerprint": result.fingerprint(),
+        **summary,
+    }
+
+
+def run_microbench(quick: bool) -> dict:
+    """Contention microbench, macro-stepping on vs off (same process)."""
+    iters = MICRO_ITERS_QUICK if quick else MICRO_ITERS
+    off = _run_micro(iters, macro=False)
+    on = _run_micro(iters, macro=True)
+    if on["fingerprint"] != off["fingerprint"]:  # pragma: no cover - invariant
+        raise RuntimeError(
+            "macro-stepping changed the microbench fingerprint "
+            f"({on['fingerprint']} != {off['fingerprint']})"
+        )
+    return {
+        "iters_per_thread": iters,
+        "compute_cycles": MICRO_COMPUTE,
+        "macro_on": {k: v for k, v in on.items() if k != "fingerprint"},
+        "macro_off": {k: v for k, v in off.items() if k != "fingerprint"},
+        "fingerprint": on["fingerprint"],
+        "speedup": off["wall_seconds"] / on["wall_seconds"]
+        if on["wall_seconds"] > 0
+        else 0.0,
+    }
+
+
+def run_sweep(quick: bool) -> dict:
+    """Every registered experiment, timed, with fast-path telemetry."""
+    from repro.experiments.registry import all_experiments
+
+    experiments: dict[str, dict] = {}
+    total_started = time.perf_counter()
+    with obs_runtime.collect(label="bench-sweep") as collector:
+        for entry in all_experiments():
+            n_before = len(collector.records)
+            started = time.perf_counter()
+            entry.run(quick=quick)
+            sub = collector.records[n_before:]
+            experiments[entry.exp_id] = {
+                "wall_seconds": time.perf_counter() - started,
+                "sim_events": sum(r.sim_events for r in sub),
+                "macro_steps": sum(
+                    r.metrics.get("macro_steps", 0) for r in sub
+                ),
+            }
+    wall = time.perf_counter() - total_started
+    snap = collector.metrics_snapshot()
+    return {
+        "wall_seconds": wall,
+        "sim_events": collector.sim_events,
+        "pieces_per_sec": collector.sim_events / wall if wall > 0 else 0.0,
+        "macro_steps": snap["macro_steps"],
+        "quanta_batched": snap["quanta_batched"],
+        "macro_hit_rate": snap["macro_hit_rate"],
+        "fast_reads": snap["fast_reads"],
+        "fastpath_bailouts": snap["fastpath_bailouts"],
+        "bailouts": collector.bailouts_by_reason(),
+        "experiments": experiments,
+    }
+
+
+def measure(quick: bool) -> dict:
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "microbench": run_microbench(quick),
+        "sweep": run_sweep(quick),
+    }
+
+
+def check(current: dict, baseline: dict, threshold: float, out) -> int:
+    """Compare a fresh measurement against the committed baseline using
+    machine-independent quantities; returns a process exit code."""
+    failures: list[str] = []
+
+    def gate(label: str, fresh: float, committed: float, higher_is_better: bool):
+        if committed <= 0:
+            return
+        ratio = fresh / committed
+        regressed = (
+            ratio < 1 - threshold if higher_is_better else ratio > 1 + threshold
+        )
+        status = "FAIL" if regressed else "ok"
+        print(
+            f"  [{status}] {label}: {fresh:.4g} vs baseline "
+            f"{committed:.4g} ({ratio:.2f}x)",
+            file=out,
+        )
+        if regressed:
+            failures.append(label)
+
+    print(f"regression check (threshold {threshold:.0%}):", file=out)
+    gate(
+        "sweep sim_events (deterministic piece count)",
+        current["sweep"]["sim_events"],
+        baseline["sweep"]["sim_events"],
+        higher_is_better=False,
+    )
+    gate(
+        "sweep macro_hit_rate",
+        current["sweep"]["macro_hit_rate"],
+        baseline["sweep"]["macro_hit_rate"],
+        higher_is_better=True,
+    )
+    gate(
+        "microbench speedup (macro off/on, same host)",
+        current["microbench"]["speedup"],
+        baseline["microbench"]["speedup"],
+        higher_is_better=True,
+    )
+    if failures:
+        print(f"REGRESSED: {', '.join(failures)}", file=out)
+        return 1
+    print("no perf regression vs baseline", file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Measure the tracked perf baseline (BENCH_PR3.json).",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-sized parameters"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=f"write the measurement JSON here (default: {DEFAULT_OUT}; "
+        "with --check, nothing is written unless --out is given)",
+    )
+    parser.add_argument(
+        "--check",
+        type=Path,
+        default=None,
+        metavar="BASELINE",
+        help="compare against a committed baseline; non-zero exit on "
+        "regression",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression for --check (default: 0.25)",
+    )
+    parser.add_argument(
+        "--baseline-note",
+        type=str,
+        default=None,
+        help="free-form provenance note recorded in the output JSON "
+        "(e.g. pre-change sweep wall time measured with the same harness)",
+    )
+    args = parser.parse_args(argv)
+
+    current = measure(quick=args.quick)
+    if args.baseline_note:
+        current["baseline_note"] = args.baseline_note
+
+    micro = current["microbench"]
+    sweep = current["sweep"]
+    print(
+        f"microbench: macro on {micro['macro_on']['wall_seconds']:.3f}s, "
+        f"off {micro['macro_off']['wall_seconds']:.3f}s -> "
+        f"{micro['speedup']:.2f}x"
+    )
+    print(
+        f"sweep: {sweep['wall_seconds']:.2f}s, "
+        f"{sweep['sim_events']:,} pieces "
+        f"({sweep['pieces_per_sec']:,.0f}/s), "
+        f"macro hit rate {sweep['macro_hit_rate']:.1%}, "
+        f"{sweep['fast_reads']:,.0f} fast reads"
+    )
+
+    if args.check is not None:
+        baseline = json.loads(args.check.read_text())
+        code = check(current, baseline, args.threshold, sys.stdout)
+    else:
+        code = 0
+
+    out_path = args.out
+    if out_path is None and args.check is None:
+        out_path = Path(DEFAULT_OUT)
+    if out_path is not None:
+        out_path.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out_path}")
+    return code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

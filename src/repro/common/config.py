@@ -276,6 +276,10 @@ class SimConfig:
     #: Cap on stored per-invocation region durations across a run
     #: (invocation *counts* stay exact beyond the cap).
     region_log_budget: int = 2_000_000
+    #: Enable the macro-stepping fast path (closed-form multi-quantum
+    #: fast-forward of solo compute phases). Results are fingerprint-identical
+    #: either way; the switch exists for A/B verification and benchmarking.
+    macro_stepping: bool = True
 
     def with_machine(self, **kwargs) -> "SimConfig":
         """Return a copy with machine fields replaced."""

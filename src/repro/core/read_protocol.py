@@ -35,17 +35,14 @@ from typing import Any, Generator
 from repro.common.config import CostModel
 from repro.hw.events import LIBRARY_RATES
 from repro.sim.ops import (
+    MAX_RESTARTS,
     Compute,
-    LoadVAccum,
-    PmcReadBegin,
-    PmcReadEnd,
-    Rdpmc,
+    PmcSafeRead,
+    PmcUnsafeRead,
     RdpmcDestructive,
 )
 
-#: Safety valve: a safe read that restarts this many times indicates the
-#: thread is being preempted pathologically (or an engine bug).
-MAX_RESTARTS = 1_000
+__all__ = ["MAX_RESTARTS", "safe_read", "unsafe_read", "destructive_read"]
 
 
 def safe_read(index: int, costs: CostModel) -> Generator[Any, Any, int]:
@@ -55,23 +52,13 @@ def safe_read(index: int, costs: CostModel) -> Generator[Any, Any, int]:
     instant the ``rdpmc`` executed. Typical cost: ``costs.limit_read_total``
     cycles (~37 ns at 2.4 GHz); each restart re-runs the four-step middle
     sequence.
+
+    Yields the whole protocol as a single :class:`PmcSafeRead` op; the
+    engine executes the micro-op sequence (and any restarts) internally
+    with timing identical to the historical op-by-op form.
     """
-    yield Compute(costs.pmc_call_overhead, LIBRARY_RATES)
-    restarts = 0
-    while True:
-        yield PmcReadBegin()
-        accumulator = yield LoadVAccum(index)
-        hardware = yield Rdpmc(index)
-        ok = yield PmcReadEnd()
-        if ok:
-            break
-        restarts += 1
-        if restarts > MAX_RESTARTS:
-            raise RuntimeError(
-                f"LiMiT read of slot {index} restarted >{MAX_RESTARTS} times"
-            )
-    yield Compute(costs.pmc_store_result, LIBRARY_RATES)
-    return accumulator + hardware
+    value = yield PmcSafeRead(index)
+    return value
 
 
 def unsafe_read(index: int, costs: CostModel) -> Generator[Any, Any, int]:
@@ -81,11 +68,8 @@ def unsafe_read(index: int, costs: CostModel) -> Generator[Any, Any, int]:
     result undercount by everything folded at the switch. Kept as the
     ablation arm of experiment E4.
     """
-    yield Compute(costs.pmc_call_overhead, LIBRARY_RATES)
-    accumulator = yield LoadVAccum(index)
-    hardware = yield Rdpmc(index)
-    yield Compute(costs.pmc_store_result, LIBRARY_RATES)
-    return accumulator + hardware
+    value = yield PmcUnsafeRead(index)
+    return value
 
 
 def destructive_read(index: int, costs: CostModel) -> Generator[Any, Any, int]:

@@ -136,6 +136,10 @@ def _emit(
         "context_switches": collector.context_switches,
         "config_hash": collector.config_hash(),
         "metrics": collector.metrics_snapshot(),
+        "macro": {
+            **collector.macro_summary(),
+            "bailouts": collector.bailouts_by_reason(),
+        },
     }
     if outcome.cached:
         record["cached"] = True
@@ -379,6 +383,15 @@ def main(argv: list[str] | None = None) -> int:
                     "sim_cycles": sum(r["sim_cycles"] for r in records),
                     "jobs": args.jobs,
                     "cache": cache.stats.as_dict() if cache else None,
+                    "macro": {
+                        key: sum(r["macro"][key] for r in records)
+                        for key in (
+                            "macro_steps",
+                            "quanta_batched",
+                            "fast_reads",
+                            "fastpath_bailouts",
+                        )
+                    },
                 },
             },
         )

@@ -23,6 +23,7 @@ class HardwareCounter:
         "enabled",
         "overflow_pending",
         "overflow_total",
+        "on_reprogram",
     )
 
     def __init__(self, width: int) -> None:
@@ -36,6 +37,9 @@ class HardwareCounter:
         self.enabled = False
         self.overflow_pending = 0   #: overflows latched since last service
         self.overflow_total = 0     #: lifetime overflow count (statistics)
+        #: invalidation hook: called whenever the event selection changes so
+        #: the owning PMU can drop cached accrual plans.
+        self.on_reprogram: "object | None" = None
 
     @property
     def mask(self) -> int:
@@ -61,6 +65,8 @@ class HardwareCounter:
         self.count_user = count_user
         self.count_kernel = count_kernel
         self.enabled = enabled
+        if self.on_reprogram is not None:
+            self.on_reprogram()
 
     def deprogram(self) -> None:
         """Disable and forget the event selection."""
@@ -68,6 +74,8 @@ class HardwareCounter:
         self.enabled = False
         self.value = 0
         self.overflow_pending = 0
+        if self.on_reprogram is not None:
+            self.on_reprogram()
 
     def counts_in(self, domain: Domain) -> bool:
         """Whether this counter accrues events from the given domain."""

@@ -41,6 +41,22 @@ class Event(enum.Enum):
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Event.{self.name}"
 
+    # Members are singletons, so identity hashing is semantically identical
+    # to Enum's default name-based hash — but resolves in C. Event objects
+    # key the hottest dicts in the engine (per-thread event tallies), where
+    # the Python-level default shows up in profiles.
+    __hash__ = object.__hash__
+
+
+# Dense event indices for array-based tallies: the engine keeps per-thread
+# and per-region event counts in flat lists indexed by Event.index instead
+# of dicts, so hot accrual loops do list arithmetic only. CYCLES is index 0
+# by construction (first member) — the engine relies on that.
+for _i, _e in enumerate(Event):
+    _e.index = _i
+N_EVENTS = len(Event)
+assert Event.CYCLES.index == 0
+
 
 class Domain(enum.Enum):
     """Privilege domain in which work executes. PMU counters can be
@@ -49,6 +65,10 @@ class Domain(enum.Enum):
 
     USER = "user"
     KERNEL = "kernel"
+
+    # Same reasoning as Event.__hash__: members are singletons and key hot
+    # plan-cache dicts; identity hashing resolves in C.
+    __hash__ = object.__hash__
 
 
 #: Cycles fire once per cycle by definition; its ppm rate is fixed.
@@ -64,7 +84,7 @@ class EventRates(Mapping[Event, int]):
     :meth:`profile` constructor (IPC + per-kilo-instruction miss rates).
     """
 
-    __slots__ = ("_ppm",)
+    __slots__ = ("_ppm", "flat")
 
     def __init__(self, ppm: Mapping[Event, int] | None = None) -> None:
         clean: dict[Event, int] = {}
@@ -80,6 +100,10 @@ class EventRates(Mapping[Event, int]):
             if rate:
                 clean[event] = rate
         self._ppm = clean
+        #: flat (event, ppm, index) triples, precomputed once at construction
+        #: (EventRates is immutable) so per-chunk accrual loops never go back
+        #: through the Mapping interface or hash an Event.
+        self.flat = tuple((e, r, e.index) for e, r in clean.items())
 
     @classmethod
     def profile(

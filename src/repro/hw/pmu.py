@@ -29,6 +29,69 @@ class Pmu:
         #: observability hook: called with the counter index when a counter
         #: wraps during accrual. Installed by the engine only when tracing.
         self.on_overflow: Callable[[int], None] | None = None
+        #: number of currently enabled counters — the engine's cheap gate to
+        #: skip all plan lookup/accrual work when nothing is programmed.
+        self.n_enabled = 0
+        #: accrual-plan caches for the *current* counter programming, one per
+        #: domain, keyed id(rates) (the value keeps a reference to the rates
+        #: object so an id can never be recycled while its entry is live).
+        self._plans_user: dict[int, tuple[EventRates, tuple]] = {}
+        self._plans_kernel: dict[int, tuple[EventRates, tuple]] = {}
+        #: per-programming-signature plan sets. Counter virtualization
+        #: reprograms the same specs on every context switch; keying the plan
+        #: dicts by the (event, domains) signature means an identical
+        #: reprogramming swaps the same dicts back in, so plan tuples stay
+        #: identical objects for the whole run (downstream caches key on
+        #: their ids).
+        self._plan_sets: dict[tuple, tuple[dict, dict]] = {
+            (): (self._plans_user, self._plans_kernel)
+        }
+        self._plans_dirty = False
+        for ctr in self.counters:
+            ctr.on_reprogram = self._invalidate_plans
+
+    def _invalidate_plans(self) -> None:
+        self._plans_dirty = True
+        self.n_enabled = sum(1 for c in self.counters if c.enabled)
+
+    def _resolve_plans(self) -> None:
+        """Swap in the plan dicts matching the current counter programming."""
+        sig = tuple(
+            (index, ctr.event, ctr.count_user, ctr.count_kernel)
+            for index, ctr in enumerate(self.counters)
+            if ctr.enabled and ctr.event is not None
+        )
+        sets = self._plan_sets.get(sig)
+        if sets is None:
+            sets = self._plan_sets[sig] = ({}, {})
+        self._plans_user, self._plans_kernel = sets
+        self._plans_dirty = False
+
+    def accrual_plan(
+        self, rates: EventRates, domain: Domain
+    ) -> tuple[tuple[int, HardwareCounter, int, int], ...]:
+        """Flat accrual plan for a (rates, domain) phase: one
+        ``(index, counter, ppm, mask)`` entry per enabled counter that counts
+        in ``domain`` with a non-zero rate (CYCLES counters at 1e6 ppm).
+
+        Computed once per distinct rates object per counter programming
+        signature and cached, so the per-chunk accounting path iterates a
+        short tuple instead of re-filtering every counter against every rate.
+        """
+        if self._plans_dirty:
+            self._resolve_plans()
+        cache = self._plans_user if domain is Domain.USER else self._plans_kernel
+        hit = cache.get(id(rates))
+        if hit is not None:
+            return hit[1]
+        rate_of = rates.ppm
+        plan = tuple(
+            (index, ctr, rate_of(ctr.event), ctr.mask)
+            for index, ctr in enumerate(self.counters)
+            if ctr.counts_in(domain) and rate_of(ctr.event) > 0
+        )
+        cache[id(rates)] = (rates, plan)
+        return plan
 
     def __len__(self) -> int:
         return len(self.counters)
@@ -73,14 +136,12 @@ class Pmu:
         Returns the list of counter indices that overflowed during the slice.
         """
         overflowed: list[int] = []
-        rate_of = rates.ppm
+        plan = self.accrual_plan(rates, domain)
+        if not plan:
+            return overflowed
         on_overflow = self.on_overflow
-        for index, ctr in enumerate(self.counters):
-            if not ctr.counts_in(domain):
-                continue
-            n = events_in(
-                phase_cycles_before, phase_cycles_after, rate_of(ctr.event)
-            )
+        for index, ctr, ppm, _mask in plan:
+            n = events_in(phase_cycles_before, phase_cycles_after, ppm)
             if n and ctr.accrue(n):
                 overflowed.append(index)
                 if on_overflow is not None:
@@ -101,16 +162,45 @@ class Pmu:
         with bounded (configured) skid rather than at arbitrary phase ends.
         """
         best: int | None = None
-        for ctr in self.counters:
-            if not ctr.counts_in(domain):
-                continue
-            ppm = rates.ppm(ctr.event)
+        for _index, ctr, ppm, mask in self.accrual_plan(rates, domain):
             d = cycles_until_count(
-                phase_cycles_so_far, ppm, ctr.events_until_overflow()
+                phase_cycles_so_far, ppm, mask + 1 - ctr.value
             )
             if d is not None and (best is None or d < best):
                 best = d
         return best
+
+    def overflow_crossings(
+        self,
+        rates: EventRates,
+        domain: Domain,
+        start: int,
+        end: int,
+    ) -> list[tuple[int, int]]:
+        """All counter-overflow crossings in the phase-relative window
+        ``(start, end]``, as ``(phase_cycle, counter_index)`` pairs sorted by
+        crossing time (ties by index).
+
+        Generalizes :meth:`cycles_to_next_overflow` from "first crossing"
+        to "every crossing in a window", which is what the macro-stepping
+        fast path needs to prove a batched jump contains none (or to locate
+        them all if it did).
+        """
+        crossings: list[tuple[int, int]] = []
+        for index, ctr, ppm, _mask in self.accrual_plan(rates, domain):
+            needed = ctr.events_until_overflow()
+            threshold = ctr.threshold
+            while True:
+                d = cycles_until_count(start, ppm, needed)
+                if d is None:
+                    break
+                at = start + d
+                if at > end:
+                    break
+                crossings.append((at, index))
+                needed += threshold
+        crossings.sort()
+        return crossings
 
     def pending_overflow_indices(self) -> list[int]:
         """Counters with latched, unserviced overflows."""

@@ -122,10 +122,15 @@ class RunCollector:
     def wall_seconds(self) -> float:
         return sum(r.wall_seconds for r in self.records)
 
+    def _metric_total(self, key: str) -> float:
+        """Sum one engine self-telemetry counter across every run (runs with
+        metrics disabled contribute 0)."""
+        return sum(r.metrics.get(key, 0) for r in self.records)
+
     def metrics_snapshot(self) -> dict[str, float]:
         """The manifest's metrics block: totals across every run."""
         wall = self.wall_seconds
-        return {
+        snap = {
             "engine_runs": self.n_runs,
             "sim_events": self.sim_events,
             "sim_cycles": self.sim_cycles,
@@ -135,6 +140,36 @@ class RunCollector:
             "wall_seconds": wall,
             "sim_events_per_sec": self.sim_events / wall if wall > 0 else 0.0,
         }
+        snap.update(self.macro_summary())
+        return snap
+
+    def macro_summary(self) -> dict[str, float]:
+        """Engine fast-path telemetry totals: macro-stepping and composite
+        PMC-read counters, plus the quantum-level hit rate (fraction of
+        scheduler quanta that were batched by a macro step rather than
+        executed piece by piece against a serviced timer tick)."""
+        macro_steps = self._metric_total("macro_steps")
+        quanta = self._metric_total("quanta_batched")
+        # n_timer_ticks counts every expired quantum, batched or not, so the
+        # hit rate is simply the batched share of all quanta.
+        ticks = self._metric_total("timer_ticks")
+        return {
+            "macro_steps": macro_steps,
+            "quanta_batched": quanta,
+            "fast_reads": self._metric_total("fast_reads"),
+            "fastpath_bailouts": self._metric_total("fastpath_bailouts"),
+            "macro_hit_rate": quanta / ticks if ticks else 0.0,
+        }
+
+    def bailouts_by_reason(self) -> dict[str, float]:
+        """Fast-path bailout totals keyed by reason (manifest detail)."""
+        out: dict[str, float] = {}
+        for r in self.records:
+            for key, value in r.metrics.items():
+                if key.startswith("fastpath_bailout."):
+                    reason = key[len("fastpath_bailout."):]
+                    out[reason] = out.get(reason, 0) + value
+        return dict(sorted(out.items()))
 
     def config_hash(self) -> str:
         """Stable digest of every distinct (seed, config) this scope ran —

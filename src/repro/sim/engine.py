@@ -17,6 +17,19 @@ are causally consistent and runs are exactly reproducible.
 Compute pieces are additionally split at timeslice boundaries and at the
 exact cycle a PMU counter will overflow, so PMIs are delivered with the
 configured skid rather than at arbitrary op boundaries.
+
+Macro-stepping
+--------------
+When a thread is alone on its core inside a long preemptible compute phase,
+the piece-by-piece loop degenerates to: run to the slice boundary, take a
+timer tick, extend the slice, repeat. The macro-stepping fast path
+(:meth:`Engine._try_macro_step`) recognises this and accrues many such
+timeslices in one closed-form step — k whole quanta of user cycles plus k
+batched timer ticks of kernel cycles — using the same exact integer event
+arithmetic, and stopping the jump before the earliest cross-core
+interaction or counter-overflow crossing so results are fingerprint
+identical to the slow path. See docs/architecture.md ("Macro-stepping")
+for the engage conditions and invariants.
 """
 
 from __future__ import annotations
@@ -24,6 +37,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import heapq
+import os
 import time
 from typing import Any, Callable, Generator
 
@@ -44,7 +58,10 @@ from repro.hw.events import (
     EventRates,
     KERNEL_RATES,
     LIBRARY_RATES,
+    N_EVENTS,
     SPIN_RATES,
+    cycles_until_count,
+    events_in,
 )
 from repro.hw.machine import Core, Machine
 from repro.kernel.futex import FutexTable
@@ -83,20 +100,27 @@ class _OpExec:
         "phase_cycles",
         "phase_consumed",
         "phase_rates",
+        "phase_flat",
         "phase_domain",
         "phase_preemptible",
         "data",
+        "adv",
     )
 
     def __init__(self, op: ops.Op) -> None:
         self.op = op
         self.stage = "start"
+        # Advance handler, resolved once by _begin_op so multi-stage ops
+        # skip the type->handler dispatch on every subsequent piece.
+        self.adv = None
         self.phase_cycles = 0
         self.phase_consumed = 0
         self.phase_rates: EventRates = _EMPTY_RATES
+        self.phase_flat = _EMPTY_FLAT
         self.phase_domain = Domain.USER
         self.phase_preemptible = True
-        self.data: dict[str, Any] = {}
+        # Most ops never need scratch state; allocated on first use.
+        self.data: dict[str, Any] | None = None
 
     def set_phase(
         self,
@@ -108,6 +132,9 @@ class _OpExec:
         self.phase_cycles = cycles
         self.phase_consumed = 0
         self.phase_rates = rates
+        # Flat (event, ppm, index) triples, precomputed by EventRates, so
+        # per-chunk accounting never goes back through the Mapping interface.
+        self.phase_flat = rates.flat
         self.phase_domain = domain
         self.phase_preemptible = preemptible
 
@@ -117,6 +144,77 @@ class _OpExec:
 
 
 _EMPTY_RATES = EventRates()
+_EMPTY_FLAT = _EMPTY_RATES.flat
+
+#: Enum members in definition order, for folding flat tallies back to dicts.
+_EVENT_MEMBERS = tuple(Event)
+
+#: Memoized whole-window accrual recipes, shared across engines. Nearly
+#: every accounted window is a whole small phase (0, cost] with a recurring
+#: cost constant — every kernel path, every library-call op — so the
+#: running-floor divisions for a (flat-rates, pmu-plan, window) triple are
+#: computed once per process and replayed as flat (index, n) adds. Keys use
+#: id(); each value pins the keyed objects so their ids cannot be recycled
+#: while the entry is live. Bounded by clear-on-cap (plans are per-engine
+#: objects, so long-lived processes would otherwise accumulate entries for
+#: dead engines).
+_RECIPE_CACHE: dict[tuple[int, int, int], tuple] = {}
+_RECIPE_CACHE_CAP = 1 << 15
+
+
+def _window_recipe(flat, plan, after):
+    """Memoized accrual recipe for the whole window ``(0, after]``:
+    ``(deltas, entries, flat, plan)`` with ``deltas`` the non-zero
+    ``(Event.index, n)`` ground-truth adds for the phase rates and
+    ``entries`` the non-zero ``(counter_index, counter, mask, n)`` adds for
+    the PMU plan, both by the running-floor rule (``events_in(0, after)``).
+    """
+    key = (id(flat), id(plan), after)
+    rec = _RECIPE_CACHE.get(key)
+    if rec is None:
+        deltas = tuple(
+            (idx, (after * ppm) // 1_000_000)
+            for _event, ppm, idx in flat
+            if (after * ppm) // 1_000_000
+        )
+        entries = tuple(
+            (index, ctr, mask, (after * ppm) // 1_000_000)
+            for index, ctr, ppm, mask in plan
+            if (after * ppm) // 1_000_000
+        )
+        if len(_RECIPE_CACHE) >= _RECIPE_CACHE_CAP:
+            _RECIPE_CACHE.clear()
+        rec = _RECIPE_CACHE[key] = (deltas, entries, flat, plan)
+    return rec
+
+
+def accrue_rate_events(flat, before, after, ev, rev=None) -> None:
+    """Shared exact-accrual helper: apply the running-floor event deltas of
+    one ``(before, after]`` phase-relative window to a flat tally array
+    ``ev`` (indexed by ``Event.index``; optionally also an open region's
+    tally array ``rev``).
+
+    This is the single place the ``(after*ppm)//1e6 - (before*ppm)//1e6``
+    ground-truth arithmetic lives for thread/region tallies; both the
+    per-chunk slow path (:meth:`Engine._account`) and the macro-stepping
+    fast path call it, so they cannot drift apart.
+    """
+    if rev is None:
+        for _event, ppm, idx in flat:
+            n = (after * ppm) // 1_000_000 - (before * ppm) // 1_000_000
+            if n:
+                ev[idx] += n
+    else:
+        for _event, ppm, idx in flat:
+            n = (after * ppm) // 1_000_000 - (before * ppm) // 1_000_000
+            if n:
+                ev[idx] += n
+                rev[idx] += n
+
+
+def _tally_dict(arr) -> dict[Event, int]:
+    """Fold a flat tally array back into the result-facing Event dict."""
+    return {e: arr[e.index] for e in _EVENT_MEMBERS if arr[e.index]}
 
 
 class SimThread:
@@ -146,6 +244,7 @@ class SimThread:
         "region_stack",
         "region_entries",
         "regions",
+        "region_ev",
         "owned_locks",
         "profiler",
         "ev_user",
@@ -187,10 +286,13 @@ class SimThread:
         self.region_stack: list[str] = []
         self.region_entries: list[tuple[str, int, int]] = []
         self.regions: dict[str, RegionTruth] = {}
+        #: per-region flat event tallies (folded into RegionTruth.events at
+        #: collection time; arrays keep the accrual loops dict-free).
+        self.region_ev: dict[str, list[int]] = {}
         self.owned_locks: set[str] = set()
         self.profiler = None
-        self.ev_user: dict[Event, int] = {}
-        self.ev_kernel: dict[Event, int] = {}
+        self.ev_user: list[int] = [0] * N_EVENTS
+        self.ev_kernel: list[int] = [0] * N_EVENTS
         self.user_cycles = 0
         self.kernel_cycles = 0
         self.n_context_switches = 0
@@ -208,11 +310,12 @@ class SimThread:
 
     def slot_truth(self, spec: SlotSpec) -> int:
         """Ground-truth event count matching a slot's domain filter."""
+        idx = spec.event.index
         total = 0
         if spec.count_user:
-            total += self.ev_user.get(spec.event, 0)
+            total += self.ev_user[idx]
         if spec.count_kernel:
-            total += self.ev_kernel.get(spec.event, 0)
+            total += self.ev_kernel[idx]
         return total
 
     def slot_truth_since_open(self, idx: int, spec: SlotSpec) -> int:
@@ -265,6 +368,61 @@ class Engine:
         self._region_log_budget = self.config.region_log_budget
         self._costs = self.config.machine.costs
         self._finished = False
+        # -- macro-stepping fast path state -----------------------------
+        # config switch first, then the environment kill switch used by the
+        # bench harness / property tests for A/B runs across process modes.
+        self._macro = (
+            self.config.macro_stepping
+            and os.environ.get("REPRO_MACRO_STEPPING", "1") != "0"
+        )
+        self._macro_steps = 0
+        self._quanta_batched = 0
+        self._fast_reads = 0
+        self._spin_batches = 0
+        self._spin_rounds_batched = 0
+        #: per-(spin plan, library plan) one-round accrual recipes for the
+        #: contended-lock spin loop; values pin the plans (id-keyed).
+        self._spin_recipes: dict[tuple[int, int], tuple] = {}
+        self._bailouts: dict[str, int] = {}
+        tick = self._costs.timer_tick
+        # One timer tick's kernel ground-truth events: each tick is its own
+        # phase starting at cycle 0, so k batched ticks accrue exactly
+        # k * events_in(0, tick, ppm) per event (NOT events_in(0, k*tick)).
+        self._tick_pairs = tuple(
+            (event.index, events_in(0, tick, ppm))
+            for event, ppm in KERNEL_RATES.items()
+            if events_in(0, tick, ppm)
+        )
+        self._kernel_flat = KERNEL_RATES.flat
+        # -- composite PMC-read fast path -------------------------------
+        # Sub-phase cycle costs of the safe/unsafe read sequences, split at
+        # the rdpmc: the accumulator/hardware values and slot-truth
+        # bookkeeping must be taken with exactly the pre-rdpmc cycles
+        # accrued, so the one-piece fast path applies part A, reads, then
+        # applies part B. Each sub-phase accrues from its own cycle 0.
+        c = self._costs
+        self._safe_read_phases = (
+            (c.pmc_call_overhead, c.pmc_read_begin, c.pmc_load_accum, c.rdpmc),
+            (c.pmc_read_end, c.pmc_store_result),
+        )
+        self._unsafe_read_phases = (
+            (c.pmc_call_overhead, c.pmc_load_accum, c.rdpmc),
+            (c.pmc_store_result,),
+        )
+        #: combined whole-read accrual recipes keyed (id(plan), phases);
+        #: each value pins its plan so the id cannot be recycled.
+        self._read_recipes: dict[tuple, tuple] = {}
+        # -- main-loop actor selection ----------------------------------
+        # Multi-core runs keep a lazily-invalidated heap of (now, core_id);
+        # single-core runs bypass it entirely.
+        self._use_core_heap = self.config.machine.n_cores > 1
+        self._core_heap: list[tuple[int, int]] = []
+        #: earliest time any *other* actor (core or sleeper) can commit an
+        #: effect; valid while the current core chain runs.
+        self._horizon: int | None = None
+        #: set by any event that may create an actor below the horizon
+        #: (core unpark, sleep-heap push) to end the current chain.
+        self._chain_break = False
         if self.config.kernel.limit_patch:
             self.machine.enable_user_rdpmc()
         self._syscalls: dict[str, Callable] = {
@@ -345,6 +503,16 @@ class Engine:
         )
         reg.counter("threads").add(len(self.threads))
         reg.counter("trace_events").add(len(self.obs.events))
+        reg.counter("macro_steps").add(self._macro_steps)
+        reg.counter("quanta_batched").add(self._quanta_batched)
+        reg.counter("fast_reads").add(self._fast_reads)
+        reg.counter("spin_batches").add(self._spin_batches)
+        reg.counter("spin_rounds_batched").add(self._spin_rounds_batched)
+        reg.counter("fastpath_bailouts").add(sum(self._bailouts.values()))
+        for reason in sorted(self._bailouts):
+            reg.counter("fastpath_bailout." + reason).add(
+                self._bailouts[reason]
+            )
         reg.gauge("sim_cycles").set(result.wall_cycles)
         if run_wall > 0:
             reg.gauge("sim_events_per_sec").set(self._n_steps / run_wall)
@@ -407,27 +575,62 @@ class Engine:
         cores = self.machine.cores
         threads = self.threads
         sleep_heap = self._sleep_heap
+        core_heap = self._core_heap
         heappop = heapq.heappop
+        heappush = heapq.heappush
         max_cycles = self.config.max_cycles
+        step = self._step
+        single = cores[0] if len(cores) == 1 else None
         n_steps = 0
         while self.live_count > 0:
-            n_steps += 1
-            # Acting core: smallest clock among unparked cores, ties by core
-            # id. A strict `<` scan in core order matches min((now, id)).
-            core = None
-            t_next = 0
-            for c in cores:
-                if not c.parked and (core is None or c.now < t_next):
-                    core = c
-                    t_next = c.now
-            while sleep_heap and (core is None or sleep_heap[0][0] <= t_next):
-                wake_at, _, tid = heappop(sleep_heap)
-                self._make_ready(threads[tid], at=wake_at)
+            # -- pick the acting core: smallest (now, core_id) ------------
+            # Due sleepers (wake time <= the would-be actor's clock) are
+            # made ready first, exactly as the seed engine's rescan did.
+            if single is not None:
+                core = None if single.parked else single
+                while sleep_heap and (
+                    core is None or sleep_heap[0][0] <= core.now
+                ):
+                    wake_at, _, tid = heappop(sleep_heap)
+                    self._make_ready(threads[tid], at=wake_at)
+                    core = None if single.parked else single
+                horizon = sleep_heap[0][0] if sleep_heap else None
+            else:
+                # The heap is lazily invalidated: an entry is stale when its
+                # core has parked or moved on (clocks only advance, so a
+                # stale entry never under-reports a core's time).
                 core = None
-                for c in cores:
-                    if not c.parked and (core is None or c.now < t_next):
-                        core = c
-                        t_next = c.now
+                while True:
+                    while core_heap:
+                        t, cid = core_heap[0]
+                        c = cores[cid]
+                        if c.parked or c.now != t:
+                            heappop(core_heap)
+                        else:
+                            break
+                    if sleep_heap and (
+                        not core_heap or sleep_heap[0][0] <= core_heap[0][0]
+                    ):
+                        wake_at, _, tid = heappop(sleep_heap)
+                        self._make_ready(threads[tid], at=wake_at)
+                        continue
+                    if core_heap:
+                        _, cid = heappop(core_heap)
+                        core = cores[cid]
+                    break
+                horizon = None
+                while core_heap:
+                    t, cid = core_heap[0]
+                    c = cores[cid]
+                    if c.parked or c.now != t:
+                        heappop(core_heap)
+                    else:
+                        horizon = t
+                        break
+                if sleep_heap and (
+                    horizon is None or sleep_heap[0][0] < horizon
+                ):
+                    horizon = sleep_heap[0][0]
             if core is None:
                 blocked = [
                     f"{t.name}({t.block_key})"
@@ -437,14 +640,36 @@ class Engine:
                 raise SimulationError(
                     f"deadlock: no runnable threads; blocked: {blocked}"
                 )
-            if core.now > max_cycles:
-                raise SimulationError(
-                    f"simulation exceeded max_cycles={max_cycles}"
-                )
-            self._step(core)
+            # -- run the chosen core until another actor could act --------
+            # While core.now stays below every other actor's time the core
+            # remains the global minimum, so re-running selection would pick
+            # it again; chaining skips that. Any event that could create an
+            # earlier actor (unpark, sleep-heap push) sets _chain_break.
+            self._horizon = horizon
+            self._chain_break = False
+            while True:
+                if core.now > max_cycles:
+                    raise SimulationError(
+                        f"simulation exceeded max_cycles={max_cycles}"
+                    )
+                n_steps += 1
+                step(core)
+                if core.parked or self._chain_break or self.live_count == 0:
+                    break
+                if horizon is not None and core.now >= horizon:
+                    break
+            if single is None and not core.parked:
+                heappush(core_heap, (core.now, core.core_id))
         self._n_steps = n_steps
 
     def _step(self, core: Core) -> None:
+        """Run one engine step of ``core``: service a due PMI or timer tick,
+        or execute one piece of the current thread's op — fetch-and-begin,
+        one phase chunk, or the op's advance. The piece execution is fused
+        into this function (rather than delegated through per-piece helper
+        calls) because it runs once per simulated micro-op and per-call
+        overhead here dominates whole-sweep wall time.
+        """
         if self._tracing:
             self._acting_core = core
         tid = core.current_tid
@@ -452,13 +677,66 @@ class Engine:
             self._dispatch(core)
             return
         thread = self.threads[tid]
-        if core.pmi_due_at is not None and core.now >= core.pmi_due_at:
+        now = core.now
+        if core.pmi_due_at is not None and now >= core.pmi_due_at:
             self._service_pmi(core, thread)
             return
-        if core.slice_ends_at is not None and core.now >= core.slice_ends_at:
+        if core.slice_ends_at is not None and now >= core.slice_ends_at:
             self._timer_tick(core, thread)
             return
-        self._exec_piece(core, thread)
+        ex = thread.cur
+        if ex is None:
+            if not self._fetch_next_op(core, thread):
+                return
+            ex = thread.cur
+        consumed = ex.phase_consumed
+        cycles = ex.phase_cycles
+        if consumed < cycles:
+            remaining = cycles - consumed
+            pmu = core.pmu
+            plan = (
+                pmu.accrual_plan(ex.phase_rates, ex.phase_domain)
+                if pmu.n_enabled
+                else ()
+            )
+            if ex.phase_preemptible:
+                # Macro-step candidate: a preemptible phase that outlives
+                # the current timeslice (i.e. the slow path would hit at
+                # least one timer tick before the phase ends).
+                if (
+                    self._macro
+                    and remaining > core.slice_ends_at - now
+                    and self._try_macro_step(core, thread, ex)
+                ):
+                    return
+                # limit only ever shrinks from `remaining`, so the final
+                # chunk is max(1, limit) — identical to
+                # max(1, min(remaining, limit)).
+                limit = remaining
+                bound = core.slice_ends_at
+                if bound is not None and bound - now < limit:
+                    limit = bound - now
+                bound = core.pmi_due_at
+                if bound is not None and bound - now < limit:
+                    limit = bound - now
+                # split at the first counter-overflow crossing (the inline
+                # form of Pmu.cycles_to_next_overflow on the resolved plan)
+                for _index, ctr, ppm, mask in plan:
+                    d = cycles_until_count(consumed, ppm, mask + 1 - ctr.value)
+                    if d is not None and d < limit:
+                        limit = d
+                chunk = limit if limit > 0 else 1
+            else:
+                chunk = remaining
+            after = consumed + chunk
+            self._account(
+                core, thread, ex.phase_domain, ex.phase_flat, plan,
+                consumed, after,
+            )
+            ex.phase_consumed = after
+            if after < cycles:
+                return
+        self._advance(core, thread, ex)
 
     # ------------------------------------------------------------------
     # thread lifecycle
@@ -499,6 +777,10 @@ class Engine:
             core.parked = False
             if at > core.now:
                 core.now = at
+            if self._use_core_heap:
+                heapq.heappush(self._core_heap, (core.now, core_id))
+            # a new actor may now exist below the current chain's horizon
+            self._chain_break = True
         if self._tracing:
             self.obs.emit(at, core_id, thread.tid, tr.READY, thread.name)
 
@@ -704,12 +986,19 @@ class Engine:
         core: Core,
         thread: SimThread,
         domain: Domain,
-        rates: EventRates,
+        flat,
+        plan,
         before: int,
         after: int,
     ) -> None:
         """Charge ``after - before`` cycles of a phase to the machine,
-        thread, ground truth, active region and PMU counters."""
+        thread, ground truth, active region and PMU counters.
+
+        ``flat`` is the phase's (event, ppm, index) triples (``rates.flat``,
+        resolved once per phase by :meth:`_OpExec.set_phase`); ``plan`` is
+        the PMU accrual plan for (rates, domain), resolved by the caller —
+        ``()`` when no counter is programmed.
+        """
         chunk = after - before
         core.now += chunk
         core.busy_cycles += chunk
@@ -722,55 +1011,81 @@ class Engine:
             core.kernel_cycles += chunk
             thread.kernel_cycles += chunk
             ev = thread.ev_kernel
-        ev_get = ev.get
-        ev[Event.CYCLES] = ev_get(Event.CYCLES, 0) + chunk
+        ev[0] += chunk  # Event.CYCLES.index == 0
         region_stack = thread.region_stack
         rev = None
         if region_stack:
-            rt = thread.regions[region_stack[-1]]
+            name = region_stack[-1]
             if user:
-                rev = rt.events
-                rev[Event.CYCLES] = rev.get(Event.CYCLES, 0) + chunk
+                rev = thread.region_ev[name]
+                rev[0] += chunk
             else:
-                rt.kernel_cycles += chunk
-        if rates:
+                thread.regions[name].kernel_cycles += chunk
+        if before == 0 and after <= 65536:
+            rec = _RECIPE_CACHE.get((id(flat), id(plan), after))
+            if rec is None:
+                rec = _window_recipe(flat, plan, after)
+            deltas = rec[0]
             if rev is None:
-                for event, ppm in rates.items():
-                    n = (after * ppm) // 1_000_000 - (before * ppm) // 1_000_000
-                    if n:
-                        ev[event] = ev_get(event, 0) + n
+                for idx, n in deltas:
+                    ev[idx] += n
             else:
-                rev_get = rev.get
-                for event, ppm in rates.items():
-                    n = (after * ppm) // 1_000_000 - (before * ppm) // 1_000_000
-                    if n:
-                        ev[event] = ev_get(event, 0) + n
-                        rev[event] = rev_get(event, 0) + n
-        overflowed = core.pmu.accrue_phase(rates, domain, before, after)
-        if overflowed:
-            due = core.now + self._costs.pmi_skid
-            if core.pmi_due_at is None or due < core.pmi_due_at:
-                core.pmi_due_at = due
+                for idx, n in deltas:
+                    ev[idx] += n
+                    rev[idx] += n
+            entries = rec[1]
+            if entries:
+                overflowed = False
+                on_overflow = core.pmu.on_overflow
+                for index, ctr, mask, n in entries:
+                    v = ctr.value + n
+                    if v <= mask:
+                        ctr.value = v
+                    elif ctr.accrue(n):
+                        overflowed = True
+                        if on_overflow is not None:
+                            on_overflow(index)
+                if overflowed:
+                    due = core.now + self._costs.pmi_skid
+                    if core.pmi_due_at is None or due < core.pmi_due_at:
+                        core.pmi_due_at = due
+            return
+        if flat:
+            accrue_rate_events(flat, before, after, ev, rev)
+        if plan:
+            overflowed = False
+            on_overflow = core.pmu.on_overflow
+            for index, ctr, ppm, mask in plan:
+                n = (after * ppm) // 1_000_000 - (before * ppm) // 1_000_000
+                if n:
+                    v = ctr.value + n
+                    if v <= mask:
+                        ctr.value = v
+                    elif ctr.accrue(n):
+                        overflowed = True
+                        if on_overflow is not None:
+                            on_overflow(index)
+            if overflowed:
+                due = core.now + self._costs.pmi_skid
+                if core.pmi_due_at is None or due < core.pmi_due_at:
+                    core.pmi_due_at = due
 
     def _account_kernel(self, core: Core, thread: SimThread, cycles: int) -> None:
         """One-shot non-preemptible kernel phase."""
         if cycles:
-            self._account(core, thread, Domain.KERNEL, KERNEL_RATES, 0, cycles)
+            pmu = core.pmu
+            plan = (
+                pmu.accrual_plan(KERNEL_RATES, Domain.KERNEL)
+                if pmu.n_enabled
+                else ()
+            )
+            self._account(
+                core, thread, Domain.KERNEL, self._kernel_flat, plan, 0, cycles,
+            )
 
     # ------------------------------------------------------------------
     # op execution
     # ------------------------------------------------------------------
-
-    def _exec_piece(self, core: Core, thread: SimThread) -> None:
-        ex = thread.cur
-        if ex is None:
-            if not self._fetch_next_op(core, thread):
-                return
-            ex = thread.cur
-        if not ex.phase_done:
-            if not self._run_phase(core, thread, ex):
-                return
-        self._advance(core, thread, ex)
 
     def _fetch_next_op(self, core: Core, thread: SimThread) -> bool:
         try:
@@ -787,40 +1102,152 @@ class Engine:
         thread.cur = self._begin_op(core, thread, op)
         return True
 
-    def _run_phase(self, core: Core, thread: SimThread, ex: _OpExec) -> bool:
+    def _bail(self, reason: str) -> bool:
+        """Count a fast-path bailout; always False (for `return` chaining)."""
+        self._bailouts[reason] = self._bailouts.get(reason, 0) + 1
+        return False
+
+    def _try_macro_step(
+        self, core: Core, thread: SimThread, ex: _OpExec
+    ) -> bool:
+        """Fast-forward k whole timeslices of a solo compute phase in one
+        closed-form step: k quanta of user cycles plus k batched timer
+        ticks of kernel cycles, with all event/counter accrual done by the
+        same exact integer arithmetic the slow path uses.
+
+        Engages only when nothing can interleave: no runnable sibling on
+        this core, no pending PMI, no rotating multiplex group, and the
+        whole jump (a) starts every sub-step strictly before any other
+        actor's time and (b) wraps no hardware counter (so no PMI can
+        become due mid-window). Returns False (and counts the reason) when
+        any condition fails, leaving the slow path to run unchanged.
+        """
+        if core.pmi_due_at is not None:
+            return self._bail("pmi_due")
+        if self.scheduler.queue_length(core.core_id) > 0:
+            return self._bail("runqueue")
+        mux = thread.mux
+        if mux is not None and len(mux.specs) > 1:
+            return self._bail("mux")
+        if ex.phase_domain is not Domain.USER:  # pragma: no cover - defensive
+            return self._bail("domain")
+        now = core.now
+        quantum = self.config.kernel.timeslice_cycles
+        tick = self._costs.timer_tick
+        stride = quantum + tick
+        head = core.slice_ends_at - now
         consumed = ex.phase_consumed
         remaining = ex.phase_cycles - consumed
-        if remaining <= 0:
-            return True
-        if ex.phase_preemptible:
-            # limit only ever shrinks from `remaining`, so the final chunk
-            # is max(1, limit) — identical to max(1, min(remaining, limit)).
-            limit = remaining
-            now = core.now
-            bound = core.slice_ends_at
-            if bound is not None and bound - now < limit:
-                limit = bound - now
-            bound = core.pmi_due_at
-            if bound is not None and bound - now < limit:
-                limit = bound - now
-            split = core.pmu.cycles_to_next_overflow(
-                ex.phase_rates, ex.phase_domain, consumed
-            )
-            if split is not None and split < limit:
-                limit = split
-            chunk = limit if limit > 0 else 1
+        # Largest k from the phase itself: the k-th quantum must still be
+        # cut short by its tick, i.e. head + (k-1)*quantum < remaining
+        # (at the boundary the slow path finishes the phase instead).
+        k = (remaining - head - 1) // quantum + 1
+        # Every batched sub-step must *start* strictly before the earliest
+        # other actor (the k-th tick starts at t_end - tick); at a tie the
+        # outer loop must arbitrate by core id / process wakeups first.
+        horizon = self._horizon
+        if horizon is not None:
+            if now + head >= horizon:
+                return self._bail("horizon")
+            k_h = (horizon - now - head - 1) // stride + 1
+            if k_h < k:
+                k = k_h
+        if k < 1:
+            return self._bail("horizon")
+        # Shrink k until no counter can wrap inside the window. Counter
+        # fill is monotonic in k, so binary-search the largest safe k; if
+        # even one slice would wrap, the slow path delivers that PMI.
+        pmu = core.pmu
+        if pmu.n_enabled:
+            user_plan = pmu.accrual_plan(ex.phase_rates, Domain.USER)
+            kernel_plan = pmu.accrual_plan(KERNEL_RATES, Domain.KERNEL)
         else:
-            chunk = remaining
-        self._account(
-            core,
-            thread,
-            ex.phase_domain,
-            ex.phase_rates,
-            consumed,
-            consumed + chunk,
-        )
-        ex.phase_consumed = consumed + chunk
-        return ex.phase_consumed >= ex.phase_cycles
+            user_plan = kernel_plan = ()
+        if user_plan or kernel_plan:
+            caps: dict[int, list] = {}
+            for index, ctr, ppm, _mask in user_plan:
+                caps[index] = [ctr, ppm, 0]
+            for index, ctr, ppm, _mask in kernel_plan:
+                per_tick = events_in(0, tick, ppm)
+                entry = caps.get(index)
+                if entry is None:
+                    caps[index] = [ctr, 0, per_tick]
+                else:
+                    entry[2] = per_tick
+            base = {
+                index: (consumed * entry[1]) // 1_000_000
+                for index, entry in caps.items()
+            }
+
+            def fits(kk: int) -> bool:
+                u_end = consumed + head + (kk - 1) * quantum
+                for index, (ctr, ppm_u, per_tick) in caps.items():
+                    n = kk * per_tick
+                    if ppm_u:
+                        n += (u_end * ppm_u) // 1_000_000 - base[index]
+                    if ctr.value + n > ctr.mask:
+                        return False
+                return True
+
+            if not fits(1):
+                return self._bail("overflow")
+            lo, hi = 1, k
+            while lo < hi:
+                mid = (lo + hi + 1) // 2
+                if fits(mid):
+                    lo = mid
+                else:
+                    hi = mid - 1
+            k = lo
+        # ---- commit: the jump is safe; apply k slices in closed form ----
+        user_cycles = head + (k - 1) * quantum
+        kernel_cycles = k * tick
+        t_end = now + user_cycles + kernel_cycles
+        if self._tracing:
+            # the slow path emits TIMER_TICK at each slice boundary, before
+            # charging the tick; reproduce the identical event stream
+            emit = self.obs.emit
+            cid = core.core_id
+            tid = thread.tid
+            t = now + head
+            for _ in range(k):
+                emit(t, cid, tid, tr.TIMER_TICK)
+                t += stride
+        core.now = t_end
+        core.busy_cycles += user_cycles + kernel_cycles
+        core.user_cycles += user_cycles
+        core.kernel_cycles += kernel_cycles
+        thread.user_cycles += user_cycles
+        thread.kernel_cycles += kernel_cycles
+        ev_user = thread.ev_user
+        ev_user[0] += user_cycles  # Event.CYCLES.index == 0
+        ev_kernel = thread.ev_kernel
+        ev_kernel[0] += kernel_cycles
+        rev = None
+        if thread.region_stack:
+            name = thread.region_stack[-1]
+            rev = thread.region_ev[name]
+            rev[0] += user_cycles
+            thread.regions[name].kernel_cycles += kernel_cycles
+        u_end = consumed + user_cycles
+        accrue_rate_events(ex.phase_flat, consumed, u_end, ev_user, rev)
+        for idx, per_tick in self._tick_pairs:
+            ev_kernel[idx] += k * per_tick
+        # PMU counters: no wrap is possible by construction, so plain adds
+        for _index, ctr, ppm, _mask in user_plan:
+            n = (u_end * ppm) // 1_000_000 - (consumed * ppm) // 1_000_000
+            if n:
+                ctr.accrue(n)
+        for _index, ctr, ppm, _mask in kernel_plan:
+            n = k * events_in(0, tick, ppm)
+            if n:
+                ctr.accrue(n)
+        ex.phase_consumed = u_end
+        self.kernel_counters.n_timer_ticks += k
+        core.slice_ends_at = t_end + quantum
+        self._macro_steps += 1
+        self._quanta_batched += k
+        return True
 
     def _complete(self, thread: SimThread, value: Any) -> None:
         thread.send_value = value
@@ -831,82 +1258,126 @@ class Engine:
         thread.cur = None
 
     # -- op begin ----------------------------------------------------------
+    # Op handling dispatches on type(op) through class-level tables built
+    # after the class body (subclasses resolve through the MRO on first
+    # sight and are memoized), replacing the seed's isinstance chains.
 
     def _begin_op(self, core: Core, thread: SimThread, op: ops.Op) -> _OpExec:
+        fn = _BEGIN_DISPATCH.get(type(op))
+        if fn is None:
+            fn = _dispatch_resolve(
+                _BEGIN_DISPATCH, op,
+                f"thread {thread.name!r} yielded non-op {op!r}",
+            )
         ex = _OpExec(op)
-        costs = self._costs
-        if isinstance(op, ops.Compute):
-            ex.stage = "run"
-            ex.set_phase(op.cycles, op.rates, Domain.USER, True)
-        elif isinstance(op, ops.Rdtsc):
-            ex.stage = "run"
-            ex.set_phase(costs.rdtsc, LIBRARY_RATES, Domain.USER, True)
-        elif isinstance(op, ops.Rdpmc):
-            ex.stage = "run"
-            ex.set_phase(costs.rdpmc, LIBRARY_RATES, Domain.USER, True)
-        elif isinstance(op, ops.RdpmcDestructive):
-            ex.stage = "run"
-            ex.set_phase(costs.rdpmc_destructive, LIBRARY_RATES, Domain.USER, True)
-        elif isinstance(op, ops.PmcReadBegin):
-            ex.stage = "run"
-            ex.set_phase(costs.pmc_read_begin, LIBRARY_RATES, Domain.USER, True)
-        elif isinstance(op, ops.PmcReadEnd):
-            ex.stage = "run"
-            ex.set_phase(costs.pmc_read_end, LIBRARY_RATES, Domain.USER, True)
-        elif isinstance(op, ops.LoadVAccum):
-            ex.stage = "run"
-            ex.set_phase(costs.pmc_load_accum, LIBRARY_RATES, Domain.USER, True)
-        elif isinstance(op, (ops.RegionBegin, ops.RegionEnd)):
-            ex.stage = "run"
-            hook = costs.instrument_hook if thread.profiler is not None else 0
-            ex.set_phase(hook, LIBRARY_RATES, Domain.USER, True)
-        elif isinstance(op, ops.LockAcquire):
-            ex.stage = "cas"
-            ex.data["t0"] = core.now
-            ex.data["spin_used"] = 0
-            ex.data["contended"] = False
-            ex.data["slept"] = False
-            ex.set_phase(costs.cas, LIBRARY_RATES, Domain.USER, True)
-        elif isinstance(op, ops.LockRelease):
-            ex.stage = "cas"
-            ex.set_phase(costs.cas, LIBRARY_RATES, Domain.USER, True)
-        elif isinstance(op, ops.Syscall):
-            handler = self._syscalls.get(op.name)
-            if handler is None:
-                raise SimulationError(f"unknown syscall {op.name!r}")
-            ex.stage = "entry"
-            ex.data["handler"] = handler
-            thread.n_syscalls += 1
-            table = self.kernel_counters.n_syscalls
-            table[op.name] = table.get(op.name, 0) + 1
-            self._begin_syscall(core, thread, ex, op.name)
-        elif isinstance(op, ops.SpawnThread):
-            ex.stage = "entry"
-            thread.n_syscalls += 1
-            table = self.kernel_counters.n_syscalls
-            table["clone"] = table.get("clone", 0) + 1
-            self._begin_syscall(core, thread, ex, "clone")
-        elif isinstance(op, ops.JoinThread):
-            ex.stage = "entry"
-            thread.n_syscalls += 1
-            self._begin_syscall(core, thread, ex, "join")
-        elif isinstance(op, ops.Sleep):
-            ex.stage = "entry"
-            thread.n_syscalls += 1
-            self._begin_syscall(core, thread, ex, "sleep")
-        elif isinstance(op, ops.YieldCpu):
-            ex.stage = "entry"
-            thread.n_syscalls += 1
-            self._begin_syscall(core, thread, ex, "yield")
-        else:
-            raise SimulationError(f"thread {thread.name!r} yielded non-op {op!r}")
+        ex.adv = _ADVANCE_DISPATCH.get(type(op))
+        fn(self, core, thread, ex)
         return ex
+
+    def _begin_compute(self, core, thread, ex) -> None:
+        op = ex.op
+        ex.stage = "run"
+        ex.set_phase(op.cycles, op.rates, Domain.USER, True)
+
+    def _begin_rdtsc(self, core, thread, ex) -> None:
+        ex.stage = "run"
+        ex.set_phase(self._costs.rdtsc, LIBRARY_RATES, Domain.USER, True)
+
+    def _begin_rdpmc(self, core, thread, ex) -> None:
+        ex.stage = "run"
+        ex.set_phase(self._costs.rdpmc, LIBRARY_RATES, Domain.USER, True)
+
+    def _begin_rdpmc_destructive(self, core, thread, ex) -> None:
+        ex.stage = "run"
+        ex.set_phase(
+            self._costs.rdpmc_destructive, LIBRARY_RATES, Domain.USER, True
+        )
+
+    def _begin_pmc_read_begin(self, core, thread, ex) -> None:
+        ex.stage = "run"
+        ex.set_phase(self._costs.pmc_read_begin, LIBRARY_RATES, Domain.USER, True)
+
+    def _begin_pmc_read_end(self, core, thread, ex) -> None:
+        ex.stage = "run"
+        ex.set_phase(self._costs.pmc_read_end, LIBRARY_RATES, Domain.USER, True)
+
+    def _begin_load_vaccum(self, core, thread, ex) -> None:
+        ex.stage = "run"
+        ex.set_phase(self._costs.pmc_load_accum, LIBRARY_RATES, Domain.USER, True)
+
+    def _begin_pmc_safe_read(self, core, thread, ex) -> None:
+        if self._try_fast_read(core, thread, ex, self._safe_read_phases):
+            return
+        ex.stage = "call"
+        ex.set_phase(self._costs.pmc_call_overhead, LIBRARY_RATES, Domain.USER, True)
+
+    def _begin_pmc_unsafe_read(self, core, thread, ex) -> None:
+        if self._try_fast_read(core, thread, ex, self._unsafe_read_phases):
+            return
+        ex.stage = "call"
+        ex.set_phase(self._costs.pmc_call_overhead, LIBRARY_RATES, Domain.USER, True)
+
+    def _begin_region(self, core, thread, ex) -> None:
+        ex.stage = "run"
+        hook = self._costs.instrument_hook if thread.profiler is not None else 0
+        ex.set_phase(hook, LIBRARY_RATES, Domain.USER, True)
+
+    def _begin_lock_acquire(self, core, thread, ex) -> None:
+        ex.stage = "cas"
+        ex.data = {
+            "t0": core.now,
+            "spin_used": 0,
+            "contended": False,
+            "slept": False,
+        }
+        ex.set_phase(self._costs.cas, LIBRARY_RATES, Domain.USER, True)
+
+    def _begin_lock_release(self, core, thread, ex) -> None:
+        ex.stage = "cas"
+        ex.set_phase(self._costs.cas, LIBRARY_RATES, Domain.USER, True)
+
+    def _begin_syscall_op(self, core, thread, ex) -> None:
+        op = ex.op
+        handler = self._syscalls.get(op.name)
+        if handler is None:
+            raise SimulationError(f"unknown syscall {op.name!r}")
+        ex.stage = "entry"
+        ex.data = {"handler": handler}
+        thread.n_syscalls += 1
+        table = self.kernel_counters.n_syscalls
+        table[op.name] = table.get(op.name, 0) + 1
+        self._begin_syscall(core, thread, ex, op.name)
+
+    def _begin_spawn(self, core, thread, ex) -> None:
+        ex.stage = "entry"
+        thread.n_syscalls += 1
+        table = self.kernel_counters.n_syscalls
+        table["clone"] = table.get("clone", 0) + 1
+        self._begin_syscall(core, thread, ex, "clone")
+
+    def _begin_join(self, core, thread, ex) -> None:
+        ex.stage = "entry"
+        thread.n_syscalls += 1
+        self._begin_syscall(core, thread, ex, "join")
+
+    def _begin_sleep(self, core, thread, ex) -> None:
+        ex.stage = "entry"
+        thread.n_syscalls += 1
+        self._begin_syscall(core, thread, ex, "sleep")
+
+    def _begin_yield(self, core, thread, ex) -> None:
+        ex.stage = "entry"
+        thread.n_syscalls += 1
+        self._begin_syscall(core, thread, ex, "yield")
 
     def _begin_syscall(
         self, core: Core, thread: SimThread, ex: _OpExec, name: str
     ) -> None:
         """Common entry path of every syscall-class op: trace + entry phase."""
-        ex.data["sys_name"] = name
+        data = ex.data
+        if data is None:
+            data = ex.data = {}
+        data["sys_name"] = name
         if self._tracing:
             self.obs.emit(
                 core.now, core.core_id, thread.tid, tr.SYSCALL_ENTER, name
@@ -929,66 +1400,53 @@ class Engine:
     # -- op advance ----------------------------------------------------------
 
     def _advance(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
-        op = ex.op
-        if isinstance(op, ops.Compute):
-            self._complete(thread, None)
-        elif isinstance(op, ops.Rdtsc):
-            self._complete(thread, core.now)
-        elif isinstance(op, ops.Rdpmc):
-            self._adv_rdpmc(core, thread, op)
-        elif isinstance(op, ops.RdpmcDestructive):
-            self._adv_rdpmc_destructive(core, thread, op)
-        elif isinstance(op, ops.PmcReadBegin):
-            thread.in_pmc_read = True
-            thread.pmc_read_interrupted = False
-            if self._tracing:
-                self.obs.emit(
-                    core.now, core.core_id, thread.tid, tr.PMC_READ_BEGIN
-                )
-            self._complete(thread, None)
-        elif isinstance(op, ops.PmcReadEnd):
-            ok = (
-                not thread.pmc_read_interrupted
-                and not core.pmu.pending_overflow_indices()
+        fn = ex.adv
+        if fn is None:  # pragma: no cover - _begin_op already rejects these
+            fn = ex.adv = _dispatch_resolve(
+                _ADVANCE_DISPATCH, ex.op, f"cannot advance op {ex.op!r}"
             )
-            thread.in_pmc_read = False
-            thread.pmc_read_interrupted = False
-            if not ok:
-                thread.read_restarts += 1
-            if self._tracing:
-                self.obs.emit(
-                    core.now, core.core_id, thread.tid, tr.PMC_READ_END, ok
-                )
-            self._complete(thread, ok)
-        elif isinstance(op, ops.LoadVAccum):
-            try:
-                value = thread.vpmu.read_accumulator(op.index)
-            except CounterError as exc:
-                self._throw(thread, exc)
-            else:
-                self._complete(thread, value)
-        elif isinstance(op, ops.RegionBegin):
-            self._adv_region_begin(core, thread, op)
-        elif isinstance(op, ops.RegionEnd):
-            self._adv_region_end(core, thread)
-        elif isinstance(op, ops.LockAcquire):
-            self._adv_lock_acquire(core, thread, ex)
-        elif isinstance(op, ops.LockRelease):
-            self._adv_lock_release(core, thread, ex)
-        elif isinstance(op, ops.Syscall):
-            self._adv_syscall(core, thread, ex)
-        elif isinstance(op, ops.SpawnThread):
-            self._adv_spawn(core, thread, ex)
-        elif isinstance(op, ops.JoinThread):
-            self._adv_join(core, thread, ex)
-        elif isinstance(op, ops.Sleep):
-            self._adv_sleep(core, thread, ex)
-        elif isinstance(op, ops.YieldCpu):
-            self._adv_yield(core, thread, ex)
-        else:  # pragma: no cover - _begin_op already rejects these
-            raise SimulationError(f"cannot advance op {op!r}")
+        fn(self, core, thread, ex)
 
-    def _adv_rdpmc(self, core: Core, thread: SimThread, op: ops.Rdpmc) -> None:
+    def _adv_compute(self, core, thread, ex) -> None:
+        self._complete(thread, None)
+
+    def _adv_rdtsc(self, core, thread, ex) -> None:
+        self._complete(thread, core.now)
+
+    def _adv_pmc_read_begin(self, core, thread, ex) -> None:
+        thread.in_pmc_read = True
+        thread.pmc_read_interrupted = False
+        if self._tracing:
+            self.obs.emit(
+                core.now, core.core_id, thread.tid, tr.PMC_READ_BEGIN
+            )
+        self._complete(thread, None)
+
+    def _adv_pmc_read_end(self, core, thread, ex) -> None:
+        ok = (
+            not thread.pmc_read_interrupted
+            and not core.pmu.pending_overflow_indices()
+        )
+        thread.in_pmc_read = False
+        thread.pmc_read_interrupted = False
+        if not ok:
+            thread.read_restarts += 1
+        if self._tracing:
+            self.obs.emit(
+                core.now, core.core_id, thread.tid, tr.PMC_READ_END, ok
+            )
+        self._complete(thread, ok)
+
+    def _adv_load_vaccum(self, core, thread, ex) -> None:
+        try:
+            value = thread.vpmu.read_accumulator(ex.op.index)
+        except CounterError as exc:
+            self._throw(thread, exc)
+        else:
+            self._complete(thread, value)
+
+    def _adv_rdpmc(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
+        op = ex.op
         try:
             value = core.pmu.rdpmc(op.index, from_user=True)
         except CounterError as exc:
@@ -1002,9 +1460,281 @@ class Engine:
                 )
         self._complete(thread, value)
 
-    def _adv_rdpmc_destructive(
-        self, core: Core, thread: SimThread, op: ops.RdpmcDestructive
+    # -- composite PMC reads ------------------------------------------------
+    # PmcSafeRead / PmcUnsafeRead run the whole LiMiT read protocol as one
+    # op. Two execution paths, chosen per attempt by _try_fast_read:
+    #
+    # * fast path — when nothing can interrupt the window (no slice
+    #   boundary, no due PMI, no counter wrap, not tracing), the entire
+    #   sequence commits in one piece with precomputed accrual sums;
+    # * stage machine — otherwise, the op steps through phases with exactly
+    #   the piece boundaries of the historical op-by-op form (Compute /
+    #   PmcReadBegin / LoadVAccum / Rdpmc / PmcReadEnd / Compute), so
+    #   interrupted reads restart, fault and undercount identically.
+
+    def _read_recipe(self, plan, phases) -> tuple:
+        """Combined accrual recipe for a whole PMC read executed as one
+        piece: per-part summed running-floor deltas (each sub-phase accrues
+        from its own cycle 0, so part sums are sums of ``events_in(0, c)``)
+        plus per-counter whole-read totals for the no-wrap precheck."""
+        flat = LIBRARY_RATES.flat
+
+        def combine(costs):
+            ev: dict[int, int] = {}
+            ctr: dict[int, list] = {}
+            for cyc in costs:
+                for _event, ppm, idx in flat:
+                    n = (cyc * ppm) // 1_000_000
+                    if n:
+                        ev[idx] = ev.get(idx, 0) + n
+                for index, counter, ppm, _mask in plan:
+                    n = (cyc * ppm) // 1_000_000
+                    if n:
+                        entry = ctr.get(index)
+                        if entry is None:
+                            ctr[index] = [counter, _mask, n]
+                        else:
+                            entry[2] += n
+            return tuple(ev.items()), ctr
+
+        d_a, ctr_a = combine(phases[0])
+        d_b, ctr_b = combine(phases[1])
+        e_a = tuple((c, m, n) for c, m, n in ctr_a.values())
+        e_b = tuple((c, m, n) for c, m, n in ctr_b.values())
+        for index, entry in ctr_b.items():
+            got = ctr_a.get(index)
+            if got is None:
+                ctr_a[index] = entry
+            else:
+                got[2] += entry[2]
+        totals = tuple((c, m, n) for c, m, n in ctr_a.values())
+        rec = (
+            d_a, e_a, sum(phases[0]),
+            d_b, e_b, sum(phases[1]),
+            totals, plan,
+        )
+        self._read_recipes[(id(plan), phases)] = rec
+        return rec
+
+    def _try_fast_read(
+        self, core: Core, thread: SimThread, ex: _OpExec, phases
+    ) -> bool:
+        """Commit a whole PMC read in one piece if provably uninterruptible.
+
+        All prechecks are side-effect free; any possible interleaving
+        (slice boundary or due PMI inside the window, userspace-read fault,
+        bad slot, latched or imminent counter overflow, tracing) bails to
+        the stage machine, which reproduces the historical behaviour
+        exactly. On success the committed state — tallies, counters,
+        slot-truth bookkeeping, core clocks — is identical to running the
+        uninterrupted stage sequence piece by piece.
+        """
+        if self._tracing:
+            return self._bail("read_tracing")
+        if core.pmi_due_at is not None:
+            return self._bail("read_pmi_due")
+        pmu = core.pmu
+        if not pmu.user_rdpmc_enabled:
+            return self._bail("read_fault")
+        index = ex.op.index
+        vpmu = thread.vpmu
+        slots = vpmu.slots
+        counters = pmu.counters
+        if not 0 <= index < len(slots) or index >= len(counters):
+            return self._bail("read_bad_slot")
+        spec = slots[index]
+        if spec is None or not spec.user_readable:
+            return self._bail("read_bad_slot")
+        plan = (
+            pmu.accrual_plan(LIBRARY_RATES, Domain.USER)
+            if pmu.n_enabled
+            else ()
+        )
+        rec = self._read_recipes.get((id(plan), phases))
+        if rec is None:
+            rec = self._read_recipe(plan, phases)
+        d_a, e_a, cycles_a, d_b, e_b, cycles_b, totals, _plan = rec
+        total = cycles_a + cycles_b
+        bound = core.slice_ends_at
+        if bound is not None and bound - core.now < total:
+            return self._bail("read_slice")
+        for counter in counters:
+            if counter.overflow_pending:
+                return self._bail("read_overflow_pending")
+        for counter, mask, n in totals:
+            if counter.value + n > mask:
+                return self._bail("read_wrap")
+        # Commit. Part A (call + [begin +] load + rdpmc phases) accrues
+        # before the values and ground truth are captured, part B ([end +]
+        # store) after — exactly where the stage boundaries fall.
+        ev = thread.ev_user
+        rev = None
+        region_stack = thread.region_stack
+        if region_stack:
+            rev = thread.region_ev[region_stack[-1]]
+            rev[0] += total
+        ev[0] += cycles_a
+        if rev is None:
+            for idx, n in d_a:
+                ev[idx] += n
+        else:
+            for idx, n in d_a:
+                ev[idx] += n
+                rev[idx] += n
+        for counter, _mask, n in e_a:
+            counter.value += n
+        acc = vpmu.vaccum[index]
+        hw = counters[index].value
+        thread.last_rdpmc_truth = thread.slot_truth_since_open(index, spec)
+        ev[0] += cycles_b
+        if rev is None:
+            for idx, n in d_b:
+                ev[idx] += n
+        else:
+            for idx, n in d_b:
+                ev[idx] += n
+                rev[idx] += n
+        for counter, _mask, n in e_b:
+            counter.value += n
+        core.now += total
+        core.busy_cycles += total
+        core.user_cycles += total
+        thread.user_cycles += total
+        ex.data = {"value": acc + hw}
+        ex.stage = "done"
+        self._fast_reads += 1
+        return True
+
+    def _adv_pmc_safe_read(
+        self, core: Core, thread: SimThread, ex: _OpExec
     ) -> None:
+        # ``stage`` names the phase that just finished; each transition
+        # keeps the piece boundaries of the op-by-op protocol.
+        stage = ex.stage
+        costs = self._costs
+        if stage == "rd":
+            op = ex.op
+            try:
+                value = core.pmu.rdpmc(op.index, from_user=True)
+            except CounterError as exc:
+                self._throw(thread, exc)
+                return
+            if 0 <= op.index < len(thread.vpmu.slots):
+                spec = thread.vpmu.slots[op.index]
+                if spec is not None:
+                    thread.last_rdpmc_truth = thread.slot_truth_since_open(
+                        op.index, spec
+                    )
+            ex.data["hw"] = value
+            ex.stage = "re"
+            ex.set_phase(costs.pmc_read_end, LIBRARY_RATES, Domain.USER, True)
+        elif stage == "re":
+            ok = (
+                not thread.pmc_read_interrupted
+                and not core.pmu.pending_overflow_indices()
+            )
+            thread.in_pmc_read = False
+            thread.pmc_read_interrupted = False
+            if not ok:
+                thread.read_restarts += 1
+            if self._tracing:
+                self.obs.emit(
+                    core.now, core.core_id, thread.tid, tr.PMC_READ_END, ok
+                )
+            if ok:
+                ex.stage = "st"
+                ex.set_phase(
+                    costs.pmc_store_result, LIBRARY_RATES, Domain.USER, True
+                )
+                return
+            restarts = ex.data["restarts"] + 1
+            ex.data["restarts"] = restarts
+            if restarts > ops.MAX_RESTARTS:
+                self._throw(
+                    thread,
+                    RuntimeError(
+                        f"LiMiT read of slot {ex.op.index} restarted "
+                        f">{ops.MAX_RESTARTS} times"
+                    ),
+                )
+                return
+            ex.stage = "rb"
+            ex.set_phase(costs.pmc_read_begin, LIBRARY_RATES, Domain.USER, True)
+        elif stage == "rb":
+            thread.in_pmc_read = True
+            thread.pmc_read_interrupted = False
+            if self._tracing:
+                self.obs.emit(
+                    core.now, core.core_id, thread.tid, tr.PMC_READ_BEGIN
+                )
+            ex.stage = "va"
+            ex.set_phase(costs.pmc_load_accum, LIBRARY_RATES, Domain.USER, True)
+        elif stage == "va":
+            try:
+                acc = thread.vpmu.read_accumulator(ex.op.index)
+            except CounterError as exc:
+                self._throw(thread, exc)
+                return
+            ex.data["acc"] = acc
+            ex.stage = "rd"
+            ex.set_phase(costs.rdpmc, LIBRARY_RATES, Domain.USER, True)
+        elif stage == "call":
+            ex.data = {"restarts": 0}
+            ex.stage = "rb"
+            ex.set_phase(costs.pmc_read_begin, LIBRARY_RATES, Domain.USER, True)
+        elif stage == "st":
+            self._complete(thread, ex.data["acc"] + ex.data["hw"])
+        elif stage == "done":
+            self._complete(thread, ex.data["value"])
+        else:  # pragma: no cover - stage machine is closed
+            raise SimulationError(f"bad PmcSafeRead stage {stage!r}")
+
+    def _adv_pmc_unsafe_read(
+        self, core: Core, thread: SimThread, ex: _OpExec
+    ) -> None:
+        stage = ex.stage
+        costs = self._costs
+        if stage == "rd":
+            op = ex.op
+            try:
+                value = core.pmu.rdpmc(op.index, from_user=True)
+            except CounterError as exc:
+                self._throw(thread, exc)
+                return
+            if 0 <= op.index < len(thread.vpmu.slots):
+                spec = thread.vpmu.slots[op.index]
+                if spec is not None:
+                    thread.last_rdpmc_truth = thread.slot_truth_since_open(
+                        op.index, spec
+                    )
+            ex.data["hw"] = value
+            ex.stage = "st"
+            ex.set_phase(
+                costs.pmc_store_result, LIBRARY_RATES, Domain.USER, True
+            )
+        elif stage == "call":
+            ex.stage = "va"
+            ex.set_phase(costs.pmc_load_accum, LIBRARY_RATES, Domain.USER, True)
+        elif stage == "va":
+            try:
+                acc = thread.vpmu.read_accumulator(ex.op.index)
+            except CounterError as exc:
+                self._throw(thread, exc)
+                return
+            ex.data = {"acc": acc}
+            ex.stage = "rd"
+            ex.set_phase(costs.rdpmc, LIBRARY_RATES, Domain.USER, True)
+        elif stage == "st":
+            self._complete(thread, ex.data["acc"] + ex.data["hw"])
+        elif stage == "done":
+            self._complete(thread, ex.data["value"])
+        else:  # pragma: no cover - stage machine is closed
+            raise SimulationError(f"bad PmcUnsafeRead stage {stage!r}")
+
+    def _adv_rdpmc_destructive(
+        self, core: Core, thread: SimThread, ex: _OpExec
+    ) -> None:
+        op = ex.op
         pmu = core.pmu
         try:
             hw = pmu.rdpmc(op.index, from_user=True)
@@ -1029,7 +1759,8 @@ class Engine:
         thread.slot_reset_truth[op.index] = truth
         self._complete(thread, value)
 
-    def _adv_region_begin(self, core: Core, thread: SimThread, op: ops.RegionBegin) -> None:
+    def _adv_region_begin(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
+        op = ex.op
         if self._tracing:
             self.obs.emit(
                 core.now, core.core_id, thread.tid, tr.REGION_BEGIN, op.name
@@ -1037,12 +1768,13 @@ class Engine:
         thread.region_stack.append(op.name)
         if op.name not in thread.regions:
             thread.regions[op.name] = RegionTruth(name=op.name)
+            thread.region_ev[op.name] = [0] * N_EVENTS
         thread.region_entries.append((op.name, thread.cpu_cycles, core.now))
         if thread.profiler is not None:
             thread.profiler.on_enter(thread.tid, op.name, core.now)
         self._complete(thread, None)
 
-    def _adv_region_end(self, core: Core, thread: SimThread) -> None:
+    def _adv_region_end(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
         if not thread.region_stack:
             raise SimulationError(
                 f"thread {thread.name!r}: RegionEnd with no open region"
@@ -1066,6 +1798,139 @@ class Engine:
         self._complete(thread, None)
 
     # -- locks ---------------------------------------------------------------
+
+    def _spin_recipe(self, spin_plan, lib_plan) -> tuple:
+        """Accrual recipe for one contended-lock spin round: a spin phase
+        (``spin_quantum`` cycles of SPIN_RATES) followed by a CAS retry
+        (``cas`` cycles of LIBRARY_RATES), both user phases accruing from
+        their own cycle 0 — so a round's deltas are plain sums of
+        ``events_in(0, c)`` and k rounds accrue exactly k times them."""
+        costs = self._costs
+        ev: dict[int, int] = {}
+        ctr: dict[int, list] = {}
+        for cyc, flat, plan in (
+            (costs.spin_quantum, SPIN_RATES.flat, spin_plan),
+            (costs.cas, LIBRARY_RATES.flat, lib_plan),
+        ):
+            for _event, ppm, idx in flat:
+                n = (cyc * ppm) // 1_000_000
+                if n:
+                    ev[idx] = ev.get(idx, 0) + n
+            for index, counter, ppm, _mask in plan:
+                n = (cyc * ppm) // 1_000_000
+                if n:
+                    entry = ctr.get(index)
+                    if entry is None:
+                        ctr[index] = [counter, _mask, n]
+                    else:
+                        entry[2] += n
+        rec = (
+            tuple(ev.items()),
+            tuple((counter, m, n) for counter, m, n in ctr.values()),
+        )
+        self._spin_recipes[(id(spin_plan), id(lib_plan))] = rec
+        return rec
+
+    def _try_spin_batch(self, core: Core, thread: SimThread, ex: _OpExec) -> bool:
+        """Fast-forward k whole spin+CAS rounds of a contended lock acquire
+        in one closed-form step.
+
+        Called from the ``cas`` stage after the CAS has failed with spin
+        budget remaining, i.e. the slow path is about to run round after
+        round of 2-piece spin/CAS phases. The CAS outcome can only change
+        when another actor releases the lock — impossible before
+        ``self._horizon`` — or when this core reschedules, which (absent a
+        due PMI) only happens at a timer tick, bounded by
+        ``slice_ends_at``. Every round that both *runs* and *decides*
+        strictly before those bounds is therefore a guaranteed failed CAS,
+        and k of them accrue exactly k times one round's deltas (each phase
+        restarts at phase-relative cycle 0). k is additionally capped so no
+        hardware counter can wrap inside the window; the round that would
+        wrap is left to the slow path, which raises the PMI mid-phase
+        exactly as before. No trace events occur inside the loop, so the
+        batch is valid under tracing too.
+        """
+        costs = self._costs
+        spin_q = costs.spin_quantum
+        round_cycles = spin_q + costs.cas
+        if round_cycles <= 0:  # pragma: no cover - degenerate cost model
+            return self._bail("spin_degenerate")
+        spin_used = ex.data["spin_used"]
+        budget = self.config.locks.spin_limit_cycles - spin_used
+        k = -(-budget // spin_q)  # rounds until the budget is exhausted
+        if core.pmi_due_at is not None:
+            return self._bail("spin_pmi_due")
+        now = core.now
+        bound = core.slice_ends_at
+        if bound is not None:
+            k_s = (bound - now) // round_cycles
+            if k_s < k:
+                k = k_s
+            if k < 1:
+                return self._bail("spin_slice")
+        horizon = self._horizon
+        if horizon is not None:
+            k_h = (horizon - now - 1) // round_cycles
+            if k_h < k:
+                k = k_h
+            if k < 1:
+                return self._bail("spin_horizon")
+        pmu = core.pmu
+        if pmu.n_enabled:
+            spin_plan = pmu.accrual_plan(SPIN_RATES, Domain.USER)
+            lib_plan = pmu.accrual_plan(LIBRARY_RATES, Domain.USER)
+        else:
+            spin_plan = lib_plan = ()
+        rec = self._spin_recipes.get((id(spin_plan), id(lib_plan)))
+        if rec is None:
+            rec = self._spin_recipe(spin_plan, lib_plan)
+        deltas, entries = rec
+        for counter, mask, n in entries:
+            k_w = (mask - counter.value) // n
+            if k_w < k:
+                k = k_w
+        if k < 1:
+            return self._bail("spin_wrap")
+        # ---- commit: k failed rounds, then re-decide with the same checks
+        # the slow path's k-th CAS advance would have made at this state ----
+        window = k * round_cycles
+        ex.data["spin_used"] = spin_used + k * spin_q
+        ev = thread.ev_user
+        ev[0] += window  # Event.CYCLES.index == 0
+        rev = None
+        if thread.region_stack:
+            rev = thread.region_ev[thread.region_stack[-1]]
+            rev[0] += window
+        if rev is None:
+            for idx, n in deltas:
+                ev[idx] += k * n
+        else:
+            for idx, n in deltas:
+                kn = k * n
+                ev[idx] += kn
+                rev[idx] += kn
+        for counter, _mask, n in entries:
+            counter.value += k * n  # no wrap by construction
+        core.now += window
+        core.busy_cycles += window
+        core.user_cycles += window
+        thread.user_cycles += window
+        self._spin_batches += 1
+        self._spin_rounds_batched += k
+        if ex.data["spin_used"] < self.config.locks.spin_limit_cycles:
+            ex.stage = "spin"
+            ex.data["spin_used"] += spin_q
+            ex.set_phase(spin_q, SPIN_RATES, Domain.USER, True)
+        else:
+            ex.stage = "fbody"
+            self.kernel_counters.n_futex_waits += 1
+            ex.set_phase(
+                costs.syscall_entry + costs.futex_wait_kernel,
+                KERNEL_RATES,
+                Domain.KERNEL,
+                False,
+            )
+        return True
 
     def _adv_lock_acquire(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
         op: ops.LockAcquire = ex.op
@@ -1091,6 +1956,8 @@ class Engine:
                 return
             ex.data["contended"] = True
             if ex.data["spin_used"] < self.config.locks.spin_limit_cycles:
+                if self._macro and self._try_spin_batch(core, thread, ex):
+                    return
                 ex.stage = "spin"
                 ex.data["spin_used"] += costs.spin_quantum
                 ex.set_phase(costs.spin_quantum, SPIN_RATES, Domain.USER, True)
@@ -1203,6 +2070,7 @@ class Engine:
                     heapq.heappush(
                         self._sleep_heap, (core.now + arg, self._seq, thread.tid)
                     )
+                    self._chain_break = True
                     self._block(core, thread, ("sleep", arg))
                 elif kind == "join":
                     self._join_waiters.setdefault(arg, []).append(thread.tid)
@@ -1284,6 +2152,7 @@ class Engine:
             heapq.heappush(
                 self._sleep_heap, (core.now + op.cycles, self._seq, thread.tid)
             )
+            self._chain_break = True
             self._block(core, thread, ("sleep", op.cycles))
             return
         if ex.stage == "exit":
@@ -1596,6 +2465,12 @@ class Engine:
     def _collect(self) -> RunResult:
         threads = {}
         for tid, t in self.threads.items():
+            for name, arr in t.region_ev.items():
+                events = t.regions[name].events
+                for event in _EVENT_MEMBERS:
+                    n = arr[event.index]
+                    if n:
+                        events[event] = n
             threads[tid] = ThreadResult(
                 tid=tid,
                 name=t.name,
@@ -1609,8 +2484,8 @@ class Engine:
                 n_cross_socket_migrations=t.n_cross_socket_migrations,
                 n_syscalls=t.n_syscalls,
                 read_restarts=t.read_restarts,
-                events_user=dict(t.ev_user),
-                events_kernel=dict(t.ev_kernel),
+                events_user=_tally_dict(t.ev_user),
+                events_kernel=_tally_dict(t.ev_kernel),
                 regions=t.regions,
             )
         cores = [
@@ -1634,6 +2509,60 @@ class Engine:
             samples=self.perf.all_samples(),
             trace=self.trace,
         )
+
+
+def _dispatch_resolve(table: dict, op: Any, message: str):
+    """Slow-path dispatch: find a handler up the op's MRO (so op subclasses
+    work), memoize it under the concrete type, or fail like the seed did."""
+    for cls in type(op).__mro__:
+        fn = table.get(cls)
+        if fn is not None:
+            table[type(op)] = fn
+            return fn
+    raise SimulationError(message)
+
+
+_BEGIN_DISPATCH = {
+    ops.Compute: Engine._begin_compute,
+    ops.Rdtsc: Engine._begin_rdtsc,
+    ops.Rdpmc: Engine._begin_rdpmc,
+    ops.RdpmcDestructive: Engine._begin_rdpmc_destructive,
+    ops.PmcReadBegin: Engine._begin_pmc_read_begin,
+    ops.PmcReadEnd: Engine._begin_pmc_read_end,
+    ops.LoadVAccum: Engine._begin_load_vaccum,
+    ops.PmcSafeRead: Engine._begin_pmc_safe_read,
+    ops.PmcUnsafeRead: Engine._begin_pmc_unsafe_read,
+    ops.RegionBegin: Engine._begin_region,
+    ops.RegionEnd: Engine._begin_region,
+    ops.LockAcquire: Engine._begin_lock_acquire,
+    ops.LockRelease: Engine._begin_lock_release,
+    ops.Syscall: Engine._begin_syscall_op,
+    ops.SpawnThread: Engine._begin_spawn,
+    ops.JoinThread: Engine._begin_join,
+    ops.Sleep: Engine._begin_sleep,
+    ops.YieldCpu: Engine._begin_yield,
+}
+
+_ADVANCE_DISPATCH = {
+    ops.Compute: Engine._adv_compute,
+    ops.Rdtsc: Engine._adv_rdtsc,
+    ops.Rdpmc: Engine._adv_rdpmc,
+    ops.RdpmcDestructive: Engine._adv_rdpmc_destructive,
+    ops.PmcReadBegin: Engine._adv_pmc_read_begin,
+    ops.PmcReadEnd: Engine._adv_pmc_read_end,
+    ops.LoadVAccum: Engine._adv_load_vaccum,
+    ops.PmcSafeRead: Engine._adv_pmc_safe_read,
+    ops.PmcUnsafeRead: Engine._adv_pmc_unsafe_read,
+    ops.RegionBegin: Engine._adv_region_begin,
+    ops.RegionEnd: Engine._adv_region_end,
+    ops.LockAcquire: Engine._adv_lock_acquire,
+    ops.LockRelease: Engine._adv_lock_release,
+    ops.Syscall: Engine._adv_syscall,
+    ops.SpawnThread: Engine._adv_spawn,
+    ops.JoinThread: Engine._adv_join,
+    ops.Sleep: Engine._adv_sleep,
+    ops.YieldCpu: Engine._adv_yield,
+}
 
 
 def run_program(

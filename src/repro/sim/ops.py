@@ -133,6 +133,44 @@ class LoadVAccum(Op):
     index: int
 
 
+#: Safety valve for :class:`PmcSafeRead`: a safe read that restarts this many
+#: times indicates the thread is being preempted pathologically (or an engine
+#: bug). Lives here (not in repro.core.read_protocol, which re-exports it)
+#: because the engine executes the restart loop and cannot import repro.core.
+MAX_RESTARTS = 1_000
+
+
+@dataclass(frozen=True, slots=True)
+class PmcSafeRead(Op):
+    """The complete LiMiT safe read of counter slot ``index`` as one op.
+
+    Semantically identical to the op-by-op sequence it replaces —
+    ``Compute(pmc_call_overhead)`` then ``PmcReadBegin`` / ``LoadVAccum`` /
+    ``Rdpmc`` / ``PmcReadEnd`` (restarting those four while the kernel
+    reports the sequence interrupted) then ``Compute(pmc_store_result)`` —
+    but expressed as a single op so the engine runs the whole uninterrupted
+    common case in one piece instead of six generator round-trips. When an
+    interruption *is* possible (slice boundary, pending PMI, counter about
+    to wrap, tracing), the engine falls back to a stage machine with exactly
+    the old piece boundaries, so interleavings and results are unchanged.
+    Result: the exact virtualized value (accumulator + hardware).
+    """
+
+    index: int
+
+
+@dataclass(frozen=True, slots=True)
+class PmcUnsafeRead(Op):
+    """The unprotected read of counter slot ``index`` as one op: the
+    :class:`PmcSafeRead` sequence without the begin/end interruption check.
+    A context switch inside the window silently undercounts (experiment E4);
+    the engine's stage machine reproduces that exactly when the window can
+    be interrupted. Result: accumulator + hardware (possibly stale).
+    """
+
+    index: int
+
+
 @dataclass(frozen=True, slots=True)
 class RegionBegin(Op):
     """Enter a named code region (function, request phase, ...).

@@ -36,8 +36,19 @@ class KernelSpec:
         return self.phase_cycles * self.n_phases
 
 
+_CATALOG_CACHE: dict[float, dict[str, KernelSpec]] = {}
+
+
 def kernel_catalog(scale: float = 1.0) -> dict[str, KernelSpec]:
-    """The four stock kernels, optionally scaled in length."""
+    """The four stock kernels, optionally scaled in length.
+
+    Memoized per scale: KernelSpec (and its EventRates) are immutable, and
+    returning the *same* objects across runs lets the engine's id-keyed
+    accrual caches hit across a whole experiment sweep.
+    """
+    cached = _CATALOG_CACHE.get(scale)
+    if cached is not None:
+        return dict(cached)
 
     def spec(name, rates, phase_cycles, n_phases):
         return KernelSpec(
@@ -47,7 +58,7 @@ def kernel_catalog(scale: float = 1.0) -> dict[str, KernelSpec]:
             n_phases=n_phases,
         )
 
-    return {
+    catalog = {
         "mcf_like": spec(
             "mcf_like",
             EventRates.profile(
@@ -87,6 +98,8 @@ def kernel_catalog(scale: float = 1.0) -> dict[str, KernelSpec]:
             40,
         ),
     }
+    _CATALOG_CACHE[scale] = catalog
+    return dict(catalog)
 
 
 class SpecKernelWorkload(Workload):

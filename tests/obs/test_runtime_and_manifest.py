@@ -131,6 +131,16 @@ class TestRunnerManifest:
         assert exp["sim_events"] == exp["metrics"]["sim_events"]
         assert exp["context_switches"] == exp["metrics"]["context_switches"]
         assert exp["sim_cycles"] == exp["metrics"]["sim_cycles"]
+        # macro-stepping telemetry rides along, per experiment and summed
+        macro = exp["macro"]
+        for key in ("macro_steps", "quanta_batched", "fast_reads",
+                    "fastpath_bailouts", "macro_hit_rate"):
+            assert key in macro
+        assert isinstance(macro["bailouts"], dict)
+        assert 0.0 <= macro["macro_hit_rate"] <= 1.0
+        summary_macro = manifest["summary"]["macro"]
+        assert summary_macro["macro_steps"] == macro["macro_steps"]
+        assert summary_macro["quanta_batched"] == macro["quanta_batched"]
         # trace files exist, parse, and agree with the manifest
         files = exp["trace_files"]
         events = read_jsonl(files["jsonl"])

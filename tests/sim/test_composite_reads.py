@@ -1,0 +1,149 @@
+"""Engine semantics of the composite PMC read ops.
+
+``safe_read``/``unsafe_read`` yield a single :class:`PmcSafeRead` /
+:class:`PmcUnsafeRead`; the engine either commits the whole read in one
+piece (the fast path, when provably uninterruptible) or runs a stage
+machine with the historical op-by-op piece boundaries. Both must return
+``vaccum + hw`` for the slot, restart on interruption (safe reads), and
+raise the same faults as the op-by-op protocol did.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import KernelConfig, MachineConfig, SimConfig
+from repro.common.errors import CounterError
+from repro.core.limit import LimitSession, UnsafeLimitSession
+from repro.hw.events import Event
+from repro.sim.engine import Engine
+from repro.sim.ops import Compute, PmcSafeRead, PmcUnsafeRead
+from repro.sim.program import ThreadSpec
+
+from tests.conftest import SIMPLE_RATES
+
+SOLO = SimConfig(
+    machine=MachineConfig(n_cores=1),
+    kernel=KernelConfig(timeslice_cycles=1_000_000),
+    seed=2,
+)
+CHOPPY = SimConfig(
+    machine=MachineConfig(n_cores=1),
+    kernel=KernelConfig(timeslice_cycles=5_000),
+    seed=2,
+)
+
+
+def _run(config, *factories):
+    specs = [ThreadSpec(f"t{i}", f) for i, f in enumerate(factories)]
+    return Engine(config).run(specs)
+
+
+def _reader_factory(session_cls, observed, n_reads=20, gap=2_000):
+    session = session_cls([Event.CYCLES, Event.INSTRUCTIONS])
+
+    def reader(ctx):
+        yield from session.setup(ctx)
+        values = []
+        for _ in range(n_reads):
+            yield Compute(gap, SIMPLE_RATES)
+            values.append((yield from session.read(ctx, 0)))
+            observed["truth"] = ctx.thread().last_rdpmc_truth
+        observed["values"] = values
+
+    return reader
+
+
+class TestValues:
+    @pytest.mark.parametrize("session_cls", [LimitSession, UnsafeLimitSession])
+    def test_values_monotonic_and_match_ground_truth(self, session_cls):
+        observed = {}
+        _run(SOLO, _reader_factory(session_cls, observed))
+        values = observed["values"]
+        assert values == sorted(values)
+        assert values[-1] == observed["truth"]
+        assert values[-1] >= 20 * 2_000
+
+    @pytest.mark.parametrize("session_cls", [LimitSession, UnsafeLimitSession])
+    def test_fast_and_staged_paths_agree(self, session_cls):
+        """The one-piece fast path is gated on ``macro_stepping``; with it
+        off, the stage machine must produce the identical run."""
+        results = {}
+        for macro in (True, False):
+            observed = {}
+            result = _run(
+                dataclasses.replace(SOLO, macro_stepping=macro),
+                _reader_factory(session_cls, observed),
+            )
+            results[macro] = (result.fingerprint(), observed["values"])
+        assert results[True] == results[False]
+
+    def test_solo_reads_use_the_fast_path(self):
+        observed = {}
+        result = _run(SOLO, _reader_factory(LimitSession, observed))
+        assert result.metrics.get("fast_reads", 0) > 0
+
+
+class TestInterruption:
+    def test_preempted_safe_reads_restart(self):
+        """A tiny timeslice interrupts reads mid-protocol; the safe read
+        must detect it and retry (the paper's restart protocol)."""
+        observed = {}
+
+        def noise(ctx):
+            yield Compute(300_000, SIMPLE_RATES)
+
+        result = _run(
+            CHOPPY,
+            _reader_factory(LimitSession, observed, n_reads=400, gap=60),
+            noise,
+        )
+        assert sum(t.read_restarts for t in result.threads.values()) > 0
+        values = observed["values"]
+        assert values == sorted(values)
+
+    def test_unsafe_reads_never_restart(self):
+        observed = {}
+
+        def noise(ctx):
+            yield Compute(300_000, SIMPLE_RATES)
+
+        result = _run(
+            CHOPPY,
+            _reader_factory(UnsafeLimitSession, observed, n_reads=400, gap=60),
+            noise,
+        )
+        assert sum(t.read_restarts for t in result.threads.values()) == 0
+
+    def test_livelocked_read_hits_the_restart_valve(self):
+        """An 8-bit counter overflows faster than the read completes, so
+        the safe read can never observe a clean window; the engine must
+        fail loudly instead of spinning forever."""
+        config = dataclasses.replace(
+            SOLO,
+            machine=MachineConfig(
+                n_cores=1,
+                pmu=dataclasses.replace(SOLO.machine.pmu, counter_width=8),
+            ),
+        )
+        observed = {}
+        with pytest.raises(RuntimeError, match="restarted >"):
+            _run(config, _reader_factory(LimitSession, observed))
+
+
+class TestFaults:
+    def test_read_of_bad_slot_raises(self):
+        def program(ctx):
+            yield Compute(100, SIMPLE_RATES)
+            yield PmcSafeRead(3)  # never opened
+
+        with pytest.raises(CounterError):
+            _run(SOLO, program)
+
+    def test_unsafe_read_of_bad_slot_raises(self):
+        def program(ctx):
+            yield Compute(100, SIMPLE_RATES)
+            yield PmcUnsafeRead(3)
+
+        with pytest.raises(CounterError):
+            _run(SOLO, program)
