@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments experiments-quick trace-smoke examples lint clean
+.PHONY: install test bench experiments experiments-quick trace-smoke fault-smoke examples lint clean
 
 install:
 	pip install -e .
@@ -25,6 +25,14 @@ trace-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments --quick E1 \
 		--manifest results/smoke/manifest.json --trace-dir results/smoke/traces
 	PYTHONPATH=src $(PYTHON) -m repro.trace summarize results/smoke/traces/e1.quick.jsonl
+
+# robustness end-to-end check: the fault matrix with its manifest ledger,
+# plus the fabric chaos and fault-injector test files
+fault-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments --quick E17 \
+		--keep-going --manifest results/smoke/fault-manifest.json
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/fabric/test_failures.py \
+		tests/faults tests/properties/test_fault_injection.py
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f || exit 1; done

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.common.errors import ConfigError
 from repro.common.units import DEFAULT_FREQUENCY, Frequency
+from repro.faults.plan import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -280,6 +281,9 @@ class SimConfig:
     #: fast-forward of solo compute phases). Results are fingerprint-identical
     #: either way; the switch exists for A/B verification and benchmarking.
     macro_stepping: bool = True
+    #: Deterministic fault-injection plan (:mod:`repro.faults`); None or an
+    #: empty plan disables injection entirely (zero hook overhead).
+    fault_plan: FaultPlan | None = None
 
     def with_machine(self, **kwargs) -> "SimConfig":
         """Return a copy with machine fields replaced."""
@@ -299,3 +303,7 @@ class SimConfig:
             self.machine, pmu=dataclasses.replace(self.machine.pmu, **kwargs)
         )
         return dataclasses.replace(self, machine=machine)
+
+    def with_faults(self, plan: FaultPlan | None) -> "SimConfig":
+        """Return a copy with the fault-injection plan replaced."""
+        return dataclasses.replace(self, fault_plan=plan)

@@ -41,3 +41,9 @@ class LockProtocolError(SimulationError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment is configured or assembled incorrectly."""
+
+
+class FabricError(ReproError):
+    """Raised by the run fabric under the fail-fast policy when a job
+    fails terminally (worker crash, per-job timeout, or a job exception
+    surfaced from a worker process)."""

@@ -33,6 +33,7 @@ from __future__ import annotations
 from typing import Any, Generator
 
 from repro.common.config import CostModel
+from repro.faults.plan import BEFORE_CHECK, BETWEEN_LOADS, READ_POINTS
 from repro.hw.events import LIBRARY_RATES
 from repro.sim.ops import (
     MAX_RESTARTS,
@@ -42,7 +43,19 @@ from repro.sim.ops import (
     RdpmcDestructive,
 )
 
-__all__ = ["MAX_RESTARTS", "safe_read", "unsafe_read", "destructive_read"]
+# Re-exported so protocol consumers can name the vulnerable points the fault
+# injector can preempt (repro.faults targets these by name): BETWEEN_LOADS is
+# the window between the accumulator load and the rdpmc, BEFORE_CHECK sits
+# between the read-end marker and the restart-check evaluation.
+__all__ = [
+    "BEFORE_CHECK",
+    "BETWEEN_LOADS",
+    "MAX_RESTARTS",
+    "READ_POINTS",
+    "safe_read",
+    "unsafe_read",
+    "destructive_read",
+]
 
 
 def safe_read(index: int, costs: CostModel) -> Generator[Any, Any, int]:

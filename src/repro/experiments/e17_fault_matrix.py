@@ -1,0 +1,244 @@
+"""E17 — Table: the fault matrix; robustness of the LiMiT stack under injection.
+
+The paper's correctness argument is an *absence* claim: the safe read
+protocol and 64-bit virtualization never silently mismeasure, no matter how
+the kernel interleaves preemptions, PMIs and counter swaps against the read
+sequence. Absence claims are exactly what deterministic fault injection
+(:mod:`repro.faults`) can probe: this experiment sweeps a grid of seeded
+fault plans — preemption storms inside the read critical section, dropped
+and repeated overflow PMIs, amplified PMI skid (including skid stretched to
+land a PMI on the very cycle a timeslice ends), delayed and duplicated
+virtualization swaps, counters narrowed mid-run, forced fast-path bailouts
+— and asserts, per plan:
+
+* safe reads stay bit-exact (every injected hazard is either harmlessly
+  absorbed or *detected* and restarted — ``faults.missed`` must be zero);
+* the unsafe protocol mismeasures at exactly the injection rate (every
+  injected preemption between its two loads is one wrong read);
+* benign plans (forced bailouts) leave the run fingerprint-identical to
+  the no-fault run, by the fast paths' equivalence contract.
+
+The counter width is deliberately set *below* the scheduler timeslice
+(2^14 < 20 000 cycles) so counters genuinely overflow between context
+switches — otherwise virtualization folds them to zero at every switch and
+the PMI-targeting faults would never find a PMI to drop.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.accuracy import summarize_errors
+from repro.common.tables import render_table
+from repro.core.limit import LimitSession, UnsafeLimitSession
+from repro.experiments.base import ExperimentResult, single_core_config
+from repro.faults import (
+    ALIGN_SLICE,
+    FaultPlan,
+    amplify_skid,
+    delay_swap,
+    drop_pmi,
+    dup_swap,
+    force_bailout,
+    preempt_in_read,
+    repeat_pmi,
+    shrink_counter,
+)
+from repro.faults.plan import BEFORE_CHECK
+from repro.hw.events import Event
+from repro.sim.engine import run_program
+from repro.sim.ops import Compute
+from repro.sim.program import ThreadSpec
+from repro.workloads.base import COMPUTE_RATES
+
+EXP_ID = "E17"
+TITLE = "Fault matrix: read protocol + virtualization under injection (Table)"
+PAPER_CLAIM = (
+    "the safe read protocol and 64-bit counter virtualization never "
+    "silently mismeasure: every adversarial interleaving of preemptions, "
+    "overflow PMIs and counter swaps is either harmless or detected and "
+    "restarted, while the unprotected read mismeasures at exactly the "
+    "induced preemption rate"
+)
+
+#: Counter width used by every run in the matrix; must stay below the
+#: timeslice so overflows (and hence PMIs) occur between context switches.
+_WIDTH = 14
+_TIMESLICE = 20_000
+
+
+def _workload(session, n_threads: int, n_reads: int, gap_cycles: int):
+    def worker(ctx):
+        yield from session.setup(ctx)
+        for _ in range(n_reads):
+            yield Compute(gap_cycles, COMPUTE_RATES)
+            yield from session.read(ctx, 0)
+
+    return [ThreadSpec(f"reader:{i}", worker) for i in range(n_threads)]
+
+
+def _plan_grid() -> list[tuple[str, str, FaultPlan | None]]:
+    """(label, protocol-under-test, plan) rows of the fault matrix."""
+    return [
+        ("baseline", "safe", None),
+        # Preemption storms against the read critical section. The safe
+        # storm must be bounded (every >= 2): an unbounded storm re-preempts
+        # every restart and can never terminate (plan validation rejects it).
+        (
+            "preempt-storm",
+            "safe",
+            FaultPlan((preempt_in_read(every=2),), label="preempt-storm"),
+        ),
+        (
+            "preempt-check",
+            "safe",
+            FaultPlan(
+                (preempt_in_read(point=BEFORE_CHECK, every=3),),
+                label="preempt-check",
+            ),
+        ),
+        (
+            "preempt-sparse",
+            "safe",
+            FaultPlan(
+                (preempt_in_read(probability=0.25),),
+                seed=7,
+                label="preempt-sparse",
+            ),
+        ),
+        (
+            "unsafe-storm",
+            "unsafe",
+            FaultPlan(
+                (preempt_in_read(protocol="unsafe"),), label="unsafe-storm"
+            ),
+        ),
+        # PMI delivery faults (need real overflows; see _WIDTH above).
+        (
+            "pmi-drop",
+            "safe",
+            FaultPlan(
+                (drop_pmi(redelivery=3_000, every=2, max_injections=10),),
+                label="pmi-drop",
+            ),
+        ),
+        ("pmi-repeat", "safe", FaultPlan((repeat_pmi(every=2),), label="pmi-repeat")),
+        ("skid-amp", "safe", FaultPlan((amplify_skid(32, every=2),), label="skid-amp")),
+        # Skid stretched so the PMI lands on the exact cycle the timeslice
+        # ends — the PMI-meets-virtualization-swap collision.
+        (
+            "skid-align",
+            "safe",
+            FaultPlan((amplify_skid(ALIGN_SLICE),), label="skid-align"),
+        ),
+        # Virtualization swap faults.
+        ("swap-delay", "safe", FaultPlan((delay_swap(600, every=3),), label="swap-delay")),
+        ("swap-dup", "safe", FaultPlan((dup_swap(every=4),), label="swap-dup")),
+        # Counter narrowed mid-run: truncated high bits must be recovered
+        # losslessly through the overflow latch.
+        (
+            "width-shrink",
+            "safe",
+            FaultPlan((shrink_counter(10, nth=2),), label="width-shrink"),
+        ),
+        # Benign by contract: forcing every fast path to its slow path must
+        # leave the result fingerprint-identical to the baseline.
+        ("bailout-benign", "safe", FaultPlan((force_bailout(),), label="bailout-benign")),
+    ]
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    n_threads = 2
+    n_reads = 200 if quick else 600
+    gap = 400
+
+    base = single_core_config(seed=44, timeslice=_TIMESLICE).with_pmu(
+        counter_width=_WIDTH
+    )
+
+    rows = []
+    safe_wrong_total = 0
+    safe_missed_total = 0.0
+    injected_total = 0.0
+    unsafe_injected = 0.0
+    unsafe_wrong = 0
+    baseline_fp = ""
+    benign_fp = ""
+    for label, protocol, plan in _plan_grid():
+        if protocol == "unsafe":
+            session = UnsafeLimitSession([Event.CYCLES], name=label)
+        else:
+            session = LimitSession([Event.CYCLES], name=label)
+        config = base.with_faults(plan)
+        result = run_program(_workload(session, n_threads, n_reads, gap), config)
+        result.check_conservation()
+
+        summary = summarize_errors(session.errors())
+        injected = result.metrics.get("faults.injected", 0.0)
+        detected = result.metrics.get("faults.detected", 0.0)
+        missed = result.metrics.get("faults.missed", 0.0)
+        injected_total += injected
+        if label == "baseline":
+            baseline_fp = result.fingerprint()
+        elif label == "bailout-benign":
+            benign_fp = result.fingerprint()
+        if protocol == "safe":
+            safe_wrong_total += summary.n_wrong
+            safe_missed_total += missed
+        else:
+            unsafe_injected = injected
+            unsafe_wrong = summary.n_wrong
+        rows.append(
+            [
+                label,
+                protocol,
+                summary.n,
+                int(injected),
+                int(detected),
+                int(missed),
+                summary.n_wrong,
+                summary.max_abs,
+            ]
+        )
+
+    table = render_table(
+        [
+            "plan",
+            "protocol",
+            "reads",
+            "injected",
+            "detected",
+            "missed",
+            "wrong",
+            "max err (cy)",
+        ],
+        rows,
+        title=(
+            f"fault matrix ({n_threads} threads, 1 core, "
+            f"2^{_WIDTH}-cycle counters, {_TIMESLICE}-cycle timeslice)"
+        ),
+    )
+    metrics = {
+        # Zero silent mismeasurements: every safe read across every plan
+        # stayed exact, and no injected hazard escaped detection.
+        "safe_always_exact": 1.0 if safe_wrong_total == 0 else 0.0,
+        "safe_missed_total": float(safe_missed_total),
+        # The unsafe arm mismeasures at exactly the injection rate.
+        "unsafe_storm_wrong": float(unsafe_wrong),
+        "unsafe_storm_injected": float(unsafe_injected),
+        # Benign plans leave the simulated result bit-identical.
+        "benign_fingerprint_match": 1.0 if benign_fp == baseline_fp else 0.0,
+        "faults_injected_total": float(injected_total),
+    }
+    notes = (
+        "every injected hazard against the safe protocol is detected "
+        "(restart or recovered overflow) — the 'missed' column is the count "
+        "of silent mismeasurements and stays zero everywhere except the "
+        "deliberately unprotected unsafe storm"
+    )
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        blocks=[table],
+        metrics=metrics,
+        notes=notes,
+    )

@@ -23,6 +23,7 @@ from repro.experiments import (
     e14_spin_ablation,
     e15_consolidation,
     e16_behavior_over_time,
+    e17_fault_matrix,
 )
 from repro.experiments.base import ExperimentResult
 
@@ -52,6 +53,7 @@ _MODULES = [
     e14_spin_ablation,
     e15_consolidation,
     e16_behavior_over_time,
+    e17_fault_matrix,
 ]
 
 REGISTRY: dict[str, ExperimentEntry] = {

@@ -66,10 +66,15 @@ class EntryOutcome:
     records: list = field(default_factory=list)  #: EngineRunRecord list
     cache_stats: dict | None = None  #: worker-side run-cache counters
     cached: bool = False
+    #: structured fabric JobFailure dicts from this experiment's runs
+    job_failures: list = field(default_factory=list)
 
 
 def _execute(entry, quick: bool, capture_traces: bool) -> EntryOutcome:
     """Run one experiment in the current process, collecting its runs."""
+    from repro import fabric
+
+    fabric.drain_failures()  # start this experiment with a clean slate
     started = time.perf_counter()
     with obs_runtime.collect(
         capture_traces=capture_traces, label=entry.exp_id
@@ -86,6 +91,7 @@ def _execute(entry, quick: bool, capture_traces: bool) -> EntryOutcome:
         text=text,
         wall_seconds=time.perf_counter() - started,
         records=collector.records,
+        job_failures=[f.as_dict() for f in fabric.drain_failures()],
     )
 
 
@@ -95,6 +101,7 @@ def _execute_in_worker(
     capture_traces: bool,
     cache_dir: str | None,
     cache_salt: str | None,
+    fail_fast: bool | None = None,
 ) -> EntryOutcome:
     """Pool-worker entry point: look the experiment up by id and run it.
 
@@ -104,6 +111,8 @@ def _execute_in_worker(
     from repro import fabric
 
     fabric.configure(jobs=1, cache_dir=cache_dir, salt=cache_salt)
+    if fail_fast is not None:
+        fabric.configure(fail_fast=fail_fast)
     outcome = _execute(get(exp_id), quick, capture_traces)
     worker_cache = fabric.current().cache
     if worker_cache is not None:
@@ -140,9 +149,19 @@ def _emit(
             **collector.macro_summary(),
             "bailouts": collector.bailouts_by_reason(),
         },
+        "faults": collector.fault_summary(),
     }
     if outcome.cached:
         record["cached"] = True
+    if outcome.job_failures:
+        record["job_failures"] = outcome.job_failures
+        for failure in outcome.job_failures:
+            print(
+                f"[{outcome.exp_id}] job failure ({failure['kind']}): "
+                f"{failure['label'] or failure['workload']} — "
+                f"{failure['error']}",
+                file=stderr,
+            )
     stem = artifact_stem(outcome.exp_id, quick)
     if outcome.error is not None:
         record["error"] = outcome.error
@@ -183,13 +202,17 @@ def run_entries(
     stderr=None,
     jobs: int = 1,
     cache: ResultCache | None = None,
+    fail_fast: bool | None = None,
 ) -> tuple[list[dict[str, Any]], float]:
     """Run experiments; returns (manifest entry dicts, total wall seconds).
 
     ``jobs > 1`` runs experiments in worker processes (a single experiment
     instead fans out its internal runs through the fabric). ``cache``
     replays previously simulated experiments/runs; tracing bypasses it so
-    trace files always reflect a real execution.
+    trace files always reflect a real execution. ``fail_fast`` sets the
+    fabric failure policy for every run (None keeps the current policy;
+    False lets sweeps continue past dead/hung workers and reports them as
+    structured job failures in the manifest).
     """
     from repro import fabric
 
@@ -236,6 +259,7 @@ def run_entries(
                         capture_traces,
                         cache_dir,
                         cache_salt,
+                        fail_fast,
                     ),
                 )
                 for i, key in pending
@@ -246,19 +270,26 @@ def run_entries(
         # In-process: a lone experiment under --jobs N fans out internally.
         previous = fabric.current()
         prev_jobs, prev_cache = previous.jobs, previous.cache
+        prev_fail_fast = previous.fail_fast
         fabric.configure(jobs=jobs, cache=use_cache)
+        if fail_fast is not None:
+            fabric.configure(fail_fast=fail_fast)
         try:
             for i, key in pending:
                 outcomes[i] = _execute(entries[i], quick, capture_traces)
         finally:
-            fabric.configure(jobs=prev_jobs, cache=prev_cache)
+            fabric.configure(
+                jobs=prev_jobs, cache=prev_cache, fail_fast=prev_fail_fast
+            )
 
     if use_cache is not None:
         for i, key in pending:
             outcome = outcomes[i]
             if outcome.cache_stats is not None:
                 use_cache.stats.add(outcome.cache_stats)
-            if outcome.error is None:
+            # Partial results (fabric job failures) must never be cached:
+            # a replay would hide the failure and serve incomplete data.
+            if outcome.error is None and not outcome.job_failures:
                 use_cache.put(key, outcome)
 
     records = [
@@ -276,7 +307,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids (E1..E16); all when omitted",
+        help="experiment ids (E1..E17); all when omitted",
     )
     parser.add_argument(
         "--quick", action="store_true", help="smaller parameters (CI-sized)"
@@ -329,6 +360,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list experiments and exit"
     )
+    policy = parser.add_mutually_exclusive_group()
+    policy.add_argument(
+        "--fail-fast",
+        dest="fail_fast",
+        action="store_true",
+        help="abort an experiment on the first fabric job failure",
+    )
+    policy.add_argument(
+        "--keep-going",
+        dest="fail_fast",
+        action="store_false",
+        help=(
+            "survive crashed/hung fabric workers: finish the sweep and "
+            "report failures in the summary and manifest"
+        ),
+    )
+    parser.set_defaults(fail_fast=None)
     args = parser.parse_args(argv)
 
     if args.list:
@@ -363,9 +411,11 @@ def main(argv: list[str] | None = None) -> int:
         trace_dir=args.trace_dir,
         jobs=args.jobs,
         cache=cache,
+        fail_fast=args.fail_fast,
     )
     passed = sum(1 for r in records if r["status"] == "passed")
     failed = len(records) - passed
+    job_failures = sum(len(r.get("job_failures", ())) for r in records)
 
     if args.manifest:
         args.manifest.parent.mkdir(parents=True, exist_ok=True)
@@ -392,6 +442,11 @@ def main(argv: list[str] | None = None) -> int:
                             "fastpath_bailouts",
                         )
                     },
+                    "faults": {
+                        key: sum(r["faults"][key] for r in records)
+                        for key in ("injected", "detected", "missed")
+                    },
+                    "job_failures": job_failures,
                 },
             },
         )
@@ -403,6 +458,10 @@ def main(argv: list[str] | None = None) -> int:
         args.cache_stats.write_text(json.dumps(stats, indent=2) + "\n")
 
     print(f"{passed} passed, {failed} failed, total wall time {total_wall:.1f}s")
+    if job_failures:
+        # A partial sweep must never look like success to calling scripts.
+        print(f"FAILED ({job_failures} job failures)", file=sys.stderr)
+        return 1
     return 1 if failed else 0
 
 

@@ -5,6 +5,12 @@ into picklable job specs that can execute in a process pool and be replayed
 from a content-addressed on-disk cache. Determinism is the contract: a
 run's outputs depend only on its inputs and the simulator source, so
 serial, parallel and cached execution all produce identical results.
+
+The fabric is also crash-tolerant: pooled jobs run one-per-process with a
+per-job timeout and bounded retry, so a crashed or hung worker yields a
+structured :class:`JobFailure` (under ``fail_fast=False``) instead of
+taking down the sweep, and corrupt cache entries are quarantined rather
+than fatal (see :mod:`repro.fabric.cache` and ``docs/robustness.md``).
 """
 
 from repro.fabric.cache import (
@@ -15,10 +21,12 @@ from repro.fabric.cache import (
 )
 from repro.fabric.jobs import (
     FabricConfig,
+    JobFailure,
     JobOutcome,
     RunJob,
     configure,
     current,
+    drain_failures,
     execute_job,
     run_many,
     run_one,
@@ -30,10 +38,12 @@ __all__ = [
     "code_salt",
     "default_cache_dir",
     "FabricConfig",
+    "JobFailure",
     "JobOutcome",
     "RunJob",
     "configure",
     "current",
+    "drain_failures",
     "execute_job",
     "run_many",
     "run_one",

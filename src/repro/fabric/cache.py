@@ -9,8 +9,11 @@ served for inputs it was not computed from.
 
 Entries are integrity-checked: each file stores the payload's own SHA-256
 ahead of the pickled bytes, and a corrupted/truncated entry is detected on
-load, counted in :class:`CacheStats`, deleted, and treated as a miss — the
-run is simply re-simulated.
+load, counted in :class:`CacheStats`, *quarantined* (moved aside into
+``<root>/quarantine/`` so the bad bytes stay available for diagnosis) and
+treated as a miss — the run is simply re-simulated. IO problems never
+propagate: an unreadable entry or an unwritable cache directory degrades
+to uncached execution with a one-line :func:`repro.obs.warn`.
 """
 
 from __future__ import annotations
@@ -21,6 +24,8 @@ import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
+
+from repro.obs.warnings import warn
 
 #: bump to invalidate every cache entry regardless of code salt
 CACHE_FORMAT = 1
@@ -63,7 +68,8 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
-    errors: int = 0  #: corrupted/unreadable entries detected (and evicted)
+    errors: int = 0  #: corrupted or unreadable entries detected
+    quarantined: int = 0  #: corrupt entries moved aside to quarantine/
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -71,6 +77,7 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "errors": self.errors,
+            "quarantined": self.quarantined,
         }
 
     def add(self, other: "CacheStats | dict") -> None:
@@ -80,6 +87,7 @@ class CacheStats:
         self.misses += other.get("misses", 0)
         self.stores += other.get("stores", 0)
         self.errors += other.get("errors", 0)
+        self.quarantined += other.get("quarantined", 0)
 
     def delta(self, since: "CacheStats") -> "CacheStats":
         return CacheStats(
@@ -87,10 +95,13 @@ class CacheStats:
             misses=self.misses - since.misses,
             stores=self.stores - since.stores,
             errors=self.errors - since.errors,
+            quarantined=self.quarantined - since.quarantined,
         )
 
     def copy(self) -> "CacheStats":
-        return CacheStats(self.hits, self.misses, self.stores, self.errors)
+        return CacheStats(
+            self.hits, self.misses, self.stores, self.errors, self.quarantined
+        )
 
 
 class ResultCache:
@@ -109,6 +120,10 @@ class ResultCache:
         self.root = Path(root)
         self.salt = salt if salt is not None else code_salt()
         self.stats = stats if stats is not None else CacheStats()
+        #: corrupt keys whose entry could not be quarantined *or* evicted
+        #: (read-only cache dir): remembered so this process stops
+        #: re-reading and re-warning about them on every lookup.
+        self._dead_keys: set[str] = set()
 
     # -- keys ---------------------------------------------------------------
 
@@ -131,39 +146,89 @@ class ResultCache:
     # -- IO -----------------------------------------------------------------
 
     def get(self, key: str) -> Any | None:
-        """The stored value, or None on miss/corruption (corrupt entries
-        are evicted so the next store rewrites them cleanly)."""
+        """The stored value, or None on miss, IO error or corruption.
+
+        A missing file is a clean miss. An *unreadable* file (permissions,
+        IO error, a directory where the entry should be) counts as an
+        error and degrades to a miss. A *corrupt* file (digest mismatch,
+        truncated or unpicklable payload) is quarantined — moved into
+        ``<root>/quarantine/`` — so the next store rewrites it cleanly and
+        the bad bytes remain available for diagnosis; on a read-only cache
+        the key is simply ignored for the rest of the process.
+        """
+        if key in self._dead_keys:
+            self.stats.misses += 1
+            return None
         path = self._path(key)
         try:
             blob = path.read_bytes()
-        except OSError:
+        except FileNotFoundError:
             self.stats.misses += 1
+            return None
+        except OSError as exc:
+            self.stats.errors += 1
+            self.stats.misses += 1
+            warn(f"cache entry {path.name} unreadable ({exc}); treated as a miss")
             return None
         try:
             header, payload = blob.split(b"\n", 1)
             if header.decode() != hashlib.sha256(payload).hexdigest():
                 raise ValueError("payload digest mismatch")
             value = pickle.loads(payload)
-        except Exception:
+        except Exception as exc:
             self.stats.errors += 1
             self.stats.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._quarantine(key, path, exc)
             return None
         self.stats.hits += 1
         return value
 
+    def _quarantine(self, key: str, path: Path, reason: Exception) -> None:
+        """Move a corrupt entry into quarantine/ (fallbacks: evict, ignore)."""
+        qdir = self.root / "quarantine"
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+        except OSError:
+            # Can't move it (read-only dir, cross-device...): try plain
+            # eviction; failing that, blacklist the key for this process so
+            # we don't re-read and re-detect the same corruption forever.
+            try:
+                path.unlink()
+            except OSError:
+                self._dead_keys.add(key)
+                warn(
+                    f"cache entry {path.name} corrupt ({reason}) and the "
+                    f"cache directory is not writable; ignoring the entry"
+                )
+                return
+            warn(f"cache entry {path.name} corrupt ({reason}); evicted")
+            return
+        self.stats.quarantined += 1
+        warn(f"cache entry {path.name} corrupt ({reason}); quarantined to {qdir}")
+
     def put(self, key: str, value: Any) -> None:
-        """Store ``value`` atomically (write-to-temp + rename)."""
+        """Store ``value`` atomically (write-to-temp + rename).
+
+        Storage failures (read-only or full cache directory) warn once and
+        degrade to uncached execution — they never fail the run.
+        """
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         blob = hashlib.sha256(payload).hexdigest().encode() + b"\n" + payload
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_bytes(blob)
-        os.replace(tmp, path)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
+        except OSError as exc:
+            self.stats.errors += 1
+            warn(f"cache store failed for {path.name} ({exc}); running uncached")
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return
         self.stats.stores += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

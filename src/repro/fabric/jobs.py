@@ -17,22 +17,37 @@ ambient :mod:`repro.obs` collector so manifests stay correct regardless of
 where runs physically executed. Simulation is deterministic, so outcomes
 are byte-identical across serial, parallel and cache-hit execution (a
 property test enforces this).
+
+Worker execution is *fault-isolated*: every pooled job runs in its own
+process, so a crashed worker (segfault, ``os._exit``, OOM kill) or a hung
+one (per-job ``timeout``) is blamed on exactly the offending job — never
+on innocent jobs sharing the sweep. Crashes and timeouts are retried with
+jittered exponential backoff up to ``retries`` times (they may be
+transient: a busy machine, an OOM near-miss); deterministic Python
+exceptions are not retried, because the simulator is deterministic and
+would fail identically. Under ``fail_fast=False`` a terminally failed job
+becomes a structured :class:`JobFailure` in the outcome list and the sweep
+continues; under ``fail_fast=True`` (the library default, matching the
+historical behaviour) the first terminal failure raises.
 """
 
 from __future__ import annotations
 
 import importlib
 import multiprocessing
+import random
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
 from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
 from typing import Any
 
 from repro.common.config import SimConfig
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, FabricError
 from repro.fabric.cache import ResultCache
 from repro.obs import runtime as obs_runtime
 from repro.obs.runtime import EngineRunRecord
+from repro.obs.warnings import warn
 from repro.sim.results import RunResult
 
 _UNSET = object()
@@ -40,13 +55,38 @@ _UNSET = object()
 
 @dataclass
 class FabricConfig:
-    """Process-local execution policy: pool width and result cache."""
+    """Process-local execution policy: pool width, result cache, and the
+    failure policy (per-job timeout, retry budget, fail-fast)."""
 
     jobs: int = 1
     cache: ResultCache | None = None
+    #: per-job wall-clock budget in seconds for pooled execution; None
+    #: disables the watchdog (inline runs are never timed out — there is
+    #: no process boundary to kill).
+    timeout: float | None = None
+    #: how many times a crashed or timed-out job is re-run before it
+    #: becomes a terminal failure (deterministic exceptions never retry).
+    retries: int = 1
+    #: base backoff in seconds before a retry; the actual delay is
+    #: ``backoff * 2**(attempt-1)`` with up to +25% jitter.
+    backoff: float = 0.25
+    #: True: first terminal job failure raises (historical behaviour).
+    #: False: failures come back as JobFailure and the sweep continues.
+    fail_fast: bool = True
 
 
 _config = FabricConfig()
+
+#: Terminal JobFailures from every run_many in this process since the last
+#: drain — the experiment runner reports these in its manifest/exit code.
+_session_failures: list["JobFailure"] = []
+
+
+def drain_failures() -> list["JobFailure"]:
+    """Return (and clear) the terminal job failures seen by this process."""
+    global _session_failures
+    failures, _session_failures = _session_failures, []
+    return failures
 
 
 def configure(
@@ -54,12 +94,17 @@ def configure(
     cache: "ResultCache | None | object" = _UNSET,
     cache_dir: "str | None | object" = _UNSET,
     salt: str | None = None,
+    timeout: "float | None | object" = _UNSET,
+    retries: int | None = None,
+    backoff: float | None = None,
+    fail_fast: bool | None = None,
 ) -> FabricConfig:
     """Set the process-wide fabric policy; returns the live config.
 
     ``cache`` takes a ready :class:`ResultCache` (or None to disable);
     ``cache_dir`` builds one at that path. Passing neither leaves the
-    current cache untouched.
+    current cache untouched. ``timeout``/``retries``/``backoff``/
+    ``fail_fast`` set the failure policy (see :class:`FabricConfig`).
     """
     if jobs is not None:
         if jobs < 1:
@@ -71,6 +116,20 @@ def configure(
         _config.cache = (
             ResultCache(cache_dir, salt=salt) if cache_dir else None
         )
+    if timeout is not _UNSET:
+        if timeout is not None and timeout <= 0:  # type: ignore[operator]
+            raise ConfigError(f"fabric timeout must be > 0, got {timeout}")
+        _config.timeout = timeout  # type: ignore[assignment]
+    if retries is not None:
+        if retries < 0:
+            raise ConfigError(f"fabric retries must be >= 0, got {retries}")
+        _config.retries = retries
+    if backoff is not None:
+        if backoff < 0:
+            raise ConfigError(f"fabric backoff must be >= 0, got {backoff}")
+        _config.backoff = backoff
+    if fail_fast is not None:
+        _config.fail_fast = fail_fast
     return _config
 
 
@@ -105,6 +164,37 @@ class JobOutcome:
     records: list[EngineRunRecord]
     wall_seconds: float
     cached: bool = False
+
+
+@dataclass
+class JobFailure:
+    """A job that terminally failed (after any retries).
+
+    Appears in :func:`run_many`'s outcome list in place of a
+    :class:`JobOutcome` when the fabric runs with ``fail_fast=False``;
+    ``kind`` is ``"crash"`` (worker process died), ``"timeout"`` (per-job
+    wall budget exceeded; the worker was killed) or ``"error"`` (the job
+    raised a Python exception).
+    """
+
+    job: RunJob
+    error: str
+    kind: str
+    attempts: int
+    wall_seconds: float
+    cached: bool = False  #: always False; mirrors JobOutcome for callers
+
+    def as_dict(self) -> dict[str, Any]:
+        """Manifest-friendly summary of this failure."""
+        return {
+            "workload": self.job.workload,
+            "label": self.job.label,
+            "seed": self.job.config.seed,
+            "kind": self.kind,
+            "error": self.error,
+            "attempts": self.attempts,
+            "wall_seconds": self.wall_seconds,
+        }
 
 
 def resolve(path: str) -> Any:
@@ -154,31 +244,223 @@ def _mp_context():
     )
 
 
+def _child_entry(conn, job: RunJob, capture_traces: bool) -> None:
+    """Worker-process entry: run one job, ship the outcome over the pipe."""
+    try:
+        payload = ("ok", execute_job(job, capture_traces))
+    except BaseException as exc:  # noqa: BLE001 - reported to the parent
+        payload = ("error", f"{type(exc).__name__}: {exc}")
+    try:
+        conn.send(payload)
+    except Exception as exc:  # unpicklable outcome: still report something
+        try:
+            conn.send(("error", f"job outcome not picklable: {exc}"))
+        except Exception:
+            pass
+    conn.close()
+
+
+@dataclass
+class _Attempt:
+    """Book-keeping for one job's journey through the pooled scheduler."""
+
+    index: int
+    job: RunJob
+    attempts: int = 0
+    not_before: float = 0.0  #: monotonic time before which we won't respawn
+
+
+def _backoff_delay(backoff: float, attempt: int) -> float:
+    """Exponential backoff with up to +25% jitter (host-side randomness is
+    fine here: it never influences simulated results)."""
+    if backoff <= 0:
+        return 0.0
+    return backoff * (2 ** (attempt - 1)) * (1.0 + random.uniform(0.0, 0.25))
+
+
+def _stop_worker(proc) -> None:
+    proc.terminate()
+    proc.join(timeout=5.0)
+    if proc.is_alive():  # pragma: no cover - SIGTERM ignored
+        proc.kill()
+        proc.join(timeout=5.0)
+
+
+def _run_pooled(
+    pending: list[tuple[int, str | None, RunJob]],
+    workers: int,
+    capture_traces: bool,
+    timeout: float | None,
+    retries: int,
+    backoff: float,
+    fail_fast: bool,
+) -> dict[int, "JobOutcome | JobFailure"]:
+    """Run jobs with one process per job, at most ``workers`` at a time.
+
+    One process per job (rather than a shared executor pool) is what makes
+    failure *attribution* exact: a dead or hung worker names precisely the
+    job it was running, so one poison job can never take down innocent
+    jobs sharing the sweep the way a broken ProcessPoolExecutor does.
+    """
+    ctx = _mp_context()
+    queue: deque[_Attempt] = deque(
+        _Attempt(index=i, job=job) for i, _key, job in pending
+    )
+    running: dict[Any, tuple[Any, _Attempt, float, float | None]] = {}
+    results: dict[int, JobOutcome | JobFailure] = {}
+
+    def settle(att: _Attempt, kind: str, error: str, wall: float) -> None:
+        """A worker attempt crashed or timed out: retry or finalize."""
+        if att.attempts <= retries:
+            warn(
+                f"fabric job {att.job.label or att.job.workload!r} "
+                f"{kind} on attempt {att.attempts} ({error}); retrying"
+            )
+            att.not_before = time.monotonic() + _backoff_delay(
+                backoff, att.attempts
+            )
+            queue.append(att)
+            return
+        failure = JobFailure(
+            job=att.job,
+            error=error,
+            kind=kind,
+            attempts=att.attempts,
+            wall_seconds=wall,
+        )
+        results[att.index] = failure
+        if fail_fast:
+            raise FabricError(
+                f"job {att.job.label or att.job.workload!r} {kind} after "
+                f"{att.attempts} attempt(s): {error}"
+            )
+
+    try:
+        while queue or running:
+            now = time.monotonic()
+            # Spawn eligible queued attempts into free worker slots.
+            for _ in range(len(queue)):
+                if len(running) >= workers:
+                    break
+                att = queue.popleft()
+                if att.not_before > now:
+                    queue.append(att)  # still backing off; rotate
+                    continue
+                recv_conn, send_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_child_entry,
+                    args=(send_conn, att.job, capture_traces),
+                    daemon=True,
+                )
+                att.attempts += 1
+                proc.start()
+                send_conn.close()
+                deadline = None if timeout is None else now + timeout
+                running[recv_conn] = (proc, att, now, deadline)
+            if not running:
+                time.sleep(0.01)  # every queued attempt is backing off
+                continue
+            # Reap finished workers (message arrived or pipe closed).
+            for conn in mp_connection.wait(list(running), timeout=0.05):
+                proc, att, started, _deadline = running.pop(conn)
+                wall = time.monotonic() - started
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    msg = None  # died without reporting
+                conn.close()
+                proc.join(timeout=10.0)
+                if proc.is_alive():  # pragma: no cover - wedged post-send
+                    _stop_worker(proc)
+                if msg is None:
+                    settle(
+                        att,
+                        "crash",
+                        f"worker process died (exit code {proc.exitcode})",
+                        wall,
+                    )
+                elif msg[0] == "ok":
+                    results[att.index] = msg[1]
+                else:
+                    # A Python exception is deterministic — no retry.
+                    failure = JobFailure(
+                        job=att.job,
+                        error=msg[1],
+                        kind="error",
+                        attempts=att.attempts,
+                        wall_seconds=wall,
+                    )
+                    results[att.index] = failure
+                    if fail_fast:
+                        raise FabricError(
+                            f"job {att.job.label or att.job.workload!r} "
+                            f"raised: {msg[1]}"
+                        )
+            # Kill workers past their per-job deadline.
+            now = time.monotonic()
+            for conn, (proc, att, started, deadline) in list(running.items()):
+                if deadline is not None and now > deadline:
+                    del running[conn]
+                    _stop_worker(proc)
+                    conn.close()
+                    settle(
+                        att,
+                        "timeout",
+                        f"exceeded the per-job timeout of {timeout:g}s",
+                        now - started,
+                    )
+    finally:
+        for conn, (proc, _att, _started, _deadline) in running.items():
+            _stop_worker(proc)
+            conn.close()
+    return results
+
+
 def run_many(
     jobs: list[RunJob],
     *,
     jobs_n: int | None = None,
     cache: "ResultCache | None | object" = _UNSET,
     capture_traces: bool | None = None,
-) -> list[JobOutcome]:
+    timeout: "float | None | object" = _UNSET,
+    retries: int | None = None,
+    backoff: float | None = None,
+    fail_fast: bool | None = None,
+) -> list["JobOutcome | JobFailure"]:
     """Execute a batch of jobs; outcomes come back in submission order.
 
-    Defaults come from :func:`configure`: pool width from ``jobs`` and the
-    result cache from ``cache``. When the ambient collector captures
-    traces, caching is bypassed (trace events are host-side artifacts that
-    must reflect a real execution) and traces ship back from the workers.
+    Defaults come from :func:`configure`: pool width from ``jobs``, the
+    result cache from ``cache``, and the failure policy (``timeout``,
+    ``retries``, ``backoff``, ``fail_fast``) from the matching config
+    fields. When the ambient collector captures traces, caching is
+    bypassed (trace events are host-side artifacts that must reflect a
+    real execution) and traces ship back from the workers.
+
+    With ``fail_fast=False``, a job that terminally fails (worker crash,
+    timeout, or exception — after any retries) yields a
+    :class:`JobFailure` at its slot instead of aborting the sweep; the
+    failure is also queued for :func:`drain_failures`. Failures are never
+    cached and contribute no records to the ambient collector.
     """
     if jobs_n is None:
         jobs_n = _config.jobs
     if cache is _UNSET:
         cache = _config.cache
+    if timeout is _UNSET:
+        timeout = _config.timeout
+    if retries is None:
+        retries = _config.retries
+    if backoff is None:
+        backoff = _config.backoff
+    if fail_fast is None:
+        fail_fast = _config.fail_fast
     collector = obs_runtime.current()
     if capture_traces is None:
         capture_traces = collector.capture_traces if collector else False
     if capture_traces:
         cache = None
 
-    outcomes: list[JobOutcome | None] = [None] * len(jobs)
+    outcomes: list[JobOutcome | JobFailure | None] = [None] * len(jobs)
     pending: list[tuple[int, str | None, RunJob]] = []
     if cache is not None:
         for i, job in enumerate(jobs):
@@ -192,27 +474,49 @@ def run_many(
     else:
         pending = [(i, None, job) for i, job in enumerate(jobs)]
 
-    if len(pending) > 1 and jobs_n > 1:
+    # Pool when parallelism is requested; a single pending job only pays
+    # for a worker process when a timeout needs the process boundary.
+    use_pool = jobs_n > 1 and (
+        len(pending) > 1 or (pending and timeout is not None)
+    )
+    if use_pool:
         workers = min(jobs_n, len(pending))
-        with ProcessPoolExecutor(
-            max_workers=workers, mp_context=_mp_context()
-        ) as pool:
-            futures = [
-                (i, key, pool.submit(execute_job, job, capture_traces))
-                for i, key, job in pending
-            ]
-            for i, key, future in futures:
-                outcomes[i] = future.result()
+        pooled = _run_pooled(
+            pending,
+            workers,
+            capture_traces,
+            timeout,  # type: ignore[arg-type]
+            retries,
+            backoff,
+            fail_fast,
+        )
+        for i, _key, _job in pending:
+            outcomes[i] = pooled[i]
     else:
-        for i, key, job in pending:
-            outcomes[i] = execute_job(job, capture_traces)
+        for i, _key, job in pending:
+            started = time.perf_counter()
+            try:
+                outcomes[i] = execute_job(job, capture_traces)
+            except Exception as exc:
+                if fail_fast:
+                    raise
+                outcomes[i] = JobFailure(
+                    job=job,
+                    error=f"{type(exc).__name__}: {exc}",
+                    kind="error",
+                    attempts=1,
+                    wall_seconds=time.perf_counter() - started,
+                )
 
     if cache is not None:
         for i, key, _job in pending:
-            cache.put(key, outcomes[i])
+            if isinstance(outcomes[i], JobOutcome):
+                cache.put(key, outcomes[i])
 
-    if collector is not None:
-        for outcome in outcomes:
+    for outcome in outcomes:
+        if isinstance(outcome, JobFailure):
+            _session_failures.append(outcome)
+        elif collector is not None and outcome is not None:
             collector.merge_records(
                 outcome.records, keep_traces=capture_traces
             )

@@ -1,0 +1,73 @@
+"""Fault-injecting workload factory for exercising the fabric itself.
+
+:class:`ChaosWorkload` is the crash-test dummy of the run fabric: resolved
+like any other :class:`~repro.fabric.jobs.RunJob` workload, but able to
+kill its worker process outright, hang it, raise, or fail only on the
+first attempt (to prove retry works). It lives in the library rather than
+the test tree so CI jobs and local smoke targets can reference it by
+dotted path, exactly like a real workload.
+
+Modes:
+
+* ``"ok"`` — behave: build a small :class:`BusyWorkload` program;
+* ``"crash"`` — ``os._exit`` the worker before building anything (models
+  a segfault / OOM kill: no exception ever reaches the fabric);
+* ``"hang"`` — sleep far beyond any sane per-job timeout;
+* ``"error"`` — raise a deterministic RuntimeError;
+* ``"flaky"`` — crash on the first attempt, then behave: the first call
+  creates ``marker`` and dies, later calls see the marker and build
+  normally (requires ``marker`` to be set to a writable path).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.common.errors import ConfigError
+from repro.workloads.synthetic import BusyWorkload
+
+#: exit code used by crashing modes, distinctive in fabric error messages
+CRASH_EXIT_CODE = 23
+
+MODES = ("ok", "crash", "hang", "error", "flaky")
+
+
+class ChaosWorkload:
+    """See module docstring. ``cycles``/``n_threads`` size the program the
+    behaving modes build; ``hang_seconds`` bounds the hang so a fabric bug
+    can't wedge a test run forever."""
+
+    def __init__(
+        self,
+        mode: str = "ok",
+        cycles: int = 20_000,
+        n_threads: int = 2,
+        marker: str | None = None,
+        hang_seconds: float = 120.0,
+    ) -> None:
+        if mode not in MODES:
+            raise ConfigError(f"unknown chaos mode {mode!r}; known: {MODES}")
+        if mode == "flaky" and not marker:
+            raise ConfigError("chaos mode 'flaky' needs a marker path")
+        self.mode = mode
+        self.cycles = cycles
+        self.n_threads = n_threads
+        self.marker = marker
+        self.hang_seconds = hang_seconds
+
+    def build(self):
+        if self.mode == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        if self.mode == "hang":
+            time.sleep(self.hang_seconds)
+            os._exit(CRASH_EXIT_CODE)  # a timeout should have killed us
+        if self.mode == "error":
+            raise RuntimeError("chaos: deterministic job failure")
+        if self.mode == "flaky" and not os.path.exists(self.marker):
+            with open(self.marker, "w") as fh:
+                fh.write("chaos: first attempt\n")
+            os._exit(CRASH_EXIT_CODE)
+        return BusyWorkload(
+            n_threads=self.n_threads, cycles_per_thread=self.cycles
+        ).build()

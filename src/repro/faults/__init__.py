@@ -1,0 +1,62 @@
+"""repro.faults — deterministic fault injection for the PMU/read stack.
+
+See :mod:`repro.faults.plan` for the plan model / DSL and
+:mod:`repro.faults.injector` for the decision engine. ``docs/robustness.md``
+documents the taxonomy and the detect-vs-miss semantics.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    ALIGN_SLICE,
+    AMPLIFY_SKID,
+    BAILOUT_POINTS,
+    BEFORE_CHECK,
+    BETWEEN_LOADS,
+    DELAY_SWAP,
+    DROP_PMI,
+    DUP_SWAP,
+    FORCE_BAILOUT,
+    FaultPlan,
+    FaultSpec,
+    KINDS,
+    PREEMPT_IN_READ,
+    READ_POINTS,
+    REPEAT_PMI,
+    SHRINK_COUNTER,
+    amplify_skid,
+    delay_swap,
+    drop_pmi,
+    dup_swap,
+    force_bailout,
+    preempt_in_read,
+    repeat_pmi,
+    shrink_counter,
+)
+
+__all__ = [
+    "ALIGN_SLICE",
+    "AMPLIFY_SKID",
+    "BAILOUT_POINTS",
+    "BEFORE_CHECK",
+    "BETWEEN_LOADS",
+    "DELAY_SWAP",
+    "DROP_PMI",
+    "DUP_SWAP",
+    "FORCE_BAILOUT",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "KINDS",
+    "PREEMPT_IN_READ",
+    "READ_POINTS",
+    "REPEAT_PMI",
+    "SHRINK_COUNTER",
+    "amplify_skid",
+    "delay_swap",
+    "drop_pmi",
+    "dup_swap",
+    "force_bailout",
+    "preempt_in_read",
+    "repeat_pmi",
+    "shrink_counter",
+]

@@ -54,6 +54,19 @@ class Pmu:
         self._plans_dirty = True
         self.n_enabled = sum(1 for c in self.counters if c.enabled)
 
+    def flush_plans(self) -> None:
+        """Drop every cached accrual plan and plan set.
+
+        Needed when counter *geometry* changes out from under the signature
+        key — the signature only covers (index, event, domains), so a
+        mid-run width change (fault injection's shrink_counter) would
+        otherwise swap stale-mask plans back in on the next reprogram.
+        """
+        self._plans_user = {}
+        self._plans_kernel = {}
+        self._plan_sets = {(): (self._plans_user, self._plans_kernel)}
+        self._plans_dirty = True
+
     def _resolve_plans(self) -> None:
         """Swap in the plan dicts matching the current counter programming."""
         sig = tuple(

@@ -71,6 +71,16 @@ class Scheduler:
         self.runqueues[core_id].append(tid)
         self.n_enqueues += 1
 
+    def requeue_front(self, tid: int, core_id: int) -> None:
+        """Requeue at the *head* of the core's queue (fault-injection storms:
+        the preempted victim resumes immediately after the forced switch, so
+        a storm perturbs the read protocol without reordering the rest of the
+        schedule)."""
+        if not 0 <= core_id < self.n_cores:
+            raise SchedulerError(f"bad core id {core_id}")
+        self.runqueues[core_id].appendleft(tid)
+        self.n_enqueues += 1
+
     def pick_next(self, core_id: int) -> int | None:
         """Pop the next thread for this core, stealing if the local queue is
         empty. Returns None when there is truly nothing to run."""

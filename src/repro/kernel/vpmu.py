@@ -133,3 +133,17 @@ class VirtualPmu:
                 f"(owner={spec.owner})"
             )
         return self.vaccum[index]
+
+    def fold(self, index: int, hw_value: int) -> None:
+        """Fold a physical counter value into the slot accumulator — the
+        switch-out half of virtualization. A fold of a deprogrammed (zeroed)
+        counter is a no-op, which is what makes a duplicated swap benign."""
+        self.vaccum[index] += hw_value
+
+    def snapshot(self) -> dict[int, int]:
+        """Accumulator values of the allocated slots (tests/diagnostics)."""
+        return {
+            i: self.vaccum[i]
+            for i, s in enumerate(self.slots)
+            if s is not None
+        }

@@ -33,6 +33,7 @@ from repro.obs.export import (
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer
 from repro.obs.runtime import RunCollector, collect, current
 from repro.obs.trace import KINDS, TraceBus, TraceEvent
+from repro.obs.warnings import warn
 
 __all__ = [
     "Counter",
@@ -51,6 +52,7 @@ __all__ = [
     "perfetto_events",
     "read_jsonl",
     "summarize_events",
+    "warn",
     "write_manifest",
     "write_perfetto",
 ]

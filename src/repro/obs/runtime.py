@@ -161,6 +161,24 @@ class RunCollector:
             "macro_hit_rate": quanta / ticks if ticks else 0.0,
         }
 
+    def fault_summary(self) -> dict[str, Any]:
+        """Fault-injection totals across every run (the manifest's ``faults``
+        block): injections by kind plus the detect/miss verdict counters —
+        see :mod:`repro.faults.injector` for the semantics. All zero when no
+        run had a fault plan."""
+        by_kind: dict[str, float] = {}
+        for r in self.records:
+            for key, value in r.metrics.items():
+                if key.startswith("faults.injected."):
+                    kind = key[len("faults.injected."):]
+                    by_kind[kind] = by_kind.get(kind, 0) + value
+        return {
+            "injected": self._metric_total("faults.injected"),
+            "detected": self._metric_total("faults.detected"),
+            "missed": self._metric_total("faults.missed"),
+            "by_kind": dict(sorted(by_kind.items())),
+        }
+
     def bailouts_by_reason(self) -> dict[str, float]:
         """Fast-path bailout totals keyed by reason (manifest detail)."""
         out: dict[str, float] = {}

@@ -41,6 +41,9 @@ PMC_READ_BEGIN = "pmc_read_begin"  #: entered the protected read sequence
 PMC_READ_END = "pmc_read_end"      #: left it (arg = True ok / False restart)
 CTR_OVERFLOW = "ctr_overflow"      #: a hardware counter wrapped (arg = index)
 SAMPLE = "sample"                  #: sampling fd recorded a sample (arg = fd)
+# Fault injection (repro.faults)
+FAULT_INJECT = "fault_inject"    #: injected fault fired (arg = (kind, detail))
+FAULT_DETECT = "fault_detect"    #: protocol caught an injected hazard
 # Regions / phases
 REGION_BEGIN = "region_begin"    #: instrumented code region entered
 REGION_END = "region_end"        #: instrumented code region left
@@ -67,6 +70,8 @@ KIND_DESCRIPTIONS: dict[str, str] = {
     PMC_READ_END: "LiMiT protected read sequence left (arg: ok)",
     CTR_OVERFLOW: "hardware counter wrapped (arg: counter index)",
     SAMPLE: "sampling fd recorded a sample (arg: fd number)",
+    FAULT_INJECT: "injected fault fired (arg: (fault kind, detail))",
+    FAULT_DETECT: "protocol caught an injected hazard (arg: fault kind)",
     REGION_BEGIN: "instrumented region entered (arg: region name)",
     REGION_END: "instrumented region left (arg: region name)",
     PHASE_BEGIN: "experiment phase began (arg: phase name)",

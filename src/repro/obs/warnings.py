@@ -1,0 +1,29 @@
+"""One-line operational warnings, deduplicated per process.
+
+Library code that degrades gracefully (a corrupt cache entry, a read-only
+cache directory, a worker retry) should say so exactly once instead of
+either crashing or staying silent. :func:`warn` prints a single
+``repro: warning:`` line to stderr and suppresses repeats of the same
+message for the life of the process, so a cache with hundreds of entries
+behind a broken disk emits one line, not hundreds.
+"""
+
+from __future__ import annotations
+
+import sys
+
+_seen: set[str] = set()
+
+
+def warn(message: str, *, dedup: bool = True) -> None:
+    """Print a one-line warning to stderr (suppressing exact repeats)."""
+    if dedup:
+        if message in _seen:
+            return
+        _seen.add(message)
+    print(f"repro: warning: {message}", file=sys.stderr)
+
+
+def reset_seen() -> None:
+    """Forget previously-emitted messages (test isolation hook)."""
+    _seen.clear()

@@ -48,6 +48,8 @@ from repro.common.errors import (
     SimulationError,
 )
 from repro.common.rng import RandomStream
+from repro.faults import plan as fp
+from repro.faults.injector import FaultInjector
 from repro.obs import runtime as obs_runtime
 from repro.obs import trace as tr
 from repro.obs.metrics import MetricsRegistry
@@ -368,6 +370,11 @@ class Engine:
         self._region_log_budget = self.config.region_log_budget
         self._costs = self.config.machine.costs
         self._finished = False
+        # -- fault injection (repro.faults) -----------------------------
+        # None when no plan is configured, so every hook below reduces to a
+        # single is-None branch on unfaulted runs.
+        fault_plan = self.config.fault_plan
+        self._faults = FaultInjector(fault_plan) if fault_plan else None
         # -- macro-stepping fast path state -----------------------------
         # config switch first, then the environment kill switch used by the
         # bench harness / property tests for A/B runs across process modes.
@@ -513,6 +520,13 @@ class Engine:
             reg.counter("fastpath_bailout." + reason).add(
                 self._bailouts[reason]
             )
+        if self._faults is not None:
+            f = self._faults
+            reg.counter("faults.injected").add(f.total_injected)
+            for kind in sorted(f.injected):
+                reg.counter("faults.injected." + kind).add(f.injected[kind])
+            reg.counter("faults.detected").add(f.detected)
+            reg.counter("faults.missed").add(f.missed)
         reg.gauge("sim_cycles").set(result.wall_cycles)
         if run_wall > 0:
             reg.gauge("sim_events_per_sec").set(self._n_steps / run_wall)
@@ -848,14 +862,39 @@ class Engine:
         core.slice_ends_at = core.now + self.config.kernel.timeslice_cycles
 
     def _switch_out(
-        self, core: Core, thread: SimThread, requeue: bool, preempted: bool = False
+        self, core: Core, thread: SimThread, requeue: bool,
+        preempted: bool = False, front: bool = False,
     ) -> None:
+        faults = self._faults
+        if faults is not None:
+            spec = faults.fire(fp.DELAY_SWAP, core, thread)
+            if spec is not None:
+                # The save path stalls while the outgoing thread's counters
+                # are still live: the extra kernel cycles land in both the
+                # counters and the ground truth, so exactness must survive.
+                delay = spec.arg if spec.arg else 600
+                self._account_kernel(core, thread, delay)
+                self._fault_event(core, thread, fp.DELAY_SWAP, delay)
         n_active = thread.vpmu.n_active()
         if n_active and not self.config.kernel.hw_thread_virtualization:
             self._account_kernel(
                 core, thread, self._costs.ctx_save_per_counter * n_active
             )
         self._fold_counters(core, thread)
+        if faults is not None:
+            spec = faults.fire(fp.DUP_SWAP, core, thread)
+            if spec is not None:
+                # The whole save path runs a second time: duplicate the
+                # per-counter cost and re-fold. Count-mode folds of the now
+                # deprogrammed (zero-valued, no-latch) counters are no-ops —
+                # the idempotence the virtualization design relies on.
+                if n_active and not self.config.kernel.hw_thread_virtualization:
+                    self._account_kernel(
+                        core, thread,
+                        self._costs.ctx_save_per_counter * n_active,
+                    )
+                self._fold_counters(core, thread)
+                self._fault_event(core, thread, fp.DUP_SWAP, n_active)
         if thread.in_pmc_read:
             thread.pmc_read_interrupted = True
         thread.n_context_switches += 1
@@ -872,7 +911,10 @@ class Engine:
         if requeue:
             thread.state = ThreadState.READY
             thread.available_at = core.now
-            self.scheduler.enqueue(thread.tid, core.core_id)
+            if front:
+                self.scheduler.requeue_front(thread.tid, core.core_id)
+            else:
+                self.scheduler.enqueue(thread.tid, core.core_id)
             if self._tracing:
                 self.obs.emit(
                     core.now, core.core_id, thread.tid, tr.READY, thread.name
@@ -883,6 +925,10 @@ class Engine:
             self.obs.emit(core.now, core.core_id, thread.tid, tr.TIMER_TICK)
         self.kernel_counters.n_timer_ticks += 1
         self._account_kernel(core, thread, self._costs.timer_tick)
+        if self._faults is not None:
+            spec = self._faults.fire(fp.SHRINK_COUNTER, core, thread)
+            if spec is not None:
+                self._shrink_counters(core, thread, spec.arg)
         if thread.mux is not None and len(thread.mux.specs) > 1:
             self._account_kernel(core, thread, 2 * self._costs.wrmsr)
             self._mux_rotate(core, thread)
@@ -922,7 +968,7 @@ class Engine:
                 self._apply_overflow(core, thread, idx)
             spec = thread.vpmu.slots[idx]
             if spec.mode == "count":
-                thread.vpmu.vaccum[idx] += ctr.read()
+                thread.vpmu.fold(idx, ctr.read())
             else:
                 thread.slot_saved[idx] = ctr.read()
             ctr.deprogram()
@@ -933,6 +979,15 @@ class Engine:
         if not wraps:
             return
         self.kernel_counters.n_counter_overflows += wraps
+        if self._faults is not None:
+            # Applying a latched overflow recovers any dropped PMIs on this
+            # core: the wrap reached the accumulator after all (detected).
+            n = self._faults.note_overflow_recovered(core.core_id)
+            if n and self._tracing:
+                self.obs.emit(
+                    core.now, core.core_id, thread.tid,
+                    tr.FAULT_DETECT, fp.DROP_PMI,
+                )
         spec = thread.vpmu.slots[idx]
         if spec is None:  # orphaned counter; nothing to attribute
             return
@@ -959,6 +1014,20 @@ class Engine:
         pending = core.pmu.pending_overflow_indices()
         if not pending:
             return
+        faults = self._faults
+        if faults is not None:
+            spec = faults.fire(fp.DROP_PMI, core, thread)
+            if spec is not None:
+                # The interrupt is lost before the handler runs: no cost, no
+                # overflow application, no interruption flag. The hardware
+                # latch survives, so the overflow is recovered at redelivery
+                # (arg cycles) or at the next virtualization fold — and the
+                # safe read's pending-overflow check still catches it.
+                if spec.arg > 0:
+                    core.pmi_due_at = core.now + spec.arg
+                faults.note_dropped_pmi(core.core_id)
+                self._fault_event(core, thread, fp.DROP_PMI, spec.arg)
+                return
         n_samples = sum(
             1
             for idx in pending
@@ -976,6 +1045,98 @@ class Engine:
             thread.pmc_read_interrupted = True
         if self._tracing:
             self.obs.emit(core.now, core.core_id, thread.tid, tr.PMI, tuple(pending))
+        if faults is not None:
+            spec = faults.fire(fp.REPEAT_PMI, core, thread)
+            if spec is not None:
+                # A spurious second interrupt right behind the real one: the
+                # handler runs again (full dispatch cost, nothing pending to
+                # apply) and mid-read it spuriously flags an interruption,
+                # forcing a harmless restart.
+                self.kernel_counters.n_pmis += 1
+                self._account_kernel(core, thread, self._costs.pmi_handler)
+                if thread.in_pmc_read:
+                    thread.pmc_read_interrupted = True
+                self._fault_event(core, thread, fp.REPEAT_PMI, tuple(pending))
+
+    # ------------------------------------------------------------------
+    # fault injection hooks (repro.faults)
+    # ------------------------------------------------------------------
+
+    def _fault_event(self, core: Core, thread: SimThread | None,
+                     kind: str, detail=None) -> None:
+        """Trace one fired injection. Only the *recording* is gated on
+        tracing — the decision already happened, so traced and untraced runs
+        inject identically (the zero-perturbation contract)."""
+        if self._tracing:
+            self.obs.emit(
+                core.now, core.core_id,
+                thread.tid if thread is not None else 0,
+                tr.FAULT_INJECT, (kind, detail),
+            )
+
+    def _shrink_counters(self, core: Core, thread: SimThread, width: int) -> None:
+        """Narrow every hardware counter on every core to ``width`` bits.
+
+        The truncated high bits of each live value latch as overflow wraps,
+        so counting slots recover them through the normal overflow path
+        (``vaccum += wraps * new_threshold`` with the *new* threshold equals
+        exactly the bits shifted out) and nothing is lost. Cached accrual
+        plans embed the old mask, so every PMU's plan caches are flushed;
+        sampling preloads saved under the old width are clamped.
+        """
+        mask = (1 << width) - 1
+        # Per-engine read/spin recipes bake the old masks into their
+        # entries (and are keyed by plan ids the flush is about to free).
+        self._read_recipes.clear()
+        self._spin_recipes.clear()
+        for c in self.machine.cores:
+            changed = False
+            for ctr in c.pmu.counters:
+                if ctr.width <= width:
+                    continue
+                ctr.width = width
+                excess = ctr.value >> width
+                if excess:
+                    ctr.value &= mask
+                    ctr.overflow_pending += excess
+                    ctr.overflow_total += excess
+                changed = True
+            if not changed:
+                continue
+            c.pmu.flush_plans()
+            if (
+                c.current_tid is not None
+                and c.pmu.pending_overflow_indices()
+            ):
+                running = self.threads[c.current_tid]
+                self._arm_pmi(c, running)
+        for t in self.threads.values():
+            t.slot_saved = [
+                (s & mask if s is not None else None) for s in t.slot_saved
+            ]
+        self._fault_event(core, thread, fp.SHRINK_COUNTER, width)
+
+    def _arm_pmi(self, core: Core, thread: SimThread) -> None:
+        """Schedule the PMI for a just-latched overflow after the configured
+        skid; fault injection may amplify the skid or align the delivery to
+        the end of the current timeslice."""
+        skid = self._costs.pmi_skid
+        faults = self._faults
+        if faults is not None:
+            spec = faults.fire(fp.AMPLIFY_SKID, core, thread)
+            if spec is not None:
+                if spec.arg == fp.ALIGN_SLICE:
+                    if (
+                        core.slice_ends_at is not None
+                        and core.slice_ends_at > core.now
+                    ):
+                        skid = core.slice_ends_at - core.now
+                else:
+                    skid *= spec.arg
+                self._fault_event(core, thread, fp.AMPLIFY_SKID, skid)
+        due = core.now + skid
+        if core.pmi_due_at is None or due < core.pmi_due_at:
+            core.pmi_due_at = due
 
     # ------------------------------------------------------------------
     # accounting
@@ -1046,9 +1207,7 @@ class Engine:
                         if on_overflow is not None:
                             on_overflow(index)
                 if overflowed:
-                    due = core.now + self._costs.pmi_skid
-                    if core.pmi_due_at is None or due < core.pmi_due_at:
-                        core.pmi_due_at = due
+                    self._arm_pmi(core, thread)
             return
         if flat:
             accrue_rate_events(flat, before, after, ev, rev)
@@ -1066,9 +1225,7 @@ class Engine:
                         if on_overflow is not None:
                             on_overflow(index)
             if overflowed:
-                due = core.now + self._costs.pmi_skid
-                if core.pmi_due_at is None or due < core.pmi_due_at:
-                    core.pmi_due_at = due
+                self._arm_pmi(core, thread)
 
     def _account_kernel(self, core: Core, thread: SimThread, cycles: int) -> None:
         """One-shot non-preemptible kernel phase."""
@@ -1122,6 +1279,15 @@ class Engine:
         become due mid-window). Returns False (and counts the reason) when
         any condition fails, leaving the slow path to run unchanged.
         """
+        faults = self._faults
+        if faults is not None:
+            if faults.tick_armed:
+                # macro steps batch timer ticks without running _timer_tick,
+                # where tick-triggered faults (shrink_counter) fire
+                return self._bail("fault_tick_armed")
+            if faults.fire(fp.FORCE_BAILOUT, core, thread, point="macro"):
+                self._fault_event(core, thread, fp.FORCE_BAILOUT, "macro")
+                return self._bail("fault_forced")
         if core.pmi_due_at is not None:
             return self._bail("pmi_due")
         if self.scheduler.queue_length(core.core_id) > 0:
@@ -1529,6 +1695,14 @@ class Engine:
         slot-truth bookkeeping, core clocks — is identical to running the
         uninterrupted stage sequence piece by piece.
         """
+        # Fault hooks come BEFORE the tracing bail: whenever read-targeting
+        # faults are armed, traced and untraced runs must take the same
+        # stage-machine path, or injection decisions would diverge.
+        faults = self._faults
+        if faults is not None and faults.reads_armed:
+            if faults.fire(fp.FORCE_BAILOUT, core, thread, point="fast_read"):
+                self._fault_event(core, thread, fp.FORCE_BAILOUT, "fast_read")
+            return self._bail("read_fault_armed")
         if self._tracing:
             return self._bail("read_tracing")
         if core.pmi_due_at is not None:
@@ -1629,10 +1803,33 @@ class Engine:
             ex.stage = "re"
             ex.set_phase(costs.pmc_read_end, LIBRARY_RATES, Domain.USER, True)
         elif stage == "re":
+            faults = self._faults
+            if faults is not None and not ex.data.get("fpc"):
+                spec = faults.fire(
+                    fp.PREEMPT_IN_READ, core, thread,
+                    protocol="safe", point=fp.BEFORE_CHECK,
+                )
+                if spec is not None:
+                    # Preempt exactly between the two halves of the restart
+                    # check: the read-end cycles have been charged but the
+                    # interruption flag has not been evaluated yet. The
+                    # at-most-once guard ("fpc") keeps the re-entered
+                    # advance below from re-firing after the resume.
+                    ex.data["fpc"] = True
+                    faults.note_read_hazard(thread.tid, "safe")
+                    self._fault_event(
+                        core, thread, fp.PREEMPT_IN_READ, fp.BEFORE_CHECK
+                    )
+                    self._switch_out(
+                        core, thread, requeue=True, preempted=True, front=True
+                    )
+                    return
             ok = (
                 not thread.pmc_read_interrupted
                 and not core.pmu.pending_overflow_indices()
             )
+            if faults is not None:
+                faults.resolve_safe_check(thread.tid, ok)
             thread.in_pmc_read = False
             thread.pmc_read_interrupted = False
             if not ok:
@@ -1678,6 +1875,23 @@ class Engine:
             ex.data["acc"] = acc
             ex.stage = "rd"
             ex.set_phase(costs.rdpmc, LIBRARY_RATES, Domain.USER, True)
+            faults = self._faults
+            if faults is not None:
+                spec = faults.fire(
+                    fp.PREEMPT_IN_READ, core, thread,
+                    protocol="safe", point=fp.BETWEEN_LOADS,
+                )
+                if spec is not None:
+                    # The classic hazard: accumulator loaded, rdpmc not yet
+                    # executed. The forced switch folds the counter, so the
+                    # two loads span epochs; the restart check must fire.
+                    faults.note_read_hazard(thread.tid, "safe")
+                    self._fault_event(
+                        core, thread, fp.PREEMPT_IN_READ, fp.BETWEEN_LOADS
+                    )
+                    self._switch_out(
+                        core, thread, requeue=True, preempted=True, front=True
+                    )
         elif stage == "call":
             ex.data = {"restarts": 0}
             ex.stage = "rb"
@@ -1724,6 +1938,23 @@ class Engine:
             ex.data = {"acc": acc}
             ex.stage = "rd"
             ex.set_phase(costs.rdpmc, LIBRARY_RATES, Domain.USER, True)
+            faults = self._faults
+            if faults is not None:
+                spec = faults.fire(
+                    fp.PREEMPT_IN_READ, core, thread,
+                    protocol="unsafe", point=fp.BETWEEN_LOADS,
+                )
+                if spec is not None:
+                    # No protection here: the switch folds the hardware value
+                    # into the accumulator *after* this read captured it, so
+                    # the sum silently undercounts — a miss by construction.
+                    faults.note_read_hazard(thread.tid, "unsafe")
+                    self._fault_event(
+                        core, thread, fp.PREEMPT_IN_READ, fp.BETWEEN_LOADS
+                    )
+                    self._switch_out(
+                        core, thread, requeue=True, preempted=True, front=True
+                    )
         elif stage == "st":
             self._complete(thread, ex.data["acc"] + ex.data["hw"])
         elif stage == "done":
@@ -1850,6 +2081,12 @@ class Engine:
         exactly as before. No trace events occur inside the loop, so the
         batch is valid under tracing too.
         """
+        faults = self._faults
+        if faults is not None and faults.fire(
+            fp.FORCE_BAILOUT, core, thread, point="spin"
+        ):
+            self._fault_event(core, thread, fp.FORCE_BAILOUT, "spin")
+            return self._bail("fault_forced")
         costs = self._costs
         spin_q = costs.spin_quantum
         round_cycles = spin_q + costs.cas

@@ -142,10 +142,10 @@ class TestE11Enhancements:
 
 
 class TestRegistry:
-    def test_sixteen_experiments(self):
-        assert len(registry.REGISTRY) == 16
+    def test_seventeen_experiments(self):
+        assert len(registry.REGISTRY) == 17
         assert [e.exp_id for e in registry.all_experiments()] == [
-            f"E{i}" for i in range(1, 17)
+            f"E{i}" for i in range(1, 18)
         ]
 
     def test_get_case_insensitive(self):
@@ -200,3 +200,17 @@ class TestE16BehaviorOverTime:
         assert r.metric("all_reads_exact") == 1.0
         assert r.metric("checkpoint_overhead") < 0.05
         assert r.metric("gc_windows_detected") >= r.metric("true_gc_pauses") * 0.8
+
+
+class TestE17FaultMatrix:
+    def test_no_silent_mismeasurement_under_any_plan(self):
+        from repro.experiments import e17_fault_matrix
+
+        r = e17_fault_matrix.run(quick=True)
+        assert r.metric("safe_always_exact") == 1.0
+        assert r.metric("safe_missed_total") == 0
+        assert r.metric("benign_fingerprint_match") == 1.0
+        assert r.metric("faults_injected_total") > 0
+        # The unprotected arm mismeasures on exactly every injection.
+        assert r.metric("unsafe_storm_injected") > 0
+        assert r.metric("unsafe_storm_wrong") == r.metric("unsafe_storm_injected")

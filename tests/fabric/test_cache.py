@@ -42,7 +42,7 @@ class TestRoundtrip:
         cache.put(key, {"answer": 42, "items": [1, 2, 3]})
         assert cache.get(key) == {"answer": 42, "items": [1, 2, 3]}
         assert cache.stats.as_dict() == {
-            "hits": 1, "misses": 1, "stores": 1, "errors": 0,
+            "hits": 1, "misses": 1, "stores": 1, "errors": 0, "quarantined": 0,
         }
 
     def test_salt_bump_invalidates(self, tmp_path: Path):
@@ -103,7 +103,7 @@ class TestPoisonedEntries:
         cache.put(key, "good")
         assert cache.get(key) == "good"
         assert cache.stats.as_dict() == {
-            "hits": 1, "misses": 1, "stores": 2, "errors": 1,
+            "hits": 1, "misses": 1, "stores": 2, "errors": 1, "quarantined": 1,
         }
 
 
@@ -116,5 +116,5 @@ class TestStats:
         stats.add(CacheStats(errors=2))
         delta = stats.delta(before)
         assert delta.as_dict() == {
-            "hits": 0, "misses": 0, "stores": 0, "errors": 2,
+            "hits": 0, "misses": 0, "stores": 0, "errors": 2, "quarantined": 0,
         }

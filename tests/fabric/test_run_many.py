@@ -91,7 +91,7 @@ class TestCacheIntegration:
             o.result.fingerprint() for o in second
         ]
         assert cache.stats.as_dict() == {
-            "hits": 2, "misses": 2, "stores": 2, "errors": 0,
+            "hits": 2, "misses": 2, "stores": 2, "errors": 0, "quarantined": 0,
         }
 
     def test_kwargs_and_seed_distinguish_entries(self, tmp_path: Path):
@@ -111,7 +111,7 @@ class TestCacheIntegration:
             fabric.run_many(jobs, jobs_n=1, cache=cache)
             fabric.run_many(jobs, jobs_n=1, cache=cache)
         assert cache.stats.as_dict() == {
-            "hits": 0, "misses": 0, "stores": 0, "errors": 0,
+            "hits": 0, "misses": 0, "stores": 0, "errors": 0, "quarantined": 0,
         }
 
     def test_traces_ship_back_from_workers(self):
