@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments experiments-quick trace-smoke fault-smoke examples lint clean
+.PHONY: install test bench experiments experiments-quick trace-smoke fault-smoke examples lint lint-smoke clean
 
 install:
 	pip install -e .
@@ -36,6 +36,23 @@ fault-smoke:
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f || exit 1; done
+
+# full static gate: the repo's own measurement-hazard analyzer over every
+# target (self + registry + workload corpus), then ruff/mypy when they are
+# installed (the CI lint job always has them; local environments may not)
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.lint all --strict
+	@if command -v ruff >/dev/null 2>&1; then ruff check .; \
+		else echo "ruff not installed; skipping (see pyproject.toml)"; fi
+	@if command -v mypy >/dev/null 2>&1; then mypy; \
+		else echo "mypy not installed; skipping (see pyproject.toml)"; fi
+
+# fast pre-push check: repo self-analysis + registry metadata only, plus a
+# strict-gated quick run of the lint-validation experiment
+lint-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.lint self --strict
+	PYTHONPATH=src $(PYTHON) -m repro.lint registry --strict
+	PYTHONPATH=src $(PYTHON) -m repro.experiments --quick --lint-strict E18
 
 # final artifacts, as specified in the reproduction brief
 outputs:

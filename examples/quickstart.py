@@ -46,7 +46,6 @@ def main() -> None:
     result = run_program([ThreadSpec("main", main_thread)], config)
     result.check_conservation()
 
-    deltas = result  # deltas live in the session records / scratch
     thread = result.thread_by_name("main")
     print("LiMiT quickstart")
     print("================")

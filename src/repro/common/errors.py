@@ -47,3 +47,8 @@ class FabricError(ReproError):
     """Raised by the run fabric under the fail-fast policy when a job
     fails terminally (worker crash, per-job timeout, or a job exception
     surfaced from a worker process)."""
+
+
+class LintError(ReproError):
+    """Raised by the static-analysis gate when a hazardous program or
+    config is submitted to the run fabric (fail-closed: nothing runs)."""

@@ -13,6 +13,7 @@ identically whether or not the cost model is known.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Callable
 
 from repro.baselines.papi import PapiLikeSession
 from repro.baselines.perf_read import PerfReadSession
@@ -54,7 +55,7 @@ class Calibration:
         return self.perf_read_cycles / self.limit_read_cycles
 
 
-def _measure(reader_factory, technique: str, n_reads: int,
+def _measure(reader_factory: Callable[[], Any], technique: str, n_reads: int,
              config: SimConfig) -> float:
     bench = ReadCostMicrobench(
         reader_factory(), n_reads=n_reads, technique=technique

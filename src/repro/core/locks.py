@@ -73,7 +73,9 @@ class LockObservation:
 class InstrumentedLock:
     """A mutex whose acquire/release paths measure themselves."""
 
-    def __init__(self, name: str, reader: CounterReader, counter_index: int = 0):
+    def __init__(
+        self, name: str, reader: CounterReader, counter_index: int = 0
+    ) -> None:
         self.name = name
         self.reader = reader
         self.counter_index = counter_index
@@ -124,7 +126,7 @@ class PlainLock:
     """Uninstrumented lock with the same generator interface, for baseline
     (unperturbed) runs of the same workload code."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
 
     def acquire(self, ctx: ThreadContext) -> Generator[Any, Any, None]:

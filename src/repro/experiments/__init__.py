@@ -1,4 +1,4 @@
-"""Experiment harness: one module per reproduced table/figure (E1..E12).
+"""Experiment harness: one module per reproduced table/figure (E1..E18).
 
 See DESIGN.md's per-experiment index for the mapping from paper artifact to
 module, and EXPERIMENTS.md for paper-vs-measured results.

@@ -24,6 +24,7 @@ from repro.experiments import (
     e15_consolidation,
     e16_behavior_over_time,
     e17_fault_matrix,
+    e18_lint_validation,
 )
 from repro.experiments.base import ExperimentResult
 
@@ -54,6 +55,7 @@ _MODULES = [
     e15_consolidation,
     e16_behavior_over_time,
     e17_fault_matrix,
+    e18_lint_validation,
 ]
 
 REGISTRY: dict[str, ExperimentEntry] = {

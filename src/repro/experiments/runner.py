@@ -7,6 +7,8 @@ Usage::
     python -m repro.experiments --quick    # smaller parameters
     python -m repro.experiments --jobs 4   # experiments in worker processes
     python -m repro.experiments --cache    # reuse cached simulation results
+    python -m repro.experiments --lint     # static hazard gate before runs
+                                           # (--lint-strict: warnings fail)
     python -m repro.experiments --out results/   # also write text files
     python -m repro.experiments --manifest results/manifest.json \
         --trace-dir traces/                # machine-readable run manifest
@@ -68,13 +70,17 @@ class EntryOutcome:
     cached: bool = False
     #: structured fabric JobFailure dicts from this experiment's runs
     job_failures: list = field(default_factory=list)
+    #: per-batch lint-gate report dicts (schema repro.lint/report/v1)
+    lint_reports: list = field(default_factory=list)
 
 
 def _execute(entry, quick: bool, capture_traces: bool) -> EntryOutcome:
     """Run one experiment in the current process, collecting its runs."""
     from repro import fabric
+    from repro.lint import gate as lint_gate
 
     fabric.drain_failures()  # start this experiment with a clean slate
+    lint_gate.drain_reports()
     started = time.perf_counter()
     with obs_runtime.collect(
         capture_traces=capture_traces, label=entry.exp_id
@@ -92,6 +98,7 @@ def _execute(entry, quick: bool, capture_traces: bool) -> EntryOutcome:
         wall_seconds=time.perf_counter() - started,
         records=collector.records,
         job_failures=[f.as_dict() for f in fabric.drain_failures()],
+        lint_reports=lint_gate.drain_reports(),
     )
 
 
@@ -102,17 +109,22 @@ def _execute_in_worker(
     cache_dir: str | None,
     cache_salt: str | None,
     fail_fast: bool | None = None,
+    lint_mode: str = "off",
 ) -> EntryOutcome:
     """Pool-worker entry point: look the experiment up by id and run it.
 
     The worker gets its own run-level fabric cache (same directory, own
-    counters) and ships its hit/miss delta back in the outcome.
+    counters) and ships its hit/miss delta back in the outcome. The lint
+    gate is re-armed from ``lint_mode`` so experiments gate identically
+    inline and pooled.
     """
     from repro import fabric
+    from repro.lint import gate as lint_gate
 
     fabric.configure(jobs=1, cache_dir=cache_dir, salt=cache_salt)
     if fail_fast is not None:
         fabric.configure(fail_fast=fail_fast)
+    lint_gate.restore(lint_mode)
     outcome = _execute(get(exp_id), quick, capture_traces)
     worker_cache = fabric.current().cache
     if worker_cache is not None:
@@ -153,6 +165,13 @@ def _emit(
     }
     if outcome.cached:
         record["cached"] = True
+    lint_reports = getattr(outcome, "lint_reports", [])
+    if lint_reports:
+        record["lint"] = {
+            "gated_batches": len(lint_reports),
+            "programs": sum(r.get("n_jobs", 0) for r in lint_reports),
+            "reports": lint_reports,
+        }
     if outcome.job_failures:
         record["job_failures"] = outcome.job_failures
         for failure in outcome.job_failures:
@@ -203,6 +222,7 @@ def run_entries(
     jobs: int = 1,
     cache: ResultCache | None = None,
     fail_fast: bool | None = None,
+    lint_mode: str = "off",
 ) -> tuple[list[dict[str, Any]], float]:
     """Run experiments; returns (manifest entry dicts, total wall seconds).
 
@@ -212,14 +232,20 @@ def run_entries(
     trace files always reflect a real execution. ``fail_fast`` sets the
     fabric failure policy for every run (None keeps the current policy;
     False lets sweeps continue past dead/hung workers and reports them as
-    structured job failures in the manifest).
+    structured job failures in the manifest). ``lint_mode`` ("off", "on",
+    "strict") arms the fail-closed static-analysis gate in front of every
+    fabric dispatch, inline and in pool workers alike.
     """
     from repro import fabric
+    from repro.lint import gate as lint_gate
 
     stdout = stdout or sys.stdout
     stderr = stderr or sys.stderr
     capture_traces = trace_dir is not None
-    use_cache = cache if not capture_traces else None
+    # The lint gate must observe every fabric dispatch, so an armed gate
+    # bypasses the experiment-level cache (a replayed experiment dispatches
+    # nothing). Run-level caching stays on: run_many gates before serving.
+    use_cache = cache if not capture_traces and lint_mode == "off" else None
     total_started = time.perf_counter()
 
     outcomes: list[EntryOutcome | None] = [None] * len(entries)
@@ -260,6 +286,7 @@ def run_entries(
                         cache_dir,
                         cache_salt,
                         fail_fast,
+                        lint_mode,
                     ),
                 )
                 for i, key in pending
@@ -271,9 +298,11 @@ def run_entries(
         previous = fabric.current()
         prev_jobs, prev_cache = previous.jobs, previous.cache
         prev_fail_fast = previous.fail_fast
+        prev_lint = lint_gate.state()
         fabric.configure(jobs=jobs, cache=use_cache)
         if fail_fast is not None:
             fabric.configure(fail_fast=fail_fast)
+        lint_gate.restore(lint_mode)
         try:
             for i, key in pending:
                 outcomes[i] = _execute(entries[i], quick, capture_traces)
@@ -281,6 +310,7 @@ def run_entries(
             fabric.configure(
                 jobs=prev_jobs, cache=prev_cache, fail_fast=prev_fail_fast
             )
+            lint_gate.restore(*prev_lint)
 
     if use_cache is not None:
         for i, key in pending:
@@ -307,7 +337,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids (E1..E17); all when omitted",
+        help="experiment ids (E1..E18); all when omitted",
     )
     parser.add_argument(
         "--quick", action="store_true", help="smaller parameters (CI-sized)"
@@ -360,6 +390,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list experiments and exit"
     )
+    lint_group = parser.add_mutually_exclusive_group()
+    lint_group.add_argument(
+        "--lint",
+        action="store_true",
+        help=(
+            "static analysis before anything runs: repo self-check + "
+            "registry metadata, then a fail-closed hazard gate in front "
+            "of every fabric dispatch (errors reject the batch)"
+        ),
+    )
+    lint_group.add_argument(
+        "--lint-strict",
+        action="store_true",
+        help="like --lint, but warnings also fail the gate",
+    )
     policy = parser.add_mutually_exclusive_group()
     policy.add_argument(
         "--fail-fast",
@@ -404,6 +449,22 @@ def main(argv: list[str] | None = None) -> int:
     if args.trace_dir:
         args.trace_dir.mkdir(parents=True, exist_ok=True)
 
+    lint_mode = "strict" if args.lint_strict else ("on" if args.lint else "off")
+    lint_block: dict[str, Any] | None = None
+    if lint_mode != "off":
+        # Fail closed *before* any experiment runs: the source tree and the
+        # registry must be clean, or nothing is worth executing.
+        from repro.lint import check_registry, selfcheck_tree
+
+        pre = selfcheck_tree()
+        pre.merge(check_registry())
+        lint_block = {"mode": lint_mode, "selfcheck": pre.as_dict()}
+        print(f"lint ({lint_mode}): {pre.summary_line()}", file=sys.stderr)
+        if not pre.ok(strict=lint_mode == "strict"):
+            print(pre.render(), file=sys.stderr)
+            print("FAILED (lint)", file=sys.stderr)
+            return 2
+
     records, total_wall = run_entries(
         entries,
         quick=args.quick,
@@ -412,10 +473,19 @@ def main(argv: list[str] | None = None) -> int:
         jobs=args.jobs,
         cache=cache,
         fail_fast=args.fail_fast,
+        lint_mode=lint_mode,
     )
     passed = sum(1 for r in records if r["status"] == "passed")
     failed = len(records) - passed
     job_failures = sum(len(r.get("job_failures", ())) for r in records)
+
+    if lint_block is not None:
+        lint_block["gated_batches"] = sum(
+            r.get("lint", {}).get("gated_batches", 0) for r in records
+        )
+        lint_block["gated_programs"] = sum(
+            r.get("lint", {}).get("programs", 0) for r in records
+        )
 
     if args.manifest:
         args.manifest.parent.mkdir(parents=True, exist_ok=True)
@@ -423,6 +493,7 @@ def main(argv: list[str] | None = None) -> int:
             args.manifest,
             {
                 "quick": args.quick,
+                "lint": lint_block,
                 "experiments": records,
                 "summary": {
                     "n_experiments": len(records),

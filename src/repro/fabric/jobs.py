@@ -50,7 +50,18 @@ from repro.obs.runtime import EngineRunRecord
 from repro.obs.warnings import warn
 from repro.sim.results import RunResult
 
-_UNSET = object()
+class _Unset:
+    """Sentinel type for "argument omitted" as distinct from an explicit
+    ``None``; a real class (not a bare ``object()``) so ``isinstance``
+    checks narrow the ``X | None | _Unset`` unions below."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<unset>"
+
+
+_UNSET = _Unset()
 
 
 @dataclass
@@ -91,10 +102,10 @@ def drain_failures() -> list["JobFailure"]:
 
 def configure(
     jobs: int | None = None,
-    cache: "ResultCache | None | object" = _UNSET,
-    cache_dir: "str | None | object" = _UNSET,
+    cache: "ResultCache | None | _Unset" = _UNSET,
+    cache_dir: "str | None | _Unset" = _UNSET,
     salt: str | None = None,
-    timeout: "float | None | object" = _UNSET,
+    timeout: "float | None | _Unset" = _UNSET,
     retries: int | None = None,
     backoff: float | None = None,
     fail_fast: bool | None = None,
@@ -110,16 +121,16 @@ def configure(
         if jobs < 1:
             raise ConfigError(f"fabric jobs must be >= 1, got {jobs}")
         _config.jobs = jobs
-    if cache is not _UNSET:
-        _config.cache = cache  # type: ignore[assignment]
-    elif cache_dir is not _UNSET:
+    if not isinstance(cache, _Unset):
+        _config.cache = cache
+    elif not isinstance(cache_dir, _Unset):
         _config.cache = (
             ResultCache(cache_dir, salt=salt) if cache_dir else None
         )
-    if timeout is not _UNSET:
-        if timeout is not None and timeout <= 0:  # type: ignore[operator]
+    if not isinstance(timeout, _Unset):
+        if timeout is not None and timeout <= 0:
             raise ConfigError(f"fabric timeout must be > 0, got {timeout}")
-        _config.timeout = timeout  # type: ignore[assignment]
+        _config.timeout = timeout
     if retries is not None:
         if retries < 0:
             raise ConfigError(f"fabric retries must be >= 0, got {retries}")
@@ -406,7 +417,8 @@ def _run_pooled(
                     settle(
                         att,
                         "timeout",
-                        f"exceeded the per-job timeout of {timeout:g}s",
+                        "exceeded the per-job timeout of "
+                        f"{deadline - started:g}s",
                         now - started,
                     )
     finally:
@@ -420,9 +432,9 @@ def run_many(
     jobs: list[RunJob],
     *,
     jobs_n: int | None = None,
-    cache: "ResultCache | None | object" = _UNSET,
+    cache: "ResultCache | None | _Unset" = _UNSET,
     capture_traces: bool | None = None,
-    timeout: "float | None | object" = _UNSET,
+    timeout: "float | None | _Unset" = _UNSET,
     retries: int | None = None,
     backoff: float | None = None,
     fail_fast: bool | None = None,
@@ -444,9 +456,9 @@ def run_many(
     """
     if jobs_n is None:
         jobs_n = _config.jobs
-    if cache is _UNSET:
+    if isinstance(cache, _Unset):
         cache = _config.cache
-    if timeout is _UNSET:
+    if isinstance(timeout, _Unset):
         timeout = _config.timeout
     if retries is None:
         retries = _config.retries
@@ -459,6 +471,14 @@ def run_many(
         capture_traces = collector.capture_traces if collector else False
     if capture_traces:
         cache = None
+
+    # Fail-closed static analysis before anything is dispatched *or served
+    # from cache*: the lint verdict must not depend on cache state. Raises
+    # LintError naming every hazardous job in the batch.
+    from repro.lint import gate as lint_gate
+
+    if lint_gate.active():
+        lint_gate.check_jobs(jobs)
 
     outcomes: list[JobOutcome | JobFailure | None] = [None] * len(jobs)
     pending: list[tuple[int, str | None, RunJob]] = []
@@ -485,7 +505,7 @@ def run_many(
             pending,
             workers,
             capture_traces,
-            timeout,  # type: ignore[arg-type]
+            timeout,
             retries,
             backoff,
             fail_fast,
@@ -510,17 +530,22 @@ def run_many(
 
     if cache is not None:
         for i, key, _job in pending:
-            if isinstance(outcomes[i], JobOutcome):
-                cache.put(key, outcomes[i])
+            outcome = outcomes[i]
+            if key is not None and isinstance(outcome, JobOutcome):
+                cache.put(key, outcome)
 
+    settled: list[JobOutcome | JobFailure] = []
     for outcome in outcomes:
+        if outcome is None:
+            raise FabricError("internal error: job outcome slot unfilled")
         if isinstance(outcome, JobFailure):
             _session_failures.append(outcome)
-        elif collector is not None and outcome is not None:
+        elif collector is not None:
             collector.merge_records(
                 outcome.records, keep_traces=capture_traces
             )
-    return outcomes  # type: ignore[return-value]
+        settled.append(outcome)
+    return settled
 
 
 def run_one(job: RunJob, **kwargs) -> JobOutcome:

@@ -119,9 +119,13 @@ class FaultInjector:
                 continue
             if spec.thread and spec.thread != name:
                 continue
-            if spec.protocol and protocol and spec.protocol != protocol:
+            # A set selector must match the hook's report; FaultSpec
+            # validation guarantees protocol/point are only set on kinds
+            # whose hooks supply them, so there is no "caller passed
+            # nothing" case to special-case here.
+            if spec.protocol and spec.protocol != protocol:
                 continue
-            if spec.point and point and spec.point != point:
+            if spec.point and spec.point != point:
                 continue
             self._match_counts[i] += 1
             n = self._match_counts[i]

@@ -136,6 +136,13 @@ class FaultSpec:
             )
         if self.protocol not in ("", "safe", "unsafe"):
             raise ConfigError(f"bad fault protocol {self.protocol!r}")
+        if self.protocol and self.kind != PREEMPT_IN_READ:
+            # Only the read-hazard hook reports a protocol; a protocol
+            # selector on any other kind would never match and the spec
+            # would be silently inert.
+            raise ConfigError(
+                f"fault kind {self.kind!r} takes no protocol selector"
+            )
         if self.kind == PREEMPT_IN_READ:
             if self.point not in ("",) + READ_POINTS:
                 raise ConfigError(

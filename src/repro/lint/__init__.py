@@ -1,0 +1,60 @@
+"""Static analysis for the LiMiT reproduction: measurement-hazard linting.
+
+Two front ends share one findings model (:mod:`repro.lint.findings`):
+
+* the **program/config analyzer** (:func:`lint_program`) walks the op DSL
+  without executing and runs hazard passes (the ML rules) — unbalanced read
+  windows, unsafe reads under reachable preemption, counter-overflow risk,
+  reads inside critical sections, cross-thread slot aliasing, slot
+  exhaustion, configs that disable the kernel patch their programs need,
+  unmatchable fault plans;
+* the **repo self-analyzer** (:func:`selfcheck_tree`) runs AST rules (the
+  SA rules) over ``src/repro`` itself — nondeterminism in sim paths,
+  unregistered trace-event kinds, direct PMU access bypassing the read
+  protocol — plus registry-metadata cross-checks (the MR rules).
+
+The fabric gate (:mod:`repro.lint.gate`) applies the program analyzer to
+every :class:`~repro.fabric.jobs.RunJob` batch before dispatch, fail-closed
+(``runner --lint`` / ``--lint-strict``). ``python -m repro.lint`` runs
+everything from the shell. See docs/static-analysis.md for the rule catalog.
+"""
+
+from repro.lint.findings import (
+    ERROR,
+    INFO,
+    REPORT_SCHEMA,
+    SEVERITIES,
+    WARNING,
+    Finding,
+    LintReport,
+)
+from repro.lint.meta import check_registry
+from repro.lint.rules import analyze_walk, lint_program
+from repro.lint.selfcheck import selfcheck_file, selfcheck_tree
+from repro.lint.walker import (
+    DEFAULT_MAX_OPS,
+    LintContext,
+    ProgramWalk,
+    ThreadWalk,
+    walk_program,
+)
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "SEVERITIES",
+    "REPORT_SCHEMA",
+    "Finding",
+    "LintReport",
+    "DEFAULT_MAX_OPS",
+    "LintContext",
+    "ProgramWalk",
+    "ThreadWalk",
+    "walk_program",
+    "analyze_walk",
+    "lint_program",
+    "selfcheck_file",
+    "selfcheck_tree",
+    "check_registry",
+]

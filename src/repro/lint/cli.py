@@ -1,0 +1,123 @@
+"""``python -m repro.lint``: run the static analyzers from the shell.
+
+Usage::
+
+    python -m repro.lint                      # self + registry + workloads
+    python -m repro.lint self                 # AST rules over src/repro
+    python -m repro.lint registry             # experiment metadata rules
+    python -m repro.lint workloads            # walk the workload catalog
+    python -m repro.lint workloads mysql apache --cores 2
+    python -m repro.lint --strict             # warnings also fail
+    python -m repro.lint --suppress ML005,SA001
+    python -m repro.lint --json report.json   # machine-readable report
+
+Exit code 0 when the (possibly suppressed) report passes, 1 when it fails
+— the same verdict the fabric gate enforces before dispatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.lint.findings import LintReport
+from repro.lint.meta import check_registry
+from repro.lint.rules import lint_program
+from repro.lint.selfcheck import selfcheck_tree
+
+
+def _lint_workloads(
+    names: list[str], cores: int, scale: float, report: LintReport
+) -> None:
+    from repro.cli import build_workload_specs
+    from repro.common.config import MachineConfig, SimConfig
+
+    config = SimConfig(machine=MachineConfig(n_cores=cores))
+    for name in names:
+        specs = build_workload_specs(name, scale)
+        sub = lint_program(specs, config)
+        report.merge(sub)
+        report.note_checked("workloads")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Static measurement-hazard and determinism analysis.",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        choices=("all", "self", "registry", "workloads"),
+        default="all",
+        help="which analyzer front end to run (default: all)",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help="workload names for the 'workloads' target (default: whole catalog)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on warnings too (the gate's --lint-strict verdict)",
+    )
+    parser.add_argument(
+        "--suppress",
+        default="",
+        metavar="RULES",
+        help="comma-separated rule ids to drop (counted, never silent)",
+    )
+    parser.add_argument(
+        "--cores",
+        type=int,
+        default=4,
+        metavar="N",
+        help="machine cores assumed when walking workloads (default: 4)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.1,
+        metavar="X",
+        help="workload scale for the walk (default: 0.1; hazards are "
+        "scale-independent, small walks are fast)",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write the report as JSON (schema repro.lint/report/v1)",
+    )
+    args = parser.parse_args(argv)
+    if args.names and args.target != "workloads":
+        parser.error("workload names require the 'workloads' target")
+
+    report = LintReport()
+    if args.target in ("all", "self"):
+        report.merge(selfcheck_tree())
+    if args.target in ("all", "registry"):
+        report.merge(check_registry())
+    if args.target in ("all", "workloads"):
+        from repro.cli import _workload_catalog
+
+        names = args.names or sorted(_workload_catalog())
+        _lint_workloads(names, args.cores, args.scale, report)
+
+    suppress = tuple(r.strip() for r in args.suppress.split(",") if r.strip())
+    if suppress:
+        report = report.suppress(suppress)
+
+    print(report.render())
+    if args.json:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(
+            json.dumps(report.as_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+    return 0 if report.ok(strict=args.strict) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

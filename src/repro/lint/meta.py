@@ -1,0 +1,125 @@
+"""Registry-metadata consistency checks (the MR rules).
+
+Experiments self-describe (``EXP_ID``, ``TITLE``, ``PAPER_CLAIM``,
+``run(quick=...)``) and the registry trusts them. These rules catch the ways
+that trust goes stale: a module renamed without its id, a dict-comprehension
+collision silently dropping an experiment, metadata emptied by a refactor, a
+``run`` signature the runner can no longer call.
+"""
+
+from __future__ import annotations
+
+import inspect
+import re
+
+from repro.lint.findings import ERROR, WARNING, Finding, LintReport
+
+_ID_RE = re.compile(r"^E(\d+)$")
+
+
+def check_registry() -> LintReport:
+    """Cross-check every registered experiment module against its metadata."""
+    from repro.experiments import registry
+
+    report = LintReport()
+    modules = registry._MODULES
+    seen: dict[str, str] = {}
+    for module in modules:
+        mod_name = module.__name__.rsplit(".", 1)[-1]
+        mod_file = module.__name__.replace(".", "/") + ".py"
+        exp_id = getattr(module, "EXP_ID", "")
+        report.note_checked("experiments")
+
+        m = _ID_RE.match(exp_id or "")
+        if not m:
+            report.add(Finding(
+                rule="MR001",
+                severity=ERROR,
+                message=f"EXP_ID {exp_id!r} is not of the form 'E<n>'",
+                fix_hint="set EXP_ID = 'E<n>' matching the module name",
+                file=mod_file,
+            ))
+            continue
+
+        # module file e<nn>_* must encode the same number as EXP_ID
+        prefix = mod_name.split("_", 1)[0]
+        if not (prefix.startswith("e") and prefix[1:].isdigit()
+                and int(prefix[1:]) == int(m.group(1))):
+            report.add(Finding(
+                rule="MR001",
+                severity=ERROR,
+                message=(
+                    f"module {mod_name} declares EXP_ID {exp_id!r}: the "
+                    "file name and the id disagree"
+                ),
+                fix_hint="rename the module or fix EXP_ID so they match",
+                file=mod_file,
+            ))
+
+        if exp_id in seen:
+            report.add(Finding(
+                rule="MR002",
+                severity=ERROR,
+                message=(
+                    f"duplicate EXP_ID {exp_id!r} (also declared by "
+                    f"{seen[exp_id]}): the registry dict silently keeps "
+                    "only one of them"
+                ),
+                fix_hint="give each experiment a unique id",
+                file=mod_file,
+            ))
+        seen[exp_id] = mod_name
+
+        for attr in ("TITLE", "PAPER_CLAIM"):
+            value = getattr(module, attr, "")
+            if not isinstance(value, str) or not value.strip():
+                report.add(Finding(
+                    rule="MR003",
+                    severity=WARNING,
+                    message=f"{attr} is missing or empty",
+                    fix_hint=f"describe the experiment in {attr}",
+                    file=mod_file,
+                ))
+
+        run = getattr(module, "run", None)
+        if run is None:
+            report.add(Finding(
+                rule="MR004",
+                severity=ERROR,
+                message="module has no run() entry point",
+                fix_hint="define run(quick: bool = False)",
+                file=mod_file,
+            ))
+        else:
+            try:
+                sig = inspect.signature(run)
+                accepts_quick = "quick" in sig.parameters or any(
+                    p.kind is inspect.Parameter.VAR_KEYWORD
+                    for p in sig.parameters.values()
+                )
+            except (TypeError, ValueError):  # pragma: no cover - builtins
+                accepts_quick = True
+            if not accepts_quick:
+                report.add(Finding(
+                    rule="MR004",
+                    severity=ERROR,
+                    message=(
+                        "run() does not accept quick=...: the runner's "
+                        "--quick mode cannot call it"
+                    ),
+                    fix_hint="add a quick: bool = False keyword",
+                    file=mod_file,
+                ))
+
+    if len(seen) != len(registry.REGISTRY):
+        report.add(Finding(
+            rule="MR002",
+            severity=ERROR,
+            message=(
+                f"{len(modules)} modules registered but the registry holds "
+                f"{len(registry.REGISTRY)} entries (id collision)"
+            ),
+            fix_hint="deduplicate EXP_IDs",
+            file="repro/experiments/registry.py",
+        ))
+    return report

@@ -1,0 +1,618 @@
+"""Hazard passes over a walked program + its :class:`SimConfig`.
+
+Each pass scans the per-thread op timelines produced by
+:mod:`repro.lint.walker` (plus the config the run would use) and emits
+:class:`~repro.lint.findings.Finding` objects. The catalog (rule ids,
+severities, rationale, fix hints) is documented in docs/static-analysis.md;
+the E18 experiment demonstrates that every *error*-class hazard here
+corresponds to a reproducible mismeasurement (or hard failure) under the
+E17 fault injector.
+
+Rule index
+----------
+* ML001 unbalanced-read-window   — PmcReadBegin/End imbalance or nesting
+* ML002 unbalanced-region        — RegionEnd underflow / unclosed regions
+* ML003 unsafe-read-preemptible  — unprotected read where a preemption
+                                   window is reachable
+* ML004 counter-overflow-risk    — worst-case events per accrual window
+                                   reach the hardware counter capacity
+* ML005 read-in-critical-section — restartable counter read while holding
+                                   a userspace lock
+* ML006 cross-thread-slot-alias  — read of a slot this thread never opened
+* ML007 counter-slot-exhaustion  — more concurrent counters than the PMU has
+* ML008 reads-without-limit-patch— userspace counter access with the LiMiT
+                                   kernel patch disabled
+* ML009 fault-spec-unmatchable   — fault plan entries that can never fire
+* ML010 walk-failed              — the program crashed under the stub walk
+* ML011 walk-truncated           — op budget exhausted; prefix analyzed
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.config import SimConfig
+from repro.hw.events import CYCLES_PPM, Event, events_in
+from repro.lint.findings import ERROR, INFO, WARNING, Finding, LintReport
+from repro.lint.walker import ProgramWalk, ThreadWalk
+from repro.sim import ops as op
+
+#: Ops that read counters from userspace (require the LiMiT kernel patch).
+_USER_READ_OPS = (
+    op.Rdpmc,
+    op.RdpmcDestructive,
+    op.LoadVAccum,
+    op.PmcSafeRead,
+    op.PmcUnsafeRead,
+)
+
+#: Ops that perform a *complete* counter read (the read-in-critical-section
+#: and aliasing passes look at these).
+_READ_OPS = (
+    op.Rdpmc,
+    op.RdpmcDestructive,
+    op.PmcSafeRead,
+    op.PmcUnsafeRead,
+)
+
+
+def _preemption_sources(walk: ProgramWalk) -> list[str]:
+    """Why a thread of this program can lose the CPU (or take a PMI)
+    mid-window. Empty list = no preemption source exists in this config."""
+    config = walk.config
+    sources: list[str] = []
+    if len(walk.threads) > config.machine.n_cores:
+        sources.append(
+            f"{len(walk.threads)} threads contend for "
+            f"{config.machine.n_cores} core(s)"
+        )
+    plan = config.fault_plan
+    if plan is not None and any(
+        spec.kind == "preempt_in_read" for spec in plan.specs
+    ):
+        sources.append("the fault plan injects read-window preemptions")
+    if _overflow_risks(walk):
+        sources.append("counters can overflow (PMIs interrupt the window)")
+    if any(
+        isinstance(o, op.Syscall)
+        and o.name == "pmc_open"
+        and o.args
+        and getattr(o.args[0], "mode", "count") == "sample"
+        for t in walk.threads
+        for o in t.ops
+    ):
+        sources.append("sampling counters deliver PMIs")
+    return sources
+
+
+def _worst_rates(thread: ThreadWalk) -> dict[Event, int]:
+    """Worst-case (max over compute phases) event rate per event, in ppm."""
+    worst: dict[Event, int] = {}
+    for o in thread.ops:
+        if isinstance(o, op.Compute):
+            for event, ppm in o.rates.items():
+                if ppm > worst.get(event, 0):
+                    worst[event] = ppm
+    return worst
+
+
+def _opened_events(thread: ThreadWalk) -> set[Event]:
+    opened: set[Event] = set()
+    for o in thread.ops:
+        if isinstance(o, op.Syscall) and o.name == "pmc_open" and o.args:
+            spec = o.args[0]
+            event = getattr(spec, "event", None)
+            if isinstance(event, Event):
+                opened.add(event)
+    return opened
+
+
+def _total_compute_cycles(thread: ThreadWalk) -> int:
+    return sum(o.cycles for o in thread.ops if isinstance(o, op.Compute))
+
+
+def _overflow_risks(walk: ProgramWalk) -> list[tuple[ThreadWalk, Event, int, int]]:
+    """(thread, event, worst events per accrual window, window) tuples where
+    a hardware counter can reach its overflow threshold.
+
+    The accrual window is how long a counter can count without being folded
+    to zero by virtualization: one timeslice when context switches happen
+    (more runnable threads than cores), else the thread's entire run. The
+    per-window worst case reuses the engine's closed-form accrual
+    (:func:`repro.hw.events.events_in`) at the thread's peak rate.
+    """
+    config = walk.config
+    pmu = config.machine.pmu
+    # A shrink_counter fault narrows the hardware width at runtime, so the
+    # plan's width participates in the worst case (E17's width-shrink arm).
+    plan = config.fault_plan
+    shrink_widths = [
+        spec.arg
+        for spec in (plan.specs if plan is not None else ())
+        if spec.kind == "shrink_counter"
+    ]
+    if pmu.wide_counters and not shrink_widths:
+        return []
+    width = pmu.effective_width if not pmu.wide_counters else 64
+    if shrink_widths:
+        width = min(width, *shrink_widths)
+    threshold = 1 << width
+    switching = len(walk.threads) > config.machine.n_cores
+    out: list[tuple[ThreadWalk, Event, int, int, int]] = []
+    for thread in walk.threads:
+        opened = _opened_events(thread)
+        if not opened:
+            continue
+        window = (
+            config.kernel.timeslice_cycles
+            if switching
+            else max(_total_compute_cycles(thread), 1)
+        )
+        rates = _worst_rates(thread)
+        for event in sorted(opened, key=lambda e: e.value):
+            ppm = CYCLES_PPM if event is Event.CYCLES else rates.get(event, 0)
+            worst = events_in(0, window, ppm)
+            if worst >= threshold:
+                out.append((thread, event, worst, window, width))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# passes
+# ---------------------------------------------------------------------------
+
+
+def _pass_walk_health(walk: ProgramWalk, report: LintReport) -> None:
+    for t in walk.threads:
+        if t.walk_error:
+            report.add(Finding(
+                rule="ML010",
+                severity=ERROR,
+                message=(
+                    f"program crashed during the static walk: {t.walk_error}"
+                ),
+                fix_hint=(
+                    "the generator raised under stub op results; if it "
+                    "depends on engine-only state, restructure it to use op "
+                    "results and ctx.rng only"
+                ),
+                thread=t.name,
+                op_index=t.walk_error_op,
+            ))
+        if t.truncated:
+            report.add(Finding(
+                rule="ML011",
+                severity=INFO,
+                message=(
+                    f"walk stopped after {len(t.ops)} ops; hazards past the "
+                    "prefix are not analyzed"
+                ),
+                fix_hint="raise max_ops or lint a smaller configuration",
+                thread=t.name,
+                op_index=len(t.ops),
+            ))
+
+
+def _pass_read_windows(walk: ProgramWalk, report: LintReport) -> None:
+    """ML001: manual PmcReadBegin/End must be balanced and unnested."""
+    for t in walk.threads:
+        depth = 0
+        nested = underflow = 0
+        first_nested: int | None = None
+        first_underflow: int | None = None
+        for i, o in enumerate(t.ops):
+            if isinstance(o, op.PmcReadBegin):
+                depth += 1
+                if depth > 1:
+                    nested += 1
+                    if first_nested is None:
+                        first_nested = i
+            elif isinstance(o, op.PmcReadEnd):
+                if depth == 0:
+                    underflow += 1
+                    if first_underflow is None:
+                        first_underflow = i
+                else:
+                    depth -= 1
+        if nested:  # one finding per thread, not one per loop iteration
+            report.add(Finding(
+                rule="ML001",
+                severity=ERROR,
+                message=(
+                    "nested measurement window: PmcReadBegin inside an "
+                    "open read window (a nested begin silently clears the "
+                    "outer window's interrupted flag)"
+                    + (f"; {nested} occurrence(s)" if nested > 1 else "")
+                ),
+                fix_hint="close the outer window with PmcReadEnd before "
+                         "opening another",
+                thread=t.name,
+                op_index=first_nested,
+            ))
+        if underflow:
+            report.add(Finding(
+                rule="ML001",
+                severity=ERROR,
+                message=(
+                    "PmcReadEnd without a matching PmcReadBegin"
+                    + (f"; {underflow} occurrence(s)" if underflow > 1 else "")
+                ),
+                fix_hint="open the window with PmcReadBegin first",
+                thread=t.name,
+                op_index=first_underflow,
+            ))
+        if depth > 0:
+            report.add(Finding(
+                rule="ML001",
+                severity=ERROR,
+                message=f"{depth} read window(s) never closed: every later "
+                        "context switch marks the thread interrupted and the "
+                        "read result is never validated",
+                fix_hint="close the window with PmcReadEnd and honour its "
+                         "restart verdict (or use PmcSafeRead)",
+                thread=t.name,
+            ))
+
+
+def _pass_regions(walk: ProgramWalk, report: LintReport) -> None:
+    """ML002: region begin/end balance (the engine hard-faults underflow)."""
+    for t in walk.threads:
+        depth = 0
+        for i, o in enumerate(t.ops):
+            if isinstance(o, op.RegionBegin):
+                depth += 1
+            elif isinstance(o, op.RegionEnd):
+                if depth == 0:
+                    report.add(Finding(
+                        rule="ML002",
+                        severity=ERROR,
+                        message="RegionEnd with no open region "
+                                "(SimulationError at runtime)",
+                        fix_hint="match every RegionEnd with a RegionBegin",
+                        thread=t.name,
+                        op_index=i,
+                    ))
+                else:
+                    depth -= 1
+        if depth > 0:
+            report.add(Finding(
+                rule="ML002",
+                severity=WARNING,
+                message=f"{depth} region(s) still open at thread exit; their "
+                        "durations are never recorded",
+                fix_hint="close regions with RegionEnd before the program ends",
+                thread=t.name,
+            ))
+
+
+def _manual_unsafe_windows(t: ThreadWalk) -> list[int]:
+    """Op indices of LoadVAccum..Rdpmc pairs outside any protected window —
+    a hand-rolled unsafe read."""
+    out: list[int] = []
+    depth = 0
+    pending_load: int | None = None
+    for i, o in enumerate(t.ops):
+        if isinstance(o, op.PmcReadBegin):
+            depth += 1
+            pending_load = None
+        elif isinstance(o, op.PmcReadEnd):
+            depth = max(0, depth - 1)
+            pending_load = None
+        elif isinstance(o, op.LoadVAccum):
+            if depth == 0:
+                pending_load = i
+        elif isinstance(o, op.Rdpmc):
+            if depth == 0 and pending_load is not None:
+                out.append(pending_load)
+            pending_load = None
+        elif not isinstance(o, op.Compute):
+            # any other op (syscall, lock, sleep...) breaks the pattern
+            pending_load = None
+    return out
+
+
+def _pass_unsafe_reads(walk: ProgramWalk, report: LintReport) -> None:
+    """ML003: unprotected reads where a preemption window is reachable."""
+    sources = _preemption_sources(walk)
+    for t in walk.threads:
+        sites: list[tuple[int, str]] = []
+        for i, o in enumerate(t.ops):
+            if isinstance(o, op.PmcUnsafeRead):
+                sites.append((i, "PmcUnsafeRead"))
+        for i in _manual_unsafe_windows(t):
+            sites.append((i, "unprotected LoadVAccum+Rdpmc sequence"))
+        # One finding per site *kind* per thread: a read in a loop is one
+        # hazard, not six hundred.
+        grouped: dict[str, tuple[int, int]] = {}
+        for i, what in sorted(sites):
+            first, n = grouped.get(what, (i, 0))
+            grouped[what] = (first, n + 1)
+        for what, (i, n) in sorted(grouped.items(), key=lambda kv: kv[1][0]):
+            if n > 1:
+                what = f"{what} ({n} sites)"
+            if sources:
+                report.add(Finding(
+                    rule="ML003",
+                    severity=ERROR,
+                    message=(
+                        f"{what} can be interrupted mid-window "
+                        f"({'; '.join(sources)}): a context switch between "
+                        "the accumulator load and the rdpmc silently "
+                        "undercounts"
+                    ),
+                    fix_hint="use the safe read protocol (PmcSafeRead / "
+                             "LimitSession.read_safe)",
+                    thread=t.name,
+                    op_index=i,
+                ))
+            else:
+                report.add(Finding(
+                    rule="ML003",
+                    severity=INFO,
+                    message=(
+                        f"{what} is only correct because no preemption "
+                        "source exists in this exact config; any config "
+                        "change (more threads, narrower counters, sampling) "
+                        "makes it silently undercount"
+                    ),
+                    fix_hint="prefer PmcSafeRead even on idle configs",
+                    thread=t.name,
+                    op_index=i,
+                ))
+
+
+def _pass_overflow(walk: ProgramWalk, report: LintReport) -> None:
+    """ML004: counters that can reach capacity inside one accrual window."""
+    risks = _overflow_risks(walk)
+    for thread, event, worst, window, width in risks:
+        has_unprotected = any(
+            isinstance(o, op.PmcUnsafeRead) for o in thread.ops
+        ) or bool(_manual_unsafe_windows(thread))
+        if has_unprotected:
+            severity, extra = ERROR, (
+                "; combined with this thread's unprotected reads every wrap "
+                f"inside the window silently undercounts by 2^{width}"
+            )
+        else:
+            severity, extra = WARNING, (
+                "; the safe protocol recovers each wrap via the overflow "
+                "PMI, at the cost of PMI pressure and read restarts"
+            )
+        report.add(Finding(
+            rule="ML004",
+            severity=severity,
+            message=(
+                f"{event.value} counter can overflow: worst case "
+                f"{worst} events in a {window}-cycle accrual window vs "
+                f"2^{width} = {1 << width} capacity{extra}"
+            ),
+            fix_hint="widen the counters (wide_counters=True), shorten the "
+                     "timeslice, or lower the event rate",
+            thread=thread.name,
+        ))
+
+
+def _pass_reads_in_critical_sections(
+    walk: ProgramWalk, report: LintReport
+) -> None:
+    """ML005: counter reads while holding a userspace lock."""
+    contended = len(walk.threads) > 1
+    for t in walk.threads:
+        held: list[str] = []
+        flagged: set[str] = set()  # one finding per (lock) per thread
+        for i, o in enumerate(t.ops):
+            if isinstance(o, op.LockAcquire):
+                held.append(o.lock)
+            elif isinstance(o, op.LockRelease):
+                if o.lock in held:
+                    held.remove(o.lock)
+            elif isinstance(o, _READ_OPS) and held:
+                key = held[-1]
+                if key in flagged:
+                    continue
+                flagged.add(key)
+                severity = WARNING if contended else INFO
+                restart = (
+                    "a restarting safe read"
+                    if isinstance(o, op.PmcSafeRead)
+                    else "the read sequence"
+                )
+                report.add(Finding(
+                    rule="ML005",
+                    severity=severity,
+                    message=(
+                        f"counter read while holding lock {key!r}: under "
+                        f"preemption pressure {restart} extends the critical "
+                        "section, inflating every waiter's measurement "
+                        "(observer effect)"
+                    ),
+                    fix_hint="read before acquiring / after releasing, or "
+                             "accept and document the perturbation",
+                    thread=t.name,
+                    op_index=i,
+                ))
+
+
+def _replay_slots(t: ThreadWalk) -> list[tuple[int, Any, set[int]]]:
+    """(op_index, read op, open-slot-set-at-that-point) for every read."""
+    open_slots: set[int] = set()
+    out: list[tuple[int, Any, set[int]]] = []
+    for i, (o, result) in enumerate(zip(t.ops, t.results)):
+        if isinstance(o, op.Syscall):
+            if o.name == "pmc_open" and isinstance(result, int):
+                open_slots.add(result)
+            elif o.name == "pmc_close" and o.args:
+                open_slots.discard(o.args[0])
+        elif isinstance(o, _READ_OPS + (op.LoadVAccum,)):
+            out.append((i, o, set(open_slots)))
+    return out
+
+
+def _pass_slot_usage(walk: ProgramWalk, report: LintReport) -> None:
+    """ML006 aliasing + ML007 exhaustion, from replayed slot tables."""
+    n_counters = walk.config.machine.pmu.n_counters
+    for t in walk.threads:
+        # exhaustion: pmc_open results past the physical table (one finding
+        # per thread; the fake over-allocated indices come from the walker)
+        over_opens = [
+            i
+            for i, (o, result) in enumerate(zip(t.ops, t.results))
+            if isinstance(o, op.Syscall) and o.name == "pmc_open"
+            and isinstance(result, int) and result >= n_counters
+        ]
+        if over_opens:
+            report.add(Finding(
+                rule="ML007",
+                severity=ERROR,
+                message=(
+                    f"thread opens more than {n_counters} concurrent "
+                    "counters"
+                    + (f" ({len(over_opens)} opens past the table)"
+                       if len(over_opens) > 1 else "")
+                    + "; the PMU does not multiplex (CounterError at "
+                    "runtime)"
+                ),
+                fix_hint="close counters before opening more, or "
+                         "configure a PMU with more slots",
+                thread=t.name,
+                op_index=over_opens[0],
+            ))
+        flagged_slots: dict[int, tuple[int, int]] = {}  # index -> (op, n)
+        for i, o, open_slots in _replay_slots(t):
+            index = getattr(o, "index", None)
+            if index is None or index in open_slots:
+                continue
+            first, n = flagged_slots.get(index, (i, 0))
+            flagged_slots[index] = (first, n + 1)
+        for index, (i, n) in sorted(
+            flagged_slots.items(), key=lambda kv: kv[1][0]
+        ):
+            opened_elsewhere = any(
+                index in {
+                    r for oo, r in zip(ot.ops, ot.results)
+                    if isinstance(oo, op.Syscall) and oo.name == "pmc_open"
+                    and isinstance(r, int)
+                }
+                for ot in walk.threads
+                if ot is not t
+            )
+            sites = f" ({n} reads)" if n > 1 else ""
+            if opened_elsewhere:
+                message = (
+                    f"read of counter slot {index} that this thread never "
+                    f"opened{sites} (a sibling thread did): counters are "
+                    "virtualized per thread, so this reads a different "
+                    "thread's (or an unallocated) counter"
+                )
+                hint = ("open the session on every thread that reads it "
+                        "(session.setup per thread)")
+            else:
+                message = (
+                    f"read of counter slot {index} that is not open at "
+                    f"this point{sites} (CounterError at runtime)"
+                )
+                hint = "open the counter first (Syscall('pmc_open', ...))"
+            report.add(Finding(
+                rule="ML006",
+                severity=ERROR,
+                message=message,
+                fix_hint=hint,
+                thread=t.name,
+                op_index=i,
+            ))
+
+
+def _pass_limit_patch(walk: ProgramWalk, report: LintReport) -> None:
+    """ML008: userspace counter access with the kernel patch off."""
+    if walk.config.kernel.limit_patch:
+        return
+    for t in walk.threads:
+        for i, o in enumerate(t.ops):
+            if isinstance(o, _USER_READ_OPS):
+                report.add(Finding(
+                    rule="ML008",
+                    severity=ERROR,
+                    message=(
+                        f"{type(o).__name__} with kernel.limit_patch=False: "
+                        "userspace rdpmc is disabled, the read faults with "
+                        "CounterError"
+                    ),
+                    fix_hint="enable kernel.limit_patch or use a "
+                             "kernel-mediated baseline session",
+                    thread=t.name,
+                    op_index=i,
+                ))
+                break  # one finding per thread is enough
+
+
+def _pass_fault_plan(walk: ProgramWalk, report: LintReport) -> None:
+    """ML009: fault plan entries that contradict the program/config."""
+    plan = walk.config.fault_plan
+    if plan is None or not plan.specs:
+        return
+    names = set(walk.thread_names())
+    for i, spec in enumerate(plan.specs):
+        if spec.thread and spec.thread not in names:
+            report.add(Finding(
+                rule="ML009",
+                severity=WARNING,
+                message=(
+                    f"fault spec #{i} ({spec.kind}) targets thread "
+                    f"{spec.thread!r}, which this program never starts — "
+                    "the spec can never fire"
+                ),
+                fix_hint=f"target one of: {sorted(names)}",
+            ))
+        if spec.window is not None and spec.window[0] >= walk.config.max_cycles:
+            report.add(Finding(
+                rule="ML009",
+                severity=WARNING,
+                message=(
+                    f"fault spec #{i} ({spec.kind}) window starts at "
+                    f"{spec.window[0]}, beyond max_cycles="
+                    f"{walk.config.max_cycles} — the spec can never fire"
+                ),
+                fix_hint="move the window inside the run's cycle budget",
+            ))
+
+
+_PASSES = (
+    _pass_walk_health,
+    _pass_read_windows,
+    _pass_regions,
+    _pass_unsafe_reads,
+    _pass_overflow,
+    _pass_reads_in_critical_sections,
+    _pass_slot_usage,
+    _pass_limit_patch,
+    _pass_fault_plan,
+)
+
+
+def analyze_walk(walk: ProgramWalk) -> LintReport:
+    """Run every hazard pass over a walked program."""
+    report = LintReport()
+    report.note_checked("threads", len(walk.threads))
+    report.note_checked("ops", walk.n_ops())
+    for rule_pass in _PASSES:
+        rule_pass(walk, report)
+    return report
+
+
+def lint_program(
+    specs,
+    config: SimConfig | None = None,
+    max_ops: int | None = None,
+) -> LintReport:
+    """Walk + analyze a workload: the one-call program/config front end.
+
+    The walk *executes factory code* with stub results; lint a freshly
+    built workload (not one whose session objects a live run will reuse)
+    — see :mod:`repro.lint.gate` for the fabric integration that does.
+    """
+    from repro.lint.walker import DEFAULT_MAX_OPS, walk_program
+
+    walk = walk_program(
+        specs, config, max_ops=max_ops or DEFAULT_MAX_OPS
+    )
+    return analyze_walk(walk)

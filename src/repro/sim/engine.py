@@ -68,7 +68,7 @@ from repro.hw.events import (
 from repro.hw.machine import Core, Machine
 from repro.kernel.futex import FutexTable
 from repro.kernel.locks import LockRegistry
-from repro.kernel.perf import PerfSubsystem, SampleRecord
+from repro.kernel.perf import PerfFd, PerfSubsystem, SampleRecord
 from repro.kernel.scheduler import Scheduler
 from repro.kernel.vpmu import MuxState, SlotSpec, VirtualPmu
 from repro.sim import ops
@@ -164,7 +164,7 @@ _RECIPE_CACHE: dict[tuple[int, int, int], tuple] = {}
 _RECIPE_CACHE_CAP = 1 << 15
 
 
-def _window_recipe(flat, plan, after):
+def _window_recipe(flat: tuple, plan: tuple, after: int) -> tuple:
     """Memoized accrual recipe for the whole window ``(0, after]``:
     ``(deltas, entries, flat, plan)`` with ``deltas`` the non-zero
     ``(Event.index, n)`` ground-truth adds for the phase rates and
@@ -190,7 +190,13 @@ def _window_recipe(flat, plan, after):
     return rec
 
 
-def accrue_rate_events(flat, before, after, ev, rev=None) -> None:
+def accrue_rate_events(
+    flat: tuple,
+    before: int,
+    after: int,
+    ev: list[int],
+    rev: list[int] | None = None,
+) -> None:
     """Shared exact-accrual helper: apply the running-floor event deltas of
     one ``(before, after]`` phase-relative window to a flat tally array
     ``ev`` (indexed by ``Event.index``; optionally also an open region's
@@ -214,7 +220,7 @@ def accrue_rate_events(flat, before, after, ev, rev=None) -> None:
                 rev[idx] += n
 
 
-def _tally_dict(arr) -> dict[Event, int]:
+def _tally_dict(arr: list[int]) -> dict[Event, int]:
     """Fold a flat tally array back into the result-facing Event dict."""
     return {e: arr[e.index] for e in _EVENT_MEMBERS if arr[e.index]}
 
@@ -327,6 +333,12 @@ class SimThread:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<SimThread {self.tid} {self.name!r} {self.state.value}>"
+
+
+#: A deferred syscall body, run at syscall-exit commit time with the
+#: acting core and thread; returns ``(value, blocker)`` where a
+#: non-None blocker parks the thread instead of completing the call.
+_SysAction = Callable[[Core, SimThread], "tuple[Any, Any]"]
 
 
 class Engine:
@@ -470,7 +482,7 @@ class Engine:
             waker = core.current_tid if core.current_tid is not None else 0
             emit(core.now, core.core_id, waker, tr.FUTEX_WAKE, (key, len(woken)))
 
-        def on_sample(fd, record) -> None:
+        def on_sample(fd: PerfFd, record: SampleRecord) -> None:
             core_id = self.threads[record.tid].core_id
             emit(record.time, core_id if core_id is not None else 0,
                  record.tid, tr.SAMPLE, fd.fd)
@@ -756,7 +768,12 @@ class Engine:
     # thread lifecycle
     # ------------------------------------------------------------------
 
-    def _create_thread(self, factory, name: str, at: int) -> SimThread:
+    def _create_thread(
+        self,
+        factory: Callable[[ThreadContext], Any],
+        name: str,
+        at: int,
+    ) -> SimThread:
         tid = self._next_tid
         self._next_tid += 1
         rng = RandomStream(self.config.seed, "thread", name, tid)
@@ -1063,7 +1080,7 @@ class Engine:
     # ------------------------------------------------------------------
 
     def _fault_event(self, core: Core, thread: SimThread | None,
-                     kind: str, detail=None) -> None:
+                     kind: str, detail: Any = None) -> None:
         """Trace one fired injection. Only the *recording* is gated on
         tracing — the decision already happened, so traced and untraced runs
         inject identically (the zero-perturbation contract)."""
@@ -1147,8 +1164,8 @@ class Engine:
         core: Core,
         thread: SimThread,
         domain: Domain,
-        flat,
-        plan,
+        flat: tuple,
+        plan: tuple,
         before: int,
         after: int,
     ) -> None:
@@ -1440,55 +1457,55 @@ class Engine:
         fn(self, core, thread, ex)
         return ex
 
-    def _begin_compute(self, core, thread, ex) -> None:
+    def _begin_compute(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
         op = ex.op
         ex.stage = "run"
         ex.set_phase(op.cycles, op.rates, Domain.USER, True)
 
-    def _begin_rdtsc(self, core, thread, ex) -> None:
+    def _begin_rdtsc(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
         ex.stage = "run"
         ex.set_phase(self._costs.rdtsc, LIBRARY_RATES, Domain.USER, True)
 
-    def _begin_rdpmc(self, core, thread, ex) -> None:
+    def _begin_rdpmc(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
         ex.stage = "run"
         ex.set_phase(self._costs.rdpmc, LIBRARY_RATES, Domain.USER, True)
 
-    def _begin_rdpmc_destructive(self, core, thread, ex) -> None:
+    def _begin_rdpmc_destructive(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
         ex.stage = "run"
         ex.set_phase(
             self._costs.rdpmc_destructive, LIBRARY_RATES, Domain.USER, True
         )
 
-    def _begin_pmc_read_begin(self, core, thread, ex) -> None:
+    def _begin_pmc_read_begin(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
         ex.stage = "run"
         ex.set_phase(self._costs.pmc_read_begin, LIBRARY_RATES, Domain.USER, True)
 
-    def _begin_pmc_read_end(self, core, thread, ex) -> None:
+    def _begin_pmc_read_end(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
         ex.stage = "run"
         ex.set_phase(self._costs.pmc_read_end, LIBRARY_RATES, Domain.USER, True)
 
-    def _begin_load_vaccum(self, core, thread, ex) -> None:
+    def _begin_load_vaccum(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
         ex.stage = "run"
         ex.set_phase(self._costs.pmc_load_accum, LIBRARY_RATES, Domain.USER, True)
 
-    def _begin_pmc_safe_read(self, core, thread, ex) -> None:
+    def _begin_pmc_safe_read(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
         if self._try_fast_read(core, thread, ex, self._safe_read_phases):
             return
         ex.stage = "call"
         ex.set_phase(self._costs.pmc_call_overhead, LIBRARY_RATES, Domain.USER, True)
 
-    def _begin_pmc_unsafe_read(self, core, thread, ex) -> None:
+    def _begin_pmc_unsafe_read(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
         if self._try_fast_read(core, thread, ex, self._unsafe_read_phases):
             return
         ex.stage = "call"
         ex.set_phase(self._costs.pmc_call_overhead, LIBRARY_RATES, Domain.USER, True)
 
-    def _begin_region(self, core, thread, ex) -> None:
+    def _begin_region(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
         ex.stage = "run"
         hook = self._costs.instrument_hook if thread.profiler is not None else 0
         ex.set_phase(hook, LIBRARY_RATES, Domain.USER, True)
 
-    def _begin_lock_acquire(self, core, thread, ex) -> None:
+    def _begin_lock_acquire(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
         ex.stage = "cas"
         ex.data = {
             "t0": core.now,
@@ -1498,11 +1515,11 @@ class Engine:
         }
         ex.set_phase(self._costs.cas, LIBRARY_RATES, Domain.USER, True)
 
-    def _begin_lock_release(self, core, thread, ex) -> None:
+    def _begin_lock_release(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
         ex.stage = "cas"
         ex.set_phase(self._costs.cas, LIBRARY_RATES, Domain.USER, True)
 
-    def _begin_syscall_op(self, core, thread, ex) -> None:
+    def _begin_syscall_op(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
         op = ex.op
         handler = self._syscalls.get(op.name)
         if handler is None:
@@ -1514,24 +1531,24 @@ class Engine:
         table[op.name] = table.get(op.name, 0) + 1
         self._begin_syscall(core, thread, ex, op.name)
 
-    def _begin_spawn(self, core, thread, ex) -> None:
+    def _begin_spawn(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
         ex.stage = "entry"
         thread.n_syscalls += 1
         table = self.kernel_counters.n_syscalls
         table["clone"] = table.get("clone", 0) + 1
         self._begin_syscall(core, thread, ex, "clone")
 
-    def _begin_join(self, core, thread, ex) -> None:
+    def _begin_join(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
         ex.stage = "entry"
         thread.n_syscalls += 1
         self._begin_syscall(core, thread, ex, "join")
 
-    def _begin_sleep(self, core, thread, ex) -> None:
+    def _begin_sleep(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
         ex.stage = "entry"
         thread.n_syscalls += 1
         self._begin_syscall(core, thread, ex, "sleep")
 
-    def _begin_yield(self, core, thread, ex) -> None:
+    def _begin_yield(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
         ex.stage = "entry"
         thread.n_syscalls += 1
         self._begin_syscall(core, thread, ex, "yield")
@@ -1573,13 +1590,13 @@ class Engine:
             )
         fn(self, core, thread, ex)
 
-    def _adv_compute(self, core, thread, ex) -> None:
+    def _adv_compute(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
         self._complete(thread, None)
 
-    def _adv_rdtsc(self, core, thread, ex) -> None:
+    def _adv_rdtsc(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
         self._complete(thread, core.now)
 
-    def _adv_pmc_read_begin(self, core, thread, ex) -> None:
+    def _adv_pmc_read_begin(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
         thread.in_pmc_read = True
         thread.pmc_read_interrupted = False
         if self._tracing:
@@ -1588,7 +1605,7 @@ class Engine:
             )
         self._complete(thread, None)
 
-    def _adv_pmc_read_end(self, core, thread, ex) -> None:
+    def _adv_pmc_read_end(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
         ok = (
             not thread.pmc_read_interrupted
             and not core.pmu.pending_overflow_indices()
@@ -1603,7 +1620,7 @@ class Engine:
             )
         self._complete(thread, ok)
 
-    def _adv_load_vaccum(self, core, thread, ex) -> None:
+    def _adv_load_vaccum(self, core: Core, thread: SimThread, ex: _OpExec) -> None:
         try:
             value = thread.vpmu.read_accumulator(ex.op.index)
         except CounterError as exc:
@@ -1638,14 +1655,14 @@ class Engine:
     #   PmcReadBegin / LoadVAccum / Rdpmc / PmcReadEnd / Compute), so
     #   interrupted reads restart, fault and undercount identically.
 
-    def _read_recipe(self, plan, phases) -> tuple:
+    def _read_recipe(self, plan: tuple, phases: tuple) -> tuple:
         """Combined accrual recipe for a whole PMC read executed as one
         piece: per-part summed running-floor deltas (each sub-phase accrues
         from its own cycle 0, so part sums are sums of ``events_in(0, c)``)
         plus per-counter whole-read totals for the no-wrap precheck."""
         flat = LIBRARY_RATES.flat
 
-        def combine(costs):
+        def combine(costs: tuple) -> tuple[tuple, dict[int, list]]:
             ev: dict[int, int] = {}
             ctr: dict[int, list] = {}
             for cyc in costs:
@@ -1683,7 +1700,7 @@ class Engine:
         return rec
 
     def _try_fast_read(
-        self, core: Core, thread: SimThread, ex: _OpExec, phases
+        self, core: Core, thread: SimThread, ex: _OpExec, phases: tuple
     ) -> bool:
         """Commit a whole PMC read in one piece if provably uninterruptible.
 
@@ -2030,7 +2047,7 @@ class Engine:
 
     # -- locks ---------------------------------------------------------------
 
-    def _spin_recipe(self, spin_plan, lib_plan) -> tuple:
+    def _spin_recipe(self, spin_plan: tuple, lib_plan: tuple) -> tuple:
         """Accrual recipe for one contended-lock spin round: a spin phase
         (``spin_quantum`` cycles of SPIN_RATES) followed by a CAS retry
         (``cas`` cycles of LIBRARY_RATES), both user phases accruing from
@@ -2418,19 +2435,25 @@ class Engine:
 
     # -- syscall handlers: (core, thread, args) -> (body_cycles, action) ------
 
-    def _sys_work(self, core, thread, args):
+    def _sys_work(
+        self, core: Core, thread: SimThread, args: tuple
+    ) -> tuple[int, _SysAction | None]:
         (cycles,) = args
         if cycles < 0:
             raise ConfigError("work syscall needs non-negative cycles")
         return cycles, None
 
-    def _sys_getpid(self, core, thread, args):
-        def action(core, thread):
+    def _sys_getpid(
+        self, core: Core, thread: SimThread, args: tuple
+    ) -> tuple[int, _SysAction | None]:
+        def action(core: Core, thread: SimThread) -> tuple[Any, Any]:
             return thread.tid, None
 
         return 150, action
 
-    def _sys_pmc_open(self, core, thread, args):
+    def _sys_pmc_open(
+        self, core: Core, thread: SimThread, args: tuple
+    ) -> tuple[int, _SysAction | None]:
         (spec,) = args
         if not isinstance(spec, SlotSpec):
             raise ConfigError("pmc_open takes a SlotSpec")
@@ -2438,7 +2461,7 @@ class Engine:
             raise ConfigError("pmc_open supports counting slots only")
         cost = 800 + 2 * self._costs.wrmsr
 
-        def action(core, thread):
+        def action(core: Core, thread: SimThread) -> tuple[Any, Any]:
             idx = thread.vpmu.allocate(spec)
             ctr = core.pmu.counter(idx)
             ctr.program(spec.event, spec.count_user, spec.count_kernel)
@@ -2450,10 +2473,12 @@ class Engine:
 
         return cost, action
 
-    def _sys_pmc_close(self, core, thread, args):
+    def _sys_pmc_close(
+        self, core: Core, thread: SimThread, args: tuple
+    ) -> tuple[int, _SysAction | None]:
         (idx,) = args
 
-        def action(core, thread):
+        def action(core: Core, thread: SimThread) -> tuple[Any, Any]:
             thread.vpmu.spec(idx)  # validates
             core.pmu.counter(idx).deprogram()
             thread.vpmu.free(idx)
@@ -2462,7 +2487,9 @@ class Engine:
 
         return 400, action
 
-    def _sys_perf_open(self, core, thread, args):
+    def _sys_perf_open(
+        self, core: Core, thread: SimThread, args: tuple
+    ) -> tuple[int, _SysAction | None]:
         event, mode, period, count_user, count_kernel = args
         spec = SlotSpec(
             event=event,
@@ -2479,7 +2506,7 @@ class Engine:
                 f"{core.pmu.config.overflow_threshold}"
             )
 
-        def action(core, thread):
+        def action(core: Core, thread: SimThread) -> tuple[Any, Any]:
             idx = thread.vpmu.allocate(spec)
             ctr = core.pmu.counter(idx)
             ctr.program(spec.event, spec.count_user, spec.count_kernel)
@@ -2495,11 +2522,13 @@ class Engine:
 
         return 3500, action
 
-    def _sys_perf_read(self, core, thread, args):
+    def _sys_perf_read(
+        self, core: Core, thread: SimThread, args: tuple
+    ) -> tuple[int, _SysAction | None]:
         (fd_no,) = args
         cost = self._costs.perf_read_kernel_work + self._costs.perf_copyout
 
-        def action(core, thread):
+        def action(core: Core, thread: SimThread) -> tuple[Any, Any]:
             fd = self.perf.get(fd_no)
             if fd.tid != thread.tid:
                 raise ConfigError("cross-thread perf reads are not modelled")
@@ -2512,10 +2541,12 @@ class Engine:
 
         return cost, action
 
-    def _sys_perf_close(self, core, thread, args):
+    def _sys_perf_close(
+        self, core: Core, thread: SimThread, args: tuple
+    ) -> tuple[int, _SysAction | None]:
         (fd_no,) = args
 
-        def action(core, thread):
+        def action(core: Core, thread: SimThread) -> tuple[Any, Any]:
             fd = self.perf.close(fd_no)
             core.pmu.counter(fd.slot).deprogram()
             thread.vpmu.free(fd.slot)
@@ -2524,7 +2555,9 @@ class Engine:
 
         return 1500, action
 
-    def _sys_papi_read(self, core, thread, args):
+    def _sys_papi_read(
+        self, core: Core, thread: SimThread, args: tuple
+    ) -> tuple[int, _SysAction | None]:
         (indices,) = args
         indices = tuple(indices)
         cost = (
@@ -2533,7 +2566,7 @@ class Engine:
             + 150 * max(0, len(indices) - 1)
         )
 
-        def action(core, thread):
+        def action(core: Core, thread: SimThread) -> tuple[Any, Any]:
             values = []
             for idx in indices:
                 spec = thread.vpmu.spec(idx)
@@ -2546,7 +2579,9 @@ class Engine:
 
         return cost, action
 
-    def _sys_wait_key(self, core, thread, args):
+    def _sys_wait_key(
+        self, core: Core, thread: SimThread, args: tuple
+    ) -> tuple[int, _SysAction | None]:
         """Keyed-event wait: consume a pending credit if one exists,
         otherwise block until a wake_key posts one. The credit semantics
         (a wake with no waiter is remembered) make the primitive race-free
@@ -2555,7 +2590,7 @@ class Engine:
         if not isinstance(key, str) or not key:
             raise ConfigError("wait_key needs a non-empty string key")
 
-        def action(core, thread):
+        def action(core: Core, thread: SimThread) -> tuple[Any, Any]:
             credits = self._key_credits.get(key, 0)
             if credits > 0:
                 self._key_credits[key] = credits - 1
@@ -2564,7 +2599,9 @@ class Engine:
 
         return 900, action
 
-    def _sys_wake_key(self, core, thread, args):
+    def _sys_wake_key(
+        self, core: Core, thread: SimThread, args: tuple
+    ) -> tuple[int, _SysAction | None]:
         """Keyed-event wake: release up to ``n`` waiters; excess wakes are
         stored as credits. ``n = -1`` wakes every current waiter and clears
         any stored credits (broadcast)."""
@@ -2572,7 +2609,7 @@ class Engine:
         if not isinstance(key, str) or not key:
             raise ConfigError("wake_key needs a non-empty string key")
 
-        def action(core, thread):
+        def action(core: Core, thread: SimThread) -> tuple[Any, Any]:
             fkey = "key:" + key
             if n == -1:
                 woken = self.futex.wake(fkey, 1 << 30)
@@ -2623,7 +2660,9 @@ class Engine:
         # keep the slot's bookkeeping spec in sync with the live event
         thread.vpmu.slots[state.slot] = spec
 
-    def _sys_mux_open(self, core, thread, args):
+    def _sys_mux_open(
+        self, core: Core, thread: SimThread, args: tuple
+    ) -> tuple[int, _SysAction | None]:
         events, count_user, count_kernel = args
         events = tuple(events)
         if not events:
@@ -2643,7 +2682,7 @@ class Engine:
         ]
         cost = 3500 + 2 * self._costs.wrmsr
 
-        def action(core, thread):
+        def action(core: Core, thread: SimThread) -> tuple[Any, Any]:
             idx = thread.vpmu.allocate(specs[0])
             ctr = core.pmu.counter(idx)
             ctr.program(specs[0].event, count_user, count_kernel)
@@ -2660,10 +2699,12 @@ class Engine:
 
         return cost, action
 
-    def _sys_mux_read(self, core, thread, args):
+    def _sys_mux_read(
+        self, core: Core, thread: SimThread, args: tuple
+    ) -> tuple[int, _SysAction | None]:
         cost = self._costs.perf_read_kernel_work + self._costs.perf_copyout
 
-        def action(core, thread):
+        def action(core: Core, thread: SimThread) -> tuple[Any, Any]:
             state = thread.mux
             if state is None:
                 raise ConfigError("mux_read without a multiplexed group")
@@ -2682,8 +2723,10 @@ class Engine:
 
         return cost, action
 
-    def _sys_mux_close(self, core, thread, args):
-        def action(core, thread):
+    def _sys_mux_close(
+        self, core: Core, thread: SimThread, args: tuple
+    ) -> tuple[int, _SysAction | None]:
+        def action(core: Core, thread: SimThread) -> tuple[Any, Any]:
             state = thread.mux
             if state is None:
                 raise ConfigError("mux_close without a multiplexed group")
@@ -2748,7 +2791,9 @@ class Engine:
         )
 
 
-def _dispatch_resolve(table: dict, op: Any, message: str):
+def _dispatch_resolve(
+    table: dict, op: Any, message: str
+) -> Callable[..., Any]:
     """Slow-path dispatch: find a handler up the op's MRO (so op subclasses
     work), memoize it under the concrete type, or fail like the seed did."""
     for cls in type(op).__mro__:

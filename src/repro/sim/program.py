@@ -14,6 +14,7 @@ from repro.common.errors import ConfigError
 from repro.common.rng import RandomStream
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.common.config import CostModel, Frequency
     from repro.sim.engine import Engine, SimThread
 
 ProgramFactory = Callable[["ThreadContext"], Generator[Any, Any, Any]]
@@ -64,11 +65,11 @@ class ThreadContext:
         return self._engine.thread(self.tid)
 
     @property
-    def frequency(self):
+    def frequency(self) -> Frequency:
         return self._engine.config.machine.frequency
 
     @property
-    def costs(self):
+    def costs(self) -> CostModel:
         """The machine's cost model (cycle costs of modelled sequences)."""
         return self._engine.config.machine.costs
 

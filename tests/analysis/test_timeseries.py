@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.timeseries import (
-    IntervalSample,
     interval_samples,
     spikes,
     windowed_series,

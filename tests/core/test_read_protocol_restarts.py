@@ -1,0 +1,197 @@
+"""Restart edge cases of the safe read under *natural* interruptions.
+
+E17's injector forces preemptions at protocol points through fault hooks;
+these tests use no fault plan at all. Instead they calibrate where the
+composite :class:`PmcSafeRead`'s micro-phases fall in time (from a traced
+run) and align the kernel timeslice so an ordinary slice expiry lands at
+an exact micro-phase boundary:
+
+* **between the two loads** — the accumulator is read, ``rdpmc`` is not;
+* **on the check** — the read-end cycles are charged but the interruption
+  flag has not been evaluated yet;
+* **exactly at the load boundary** — the tie case, pinning which side of a
+  phase edge a simultaneous slice expiry lands on;
+* **on the retry** — the first attempt is cut by the slice, the second by
+  a pending counter-overflow PMI from a deliberately narrow counter.
+
+In every case the protocol must detect the interruption, restart, and
+return a value equal to the slot's ground truth — the LiMiT guarantee the
+paper's Section 3 protocol exists to provide.
+"""
+
+from repro.common.config import (
+    CostModel,
+    KernelConfig,
+    MachineConfig,
+    PmuConfig,
+    SimConfig,
+)
+from repro.hw.events import Event
+from repro.kernel.vpmu import SlotSpec
+from repro.obs import trace as tr
+from repro.sim.engine import run_program
+from repro.sim.ops import Compute, PmcSafeRead, Syscall
+from repro.sim.program import ThreadSpec
+
+from tests.conftest import SIMPLE_RATES
+
+COSTS = CostModel()
+
+# Micro-phase offsets of one PmcSafeRead attempt, relative to op start:
+#   call | read_begin | load_accum | rdpmc | read_end(check) | store
+_RB_DONE = COSTS.pmc_call_overhead + COSTS.pmc_read_begin
+_VA_DONE = _RB_DONE + COSTS.pmc_load_accum          # accumulator loaded
+_RD_DONE = _VA_DONE + COSTS.rdpmc                   # hardware value loaded
+_RE_DONE = _RD_DONE + COSTS.pmc_read_end            # check evaluates here
+_RETRY = COSTS.pmc_read_begin + COSTS.pmc_load_accum + COSTS.rdpmc + COSTS.pmc_read_end
+
+_PRE = 5_000       # compute padding between pmc_open and the read
+_HUGE = 10_000_000
+
+# The slice clock starts *after* the dispatch path is charged (the engine
+# sets slice_ends_at once the context-switch cost is accounted), so a
+# timeslice of T expires at context_switch + T for the first-dispatched
+# thread. The reader is dispatched at t=0 with no counters to restore.
+_DISPATCH = CostModel().context_switch
+
+
+def _slice_for(boundary):
+    """Timeslice that makes the first expiry land at absolute ``boundary``."""
+    return boundary - _DISPATCH
+
+
+def _run_one_read(pre, timeslice, width=48):
+    """One safe read after ``pre`` compute cycles, with a runnable sibling
+    so slice expiry actually switches; returns (result, observed)."""
+    out = {}
+
+    def reader(ctx):
+        idx = yield Syscall("pmc_open", (SlotSpec(Event.CYCLES),))
+        yield Compute(pre, SIMPLE_RATES)
+        out["value"] = yield PmcSafeRead(idx)
+        out["truth"] = ctx.thread().last_rdpmc_truth
+
+    def noise(ctx):
+        yield Compute(120_000, SIMPLE_RATES)
+
+    config = SimConfig(
+        machine=MachineConfig(n_cores=1, pmu=PmuConfig(counter_width=width)),
+        kernel=KernelConfig(timeslice_cycles=timeslice),
+        seed=3,
+        trace=True,
+    )
+    specs = [ThreadSpec("reader", reader), ThreadSpec("noise", noise)]
+    return run_program(specs, config), out
+
+
+def _reader_events(result, kind):
+    tid = result.thread_by_name("reader").tid
+    return [rec for rec in result.trace if rec[3] == kind and rec[2] == tid]
+
+
+def _read_op_start(width=48):
+    """Calibrate: absolute time the PmcSafeRead op starts, for _PRE padding.
+
+    With a huge timeslice the reader runs uninterrupted from t=0, so the
+    timestamp of its PMC_READ_BEGIN trace event minus the call+begin costs
+    is the op's start cycle. Deterministic: same seed/config as the tests.
+    """
+    result, out = _run_one_read(_PRE, _HUGE, width=width)
+    assert out["value"] == out["truth"]  # sanity: undisturbed read is exact
+    begins = _reader_events(result, tr.PMC_READ_BEGIN)
+    assert begins, "calibration run produced no PMC_READ_BEGIN event"
+    return begins[0][0] - _RB_DONE
+
+
+class TestNaturalRestarts:
+    def test_calibration_geometry_is_stable(self):
+        """The phase offsets the alignment math relies on."""
+        assert (_RB_DONE, _VA_DONE, _RD_DONE, _RE_DONE) == (20, 28, 62, 74)
+        result, _ = _run_one_read(_PRE, _HUGE)
+        ends = _reader_events(result, tr.PMC_READ_END)
+        begins = _reader_events(result, tr.PMC_READ_BEGIN)
+        # Undisturbed: one begin, one successful check, no restarts.
+        assert [e[4] for e in ends] == [True]
+        assert ends[0][0] - begins[0][0] == _RE_DONE - _RB_DONE
+        assert result.thread_by_name("reader").read_restarts == 0
+
+    def test_preempted_exactly_between_loads(self):
+        """Slice expires mid-rdpmc: accumulator and hardware value span a
+        context switch (the counter was folded in between), so the check
+        must fail and the retried read must still be exact."""
+        start = _read_op_start()
+        slice_at = _slice_for(start + _VA_DONE + COSTS.rdpmc // 2)
+        result, out = _run_one_read(_PRE, slice_at)
+        reader = result.thread_by_name("reader")
+        assert reader.read_restarts == 1
+        assert [e[4] for e in _reader_events(result, tr.PMC_READ_END)] == [
+            False,
+            True,
+        ]
+        assert out["value"] == out["truth"]
+
+    def test_preempted_exactly_on_the_check(self):
+        """Slice expires inside the read-end phase: both loads completed,
+        the interrupted flag is set before the check evaluates, so the
+        protocol must discard the (possibly torn) pair and retry."""
+        start = _read_op_start()
+        slice_at = _slice_for(start + _RD_DONE + COSTS.pmc_read_end // 2)
+        result, out = _run_one_read(_PRE, slice_at)
+        reader = result.thread_by_name("reader")
+        assert reader.read_restarts == 1
+        assert [e[4] for e in _reader_events(result, tr.PMC_READ_END)] == [
+            False,
+            True,
+        ]
+        assert out["value"] == out["truth"]
+
+    def test_preemption_tied_to_the_load_boundary(self):
+        """Slice expiry lands on the exact cycle the accumulator load
+        completes. Whichever side of the edge the engine takes, the result
+        must stay exact; this test pins the engine's tie-break so a change
+        in event ordering is caught, not silently absorbed."""
+        start = _read_op_start()
+        result, out = _run_one_read(_PRE, _slice_for(start + _VA_DONE))
+        reader = result.thread_by_name("reader")
+        # The phase completes before the expiry is serviced: the switch
+        # still happens inside the read window, so the read restarts.
+        assert reader.read_restarts == 1
+        assert out["value"] == out["truth"]
+
+    def test_interrupted_again_on_the_retry(self):
+        """First attempt cut by a natural counter-overflow PMI (a 13-bit
+        counter wraps mid-window), the retry cut by the slice expiry: two
+        failed checks, then an exact read. No fault plan — both
+        interruptions arise from ordinary hardware/kernel behaviour.
+
+        Note the order: PMI first, slice second. A forced *switch* first
+        would fold the counter and reset its overflow progress, so a wrap
+        could never land in the 60-cycle retry — the fold-on-switch design
+        itself closes that interleaving.
+        """
+        width = 13
+        # Stage 1: slide the pre-read padding until the wrap's PMI lands
+        # inside the first attempt's window (huge slice: no preemption).
+        # The wrap time is fixed in on-cpu coordinates, so the scan is
+        # deterministic; each hit shows one failed check from the PMI.
+        for pre in range((1 << width) - _RE_DONE - 600, 1 << width, 4):
+            result, out = _run_one_read(pre, _HUGE, width=width)
+            ends = [e[4] for e in _reader_events(result, tr.PMC_READ_END)]
+            if ends[:1] == [False] and _reader_events(result, tr.PMI):
+                break
+        else:
+            raise AssertionError(
+                "no padding landed the overflow PMI inside the first attempt"
+            )
+        assert out["value"] == out["truth"]
+        # Stage 2: same run geometry, but now also aim the slice boundary
+        # mid-rdpmc of the *retry* (its begin timestamp comes from the
+        # stage-1 trace; nothing before the boundary differs between runs).
+        retry_rb = _reader_events(result, tr.PMC_READ_BEGIN)[1][0]
+        slice_at = _slice_for(retry_rb + COSTS.pmc_load_accum + COSTS.rdpmc // 2)
+        result, out = _run_one_read(pre, slice_at, width=width)
+        ends = [e[4] for e in _reader_events(result, tr.PMC_READ_END)]
+        assert ends[:2] == [False, False] and ends[-1] is True
+        reader = result.thread_by_name("reader")
+        assert reader.read_restarts == len(ends) - 1
+        assert out["value"] == out["truth"]

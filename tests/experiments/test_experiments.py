@@ -142,10 +142,10 @@ class TestE11Enhancements:
 
 
 class TestRegistry:
-    def test_seventeen_experiments(self):
-        assert len(registry.REGISTRY) == 17
+    def test_eighteen_experiments(self):
+        assert len(registry.REGISTRY) == 18
         assert [e.exp_id for e in registry.all_experiments()] == [
-            f"E{i}" for i in range(1, 18)
+            f"E{i}" for i in range(1, 19)
         ]
 
     def test_get_case_insensitive(self):

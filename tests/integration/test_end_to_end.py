@@ -96,7 +96,7 @@ class TestMixedTechniques:
             values["limit"] = yield from limit.read(ctx, 0)
             values["papi"] = yield from papi.read(ctx, 0)
 
-        result = run_program([ThreadSpec("main", program)], SimConfig())
+        run_program([ThreadSpec("main", program)], SimConfig())
         assert values["limit"] >= 100_000
         assert values["papi"] >= 100_000
         assert limit.max_abs_error() == 0

@@ -1,0 +1,89 @@
+"""Finding/LintReport mechanics: severity ordering, merge, suppression
+accounting, strict-vs-lenient verdicts, serialization schema."""
+
+from repro.lint.findings import (
+    ERROR,
+    INFO,
+    REPORT_SCHEMA,
+    WARNING,
+    Finding,
+    LintReport,
+)
+
+
+def _f(rule="ML001", severity=ERROR, **kw):
+    return Finding(
+        rule=rule,
+        severity=severity,
+        message=kw.pop("message", "msg"),
+        fix_hint=kw.pop("fix_hint", "hint"),
+        **kw,
+    )
+
+
+class TestVerdicts:
+    def test_empty_report_passes_strict(self):
+        assert LintReport().ok(strict=True)
+
+    def test_errors_fail_even_lenient(self):
+        report = LintReport()
+        report.add(_f(severity=ERROR))
+        assert not report.ok(strict=False)
+
+    def test_warnings_fail_only_strict(self):
+        report = LintReport()
+        report.add(_f(severity=WARNING))
+        assert report.ok(strict=False)
+        assert not report.ok(strict=True)
+
+    def test_infos_never_fail(self):
+        report = LintReport()
+        report.add(_f(severity=INFO))
+        assert report.ok(strict=True)
+
+
+class TestMergeAndSuppress:
+    def test_merge_accumulates_everything(self):
+        a, b = LintReport(), LintReport()
+        a.add(_f(rule="ML001"))
+        a.note_checked("threads", 2)
+        a.suppressed = 1
+        b.add(_f(rule="ML004"))
+        b.note_checked("threads")
+        a.merge(b)
+        assert sorted(a.by_rule()) == ["ML001", "ML004"]
+        assert a.checked["threads"] == 3
+        assert a.suppressed == 1
+
+    def test_suppress_returns_copy_and_counts(self):
+        report = LintReport()
+        report.add(_f(rule="ML001"))
+        report.add(_f(rule="ML004"))
+        slim = report.suppress(("ML001",))
+        assert [f.rule for f in slim.findings] == ["ML004"]
+        assert slim.suppressed == 1
+        assert len(report.findings) == 2  # original untouched
+
+
+class TestRendering:
+    def test_as_dict_carries_schema_and_findings(self):
+        report = LintReport()
+        report.add(_f(rule="ML006", file="x.py", line=3))
+        data = report.as_dict()
+        assert data["schema"] == REPORT_SCHEMA
+        assert data["findings"][0]["rule"] == "ML006"
+        assert not data["ok"]
+
+    def test_render_mentions_rule_and_span(self):
+        report = LintReport()
+        report.add(_f(rule="ML002", thread="worker:1", op_index=7))
+        text = report.render()
+        assert "ML002" in text and "worker:1" in text
+
+    def test_summary_line_counts_by_severity(self):
+        report = LintReport()
+        report.add(_f(severity=ERROR))
+        report.add(_f(severity=WARNING))
+        report.add(_f(severity=INFO))
+        line = report.summary_line()
+        assert "1 error" in line and "1 warning" in line

@@ -1,0 +1,35 @@
+"""Registry metadata rules and the ``python -m repro.lint`` front end."""
+
+import json
+
+from repro.lint.cli import main
+from repro.lint.meta import check_registry
+
+
+class TestRegistryRules:
+    def test_real_registry_is_clean(self):
+        report = check_registry()
+        assert report.findings == []
+        assert report.checked.get("experiments", 0) >= 18
+
+
+class TestCli:
+    def test_self_target_exits_zero(self, capsys):
+        assert main(["self"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_registry_target_exits_zero(self, capsys):
+        assert main(["registry"]) == 0
+
+    def test_single_workload_walk(self, capsys):
+        assert main(["workloads", "pipeline", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "workloads" in out
+
+    def test_json_report_written(self, tmp_path, capsys):
+        path = tmp_path / "out" / "report.json"
+        assert main(["registry", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["schema"] == "repro.lint/report/v1"
+        assert data["ok"]

@@ -1,0 +1,279 @@
+"""Hazard passes: each ML rule fires on its hazard and stays silent on the
+clean counterpart. Severity escalation (reachable preemption, unprotected
+reads) is part of the contract and asserted explicitly."""
+
+from repro.common.config import (
+    KernelConfig,
+    MachineConfig,
+    PmuConfig,
+    SimConfig,
+)
+from repro.core.limit import LimitSession, UnsafeLimitSession
+from repro.faults import FaultPlan, preempt_in_read, shrink_counter
+from repro.hw.events import Event
+from repro.kernel.vpmu import SlotSpec
+from repro.lint.findings import ERROR, INFO, WARNING
+from repro.lint.rules import lint_program
+from repro.sim import ops as op
+from repro.sim.program import ThreadSpec
+
+from tests.conftest import SIMPLE_RATES
+
+ONE_CORE = SimConfig(machine=MachineConfig(n_cores=1))
+WIDE = SimConfig(
+    machine=MachineConfig(pmu=PmuConfig(wide_counters=True)),
+)
+
+
+def _specs(*factories):
+    return [ThreadSpec(f"t{i}", f) for i, f in enumerate(factories)]
+
+
+def _session_reader(session, n=4, gap=500):
+    def reader(ctx):
+        yield from session.setup(ctx)
+        for _ in range(n):
+            yield op.Compute(gap, SIMPLE_RATES)
+            yield from session.read(ctx, 0)
+
+    return reader
+
+
+def _rules(report):
+    return set(report.by_rule())
+
+
+class TestCleanPrograms:
+    def test_safe_session_is_clean(self):
+        session = LimitSession([Event.CYCLES])
+        report = lint_program(_specs(_session_reader(session)), WIDE)
+        assert report.findings == []
+        assert report.ok(strict=True)
+
+
+class TestReadWindows:
+    def test_ml001_nested_begin(self):
+        def prog(ctx):
+            idx = yield op.Syscall("pmc_open", (SlotSpec(Event.CYCLES),))
+            yield op.PmcReadBegin()
+            yield op.PmcReadBegin()  # nested: clears the interrupted flag
+            yield op.Rdpmc(idx)  # lint: allow[SA003]
+            yield op.PmcReadEnd()
+
+        report = lint_program(_specs(prog), ONE_CORE)
+        nested = [f for f in report.findings if f.rule == "ML001"]
+        assert nested and nested[0].severity == ERROR
+        assert "nested" in nested[0].message
+
+    def test_ml001_end_without_begin(self):
+        def prog(ctx):
+            yield op.PmcReadEnd()
+
+        report = lint_program(_specs(prog), ONE_CORE)
+        assert "ML001" in _rules(report)
+
+    def test_ml001_unclosed_at_exit(self):
+        def prog(ctx):
+            idx = yield op.Syscall("pmc_open", (SlotSpec(Event.CYCLES),))
+            yield op.PmcReadBegin()
+            yield op.LoadVAccum(idx)  # lint: allow[SA003]
+            yield op.Rdpmc(idx)  # lint: allow[SA003]
+            # no PmcReadEnd: the verdict is never consulted
+
+        report = lint_program(_specs(prog), ONE_CORE)
+        assert "ML001" in _rules(report)
+
+    def test_balanced_windows_are_clean(self):
+        session = LimitSession([Event.CYCLES])
+        report = lint_program(_specs(_session_reader(session)), WIDE)
+        assert "ML001" not in _rules(report)
+
+
+class TestRegions:
+    def test_ml002_region_underflow_is_error(self):
+        def prog(ctx):
+            yield op.RegionEnd()
+
+        report = lint_program(_specs(prog), ONE_CORE)
+        found = [f for f in report.findings if f.rule == "ML002"]
+        assert found and found[0].severity == ERROR
+
+    def test_ml002_unclosed_region_is_warning(self):
+        def prog(ctx):
+            yield op.RegionBegin("warm")
+            yield op.Compute(100, SIMPLE_RATES)
+
+        report = lint_program(_specs(prog), ONE_CORE)
+        found = [f for f in report.findings if f.rule == "ML002"]
+        assert found and found[0].severity == WARNING
+
+
+class TestUnsafeReads:
+    def test_ml003_error_when_preemption_reachable(self):
+        session = UnsafeLimitSession([Event.CYCLES])
+        specs = _specs(
+            _session_reader(session),
+            lambda ctx: iter([op.Compute(10_000, SIMPLE_RATES)]),
+        )
+        report = lint_program(specs, ONE_CORE)  # 2 threads > 1 core
+        found = [f for f in report.findings if f.rule == "ML003"]
+        assert found and found[0].severity == ERROR
+
+    def test_ml003_info_when_preemption_unreachable(self):
+        session = UnsafeLimitSession([Event.CYCLES])
+        report = lint_program(_specs(_session_reader(session)), WIDE)
+        found = [f for f in report.findings if f.rule == "ML003"]
+        assert found and found[0].severity == INFO
+
+    def test_ml003_fault_plan_counts_as_preemption_source(self):
+        session = UnsafeLimitSession([Event.CYCLES])
+        plan = FaultPlan((preempt_in_read(protocol="unsafe"),))
+        report = lint_program(
+            _specs(_session_reader(session)), WIDE.with_faults(plan)
+        )
+        found = [f for f in report.findings if f.rule == "ML003"]
+        assert found and found[0].severity == ERROR
+
+
+class TestOverflow:
+    def test_ml004_error_with_unprotected_reads(self):
+        session = UnsafeLimitSession([Event.CYCLES])
+        narrow = SimConfig(
+            machine=MachineConfig(pmu=PmuConfig(counter_width=14)),
+        )
+        report = lint_program(
+            _specs(_session_reader(session, n=2, gap=40_000)), narrow
+        )
+        found = [f for f in report.findings if f.rule == "ML004"]
+        assert found and found[0].severity == ERROR
+
+    def test_ml004_warning_with_safe_reads(self):
+        session = LimitSession([Event.CYCLES])
+        narrow = SimConfig(
+            machine=MachineConfig(pmu=PmuConfig(counter_width=14)),
+        )
+        report = lint_program(
+            _specs(_session_reader(session, n=2, gap=40_000)), narrow
+        )
+        found = [f for f in report.findings if f.rule == "ML004"]
+        assert found and found[0].severity == WARNING
+
+    def test_ml004_respects_injector_narrowed_width(self):
+        """A wide config is still at risk when the fault plan shrinks the
+        counter — the static verdict must fold the injected width in."""
+        session = LimitSession([Event.CYCLES])
+        plan = FaultPlan((shrink_counter(10, nth=2),))
+        report = lint_program(
+            _specs(_session_reader(session, n=2, gap=40_000)),
+            SimConfig().with_faults(plan),
+        )
+        assert "ML004" in _rules(report)
+
+    def test_wide_counters_are_silent(self):
+        session = LimitSession([Event.CYCLES])
+        report = lint_program(
+            _specs(_session_reader(session, n=2, gap=40_000)), WIDE
+        )
+        assert "ML004" not in _rules(report)
+
+
+class TestCriticalSections:
+    def test_ml005_read_under_lock(self):
+        session = LimitSession([Event.CYCLES])
+
+        def prog(ctx):
+            yield from session.setup(ctx)
+            yield op.LockAcquire("stats")
+            yield from session.read(ctx, 0)
+            yield op.LockRelease("stats")
+
+        def sibling(ctx):
+            yield op.LockAcquire("stats")
+            yield op.LockRelease("stats")
+
+        report = lint_program(_specs(prog, sibling), WIDE)
+        found = [f for f in report.findings if f.rule == "ML005"]
+        assert found and found[0].severity == WARNING
+
+    def test_read_outside_lock_is_clean(self):
+        session = LimitSession([Event.CYCLES])
+
+        def prog(ctx):
+            yield from session.setup(ctx)
+            yield op.LockAcquire("stats")
+            yield op.Compute(100, SIMPLE_RATES)
+            yield op.LockRelease("stats")
+            yield from session.read(ctx, 0)
+
+        report = lint_program(_specs(prog), WIDE)
+        assert "ML005" not in _rules(report)
+
+
+class TestSlots:
+    def test_ml006_read_of_unopened_slot(self):
+        def prog(ctx):
+            yield op.PmcSafeRead(0)
+
+        report = lint_program(_specs(prog), ONE_CORE)
+        assert "ML006" in _rules(report)
+
+    def test_ml007_slot_exhaustion(self):
+        session = LimitSession(
+            [
+                Event.CYCLES,
+                Event.INSTRUCTIONS,
+                Event.LOADS,
+                Event.STORES,
+                Event.BRANCHES,
+            ]
+        )
+        report = lint_program(_specs(_session_reader(session)), WIDE)
+        assert "ML007" in _rules(report)
+
+
+class TestKernelContract:
+    def test_ml008_reads_without_limit_patch(self):
+        session = LimitSession([Event.CYCLES])
+        config = SimConfig(kernel=KernelConfig(limit_patch=False))
+        report = lint_program(_specs(_session_reader(session)), config)
+        assert "ML008" in _rules(report)
+
+    def test_ml009_fault_plan_targeting_ghost_thread(self):
+        session = LimitSession([Event.CYCLES])
+        plan = FaultPlan((preempt_in_read(thread="ghost", every=2),))
+        report = lint_program(
+            _specs(_session_reader(session)), WIDE.with_faults(plan)
+        )
+        assert "ML009" in _rules(report)
+
+
+class TestWalkHealth:
+    def test_ml010_crashing_program(self):
+        def prog(ctx):
+            yield op.Compute(10, SIMPLE_RATES)
+            raise RuntimeError("nope")
+
+        report = lint_program(_specs(prog), ONE_CORE)
+        found = [f for f in report.findings if f.rule == "ML010"]
+        assert found and found[0].severity == ERROR
+
+    def test_ml011_truncated_walk(self):
+        def prog(ctx):
+            while True:
+                yield op.Compute(1, SIMPLE_RATES)
+
+        report = lint_program(_specs(prog), ONE_CORE, max_ops=20)
+        assert "ML011" in _rules(report)
+
+
+class TestAggregation:
+    def test_loops_do_not_explode_finding_counts(self):
+        """A hazard in a 500-iteration loop is one finding with a count,
+        not 500 findings."""
+        session = UnsafeLimitSession([Event.CYCLES])
+        report = lint_program(
+            _specs(_session_reader(session, n=500)), WIDE
+        )
+        found = [f for f in report.findings if f.rule == "ML003"]
+        assert len(found) == 1
+        assert "500" in found[0].message

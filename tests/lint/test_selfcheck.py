@@ -1,0 +1,138 @@
+"""SA rules over synthetic source trees, plus the real tree's cleanliness.
+
+selfcheck_file takes (path, root) and derives the package from the path
+relative to root, so a tmp directory shaped like the repro package tree
+exercises the same scoping the real run uses.
+"""
+
+from repro.lint.selfcheck import (
+    DETERMINISM_PACKAGES,
+    selfcheck_file,
+    selfcheck_tree,
+)
+
+
+def _check(tmp_path, rel, source):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return selfcheck_file(path, tmp_path)
+
+
+class TestSA001:
+    def test_wall_clock_in_sim_package(self, tmp_path):
+        report = _check(
+            tmp_path,
+            "sim/clock.py",
+            "import time\n\ndef now():\n    return time.time()\n",
+        )
+        assert [f.rule for f in report.findings] == ["SA001"]
+        assert report.findings[0].line == 4
+
+    def test_unseeded_random_in_core_package(self, tmp_path):
+        report = _check(
+            tmp_path,
+            "core/jitter.py",
+            "import random\n\ndef j():\n    return random.uniform(0, 1)\n",
+        )
+        assert [f.rule for f in report.findings] == ["SA001"]
+
+    def test_datetime_now_two_hop_attribute(self, tmp_path):
+        report = _check(
+            tmp_path,
+            "kernel/stamp.py",
+            "import datetime\n\ndef s():\n"
+            "    return datetime.datetime.now()\n",
+        )
+        assert [f.rule for f in report.findings] == ["SA001"]
+
+    def test_wall_clock_outside_determinism_packages_is_fine(self, tmp_path):
+        assert "obs" not in DETERMINISM_PACKAGES
+        report = _check(
+            tmp_path,
+            "obs/telemetry.py",
+            "import time\n\ndef now():\n    return time.time()\n",
+        )
+        assert report.findings == []
+
+    def test_perf_counter_is_exempt(self, tmp_path):
+        report = _check(
+            tmp_path,
+            "sim/meter.py",
+            "import time\n\ndef t():\n    return time.perf_counter()\n",
+        )
+        assert report.findings == []
+
+
+class TestSA002:
+    def test_unregistered_trace_kind(self, tmp_path):
+        report = _check(
+            tmp_path,
+            "sim/emitter.py",
+            "def f(obs):\n    obs.emit(0, 0, 0, 'made_up_kind')\n",
+        )
+        assert [f.rule for f in report.findings] == ["SA002"]
+
+    def test_registered_kind_is_fine(self, tmp_path):
+        report = _check(
+            tmp_path,
+            "sim/emitter.py",
+            "def f(obs):\n    obs.emit(0, 0, 0, 'switch_in')\n",
+        )
+        assert report.findings == []
+
+
+class TestSA003:
+    def test_raw_op_outside_protocol_layer(self, tmp_path):
+        report = _check(
+            tmp_path,
+            "experiments/e99.py",
+            "from repro.sim.ops import Rdpmc\n\ndef f():\n"
+            "    yield Rdpmc(0)\n",
+        )
+        assert [f.rule for f in report.findings] == ["SA003"]
+
+    def test_raw_op_inside_core_is_fine(self, tmp_path):
+        report = _check(
+            tmp_path,
+            "core/read_protocol.py",
+            "from repro.sim.ops import Rdpmc\n\ndef f():\n"
+            "    yield Rdpmc(0)\n",
+        )
+        assert report.findings == []
+
+
+class TestSuppression:
+    def test_allow_comment_suppresses_and_is_counted(self, tmp_path):
+        report = _check(
+            tmp_path,
+            "sim/clock.py",
+            "import time\n\ndef now():\n"
+            "    return time.time()  # lint: allow[SA001]\n",
+        )
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_allow_comment_is_rule_specific(self, tmp_path):
+        report = _check(
+            tmp_path,
+            "sim/clock.py",
+            "import time\n\ndef now():\n"
+            "    return time.time()  # lint: allow[SA003]\n",
+        )
+        assert [f.rule for f in report.findings] == ["SA001"]
+
+
+class TestSA000:
+    def test_syntax_error_is_a_finding(self, tmp_path):
+        report = _check(tmp_path, "sim/bad.py", "def broken(:\n")
+        assert [f.rule for f in report.findings] == ["SA000"]
+
+
+class TestRealTree:
+    def test_src_repro_is_clean(self):
+        """The acceptance bar: the shipped tree has zero SA findings (the
+        few sanctioned sites carry counted allow-comments)."""
+        report = selfcheck_tree()
+        assert report.findings == []
+        assert report.checked.get("files", 0) > 50

@@ -97,7 +97,9 @@ class TestFilter:
         rc = trace_cli.main(["filter", str(path), "--tid", "1"])
         assert rc == 0
         lines = [
-            json.loads(l) for l in capsys.readouterr().out.splitlines() if l
+            json.loads(ln)
+            for ln in capsys.readouterr().out.splitlines()
+            if ln
         ]
         assert lines
         assert all(rec["tid"] == 1 for rec in lines)
@@ -108,7 +110,9 @@ class TestFilter:
         rc = trace_cli.main(["filter", str(path), "--before", str(mid)])
         assert rc == 0
         lines = [
-            json.loads(l) for l in capsys.readouterr().out.splitlines() if l
+            json.loads(ln)
+            for ln in capsys.readouterr().out.splitlines()
+            if ln
         ]
         assert all(rec["t"] < mid for rec in lines)
 

@@ -89,14 +89,13 @@ class TestSimulationInvariants:
         session = LimitSession(
             [Event.INSTRUCTIONS], count_kernel=count_kernel
         )
-        result = run_program(build(params, session), config(params))
+        run_program(build(params, session), config(params))
         assert session.max_abs_error() == 0
         assert len(session.records) == params["n_threads"] * params["iters"]
         # and every read is monotone within its thread
         for tid in {r.tid for r in session.records}:
             values = [r.value for r in session.records_for(tid)]
             assert values == sorted(values)
-        del result
 
     @given(params=scenario)
     @settings(max_examples=15, deadline=None)

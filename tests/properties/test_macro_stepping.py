@@ -33,7 +33,6 @@ from repro.common.config import (
 from repro.core.limit import LimitSession
 from repro.experiments.base import single_core_config
 from repro.hw.events import Event
-from repro.kernel.vpmu import SlotSpec
 from repro.sim.engine import Engine
 from repro.sim.ops import (
     Compute,

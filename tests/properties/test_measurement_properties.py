@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 from repro.baselines.multiplexing import MultiplexedSession
 from repro.baselines.sampling import SamplingProfiler
 from repro.common.config import KernelConfig, MachineConfig, SimConfig
-from repro.core.limit import DestructiveReadSession, LimitSession
+from repro.core.limit import DestructiveReadSession
 from repro.hw.events import Event, EventRates
 from repro.sim.engine import run_program
 from repro.sim.ops import Compute, RegionBegin, RegionEnd
@@ -143,7 +143,6 @@ class TestDestructiveDeltaConservation:
             ]
 
         specs = [ThreadSpec("t", program), ThreadSpec("n", noise)]
-        result = run_program(specs, config(seed, timeslice=timeslice))
-        thread = result.thread_by_name("t")
+        run_program(specs, config(seed, timeslice=timeslice))
         # engine-side check: every recorded delta was exact
         assert destructive.max_abs_error() == 0

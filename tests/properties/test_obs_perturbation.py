@@ -10,7 +10,6 @@ The second half pins the *mechanism*: with tracing disabled the emit path
 must never be entered — one branch, no event object construction.
 """
 
-import dataclasses
 
 import pytest
 from hypothesis import given, settings

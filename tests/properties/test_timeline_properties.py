@@ -1,14 +1,13 @@
 """Property test: timeline reconstruction partitions each thread's wall
 time into run/ready/blocked with nothing lost."""
 
-import dataclasses
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.timeline import build_timelines
 from repro.common.config import KernelConfig, MachineConfig, SimConfig
-from repro.hw.events import Event, EventRates
+from repro.hw.events import EventRates
 from repro.sim.engine import run_program
 from repro.sim.ops import Compute, LockAcquire, LockRelease, Sleep
 from repro.sim.program import ThreadSpec

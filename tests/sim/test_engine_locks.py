@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.common.config import KernelConfig, LockConfig, MachineConfig, SimConfig
+from repro.common.config import LockConfig, MachineConfig, SimConfig
 from repro.common.errors import LockProtocolError, SimulationError
 from repro.sim.ops import Compute, LockAcquire, LockRelease
-from repro.sim.program import ThreadSpec
 
 from tests.conftest import SIMPLE_RATES, run_threads
 

@@ -3,7 +3,6 @@
 from repro.common.config import KernelConfig, MachineConfig, SimConfig
 from repro.hw.events import EventRates
 from repro.sim.ops import Compute, JoinThread, Sleep, SpawnThread
-from repro.sim.program import ThreadSpec
 from tests.conftest import compute_program, run_threads
 
 RATES = EventRates.profile(ipc=1.0)

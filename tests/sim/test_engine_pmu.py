@@ -1,13 +1,11 @@
 """Engine PMU behaviour: virtualization, overflow, sampling, faults."""
 
-import pytest
 
 from repro.common.config import KernelConfig, MachineConfig, SimConfig
 from repro.common.errors import CounterError
-from repro.hw.events import Domain, Event, EventRates
+from repro.hw.events import Event, EventRates
 from repro.kernel.vpmu import SlotSpec
 from repro.sim.ops import Compute, LoadVAccum, Rdpmc, RegionBegin, RegionEnd, Syscall
-from repro.sim.program import ThreadSpec
 
 from tests.conftest import SIMPLE_RATES, run_threads
 

@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro.common.config import KernelConfig, MachineConfig, SimConfig
+from repro.common.config import MachineConfig, SimConfig
 from repro.common.errors import SimulationError
 from repro.sim.engine import ThreadState
 from repro.sim.ops import Compute, JoinThread, LockAcquire, Sleep, SpawnThread, YieldCpu
-from repro.sim.program import ThreadSpec
 
 from tests.conftest import SIMPLE_RATES, compute_program, run_threads
 

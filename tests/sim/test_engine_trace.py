@@ -88,7 +88,6 @@ class TestTraceContent:
             [ThreadSpec("a", program), ThreadSpec("b", program)],
             traced(timeslice=10_000),
         )
-        ks = kinds(result)
         # find a switch_out followed immediately by the same thread's ready
         found = False
         for i in range(len(result.trace) - 1):

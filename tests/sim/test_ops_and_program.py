@@ -3,9 +3,8 @@
 import pytest
 
 from repro.common.errors import ConfigError
-from repro.hw.events import EventRates
 from repro.sim.ops import Compute, Sleep
-from repro.sim.program import ThreadContext, ThreadSpec
+from repro.sim.program import ThreadSpec
 
 from tests.conftest import SIMPLE_RATES, run_threads
 

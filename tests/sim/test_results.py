@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.errors import SimulationError
-from repro.hw.events import Domain, Event
+from repro.hw.events import Event
 from repro.sim.results import merge_histogram
 from repro.sim.ops import Compute, Syscall
 from tests.conftest import SIMPLE_RATES, run_threads, compute_program
