@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments experiments-quick trace-smoke fault-smoke examples lint lint-smoke clean
+.PHONY: install test bench experiments experiments-quick trace-smoke traffic-smoke fault-smoke examples lint lint-smoke clean
 
 install:
 	pip install -e .
@@ -25,6 +25,17 @@ trace-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments --quick E1 \
 		--manifest results/smoke/manifest.json --trace-dir results/smoke/traces
 	PYTHONPATH=src $(PYTHON) -m repro.trace summarize results/smoke/traces/e1.quick.jsonl
+
+# streaming observability end-to-end check: a CI-sized E19 traffic run
+# under the strict lint gate with live windowed export, then tail the
+# stream with the trace CLI (the CI job additionally asserts bounded
+# collector memory and exact reconciliation from the manifest)
+traffic-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments --quick E19 --lint-strict \
+		--stream-dir results/smoke/streams \
+		--manifest results/smoke/traffic-manifest.json \
+		--window-cycles 2000000 --window-retention 8
+	PYTHONPATH=src $(PYTHON) -m repro.trace tail results/smoke/streams/e19 -n 5
 
 # robustness end-to-end check: the fault matrix with its manifest ledger,
 # plus the fabric chaos and fault-injector test files

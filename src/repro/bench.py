@@ -1,8 +1,8 @@
 """Tracked performance baseline: ``python -m repro.bench``.
 
-Measures the two workloads the macro-stepping / composite-read work is
-judged on and writes the results as ``BENCH_PR3.json`` (schema
-``repro.bench/v1``, documented in docs/performance.md):
+Measures the workloads the perf-sensitive subsystems are judged on and
+writes the results as ``BENCH_PR6.json`` (schema ``repro.bench/v1``,
+documented in docs/performance.md):
 
 * **contention microbench** — two threads on two cores alternating long
   solo compute stretches (many scheduler quanta: the macro-stepping sweet
@@ -13,6 +13,11 @@ judged on and writes the results as ``BENCH_PR3.json`` (schema
   per experiment, with the engines' fast-path telemetry (macro-step hit
   rate, batched quanta, composite fast reads, bailouts) aggregated from
   the run collector.
+* **streaming observability A/B** — the open-loop traffic workload run
+  twice in-process, once bare and once under a windowed collector with a
+  live JSONL stream export, so the reported streaming overhead is a
+  same-machine ratio. Fingerprints must match (zero perturbation) and
+  the overhead must stay under :data:`STREAM_OVERHEAD_MAX`.
 
 ``--check BASELINE.json`` is the CI regression gate. Wall-clock seconds are
 not comparable across machines, so the gate compares machine-independent
@@ -20,7 +25,8 @@ quantities against the committed baseline: the deterministic sweep piece
 count (``sim_events`` — un-fusing ops or losing a fast path inflates it),
 the sweep macro hit rate, and the microbench on/off speedup (a ratio of
 two runs on the *same* host). Any of them regressing by more than
-``--threshold`` (default 25%) fails the check.
+``--threshold`` (default 25%) fails the check, as does same-host
+streaming overhead above the absolute :data:`STREAM_OVERHEAD_MAX` cap.
 """
 
 from __future__ import annotations
@@ -42,7 +48,10 @@ from repro.sim.program import ThreadSpec
 from repro.workloads.base import COMPUTE_RATES
 
 SCHEMA = "repro.bench/v1"
-DEFAULT_OUT = "BENCH_PR3.json"
+DEFAULT_OUT = "BENCH_PR6.json"
+
+#: Hard cap on the streaming-observability overhead ratio (same-host A/B).
+STREAM_OVERHEAD_MAX = 0.05
 
 #: Microbench shape: the two threads alternate long critical sections on a
 #: shared lock. While one computes for many scheduler quanta, the other is
@@ -151,6 +160,104 @@ def run_sweep(quick: bool) -> dict:
     }
 
 
+STREAM_REQUESTS = 10_000
+STREAM_REQUESTS_QUICK = 1_500
+#: Paired repetitions of the A/B; the reported overhead is the median of
+#: the per-pair on/off ratios, which strips host scheduling noise from
+#: the short runs (the true recording cost is well under 1%, so the gate
+#: is effectively a noise-robust regression tripwire).
+STREAM_REPEATS = 9
+
+
+def _run_traffic(requests: int, streaming: bool) -> dict:
+    import tempfile
+
+    from repro.obs.export import JsonlStreamWriter
+    from repro.obs.windows import WindowSpec
+    from repro.workloads.traffic import TrafficConfig, TrafficWorkload
+
+    config = SimConfig(
+        machine=MachineConfig(n_cores=4),
+        kernel=KernelConfig(timeslice_cycles=1_000_000),
+        seed=19,
+    )
+    workload = TrafficWorkload(
+        TrafficConfig(n_workers=4, requests_per_worker=requests)
+    )
+    if streaming:
+        with tempfile.TemporaryDirectory() as tmp:
+            writer = JsonlStreamWriter(
+                Path(tmp) / "bench", label="bench", spec=WindowSpec()
+            )
+            started = time.perf_counter()
+            with obs_runtime.collect(
+                label="bench-stream",
+                window_spec=WindowSpec(),
+                stream=writer,
+            ) as collector:
+                result = run_program(workload.build(), config)
+            writer.close(summary=collector.windows_summary())
+            wall = time.perf_counter() - started
+            n_windows = writer.n_windows
+    else:
+        started = time.perf_counter()
+        result = run_program(workload.build(), config)
+        wall = time.perf_counter() - started
+        n_windows = 0
+    return {
+        "wall_seconds": wall,
+        "n_windows": n_windows,
+        "fingerprint": result.fingerprint(),
+    }
+
+
+def run_streaming_overhead(quick: bool) -> dict:
+    """Traffic workload bare vs under a live windowed stream export.
+
+    Each repetition runs both arms back to back (alternating which goes
+    first, so slow thermal/boost drift cancels instead of taxing one arm)
+    and yields one on/off wall-time ratio; the reported overhead is the
+    *median* of those per-repetition ratios, which a single host hiccup
+    in either arm cannot move. The runs are deterministic, so every
+    repetition compares the same work on both sides.
+    """
+    import statistics
+
+    requests = STREAM_REQUESTS_QUICK if quick else STREAM_REQUESTS
+    offs, ons, ratios = [], [], []
+    for rep in range(STREAM_REPEATS):
+        order = (False, True) if rep % 2 == 0 else (True, False)
+        pair = {}
+        for streaming in order:
+            run = _run_traffic(requests, streaming)
+            pair[streaming] = run
+            (ons if streaming else offs).append(run)
+        ratios.append(
+            pair[True]["wall_seconds"] / pair[False]["wall_seconds"]
+        )
+    off = min(offs, key=lambda r: r["wall_seconds"])
+    on = min(ons, key=lambda r: r["wall_seconds"])
+    fingerprints = {r["fingerprint"] for r in offs + ons}
+    if len(fingerprints) != 1:  # pragma: no cover - invariant
+        raise RuntimeError(
+            "streaming observation changed the traffic fingerprint "
+            f"({sorted(fingerprints)})"
+        )
+    overhead = statistics.median(ratios) - 1.0
+    return {
+        "requests": requests * 4,
+        "repeats": STREAM_REPEATS,
+        "streaming_on": {
+            k: v for k, v in on.items() if k != "fingerprint"
+        },
+        "streaming_off": {
+            k: v for k, v in off.items() if k != "fingerprint"
+        },
+        "fingerprint": on["fingerprint"],
+        "overhead": overhead,
+    }
+
+
 def measure(quick: bool) -> dict:
     return {
         "schema": SCHEMA,
@@ -161,6 +268,7 @@ def measure(quick: bool) -> dict:
         },
         "microbench": run_microbench(quick),
         "sweep": run_sweep(quick),
+        "streaming": run_streaming_overhead(quick),
     }
 
 
@@ -204,6 +312,18 @@ def check(current: dict, baseline: dict, threshold: float, out) -> int:
         baseline["microbench"]["speedup"],
         higher_is_better=True,
     )
+    streaming = current.get("streaming")
+    if streaming is not None:
+        # Absolute same-host cap, independent of the committed baseline.
+        overhead = streaming["overhead"]
+        ok = overhead <= STREAM_OVERHEAD_MAX
+        print(
+            f"  [{'ok' if ok else 'FAIL'}] streaming obs overhead: "
+            f"{overhead:+.1%} (cap {STREAM_OVERHEAD_MAX:.0%})",
+            file=out,
+        )
+        if not ok:
+            failures.append("streaming obs overhead")
     if failures:
         print(f"REGRESSED: {', '.join(failures)}", file=out)
         return 1
@@ -214,7 +334,7 @@ def check(current: dict, baseline: dict, threshold: float, out) -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
-        description="Measure the tracked perf baseline (BENCH_PR3.json).",
+        description=f"Measure the tracked perf baseline ({DEFAULT_OUT}).",
     )
     parser.add_argument(
         "--quick", action="store_true", help="CI-sized parameters"
@@ -267,6 +387,14 @@ def main(argv: list[str] | None = None) -> int:
         f"({sweep['pieces_per_sec']:,.0f}/s), "
         f"macro hit rate {sweep['macro_hit_rate']:.1%}, "
         f"{sweep['fast_reads']:,.0f} fast reads"
+    )
+    streaming = current["streaming"]
+    print(
+        f"streaming: {streaming['requests']:,} requests, on "
+        f"{streaming['streaming_on']['wall_seconds']:.3f}s vs off "
+        f"{streaming['streaming_off']['wall_seconds']:.3f}s -> "
+        f"{streaming['overhead']:+.1%} overhead "
+        f"({streaming['streaming_on']['n_windows']} windows streamed)"
     )
 
     if args.check is not None:

@@ -51,6 +51,8 @@ def _workload_catalog():
         SpecSuiteWorkload,
         StreamclusterConfig,
         StreamclusterWorkload,
+        TrafficConfig,
+        TrafficWorkload,
     )
 
     return {
@@ -72,6 +74,11 @@ def _workload_catalog():
         "spec": lambda scale: SpecSuiteWorkload(scale=scale),
         "streamcluster": lambda scale: StreamclusterWorkload(
             StreamclusterConfig(n_workers=4, n_phases=round(20 * scale))
+        ),
+        "traffic": lambda scale: TrafficWorkload(
+            TrafficConfig(
+                n_workers=4, requests_per_worker=max(1, round(400 * scale))
+            )
         ),
     }
 

@@ -234,6 +234,55 @@ class LimitSession:
         )
 
 
+class UnbufferedLimitSession(LimitSession):
+    """A LimitSession for production-shaped load: constant-memory audit.
+
+    The base class appends a :class:`ReadRecord` per read — perfect for
+    experiments that audit individual reads, fatal for workloads issuing
+    millions of them. This subclass keeps only O(1) incremental error
+    statistics (count, signed error sum, max absolute error), so read
+    volume never grows session memory. :meth:`max_abs_error` still works;
+    :meth:`errors`/:meth:`records_for` see an empty record list.
+    """
+
+    def __init__(
+        self,
+        events: Iterable[Event | SlotSpec],
+        count_kernel: bool = False,
+        name: str = "limit",
+    ) -> None:
+        super().__init__(events, count_kernel=count_kernel, name=name)
+        self.n_reads = 0
+        self.error_sum = 0
+        self.error_max_abs = 0
+
+    def _record(
+        self, ctx: ThreadContext, idx: int, i: int, value: int, protocol: str
+    ) -> None:
+        thread = ctx.thread()
+        truth = (
+            thread.last_rdpmc_truth
+            if thread.last_rdpmc_truth is not None
+            else 0
+        )
+        error = value - truth
+        self.n_reads += 1
+        self.error_sum += error
+        if abs(error) > self.error_max_abs:
+            self.error_max_abs = abs(error)
+
+    def max_abs_error(self) -> int:
+        return self.error_max_abs
+
+    def error_stats(self) -> dict[str, int]:
+        """The constant-memory audit summary."""
+        return {
+            "n_reads": self.n_reads,
+            "error_sum": self.error_sum,
+            "max_abs_error": self.error_max_abs,
+        }
+
+
 class UnsafeLimitSession(LimitSession):
     """A LimitSession whose plain :meth:`read` uses the unprotected
     sequence — the what-if-LiMiT-had-no-restart-protocol arm of E4."""

@@ -25,6 +25,7 @@ from repro.experiments import (
     e16_behavior_over_time,
     e17_fault_matrix,
     e18_lint_validation,
+    e19_open_loop,
 )
 from repro.experiments.base import ExperimentResult
 
@@ -56,6 +57,7 @@ _MODULES = [
     e16_behavior_over_time,
     e17_fault_matrix,
     e18_lint_validation,
+    e19_open_loop,
 ]
 
 REGISTRY: dict[str, ExperimentEntry] = {

@@ -46,7 +46,13 @@ from typing import Any
 from repro.experiments.registry import all_experiments, get
 from repro.fabric import ResultCache, default_cache_dir
 from repro.obs import runtime as obs_runtime
-from repro.obs.export import events_to_jsonl, write_manifest, write_perfetto
+from repro.obs.export import (
+    JsonlStreamWriter,
+    events_to_jsonl,
+    write_manifest,
+    write_perfetto,
+)
+from repro.obs.windows import DEFAULT_RETENTION, DEFAULT_WINDOW_CYCLES, WindowSpec
 
 
 def artifact_stem(exp_id: str, quick: bool) -> str:
@@ -72,24 +78,58 @@ class EntryOutcome:
     job_failures: list = field(default_factory=list)
     #: per-batch lint-gate report dicts (schema repro.lint/report/v1)
     lint_reports: list = field(default_factory=list)
+    #: streaming-export facts when the experiment streamed windows
+    #: (directory, record/window counts, part count), else None
+    stream: dict | None = None
 
 
-def _execute(entry, quick: bool, capture_traces: bool) -> EntryOutcome:
-    """Run one experiment in the current process, collecting its runs."""
+def _execute(
+    entry,
+    quick: bool,
+    capture_traces: bool,
+    window_spec: WindowSpec | None = None,
+    stream_dir: Path | None = None,
+) -> EntryOutcome:
+    """Run one experiment in the current process, collecting its runs.
+
+    With ``stream_dir``, windowed observations stream incrementally into
+    ``stream_dir/<exp_id>/`` (schema ``repro.obs/stream/v1``) while the
+    experiment runs; the stream manifest is finalized with the exact
+    windows summary when the experiment completes.
+    """
     from repro import fabric
     from repro.lint import gate as lint_gate
 
     fabric.drain_failures()  # start this experiment with a clean slate
     lint_gate.drain_reports()
+    writer = None
+    if stream_dir is not None:
+        writer = JsonlStreamWriter(
+            stream_dir / entry.exp_id.lower(),
+            label=entry.exp_id,
+            spec=window_spec or WindowSpec(),
+        )
     started = time.perf_counter()
     with obs_runtime.collect(
-        capture_traces=capture_traces, label=entry.exp_id
+        capture_traces=capture_traces,
+        label=entry.exp_id,
+        window_spec=window_spec,
+        stream=writer,
     ) as collector:
         try:
             result = entry.run(quick=quick)
             error, text = None, result.render()
         except Exception as exc:  # keep going; report at the end
             error, text = f"{type(exc).__name__}: {exc}", None
+    stream_info = None
+    if writer is not None:
+        writer.close(summary=collector.windows_summary())
+        stream_info = {
+            "dir": str(writer.directory),
+            "n_records": writer.n_records,
+            "n_windows": writer.n_windows,
+            "n_parts": len(writer.parts),
+        }
     return EntryOutcome(
         exp_id=entry.exp_id,
         title=entry.title,
@@ -99,6 +139,7 @@ def _execute(entry, quick: bool, capture_traces: bool) -> EntryOutcome:
         records=collector.records,
         job_failures=[f.as_dict() for f in fabric.drain_failures()],
         lint_reports=lint_gate.drain_reports(),
+        stream=stream_info,
     )
 
 
@@ -110,13 +151,16 @@ def _execute_in_worker(
     cache_salt: str | None,
     fail_fast: bool | None = None,
     lint_mode: str = "off",
+    window_spec: WindowSpec | None = None,
+    stream_dir: str | None = None,
 ) -> EntryOutcome:
     """Pool-worker entry point: look the experiment up by id and run it.
 
     The worker gets its own run-level fabric cache (same directory, own
     counters) and ships its hit/miss delta back in the outcome. The lint
     gate is re-armed from ``lint_mode`` so experiments gate identically
-    inline and pooled.
+    inline and pooled; each experiment owns its own stream subdirectory,
+    so pooled experiments stream without contention.
     """
     from repro import fabric
     from repro.lint import gate as lint_gate
@@ -125,7 +169,13 @@ def _execute_in_worker(
     if fail_fast is not None:
         fabric.configure(fail_fast=fail_fast)
     lint_gate.restore(lint_mode)
-    outcome = _execute(get(exp_id), quick, capture_traces)
+    outcome = _execute(
+        get(exp_id),
+        quick,
+        capture_traces,
+        window_spec=window_spec,
+        stream_dir=Path(stream_dir) if stream_dir else None,
+    )
     worker_cache = fabric.current().cache
     if worker_cache is not None:
         outcome.cache_stats = worker_cache.stats.as_dict()
@@ -163,6 +213,11 @@ def _emit(
         },
         "faults": collector.fault_summary(),
     }
+    windows = collector.windows_summary()
+    if windows is not None:
+        record["windows"] = windows
+    if getattr(outcome, "stream", None) is not None:
+        record["stream"] = outcome.stream
     if outcome.cached:
         record["cached"] = True
     lint_reports = getattr(outcome, "lint_reports", [])
@@ -223,6 +278,8 @@ def run_entries(
     cache: ResultCache | None = None,
     fail_fast: bool | None = None,
     lint_mode: str = "off",
+    window_spec: WindowSpec | None = None,
+    stream_dir: Path | None = None,
 ) -> tuple[list[dict[str, Any]], float]:
     """Run experiments; returns (manifest entry dicts, total wall seconds).
 
@@ -234,7 +291,9 @@ def run_entries(
     False lets sweeps continue past dead/hung workers and reports them as
     structured job failures in the manifest). ``lint_mode`` ("off", "on",
     "strict") arms the fail-closed static-analysis gate in front of every
-    fabric dispatch, inline and in pool workers alike.
+    fabric dispatch, inline and in pool workers alike. ``window_spec``
+    shapes windowed observations; ``stream_dir`` streams them to one
+    ``repro.obs/stream/v1`` directory per experiment as runs complete.
     """
     from repro import fabric
     from repro.lint import gate as lint_gate
@@ -245,7 +304,12 @@ def run_entries(
     # The lint gate must observe every fabric dispatch, so an armed gate
     # bypasses the experiment-level cache (a replayed experiment dispatches
     # nothing). Run-level caching stays on: run_many gates before serving.
-    use_cache = cache if not capture_traces and lint_mode == "off" else None
+    # Streaming bypasses it too: stream files must reflect a real execution.
+    use_cache = (
+        cache
+        if not capture_traces and lint_mode == "off" and stream_dir is None
+        else None
+    )
     total_started = time.perf_counter()
 
     outcomes: list[EntryOutcome | None] = [None] * len(entries)
@@ -287,6 +351,8 @@ def run_entries(
                         cache_salt,
                         fail_fast,
                         lint_mode,
+                        window_spec,
+                        str(stream_dir) if stream_dir else None,
                     ),
                 )
                 for i, key in pending
@@ -305,7 +371,13 @@ def run_entries(
         lint_gate.restore(lint_mode)
         try:
             for i, key in pending:
-                outcomes[i] = _execute(entries[i], quick, capture_traces)
+                outcomes[i] = _execute(
+                    entries[i],
+                    quick,
+                    capture_traces,
+                    window_spec=window_spec,
+                    stream_dir=stream_dir,
+                )
         finally:
             fabric.configure(
                 jobs=prev_jobs, cache=prev_cache, fail_fast=prev_fail_fast
@@ -337,7 +409,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids (E1..E18); all when omitted",
+        help="experiment ids (E1..E19); all when omitted",
     )
     parser.add_argument(
         "--quick", action="store_true", help="smaller parameters (CI-sized)"
@@ -386,6 +458,37 @@ def main(argv: list[str] | None = None) -> int:
         type=Path,
         default=None,
         help="capture traces; write per-experiment Perfetto + JSONL files here",
+    )
+    parser.add_argument(
+        "--stream-dir",
+        type=Path,
+        default=None,
+        help=(
+            "stream windowed observations incrementally into one "
+            "repro.obs/stream/v1 directory per experiment under this path "
+            "(follow live with `python -m repro.trace tail/watch`)"
+        ),
+    )
+    parser.add_argument(
+        "--window-cycles",
+        type=int,
+        default=DEFAULT_WINDOW_CYCLES,
+        metavar="N",
+        help=(
+            "width of windowed-observation time buckets in simulated "
+            f"cycles (default: {DEFAULT_WINDOW_CYCLES})"
+        ),
+    )
+    parser.add_argument(
+        "--window-retention",
+        type=int,
+        default=DEFAULT_RETENTION,
+        metavar="N",
+        help=(
+            "detailed windows kept in memory before the oldest are "
+            "evicted (streamed + folded into an aggregate; default: "
+            f"{DEFAULT_RETENTION})"
+        ),
     )
     parser.add_argument(
         "--list", action="store_true", help="list experiments and exit"
@@ -448,6 +551,22 @@ def main(argv: list[str] | None = None) -> int:
         args.out.mkdir(parents=True, exist_ok=True)
     if args.trace_dir:
         args.trace_dir.mkdir(parents=True, exist_ok=True)
+    if args.window_cycles < 1:
+        parser.error("--window-cycles must be >= 1")
+    if args.window_retention < 1:
+        parser.error("--window-retention must be >= 1")
+    window_spec: WindowSpec | None = None
+    if (
+        args.stream_dir is not None
+        or args.window_cycles != DEFAULT_WINDOW_CYCLES
+        or args.window_retention != DEFAULT_RETENTION
+    ):
+        window_spec = WindowSpec(
+            window_cycles=args.window_cycles,
+            retention=args.window_retention,
+        )
+    if args.stream_dir:
+        args.stream_dir.mkdir(parents=True, exist_ok=True)
 
     lint_mode = "strict" if args.lint_strict else ("on" if args.lint else "off")
     lint_block: dict[str, Any] | None = None
@@ -474,6 +593,8 @@ def main(argv: list[str] | None = None) -> int:
         cache=cache,
         fail_fast=args.fail_fast,
         lint_mode=lint_mode,
+        window_spec=window_spec,
+        stream_dir=args.stream_dir,
     )
     passed = sum(1 for r in records if r["status"] == "passed")
     failed = len(records) - passed

@@ -226,8 +226,18 @@ def job_key(cache: ResultCache, job: RunJob) -> str:
     )
 
 
-def execute_job(job: RunJob, capture_traces: bool = False) -> JobOutcome:
-    """Run one job in the current process (pool workers land here too)."""
+def execute_job(
+    job: RunJob,
+    capture_traces: bool = False,
+    window_spec: Any | None = None,
+) -> JobOutcome:
+    """Run one job in the current process (pool workers land here too).
+
+    ``window_spec`` shapes any windowed observations the workload makes
+    (propagated from the ambient collector by :func:`run_many`, so serial
+    and pooled runs window identically); the stats travel back on the
+    outcome's records and merge exactly into the ambient collector.
+    """
     from repro.sim.engine import Engine
 
     factory = resolve(job.workload)
@@ -235,7 +245,9 @@ def execute_job(job: RunJob, capture_traces: bool = False) -> JobOutcome:
     trial = factory(**job.kwargs)
     specs = trial.build() if hasattr(trial, "build") else trial
     with obs_runtime.collect(
-        capture_traces=capture_traces, label=job.label or job.workload
+        capture_traces=capture_traces,
+        label=job.label or job.workload,
+        window_spec=window_spec,
     ) as collector:
         result = Engine(job.config).run(specs)
     extra = trial.extract(result) if hasattr(trial, "extract") else None
@@ -255,10 +267,12 @@ def _mp_context():
     )
 
 
-def _child_entry(conn, job: RunJob, capture_traces: bool) -> None:
+def _child_entry(
+    conn, job: RunJob, capture_traces: bool, window_spec: Any | None = None
+) -> None:
     """Worker-process entry: run one job, ship the outcome over the pipe."""
     try:
-        payload = ("ok", execute_job(job, capture_traces))
+        payload = ("ok", execute_job(job, capture_traces, window_spec))
     except BaseException as exc:  # noqa: BLE001 - reported to the parent
         payload = ("error", f"{type(exc).__name__}: {exc}")
     try:
@@ -305,6 +319,7 @@ def _run_pooled(
     retries: int,
     backoff: float,
     fail_fast: bool,
+    window_spec: Any | None = None,
 ) -> dict[int, "JobOutcome | JobFailure"]:
     """Run jobs with one process per job, at most ``workers`` at a time.
 
@@ -360,7 +375,7 @@ def _run_pooled(
                 recv_conn, send_conn = ctx.Pipe(duplex=False)
                 proc = ctx.Process(
                     target=_child_entry,
-                    args=(send_conn, att.job, capture_traces),
+                    args=(send_conn, att.job, capture_traces, window_spec),
                     daemon=True,
                 )
                 att.attempts += 1
@@ -471,6 +486,9 @@ def run_many(
         capture_traces = collector.capture_traces if collector else False
     if capture_traces:
         cache = None
+    # Inner collectors window observations identically wherever a job
+    # physically runs, so serial and pooled summaries stay bit-identical.
+    window_spec = collector.window_spec if collector else None
 
     # Fail-closed static analysis before anything is dispatched *or served
     # from cache*: the lint verdict must not depend on cache state. Raises
@@ -509,6 +527,7 @@ def run_many(
             retries,
             backoff,
             fail_fast,
+            window_spec,
         )
         for i, _key, _job in pending:
             outcomes[i] = pooled[i]
@@ -516,7 +535,7 @@ def run_many(
         for i, _key, job in pending:
             started = time.perf_counter()
             try:
-                outcomes[i] = execute_job(job, capture_traces)
+                outcomes[i] = execute_job(job, capture_traces, window_spec)
             except Exception as exc:
                 if fail_fast:
                     raise

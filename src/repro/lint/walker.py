@@ -274,12 +274,29 @@ def walk_program(
     programs that spawn up front; interleaved mid-run spawns may differ,
     which affects only finding labels, never hazard detection).
     """
+    from repro.obs import runtime as obs_runtime
+
     config = config or SimConfig()
     program = ProgramWalk(config=config)
     pending: list[tuple[str, Any, str]] = [
         (spec.name, spec.factory, "") for spec in specs
     ]
     next_tid = 0
+    # The walk executes real workload generators, which may feed windowed
+    # observations to the ambient collector; a throwaway scope absorbs
+    # them so a static walk can never pollute live measurements.
+    with obs_runtime.collect(label="lint-walk"):
+        _walk_all(program, pending, config, max_ops, next_tid)
+    return program
+
+
+def _walk_all(
+    program: ProgramWalk,
+    pending: list[tuple[str, Any, str]],
+    config: SimConfig,
+    max_ops: int,
+    next_tid: int,
+) -> None:
     while pending:
         name, factory, spawned_by = pending.pop(0)
         tid = next_tid
@@ -298,4 +315,3 @@ def walk_program(
         )
         pending.extend(spawn_queue)
         program.threads.append(walk)
-    return program

@@ -22,35 +22,65 @@ The ``python -m repro.trace`` CLI converts/summarizes/filters trace files.
 
 from repro.obs.export import (
     MANIFEST_SCHEMA,
+    STREAM_SCHEMA,
+    JsonlStreamWriter,
+    StreamFollower,
     events_to_jsonl,
+    is_stream_dir,
     perfetto_document,
     perfetto_events,
     read_jsonl,
+    read_stream_manifest,
+    read_stream_records,
+    read_stream_windows,
     summarize_events,
     write_manifest,
     write_perfetto,
 )
+from repro.obs.hist import LogHistogram
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer
-from repro.obs.runtime import RunCollector, collect, current
+from repro.obs.runtime import (
+    RunCollector,
+    collect,
+    count_window,
+    current,
+    observe_batch,
+    observe_latency,
+)
 from repro.obs.trace import KINDS, TraceBus, TraceEvent
 from repro.obs.warnings import warn
+from repro.obs.windows import Window, WindowedStats, WindowSpec
 
 __all__ = [
     "Counter",
     "Gauge",
+    "JsonlStreamWriter",
     "KINDS",
+    "LogHistogram",
     "MANIFEST_SCHEMA",
     "MetricsRegistry",
     "RunCollector",
+    "STREAM_SCHEMA",
+    "StreamFollower",
     "Timer",
     "TraceBus",
     "TraceEvent",
+    "Window",
+    "WindowSpec",
+    "WindowedStats",
     "collect",
+    "count_window",
     "current",
     "events_to_jsonl",
+    "is_stream_dir",
+    "observe_batch",
+    "observe_latency",
     "perfetto_document",
     "perfetto_events",
     "read_jsonl",
+    "read_stream_manifest",
+    "read_stream_records",
+    "read_stream_windows",
     "summarize_events",
     "warn",
     "write_manifest",

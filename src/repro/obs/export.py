@@ -25,6 +25,7 @@ from repro.common.errors import ReproError
 from repro.common.units import DEFAULT_FREQUENCY, Frequency
 from repro.obs import trace as tr
 from repro.obs.trace import TraceEvent
+from repro.obs.windows import Window, WindowSpec
 
 MANIFEST_SCHEMA = "repro.obs/manifest/v1"
 
@@ -296,6 +297,268 @@ def summarize_events(events: Sequence[tuple]) -> dict[str, Any]:
         "by_kind": dict(sorted(by_kind.items())),
         "by_tid": dict(sorted(by_tid.items())),
     }
+
+
+# -- streaming window export -------------------------------------------------
+
+STREAM_SCHEMA = "repro.obs/stream/v1"
+STREAM_MANIFEST_NAME = "stream-manifest.json"
+
+#: Records per part file before the writer rotates to a new one.
+DEFAULT_PART_RECORDS = 4096
+
+
+class JsonlStreamWriter:
+    """Incremental JSONL exporter for windowed observations.
+
+    Writes one JSON record per line into ``part-NNNNN.jsonl`` files inside
+    a *stream directory*, rotating to a new part every ``part_records``
+    records so no single file grows unboundedly, and maintaining a
+    ``stream-manifest.json`` (schema ``repro.obs/stream/v1``) listing the
+    parts. Every record is flushed as written, so ``python -m repro.trace
+    tail``/``watch`` can follow the directory while a run is in flight.
+
+    Window records look like::
+
+        {"type": "window", "run": 0, "source": "live", "window": {...}}
+
+    ``source`` is ``"live"`` for windows evicted mid-run by the collector,
+    ``"flush"`` for retained windows written at run end, and ``"spilled"``
+    for a run's evicted-aggregate window (index -1) when its per-window
+    detail was lost before reaching this writer (e.g. evictions inside a
+    fabric worker). Merging every window record of a stream reproduces the
+    run's exact batch totals — each observation appears exactly once.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        label: str | None = None,
+        spec: WindowSpec | None = None,
+        part_records: int = DEFAULT_PART_RECORDS,
+    ) -> None:
+        if part_records < 1:
+            raise ReproError(
+                f"part_records must be >= 1, got {part_records}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.label = label
+        self.spec = spec
+        self.part_records = part_records
+        self.parts: list[dict[str, Any]] = []
+        self.n_records = 0
+        self.n_windows = 0
+        self.closed = False
+        self._fp: Any = None
+        self._part_lines = 0
+        self._open_part()
+        self._write_stream_manifest()  # followers can see the stream early
+
+    def _open_part(self) -> None:
+        if self._fp is not None:
+            self._fp.close()
+        name = f"part-{len(self.parts):05d}.jsonl"
+        self.parts.append({"name": name, "records": 0})
+        self._fp = open(self.directory / name, "w", encoding="utf-8")
+        self._part_lines = 0
+
+    def write_record(self, record: dict[str, Any]) -> None:
+        if self.closed:
+            raise ReproError(f"stream writer {self.directory} is closed")
+        if self._part_lines >= self.part_records:
+            self._open_part()
+            self._write_stream_manifest()
+        self._fp.write(json.dumps(record, separators=(",", ":")))
+        self._fp.write("\n")
+        self._fp.flush()
+        self._part_lines += 1
+        self.parts[-1]["records"] = self._part_lines
+        self.n_records += 1
+
+    def write_window(
+        self, window: Window, run: int, source: str = "flush"
+    ) -> None:
+        self.write_record(
+            {
+                "type": "window",
+                "run": run,
+                "source": source,
+                "window": window.as_dict(self.spec),
+            }
+        )
+        self.n_windows += 1
+
+    def sink(self, run: int):
+        """An eviction sink bound to engine run ``run`` (for
+        :class:`~repro.obs.windows.WindowedStats`'s ``on_evict``)."""
+
+        def _evict(window: Window) -> None:
+            self.write_window(window, run=run, source="live")
+
+        return _evict
+
+    def _write_stream_manifest(
+        self, summary: dict[str, Any] | None = None
+    ) -> None:
+        data: dict[str, Any] = {
+            "schema": STREAM_SCHEMA,
+            "label": self.label,
+            "spec": (
+                {
+                    "window_cycles": self.spec.window_cycles,
+                    "retention": self.spec.retention,
+                    "hist_bits": self.spec.hist_bits,
+                }
+                if self.spec is not None
+                else None
+            ),
+            "closed": self.closed,
+            "n_records": self.n_records,
+            "n_windows": self.n_windows,
+            "parts": [dict(p) for p in self.parts],
+        }
+        if summary is not None:
+            data["summary"] = summary
+        path = self.directory / STREAM_MANIFEST_NAME
+        path.write_text(json.dumps(data, indent=2) + "\n")
+
+    def close(self, summary: dict[str, Any] | None = None) -> None:
+        """Finalize: close the open part and write the final manifest
+        (optionally embedding the owning collector's windows summary)."""
+        if self.closed:
+            return
+        if self._fp is not None:
+            self._fp.close()
+            self._fp = None
+        # Drop a trailing part that never received a record.
+        if self.parts and self.parts[-1]["records"] == 0:
+            part = self.parts.pop()
+            try:
+                (self.directory / part["name"]).unlink()
+            except OSError:  # pragma: no cover - unlink race
+                pass
+        self.closed = True
+        self._write_stream_manifest(summary)
+
+    def __enter__(self) -> "JsonlStreamWriter":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def is_stream_dir(path: str | Path) -> bool:
+    """True when ``path`` looks like a streaming trace directory."""
+    return (Path(path) / STREAM_MANIFEST_NAME).is_file()
+
+
+def read_stream_manifest(directory: str | Path) -> dict[str, Any]:
+    path = Path(directory) / STREAM_MANIFEST_NAME
+    try:
+        data = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise ReproError(
+            f"{directory}: not a stream directory (no {STREAM_MANIFEST_NAME})"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{path}: not valid JSON ({exc})") from None
+    if data.get("schema") != STREAM_SCHEMA:
+        raise ReproError(
+            f"{path}: not a stream manifest (schema={data.get('schema')!r})"
+        )
+    return data
+
+
+def stream_part_paths(directory: str | Path) -> list[Path]:
+    """The stream's part files in write order."""
+    return sorted(Path(directory).glob("part-*.jsonl"))
+
+
+def read_stream_records(directory: str | Path) -> list[dict[str, Any]]:
+    """Every record of a stream directory, in write order."""
+    records: list[dict[str, Any]] = []
+    for path in stream_part_paths(directory):
+        with open(path, "r", encoding="utf-8") as fp:
+            for lineno, line in enumerate(fp, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    raise ReproError(
+                        f"{path}:{lineno}: not a stream record ({exc})"
+                    ) from None
+    return records
+
+
+def read_stream_windows(
+    directory: str | Path,
+) -> list[tuple[int, str, Window]]:
+    """Every window record as ``(run, source, Window)``, in write order."""
+    out: list[tuple[int, str, Window]] = []
+    for record in read_stream_records(directory):
+        if record.get("type") == "window":
+            out.append(
+                (
+                    record.get("run", 0),
+                    record.get("source", "flush"),
+                    Window.from_dict(record["window"]),
+                )
+            )
+    return out
+
+
+class StreamFollower:
+    """Incremental reader for live tailing of a stream directory.
+
+    Remembers a byte offset per part file; every :meth:`poll` returns the
+    records written since the previous poll (only complete, newline-
+    terminated lines are consumed, so a record mid-write is picked up on
+    the next poll). A part older than the newest one can never grow again
+    (the writer rotates forward only), so it is marked done once drained.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self._offsets: dict[str, int] = {}
+        self._done: set[str] = set()
+
+    def manifest(self) -> dict[str, Any] | None:
+        """The stream manifest, or None while it's missing/partial."""
+        try:
+            return read_stream_manifest(self.directory)
+        except ReproError:
+            return None
+
+    def poll(self) -> list[dict[str, Any]]:
+        records: list[dict[str, Any]] = []
+        parts = stream_part_paths(self.directory)
+        for i, path in enumerate(parts):
+            name = path.name
+            if name in self._done:
+                continue
+            offset = self._offsets.get(name, 0)
+            try:
+                with open(path, "rb") as fp:
+                    fp.seek(offset)
+                    data = fp.read()
+            except OSError:
+                continue
+            consumed = data.rfind(b"\n") + 1  # 0 when no complete line
+            for line in data[:consumed].splitlines():
+                text = line.decode("utf-8").strip()
+                if not text:
+                    continue
+                try:
+                    records.append(json.loads(text))
+                except json.JSONDecodeError:
+                    continue  # torn write; superseded on a later poll
+            self._offsets[name] = offset + consumed
+            if i < len(parts) - 1 and consumed == len(data):
+                self._done.add(name)  # rotated away and fully drained
+        return records
 
 
 # -- run manifests -----------------------------------------------------------

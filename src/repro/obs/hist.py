@@ -1,0 +1,209 @@
+"""Mergeable log-bucket latency histograms (HDR-style).
+
+A :class:`LogHistogram` buckets non-negative integer values (cycles, in
+this codebase) into log-linear buckets: values below ``2**bits`` get an
+exact bucket each; above that, every power-of-two octave is split into
+``2**(bits-1)`` linear sub-buckets, bounding the relative quantization
+error of any recorded value by ``2**-(bits-1)`` (~6% at the default
+5 bits; raise ``bits`` for tighter buckets at linear memory cost).
+
+The histogram is the streaming tier's unit of aggregation, so two
+properties are load-bearing:
+
+* **Exact, order-invariant merges.** A histogram is a bag of integer
+  bucket counts plus exact ``n``/``sum``/``min``/``max`` moments; merging
+  adds counts. Integer addition is associative and commutative, so
+  merging per-window histograms, per-run histograms and per-worker
+  histograms in *any* order yields bit-identical state — this is what
+  makes ``--jobs N`` and serial runs report identical percentiles.
+* **Deterministic percentiles.** :meth:`percentile` depends only on the
+  bucket counts (rank = ``ceil(p/100 * n)``, reported value = the highest
+  value of the bucket holding that rank), never on insertion order.
+
+Nothing here reads simulated state: histograms are host-side bookkeeping
+fed by workload probes, and by the zero-perturbation contract of
+:mod:`repro.obs` they cannot change simulation results.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Iterator
+
+DEFAULT_BITS = 5
+
+#: Percentiles every summary reports, with their stable key names.
+SUMMARY_PERCENTILES: tuple[tuple[str, float], ...] = (
+    ("p50", 50.0),
+    ("p95", 95.0),
+    ("p99", 99.0),
+    ("p99.9", 99.9),
+)
+
+
+def bucket_index(value: int, bits: int = DEFAULT_BITS) -> int:
+    """Bucket index of ``value`` (non-negative int) at ``bits`` precision."""
+    if value < (1 << bits):
+        return value
+    exp = value.bit_length() - bits
+    return (exp << bits) + (value >> exp)
+
+
+def bucket_bounds(index: int, bits: int = DEFAULT_BITS) -> tuple[int, int]:
+    """Inclusive ``(lowest, highest)`` value range of bucket ``index``."""
+    exp, sub = index >> bits, index & ((1 << bits) - 1)
+    if exp == 0:
+        return sub, sub
+    return sub << exp, ((sub + 1) << exp) - 1
+
+
+class LogHistogram:
+    """A mergeable log-linear histogram of non-negative integers."""
+
+    __slots__ = ("bits", "counts", "n", "total", "min_value", "max_value")
+
+    def __init__(self, bits: int = DEFAULT_BITS) -> None:
+        if not 1 <= bits <= 16:
+            raise ValueError(f"histogram bits must be in [1, 16], got {bits}")
+        self.bits = bits
+        self.counts: dict[int, int] = {}
+        self.n = 0
+        self.total = 0
+        self.min_value: int | None = None
+        self.max_value: int | None = None
+
+    # -- recording ----------------------------------------------------------
+
+    def record(self, value: int, count: int = 1) -> None:
+        """Record ``count`` occurrences of ``value`` (clamped at 0)."""
+        if count <= 0:
+            return
+        value = int(value)
+        if value < 0:
+            value = 0
+        self._add(bucket_index(value, self.bits), value, count)
+
+    def _add(self, idx: int, value: int, count: int) -> None:
+        """Raw bucket update for callers that already computed ``idx``
+        (the windowed observe hot path records each value into two
+        histograms; the bucket index is computed once)."""
+        self.counts[idx] = self.counts.get(idx, 0) + count
+        self.n += count
+        self.total += value * count
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+
+    def record_many(self, values: Iterable[int]) -> None:
+        for value in values:
+            self.record(value)
+
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """Fold ``other`` into this histogram, exactly; returns self."""
+        if other.bits != self.bits:
+            raise ValueError(
+                f"cannot merge histograms with different precision "
+                f"({self.bits} vs {other.bits} bits)"
+            )
+        for idx, count in other.counts.items():
+            self.counts[idx] = self.counts.get(idx, 0) + count
+        self.n += other.n
+        self.total += other.total
+        if other.min_value is not None:
+            if self.min_value is None or other.min_value < self.min_value:
+                self.min_value = other.min_value
+        if other.max_value is not None:
+            if self.max_value is None or other.max_value > self.max_value:
+                self.max_value = other.max_value
+        return self
+
+    # -- queries ------------------------------------------------------------
+
+    def percentile(self, p: float) -> int:
+        """Deterministic percentile: the highest value of the bucket that
+        contains rank ``ceil(p/100 * n)``. Exact for the extremes (p <= 0
+        returns the true minimum, p >= 100 the true maximum) and for every
+        value below ``2**bits``."""
+        if self.n == 0:
+            return 0
+        if p <= 0:
+            return self.min_value or 0
+        if p >= 100:
+            return self.max_value or 0
+        rank = math.ceil(self.n * p / 100.0)
+        cumulative = 0
+        for idx in sorted(self.counts):
+            cumulative += self.counts[idx]
+            if cumulative >= rank:
+                hi = bucket_bounds(idx, self.bits)[1]
+                # Never report beyond the true extremes.
+                if self.max_value is not None and hi > self.max_value:
+                    return self.max_value
+                return hi
+        return self.max_value or 0  # pragma: no cover - unreachable
+
+    def mean(self) -> float:
+        return self.total / self.n if self.n else 0.0
+
+    def summary(self) -> dict[str, Any]:
+        """The stable summary block reports and manifests embed."""
+        out: dict[str, Any] = {
+            "count": self.n,
+            "sum": self.total,
+            "mean": self.mean(),
+            "min": self.min_value or 0,
+            "max": self.max_value or 0,
+        }
+        for key, p in SUMMARY_PERCENTILES:
+            out[key] = self.percentile(p)
+        return out
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        """Yield ``(bucket_index, count)`` in ascending bucket order."""
+        for idx in sorted(self.counts):
+            yield idx, self.counts[idx]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LogHistogram):
+            return NotImplemented
+        return (
+            self.bits == other.bits
+            and self.counts == other.counts
+            and self.n == other.n
+            and self.total == other.total
+            and self.min_value == other.min_value
+            and self.max_value == other.max_value
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LogHistogram n={self.n} min={self.min_value} "
+            f"max={self.max_value} buckets={len(self.counts)}>"
+        )
+
+    # -- interchange --------------------------------------------------------
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe, deterministically ordered dict form (lossless)."""
+        return {
+            "bits": self.bits,
+            "n": self.n,
+            "sum": self.total,
+            "min": self.min_value,
+            "max": self.max_value,
+            "counts": {str(i): c for i, c in self},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "LogHistogram":
+        hist = cls(bits=data["bits"])
+        hist.n = data["n"]
+        hist.total = data["sum"]
+        hist.min_value = data["min"]
+        hist.max_value = data["max"]
+        hist.counts = {int(i): c for i, c in data["counts"].items()}
+        return hist

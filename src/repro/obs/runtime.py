@@ -10,6 +10,18 @@ having to thread anything through experiment code.
 When ``capture_traces`` is set, engines created inside the scope turn
 tracing on even if their config didn't ask for it — safe, because tracing
 is zero-perturbation by contract (see tests/properties).
+
+**Streaming tier.** Collectors also accept *windowed observations* —
+latency samples (:func:`observe_latency`) and counters
+(:func:`count_window`) bucketed by simulated time — which accumulate in
+bounded-memory :class:`~repro.obs.windows.WindowedStats` (window size and
+retention from the collector's :class:`~repro.obs.windows.WindowSpec`;
+oldest windows are evicted into an aggregate, optionally streaming through
+a :class:`~repro.obs.export.JsonlStreamWriter` as they go). Observations
+are host-side bookkeeping: by the zero-perturbation contract they cannot
+change simulated results, so fingerprints are identical with streaming on
+or off. Histogram merges are exact, so serial and ``--jobs N`` execution
+produce bit-identical percentile summaries.
 """
 
 from __future__ import annotations
@@ -21,6 +33,7 @@ from typing import Any
 
 from repro.common.units import Frequency
 from repro.obs.trace import TraceEvent
+from repro.obs.windows import WindowedStats, WindowSpec
 
 
 @dataclass
@@ -40,20 +53,153 @@ class EngineRunRecord:
     metrics: dict[str, float] = field(default_factory=dict)
     trace: list[TraceEvent] = field(default_factory=list)
     thread_names: dict[int, str] = field(default_factory=dict)
+    #: windowed observations made during this run (None when it made none)
+    windows: WindowedStats | None = None
+    #: True when this record's windows already reached a stream writer —
+    #: stops a downstream collector from exporting them a second time.
+    windows_streamed: bool = False
 
 
 class RunCollector:
     """Aggregates engine runs; see module docstring."""
 
-    def __init__(self, capture_traces: bool = False, label: str | None = None) -> None:
+    def __init__(
+        self,
+        capture_traces: bool = False,
+        label: str | None = None,
+        window_spec: WindowSpec | None = None,
+        stream: Any | None = None,
+    ) -> None:
         self.capture_traces = capture_traces
         self.label = label
+        #: shape of windowed observations (None: default spec, on demand)
+        self.window_spec = window_spec
+        #: a JsonlStreamWriter receiving windows incrementally, or None
+        self.stream = stream
         self.records: list[EngineRunRecord] = []
+        #: aggregate windowed stats across every run this scope saw
+        self.windows: WindowedStats | None = None
+        #: the in-flight run's windowed stats (moved onto its record by
+        #: :meth:`record_run`)
+        self._pending: WindowedStats | None = None
+
+    # -- windowed observations ----------------------------------------------
+
+    def _pending_stats(self) -> WindowedStats:
+        if self._pending is None:
+            spec = self.window_spec or WindowSpec()
+            sink = (
+                self.stream.sink(len(self.records))
+                if self.stream is not None
+                else None
+            )
+            self._pending = WindowedStats(spec, on_evict=sink)
+        return self._pending
+
+    def observe(self, stream: str, value: int, at: int) -> None:
+        """Record one latency/histogram sample for ``stream`` at simulated
+        time ``at`` (cycles). Windows older than the retention are evicted
+        as they age out — memory stays bounded no matter how many samples
+        a run produces."""
+        stats = self._pending
+        if stats is None:
+            stats = self._pending_stats()
+        stats.observe(stream, value, at)
+
+    def count_window(self, name: str, n: float = 1, *, at: int) -> None:
+        """Add ``n`` to the windowed counter ``name`` at sim time ``at``."""
+        stats = self._pending
+        if stats is None:
+            stats = self._pending_stats()
+        stats.count(name, n, at=at)
+
+    def observe_batch(
+        self,
+        stream: str,
+        samples: list[tuple[int, int]],
+        *,
+        counter: str | None = None,
+    ) -> None:
+        """Record a batch of ``(value, at)`` latency samples (and optionally
+        one count of ``counter`` per sample); see
+        :meth:`repro.obs.windows.WindowedStats.observe_batch`."""
+        stats = self._pending
+        if stats is None:
+            stats = self._pending_stats()
+        stats.observe_batch(stream, samples, counter=counter)
+
+    def _aggregate(self, like: WindowedStats | None = None) -> WindowedStats:
+        if self.windows is None:
+            # A collector without an explicit spec adopts the spec of the
+            # first stats it aggregates, so adopting records windowed
+            # elsewhere (a fabric worker, a pooled experiment) merges
+            # exactly instead of tripping a spec mismatch.
+            spec = self.window_spec or (like.spec if like else WindowSpec())
+            self.windows = WindowedStats(spec)
+        return self.windows
+
+    def _finish_pending(self) -> WindowedStats | None:
+        """Detach the in-flight run's stats: flush retained windows to the
+        stream (evicted ones already streamed live via the sink), fold into
+        the scope aggregate, and return them for the run record."""
+        pending, self._pending = self._pending, None
+        if pending is None:
+            return None
+        if self.stream is not None:
+            run = len(self.records)
+            for index in sorted(pending.windows):
+                self.stream.write_window(
+                    pending.windows[index], run=run, source="flush"
+                )
+            if not pending.late.is_empty():
+                # Out-of-order observations whose windows were already
+                # streamed; exported as one aggregate so stream totals
+                # still reconcile exactly.
+                self.stream.write_window(
+                    pending.late, run=run, source="late"
+                )
+        pending.detach_sink()
+        self._aggregate(pending).merge(pending)
+        return pending
+
+    def _adopt_windows(self, record: EngineRunRecord, index: int) -> None:
+        """Fold an adopted record's windows into the aggregate, exporting
+        them if this collector streams and nobody exported them before.
+        Per-window detail evicted before the record reached us lives only
+        in its ``spilled`` aggregate — exported as an index ``-1`` window
+        so stream totals still reconcile exactly."""
+        stats = getattr(record, "windows", None)
+        if stats is None:
+            return
+        if self.stream is not None and not record.windows_streamed:
+            for widx in sorted(stats.windows):
+                self.stream.write_window(
+                    stats.windows[widx], run=index, source="flush"
+                )
+            if not stats.spilled.is_empty():
+                self.stream.write_window(
+                    stats.spilled, run=index, source="spilled"
+                )
+            if not stats.late.is_empty():
+                self.stream.write_window(
+                    stats.late, run=index, source="late"
+                )
+            record.windows_streamed = True
+        self._aggregate(stats).merge(stats)
+
+    def windows_summary(self) -> dict[str, Any] | None:
+        """The manifest's ``windows`` block: exact per-stream percentiles,
+        windowed counter totals and memory-bound evidence across every run
+        in this scope (None when no run made windowed observations)."""
+        if self.windows is None or self.windows.is_empty():
+            return None
+        return self.windows.summary()
 
     # -- engine-facing ------------------------------------------------------
 
     def record_run(self, result: Any, wall_seconds: float, sim_events: int) -> None:
         """Called by the engine when a run completes inside this scope."""
+        windows = self._finish_pending()
         self.records.append(
             EngineRunRecord(
                 index=len(self.records),
@@ -66,9 +212,11 @@ class RunCollector:
                 context_switches=result.kernel.n_context_switches,
                 pmis=result.kernel.n_pmis,
                 syscalls=result.kernel.syscall_total(),
-                metrics=dict(result.metrics),
+                metrics=dict(sorted(result.metrics.items())),
                 trace=list(result.trace) if self.capture_traces else [],
                 thread_names={tid: t.name for tid, t in result.threads.items()},
+                windows=windows,
+                windows_streamed=self.stream is not None,
             )
         )
 
@@ -77,20 +225,26 @@ class RunCollector:
     ) -> None:
         """Adopt records collected elsewhere (a fabric worker, a cache hit).
 
-        Records are re-indexed to this collector's sequence; traces are
+        Records are re-indexed to this collector's sequence and their
+        metrics keys normalized to sorted order, so the merged state is
+        identical whichever collector recorded a run first; traces are
         dropped unless this collector captures them (matching what
         :meth:`record_run` would have kept for an in-process run).
+        Windowed stats merge exactly into this scope's aggregate — merges
+        are order-invariant, so serial and pooled execution agree.
         """
         if keep_traces is None:
             keep_traces = self.capture_traces
         for r in records:
-            self.records.append(
-                replace(
-                    r,
-                    index=len(self.records),
-                    trace=list(r.trace) if keep_traces else [],
-                )
+            index = len(self.records)
+            adopted = replace(
+                r,
+                index=index,
+                metrics=dict(sorted(r.metrics.items())),
+                trace=list(r.trace) if keep_traces else [],
             )
+            self._adopt_windows(adopted, index)
+            self.records.append(adopted)
 
     # -- aggregates ---------------------------------------------------------
 
@@ -128,7 +282,8 @@ class RunCollector:
         return sum(r.metrics.get(key, 0) for r in self.records)
 
     def metrics_snapshot(self) -> dict[str, float]:
-        """The manifest's metrics block: totals across every run."""
+        """The manifest's metrics block: totals across every run, in
+        deterministic (sorted) key order."""
         wall = self.wall_seconds
         snap = {
             "engine_runs": self.n_runs,
@@ -141,7 +296,7 @@ class RunCollector:
             "sim_events_per_sec": self.sim_events / wall if wall > 0 else 0.0,
         }
         snap.update(self.macro_summary())
-        return snap
+        return dict(sorted(snap.items()))
 
     def macro_summary(self) -> dict[str, float]:
         """Engine fast-path telemetry totals: macro-stepping and composite
@@ -226,10 +381,68 @@ def current() -> RunCollector | None:
     return _stack[-1] if _stack else None
 
 
+def observe_latency(stream: str, value: int, at: int) -> None:
+    """Record a latency sample on the innermost collector (no-op without
+    one). Workloads call this with values derived from in-sim safe PMC
+    reads; it is pure host-side bookkeeping and perturbs nothing. Called
+    once per simulated request, so it reaches into the collector's
+    pending stats directly instead of going through two method hops."""
+    if _stack:
+        collector = _stack[-1]
+        stats = collector._pending
+        if stats is None:
+            stats = collector._pending_stats()
+        stats.observe(stream, value, at)
+
+
+def count_window(name: str, n: float = 1, *, at: int) -> None:
+    """Bump a windowed counter on the innermost collector (no-op without
+    one)."""
+    if _stack:
+        collector = _stack[-1]
+        stats = collector._pending
+        if stats is None:
+            stats = collector._pending_stats()
+        stats.count(name, n, at=at)
+
+
+def observe_batch(
+    stream: str,
+    samples: list[tuple[int, int]],
+    *,
+    counter: str | None = None,
+) -> None:
+    """Record batched ``(value, at)`` latency samples on the innermost
+    collector (no-op without one). Bit-identical to per-sample
+    :func:`observe_latency`/:func:`count_window` calls in the same order;
+    high-rate probes buffer locally and flush through this."""
+    if _stack and samples:
+        collector = _stack[-1]
+        stats = collector._pending
+        if stats is None:
+            stats = collector._pending_stats()
+        stats.observe_batch(stream, samples, counter=counter)
+
+
 @contextmanager
-def collect(capture_traces: bool = False, label: str | None = None):
-    """Collect every engine run completed within the block."""
-    collector = RunCollector(capture_traces=capture_traces, label=label)
+def collect(
+    capture_traces: bool = False,
+    label: str | None = None,
+    window_spec: WindowSpec | None = None,
+    stream: Any | None = None,
+):
+    """Collect every engine run completed within the block.
+
+    ``window_spec`` shapes windowed observations made inside the scope;
+    ``stream`` (a :class:`~repro.obs.export.JsonlStreamWriter`) exports
+    windows incrementally as they are evicted or flushed.
+    """
+    collector = RunCollector(
+        capture_traces=capture_traces,
+        label=label,
+        window_spec=window_spec,
+        stream=stream,
+    )
     _stack.append(collector)
     try:
         yield collector

@@ -1,16 +1,20 @@
-"""Trace toolbox: summarize, convert and filter JSONL trace files.
+"""Trace toolbox: summarize, convert, filter and tail trace output.
 
 Usage::
 
     python -m repro.trace summarize traces/e1.jsonl
+    python -m repro.trace summarize traces/        # whole trace directory
     python -m repro.trace convert traces/e1.jsonl -o e1.trace.json \
         --freq-ghz 2.4 --label "E1 quick"      # JSONL -> Perfetto
     python -m repro.trace filter traces/e1.jsonl --kind syscall_enter \
         --tid 3 -o subset.jsonl                # subset, still JSONL
+    python -m repro.trace tail stream/e19 -n 20    # last N stream windows
+    python -m repro.trace watch stream/e19         # follow a live stream
     python -m repro.trace kinds                # list known event kinds
 
 The JSONL files come from ``python -m repro.experiments --trace-dir`` or
-``python -m repro run --trace-dir`` (see :mod:`repro.obs.export`). The
+``python -m repro run --trace-dir`` (see :mod:`repro.obs.export`); stream
+directories come from ``python -m repro.experiments --stream-dir``. The
 ``convert`` output loads in https://ui.perfetto.dev or ``chrome://tracing``.
 """
 
@@ -19,26 +23,32 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from repro.common.errors import ReproError
 from repro.common.units import Frequency
 from repro.obs import trace as tr
 from repro.obs.export import (
+    StreamFollower,
     events_to_jsonl,
+    is_stream_dir,
     perfetto_document,
     read_jsonl,
+    read_stream_manifest,
+    read_stream_records,
     summarize_events,
 )
+from repro.obs.windows import SPILLED_INDEX, Window
 
 
-def _cmd_summarize(args) -> int:
-    events = read_jsonl(args.file)
+def _summarize_file(path: str, as_json: bool) -> int:
+    events = read_jsonl(path)
     summary = summarize_events(events)
-    if args.json:
+    if as_json:
         print(json.dumps(summary, indent=2))
         return 0
-    print(f"{args.file}: {summary['n_events']} events, "
+    print(f"{path}: {summary['n_events']} events, "
           f"cycles {summary['t_first']}..{summary['t_last']}")
     print()
     print("by kind")
@@ -49,6 +59,65 @@ def _cmd_summarize(args) -> int:
     for tid, n in summary["by_tid"].items():
         print(f"  tid {tid:<12} {n}")
     return 0
+
+
+def _summarize_stream(directory: Path, as_json: bool) -> int:
+    manifest = read_stream_manifest(directory)
+    records = read_stream_records(directory)
+    windows = [r for r in records if r.get("type") == "window"]
+    totals = Window(SPILLED_INDEX)
+    for rec in windows:
+        totals.merge(Window.from_dict(rec["window"]))
+    if as_json:
+        print(json.dumps({
+            "directory": str(directory),
+            "label": manifest.get("label"),
+            "closed": manifest.get("closed", False),
+            "n_records": len(records),
+            "n_windows": len(windows),
+            "totals": totals.as_dict(),
+        }, indent=2))
+        return 0
+    state = "closed" if manifest.get("closed") else "live"
+    label = manifest.get("label") or directory.name
+    print(f"{directory}: stream {label!r} ({state}), "
+          f"{len(records)} records, {len(windows)} windows")
+    if totals.counters:
+        print()
+        print("counters (all windows)")
+        for name in sorted(totals.counters):
+            print(f"  {name:<32} {_num(totals.counters[name])}")
+    if totals.hists:
+        print()
+        print("streams (all windows)")
+        for stream in sorted(totals.hists):
+            print(f"  {stream:<32} {_hist_cell(totals.hists[stream])}")
+    return 0
+
+
+def _cmd_summarize(args) -> int:
+    path = Path(args.file)
+    if not path.exists():
+        print(f"error: {path}: no such trace file or directory",
+              file=sys.stderr)
+        return 1
+    if path.is_dir():
+        if is_stream_dir(path):
+            return _summarize_stream(path, args.json)
+        files = sorted(p for p in path.glob("*.jsonl")
+                       if not p.name.startswith("part-"))
+        if not files:
+            print(f"error: {path}: empty trace directory "
+                  "(no .jsonl trace files and no stream manifest)",
+                  file=sys.stderr)
+            return 1
+        rc = 0
+        for i, file in enumerate(files):
+            if i and not args.json:
+                print()
+            rc |= _summarize_file(str(file), args.json)
+        return rc
+    return _summarize_file(args.file, args.json)
 
 
 def _cmd_convert(args) -> int:
@@ -89,6 +158,103 @@ def _cmd_filter(args) -> int:
     return 0
 
 
+def _num(value) -> str:
+    if isinstance(value, float) and value.is_integer():
+        value = int(value)
+    return f"{value:,}" if isinstance(value, int) else f"{value:,.2f}"
+
+
+def _hist_cell(hist) -> str:
+    s = hist.summary()
+    return (f"n={s['count']:,} p50={s['p50']:,} p95={s['p95']:,} "
+            f"p99={s['p99']:,} p99.9={s['p99.9']:,} max={s['max']:,}")
+
+
+def _window_line(record: dict) -> str:
+    """One rolling-summary line for a stream window record."""
+    window = Window.from_dict(record["window"])
+    data = record["window"]
+    if window.index == SPILLED_INDEX:
+        where = ("late (out-of-order observations)"
+                 if record.get("source") == "late"
+                 else "spilled (pre-merge evictions)")
+    elif "start_cycle" in data:
+        where = (f"window {window.index} "
+                 f"[{data['start_cycle']:,}..{data['end_cycle']:,}]")
+    else:
+        where = f"window {window.index}"
+    bits = [f"run {record.get('run', 0)}",
+            f"{record.get('source', 'flush'):<7}", where]
+    for name in sorted(window.counters):
+        bits.append(f"{name}={_num(window.counters[name])}")
+    for stream in sorted(window.hists):
+        bits.append(f"{stream}: {_hist_cell(window.hists[stream])}")
+    return "  ".join(bits)
+
+
+def _cmd_tail(args) -> int:
+    directory = Path(args.directory)
+    manifest = read_stream_manifest(directory)  # raises ReproError if not one
+    records = [r for r in read_stream_records(directory)
+               if r.get("type") == "window"]
+    state = "closed" if manifest.get("closed") else "live"
+    label = manifest.get("label") or directory.name
+    shown = records[-args.windows:] if args.windows > 0 else records
+    if args.json:
+        for record in shown:
+            print(json.dumps(record, separators=(",", ":")))
+        return 0
+    print(f"{directory}: stream {label!r} ({state}), "
+          f"{len(records)} window records"
+          + (f", showing last {len(shown)}" if len(shown) < len(records)
+             else ""))
+    for record in shown:
+        print(_window_line(record))
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    directory = Path(args.directory)
+    follower = StreamFollower(directory)
+    deadline = (time.monotonic() + args.timeout
+                if args.timeout is not None else None)
+    seen = 0
+    announced = False
+    try:
+        while True:
+            for record in follower.poll():
+                if record.get("type") != "window":
+                    continue
+                seen += 1
+                if args.json:
+                    print(json.dumps(record, separators=(",", ":")))
+                else:
+                    print(_window_line(record))
+                sys.stdout.flush()
+            manifest = follower.manifest()
+            if manifest is not None and not announced and not args.json:
+                label = manifest.get("label") or directory.name
+                print(f"watching {directory} (stream {label!r})",
+                      file=sys.stderr)
+                announced = True
+            if manifest is not None and manifest.get("closed"):
+                # One final poll already drained everything written before
+                # close(); the stream can't grow any further.
+                if not args.json:
+                    print(f"stream closed after {seen} window records",
+                          file=sys.stderr)
+                return 0
+            if deadline is not None and time.monotonic() >= deadline:
+                if manifest is None and seen == 0:
+                    print(f"error: {directory}: no stream appeared within "
+                          f"{args.timeout:g}s", file=sys.stderr)
+                    return 1
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive use
+        return 0
+
+
 def _cmd_kinds(args) -> int:
     for kind in sorted(tr.KINDS):
         print(f"{kind:<16} {tr.KIND_DESCRIPTIONS.get(kind, '')}")
@@ -103,9 +269,32 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sum_p = sub.add_parser("summarize", help="event counts and time span")
-    sum_p.add_argument("file", help="JSONL trace file")
+    sum_p.add_argument("file", help="JSONL trace file, trace directory, "
+                       "or stream directory")
     sum_p.add_argument("--json", action="store_true",
                        help="machine-readable output")
+
+    tail_p = sub.add_parser(
+        "tail", help="last N window summaries of a stream directory")
+    tail_p.add_argument("directory", help="stream directory "
+                        "(from --stream-dir)")
+    tail_p.add_argument("-n", "--windows", type=int, default=10,
+                        help="window records to show (0 = all; default 10)")
+    tail_p.add_argument("--json", action="store_true",
+                        help="raw JSONL records instead of summaries")
+
+    watch_p = sub.add_parser(
+        "watch", help="follow a live stream directory, printing windows "
+        "as they are flushed")
+    watch_p.add_argument("directory", help="stream directory "
+                         "(from --stream-dir)")
+    watch_p.add_argument("--interval", type=float, default=0.5,
+                         help="poll interval in seconds (default 0.5)")
+    watch_p.add_argument("--timeout", type=float, default=None,
+                         help="give up after this many seconds "
+                         "(default: until the stream closes or Ctrl-C)")
+    watch_p.add_argument("--json", action="store_true",
+                         help="raw JSONL records instead of summaries")
 
     conv_p = sub.add_parser("convert", help="JSONL -> Perfetto trace_event JSON")
     conv_p.add_argument("file", help="JSONL trace file")
@@ -138,6 +327,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_convert(args)
         if args.command == "filter":
             return _cmd_filter(args)
+        if args.command == "tail":
+            return _cmd_tail(args)
+        if args.command == "watch":
+            return _cmd_watch(args)
         if args.command == "kinds":
             return _cmd_kinds(args)
     except BrokenPipeError:

@@ -48,6 +48,7 @@ from repro.workloads.synthetic import (
     ContentionConfig,
     ContentionWorkload,
 )
+from repro.workloads.traffic import TrafficConfig, TrafficWorkload
 
 __all__ = [
     "ACCEPT_LOCK",
@@ -83,6 +84,8 @@ __all__ = [
     "SpecSuiteWorkload",
     "StreamclusterConfig",
     "StreamclusterWorkload",
+    "TrafficConfig",
+    "TrafficWorkload",
     "Workload",
     "default_function_catalog",
     "kernel_catalog",

@@ -1,0 +1,263 @@
+"""Open-loop traffic generation with in-sim latency measurement.
+
+The missing "counting under production load" workload: worker threads
+serve an *open-loop* request stream — arrivals follow a rate schedule
+that does not care whether the server keeps up, so queueing delay (the
+thing closed-loop load generators famously hide) appears in full in the
+measured latencies.
+
+Per-request latency is measured **inside the simulated system** by the
+LiMiT machinery, not by the harness: each worker derives a wall-clock
+estimate from safe PMC reads of a user+kernel CYCLES counter —
+
+    ``now ≈ base + (cycles_read - cycles₀) + sleep_credit``
+
+— exact while the worker is the only runnable thread on its core (the
+counter freezes only while the thread sleeps, and the worker knows its
+own sleep durations). Scheduler wake-up latencies drift the estimate
+slowly, so every ``resync_every`` requests the clock is disciplined
+against one in-sim ``rdtsc`` (NTP-style); the observed drift is itself
+recorded as a latency stream, making clock quality a first-class
+measurement. Latency = (estimated completion time) − (scheduled arrival
+time), so backlog waits count.
+
+Observations flow into the ambient collector's bounded windowed stats —
+host-side bookkeeping that perturbs nothing; fingerprints are identical
+with streaming on or off. Each worker buffers its ``(latency, at)``
+samples locally and flushes them through
+:func:`repro.obs.runtime.observe_batch` at clock-resync boundaries (the
+same buffering idea LiMiT uses to keep reads cheap), so recording cost
+stays off the per-request path. Memory is bounded by the collector's
+window retention, never by the request count, which is what lets this
+workload emit millions of requests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.common.errors import ConfigError
+from repro.core.limit import UnbufferedLimitSession
+from repro.hw.events import Event, EventRates
+from repro.obs import runtime as obs_runtime
+from repro.sim.ops import Compute, Rdtsc, Sleep, Syscall
+from repro.sim.program import ThreadContext, ThreadSpec
+from repro.workloads.base import Instrumentation, Workload
+
+#: Arrival-rate schedules the generator understands.
+SCHEDULES = ("constant", "diurnal", "burst", "overload")
+
+#: Stream names the workload feeds into the windowed collector.
+LATENCY_STREAM = "traffic.latency"
+DRIFT_STREAM = "traffic.clock_drift"
+REQUESTS_COUNTER = "traffic.requests"
+
+#: Flush the per-worker sample buffer at least this often (requests).
+OBS_FLUSH_EVERY = 64
+
+#: request handling: parse + lookup + format, moderately cache-hungry
+SERVICE_RATES = EventRates.profile(
+    ipc=1.2, llc_mpki=3.0, l2_mpki=10.0, branch_frac=0.2,
+    branch_miss_rate=0.04, dtlb_mpki=1.0, stall_frac=0.35,
+)
+
+
+@dataclass
+class TrafficConfig:
+    """Shape of the open-loop traffic generator."""
+
+    n_workers: int = 4
+    requests_per_worker: int = 25_000
+    #: arrival schedule; see :data:`SCHEDULES`
+    schedule: str = "constant"
+    #: offered load as a fraction of one worker's service capacity (1.0 is
+    #: the saturation knee; above it the backlog grows without bound)
+    load: float = 0.6
+    #: lognormal service cost (cycles)
+    service_median_cycles: int = 14_000
+    service_sigma: float = 0.5
+    #: kernel cycles for the receive syscall on the request path
+    recv_kernel_cycles: int = 1_800
+    #: diurnal schedule: sinusoidal rate swing of ±amplitude around the
+    #: mean, with this period
+    diurnal_period_cycles: int = 300_000_000
+    diurnal_amplitude: float = 0.6
+    #: burst schedule: rate multiplied by ``burst_factor`` during the
+    #: first ``burst_duty`` fraction of every period
+    burst_period_cycles: int = 120_000_000
+    burst_duty: float = 0.1
+    burst_factor: float = 5.0
+    #: overload schedule: load ramps linearly from half the configured
+    #: value up to ``overload_peak`` × capacity over the ramp
+    overload_peak: float = 1.5
+    overload_ramp_cycles: int = 600_000_000
+    #: discipline the PMC-derived clock against rdtsc every N requests
+    #: (0 disables resync)
+    resync_every: int = 64
+
+    def __post_init__(self) -> None:
+        if self.schedule not in SCHEDULES:
+            raise ConfigError(
+                f"unknown schedule {self.schedule!r}; pick from {SCHEDULES}"
+            )
+        if self.n_workers < 1:
+            raise ConfigError("need at least one worker")
+        if self.requests_per_worker < 1:
+            raise ConfigError("need at least one request per worker")
+        if self.load <= 0:
+            raise ConfigError("load must be > 0")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ConfigError("diurnal_amplitude must be in [0, 1)")
+        if not 0.0 < self.burst_duty < 1.0:
+            raise ConfigError("burst_duty must be in (0, 1)")
+
+    @property
+    def mean_service_cycles(self) -> float:
+        """Expected per-request service cost (lognormal mean + recv)."""
+        lognormal_mean = self.service_median_cycles * math.exp(
+            self.service_sigma**2 / 2.0
+        )
+        return lognormal_mean + self.recv_kernel_cycles
+
+    @property
+    def mean_interarrival_cycles(self) -> float:
+        """Per-worker mean inter-arrival time at multiplier 1."""
+        return self.mean_service_cycles / self.load
+
+    def rate_multiplier(self, elapsed: int) -> float:
+        """The schedule's arrival-rate multiplier at ``elapsed`` cycles
+        since the worker started (1.0 = the configured ``load``)."""
+        if self.schedule == "constant":
+            return 1.0
+        if self.schedule == "diurnal":
+            phase = 2.0 * math.pi * elapsed / self.diurnal_period_cycles
+            return max(0.05, 1.0 + self.diurnal_amplitude * math.sin(phase))
+        if self.schedule == "burst":
+            in_burst = (
+                elapsed % self.burst_period_cycles
+                < self.burst_duty * self.burst_period_cycles
+            )
+            return self.burst_factor if in_burst else 1.0
+        # overload: ramp from 0.5x through the saturation knee to the peak
+        frac = min(1.0, elapsed / self.overload_ramp_cycles)
+        start = 0.5
+        return (start + (self.overload_peak - start) * frac) / self.load
+
+
+class TrafficWorkload(Workload):
+    """Open-loop request serving with PMC-clock latency measurement.
+
+    Builds one worker thread per configured worker; intended to run with
+    ``n_workers <= n_cores`` so every worker is alone on its core and the
+    PMC-derived clock is near-exact (the drift stream quantifies the
+    residual either way).
+    """
+
+    name = "traffic"
+
+    def __init__(self, config: TrafficConfig | None = None) -> None:
+        self.config = config or TrafficConfig()
+        #: the CYCLES session all workers read their clock from; created
+        #: in :meth:`build` so each built program owns fresh counters.
+        self.session: UnbufferedLimitSession | None = None
+
+    def build(self, instr: Instrumentation | None = None) -> list[ThreadSpec]:
+        instr = instr or Instrumentation()
+        cfg = self.config
+        session = UnbufferedLimitSession(
+            [Event.CYCLES], count_kernel=True, name="traffic-clock"
+        )
+        self.session = session
+        stream = f"{LATENCY_STREAM}.{cfg.schedule}"
+        mean_ia = cfg.mean_interarrival_cycles
+
+        def worker(ctx: ThreadContext):
+            yield from instr.thread_setup(ctx)
+            yield from session.setup(ctx)
+            rng = ctx.rng
+            # Calibrate the PMC clock: one rdtsc anchors ``base``; from
+            # here on, time is derived from safe counter reads alone
+            # (plus the worker's own ledger of how long it slept).
+            c0 = yield from session.read_safe(ctx)
+            base = yield Rdtsc()
+            sleep_credit = 0
+            now_est = base
+            arrival = base  # the schedule starts at calibration time
+            # Local sample buffer, flushed in batches: keeps recording
+            # cost off the per-request path (same window/totals state as
+            # per-sample calls — observe_batch is bit-identical).
+            samples: list[tuple[int, int]] = []
+            for i in range(cfg.requests_per_worker):
+                multiplier = cfg.rate_multiplier(arrival - base)
+                arrival += rng.exp_cycles(
+                    max(1, int(mean_ia / multiplier))
+                )
+                wait = arrival - now_est
+                if wait > 0:
+                    # Ahead of schedule: sleep until the arrival instant.
+                    yield Sleep(wait)
+                    sleep_credit += wait
+                # Serve the request (recv + application work).
+                yield Syscall(
+                    "work", (rng.exp_cycles(cfg.recv_kernel_cycles),)
+                )
+                yield Compute(
+                    rng.lognormal_cycles(
+                        cfg.service_median_cycles,
+                        cfg.service_sigma,
+                        minimum=500,
+                    ),
+                    SERVICE_RATES,
+                )
+                cycles = yield from session.read_safe(ctx)
+                now_est = base + (cycles - c0) + sleep_credit
+                latency = now_est - arrival
+                samples.append((latency, now_est))
+                if len(samples) >= OBS_FLUSH_EVERY:
+                    obs_runtime.observe_batch(
+                        stream, samples, counter=REQUESTS_COUNTER
+                    )
+                    samples.clear()
+                if cfg.resync_every and (i + 1) % cfg.resync_every == 0:
+                    # Discipline the clock: measure the drift the PMC
+                    # estimate accumulated (scheduler wake-up latencies
+                    # are invisible to a frozen counter) and fold it in.
+                    true_now = yield Rdtsc()
+                    drift = true_now - now_est
+                    obs_runtime.observe_latency(
+                        DRIFT_STREAM, abs(drift), at=max(0, true_now)
+                    )
+                    base += drift
+                    now_est = true_now
+                yield from instr.checkpoint(ctx)
+            obs_runtime.observe_batch(
+                stream, samples, counter=REQUESTS_COUNTER
+            )
+            yield from session.teardown(ctx)
+            yield from instr.thread_teardown(ctx)
+
+        return [
+            ThreadSpec(f"traffic:worker:{i}", worker)
+            for i in range(cfg.n_workers)
+        ]
+
+
+def quick_config(config: TrafficConfig, requests: int) -> TrafficConfig:
+    """A copy of ``config`` resized to ``requests`` per worker (and with
+    schedule periods shrunk proportionally so short runs still see whole
+    diurnal/burst/ramp shapes)."""
+    scale = requests / max(1, config.requests_per_worker)
+    return replace(
+        config,
+        requests_per_worker=requests,
+        diurnal_period_cycles=max(
+            1_000_000, int(config.diurnal_period_cycles * scale)
+        ),
+        burst_period_cycles=max(
+            1_000_000, int(config.burst_period_cycles * scale)
+        ),
+        overload_ramp_cycles=max(
+            1_000_000, int(config.overload_ramp_cycles * scale)
+        ),
+    )

@@ -142,10 +142,10 @@ class TestE11Enhancements:
 
 
 class TestRegistry:
-    def test_eighteen_experiments(self):
-        assert len(registry.REGISTRY) == 18
+    def test_nineteen_experiments(self):
+        assert len(registry.REGISTRY) == 19
         assert [e.exp_id for e in registry.all_experiments()] == [
-            f"E{i}" for i in range(1, 19)
+            f"E{i}" for i in range(1, 20)
         ]
 
     def test_get_case_insensitive(self):
@@ -214,3 +214,16 @@ class TestE17FaultMatrix:
         # The unprotected arm mismeasures on exactly every injection.
         assert r.metric("unsafe_storm_injected") > 0
         assert r.metric("unsafe_storm_wrong") == r.metric("unsafe_storm_injected")
+
+
+class TestE19OpenLoop:
+    def test_saturation_amplifies_tail_latency(self):
+        from repro.experiments import e19_open_loop
+
+        r = e19_open_loop.run(quick=True)
+        assert r.metric("windows_reconciled") == 1.0
+        assert r.metric("memory_bounded") == 1.0
+        assert r.metric("all_reads_exact") == 1.0
+        # pushing offered load through the knee inflates p99 dramatically
+        assert r.metric("p99_saturation_amplification") > 2.0
+        assert r.metric("total_requests") >= 4 * 600 * 7

@@ -1,0 +1,159 @@
+"""Mergeable log-bucket histograms: exactness, merges, percentiles."""
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.obs.hist import (
+    DEFAULT_BITS,
+    LogHistogram,
+    SUMMARY_PERCENTILES,
+    bucket_bounds,
+    bucket_index,
+)
+
+
+class TestBuckets:
+    def test_small_values_get_exact_buckets(self):
+        for v in range(1 << DEFAULT_BITS):
+            assert bucket_index(v) == v
+            assert bucket_bounds(v) == (v, v)
+
+    def test_bounds_partition_the_integers(self):
+        # The *reachable* buckets (0..2**bits-1 exact, then the upper half
+        # of sub-buckets per octave) tile [0, N] with no gaps or overlaps.
+        reachable = list(range(1 << DEFAULT_BITS))
+        for exp in range(1, 16):
+            for sub in range(1 << (DEFAULT_BITS - 1), 1 << DEFAULT_BITS):
+                reachable.append((exp << DEFAULT_BITS) + sub)
+        prev_hi = -1
+        for idx in reachable:
+            lo, hi = bucket_bounds(idx)
+            assert lo == prev_hi + 1
+            assert hi >= lo
+            prev_hi = hi
+
+    def test_value_falls_inside_its_bucket(self):
+        rng = random.Random(7)
+        for _ in range(2_000):
+            v = rng.randrange(0, 1 << 40)
+            lo, hi = bucket_bounds(bucket_index(v))
+            assert lo <= v <= hi
+
+    def test_relative_error_bound(self):
+        rng = random.Random(8)
+        for _ in range(2_000):
+            v = rng.randrange(1, 1 << 40)
+            _, hi = bucket_bounds(bucket_index(v))
+            assert (hi - v) / v <= 2.0 ** -(DEFAULT_BITS - 1)
+
+
+class TestLogHistogram:
+    def test_moments_are_exact(self):
+        h = LogHistogram()
+        values = [0, 3, 17, 500, 123_456, 3, 99_999_999]
+        h.record_many(values)
+        assert h.n == len(values) == len(h)
+        assert h.total == sum(values)
+        assert h.min_value == min(values)
+        assert h.max_value == max(values)
+        assert h.mean() == pytest.approx(sum(values) / len(values))
+
+    def test_negative_values_clamp_to_zero(self):
+        h = LogHistogram()
+        h.record(-5)
+        assert h.n == 1
+        assert h.min_value == 0
+
+    def test_zero_count_is_a_noop(self):
+        h = LogHistogram()
+        h.record(10, count=0)
+        assert h.n == 0
+
+    def test_percentile_extremes_are_exact(self):
+        h = LogHistogram()
+        h.record_many([13, 700, 5_000_000])
+        assert h.percentile(0) == 13
+        assert h.percentile(100) == 5_000_000
+        # p never reports beyond the true maximum, despite bucket rounding
+        assert h.percentile(99.9) <= 5_000_000
+
+    def test_percentile_exact_below_2_pow_bits(self):
+        h = LogHistogram()
+        values = sorted(random.Random(3).randrange(0, 32) for _ in range(999))
+        h.record_many(values)
+        for p in (1, 25, 50, 75, 99):
+            rank = math.ceil(len(values) * p / 100.0)
+            assert h.percentile(p) == values[rank - 1]
+
+    def test_percentile_of_empty_is_zero(self):
+        assert LogHistogram().percentile(50) == 0
+
+    def test_percentile_relative_error(self):
+        rng = random.Random(11)
+        values = sorted(rng.randrange(1, 1 << 30) for _ in range(5_000))
+        h = LogHistogram()
+        h.record_many(values)
+        for p in (50.0, 95.0, 99.0, 99.9):
+            rank = math.ceil(len(values) * p / 100.0)
+            true = values[rank - 1]
+            got = h.percentile(p)
+            assert got >= true  # reports the bucket's upper bound
+            assert (got - true) / true <= 2.0 ** -(DEFAULT_BITS - 1)
+
+    def test_merge_equals_recording_everything(self):
+        rng = random.Random(42)
+        values = [rng.randrange(0, 1 << 24) for _ in range(4_000)]
+        whole = LogHistogram()
+        whole.record_many(values)
+        parts = [LogHistogram() for _ in range(7)]
+        for i, v in enumerate(values):
+            parts[i % 7].record(v)
+        merged = LogHistogram()
+        for part in parts:
+            merged.merge(part)
+        assert merged == whole
+
+    def test_merge_is_commutative(self):
+        rng = random.Random(43)
+        a, b = LogHistogram(), LogHistogram()
+        a.record_many(rng.randrange(0, 1 << 20) for _ in range(500))
+        b.record_many(rng.randrange(0, 1 << 20) for _ in range(500))
+        ab = LogHistogram().merge(a).merge(b)
+        ba = LogHistogram().merge(b).merge(a)
+        assert ab == ba
+        assert ab.summary() == ba.summary()
+
+    def test_merge_rejects_mismatched_bits(self):
+        with pytest.raises(ValueError, match="precision"):
+            LogHistogram(bits=5).merge(LogHistogram(bits=6))
+
+    def test_bits_validation(self):
+        with pytest.raises(ValueError):
+            LogHistogram(bits=0)
+        with pytest.raises(ValueError):
+            LogHistogram(bits=17)
+
+    def test_summary_keys_are_stable(self):
+        h = LogHistogram()
+        h.record_many([1, 2, 3])
+        s = h.summary()
+        assert list(s) == ["count", "sum", "mean", "min", "max"] + [
+            key for key, _ in SUMMARY_PERCENTILES
+        ]
+
+    def test_dict_roundtrip_is_lossless(self):
+        h = LogHistogram(bits=6)
+        h.record_many([0, 9, 81, 6561, 43_046_721])
+        again = LogHistogram.from_dict(h.as_dict())
+        assert again == h
+        # and survives a JSON hop (string bucket keys)
+        assert LogHistogram.from_dict(json.loads(json.dumps(h.as_dict()))) == h
+
+    def test_iteration_is_sorted(self):
+        h = LogHistogram()
+        h.record_many([10**9, 5, 10**6, 0])
+        indices = [idx for idx, _ in h]
+        assert indices == sorted(indices)

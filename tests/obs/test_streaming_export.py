@@ -1,0 +1,182 @@
+"""Streaming JSONL export: rotation, manifests, followers, reconciliation."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.obs.export import (
+    STREAM_SCHEMA,
+    JsonlStreamWriter,
+    StreamFollower,
+    is_stream_dir,
+    read_stream_manifest,
+    read_stream_records,
+    read_stream_windows,
+    stream_part_paths,
+)
+from repro.obs.windows import SPILLED_INDEX, Window, WindowedStats, WindowSpec
+
+SPEC = WindowSpec(window_cycles=1_000, retention=4)
+
+
+def _window(index, n=3):
+    w = Window(index)
+    w.count("reqs", n)
+    for v in range(n):
+        w.hist("lat", SPEC.hist_bits).record(100 * (v + 1))
+    return w
+
+
+class TestJsonlStreamWriter:
+    def test_rotation_bounds_part_size(self, tmp_path):
+        with JsonlStreamWriter(tmp_path / "s", part_records=5) as w:
+            for i in range(12):
+                w.write_window(_window(i), run=0, source="live")
+        parts = stream_part_paths(tmp_path / "s")
+        assert len(parts) == 3
+        for part in parts:
+            n_lines = len(part.read_text().splitlines())
+            assert n_lines <= 5
+
+    def test_manifest_lists_every_part(self, tmp_path):
+        with JsonlStreamWriter(
+            tmp_path / "s", label="demo", spec=SPEC, part_records=4
+        ) as w:
+            for i in range(10):
+                w.write_window(_window(i), run=2, source="flush")
+        manifest = read_stream_manifest(tmp_path / "s")
+        assert manifest["schema"] == STREAM_SCHEMA
+        assert manifest["label"] == "demo"
+        assert manifest["closed"] is True
+        assert manifest["n_records"] == 10
+        assert sum(p["records"] for p in manifest["parts"]) == 10
+        assert manifest["spec"]["window_cycles"] == SPEC.window_cycles
+        assert is_stream_dir(tmp_path / "s")
+
+    def test_write_after_close_raises(self, tmp_path):
+        w = JsonlStreamWriter(tmp_path / "s")
+        w.close()
+        with pytest.raises(ReproError, match="closed"):
+            w.write_window(_window(0), run=0)
+
+    def test_every_record_is_valid_json_as_written(self, tmp_path):
+        # No buffering: each record is flushed and parseable immediately.
+        w = JsonlStreamWriter(tmp_path / "s")
+        w.write_window(_window(0), run=0, source="live")
+        records = read_stream_records(tmp_path / "s")
+        assert len(records) == 1
+        assert records[0]["type"] == "window"
+        w.close()
+
+    def test_stream_windows_roundtrip_exactly(self, tmp_path):
+        fed = [_window(i, n=i + 1) for i in range(6)]
+        with JsonlStreamWriter(tmp_path / "s", spec=SPEC) as w:
+            for win in fed:
+                w.write_window(win, run=1, source="live")
+        back = read_stream_windows(tmp_path / "s")
+        assert [w for _, _, w in back] == fed
+        assert all(run == 1 and src == "live" for run, src, _ in back)
+
+    def test_not_a_stream_dir_raises_cleanly(self, tmp_path):
+        assert not is_stream_dir(tmp_path)
+        with pytest.raises(ReproError, match="not a stream directory"):
+            read_stream_manifest(tmp_path)
+
+
+class TestStreamTotalsReconcile:
+    def test_sink_plus_flush_plus_late_equals_totals(self, tmp_path):
+        """Everything the stats saw appears in the stream exactly once."""
+        from repro.obs.runtime import RunCollector
+
+        writer = JsonlStreamWriter(tmp_path / "s", spec=SPEC)
+        collector = RunCollector(window_spec=SPEC, stream=writer)
+        # Deliberately hostile arrival order: monotone bursts with
+        # out-of-order stragglers that land behind the evict horizon.
+        import random
+
+        rng = random.Random(99)
+        for _ in range(2_000):
+            at = rng.randrange(0, 40_000)
+            collector.observe("lat", rng.randrange(0, 1 << 16), at)
+            collector.count_window("reqs", 1, at=at)
+        pending = collector._finish_pending()
+        writer.close(summary=collector.windows_summary())
+
+        streamed = Window(SPILLED_INDEX)
+        for _run, _source, window in read_stream_windows(tmp_path / "s"):
+            streamed.merge(window)
+        assert streamed.counters == pending.totals.counters
+        assert streamed.hists == pending.totals.hists
+
+    def test_worker_records_stream_via_merge_records(self, tmp_path):
+        """Records windowed in a sink-less worker are exported on merge."""
+        from repro.obs.runtime import EngineRunRecord, RunCollector
+
+        worker = WindowedStats(SPEC)
+        for at in range(0, 30_000, 250):  # evicts well past retention
+            worker.observe("lat", at % 7_000, at)
+        record = EngineRunRecord(
+            index=0, seed=1, config_repr="cfg", frequency=None,
+            wall_seconds=0.0, sim_cycles=0, sim_events=0,
+            context_switches=0, pmis=0, syscalls=0, windows=worker,
+        )
+        writer = JsonlStreamWriter(tmp_path / "s", spec=SPEC)
+        collector = RunCollector(window_spec=SPEC, stream=writer)
+        collector.merge_records([record])
+        writer.close()
+        adopted = collector.records[0]
+        assert adopted.windows_streamed is True
+
+        streamed = Window(SPILLED_INDEX)
+        sources = set()
+        for _run, source, window in read_stream_windows(tmp_path / "s"):
+            sources.add(source)
+            streamed.merge(window)
+        assert "spilled" in sources  # worker evictions lost detail
+        assert streamed.hists == worker.totals.hists
+
+        # re-merging the *adopted* record downstream exports nothing again
+        writer2 = JsonlStreamWriter(tmp_path / "s2", spec=SPEC)
+        collector2 = RunCollector(window_spec=SPEC, stream=writer2)
+        collector2.merge_records([adopted])
+        writer2.close()
+        assert read_stream_windows(tmp_path / "s2") == []
+
+
+class TestStreamFollower:
+    def test_incremental_polls_see_everything_once(self, tmp_path):
+        writer = JsonlStreamWriter(tmp_path / "s", part_records=3)
+        follower = StreamFollower(tmp_path / "s")
+        seen = []
+        for i in range(8):
+            writer.write_window(_window(i), run=0, source="live")
+            seen.extend(follower.poll())
+        writer.close()
+        seen.extend(follower.poll())
+        indices = [r["window"]["index"] for r in seen
+                   if r.get("type") == "window"]
+        assert indices == list(range(8))
+        assert follower.poll() == []  # drained
+
+    def test_partial_line_is_not_consumed(self, tmp_path):
+        d = tmp_path / "s"
+        d.mkdir()
+        part = d / "part-00000.jsonl"
+        part.write_text('{"type":"window","run":0,"window"')  # no newline
+        follower = StreamFollower(d)
+        assert follower.poll() == []
+        with open(part, "a") as fp:
+            fp.write(':{"index":0,"counters":{},"hists":{}}}\n')
+        polled = follower.poll()
+        assert len(polled) == 1
+        assert polled[0]["window"]["index"] == 0
+
+    def test_manifest_is_none_until_written(self, tmp_path):
+        d = tmp_path / "s"
+        d.mkdir()
+        follower = StreamFollower(d)
+        assert follower.manifest() is None
+        with JsonlStreamWriter(d):
+            pass
+        assert follower.manifest() is not None

@@ -35,6 +35,22 @@ def make_jsonl(tmp_path):
     return path, result
 
 
+def make_stream(tmp_path, n_windows=12):
+    from repro.obs.export import JsonlStreamWriter
+    from repro.obs.windows import Window, WindowSpec
+
+    d = tmp_path / "stream"
+    with JsonlStreamWriter(
+        d, label="demo", spec=WindowSpec(window_cycles=1_000), part_records=5
+    ) as writer:
+        for i in range(n_windows):
+            w = Window(i)
+            w.count("reqs", i + 1)
+            w.hist("lat", 5).record(1_000 * (i + 1))
+            writer.write_window(w, run=0, source="live")
+    return d
+
+
 class TestSummarize:
     def test_text(self, tmp_path, capsys):
         path, result = make_jsonl(tmp_path)
@@ -52,7 +68,28 @@ class TestSummarize:
     def test_missing_file_is_an_error(self, tmp_path, capsys):
         rc = trace_cli.main(["summarize", str(tmp_path / "nope.jsonl")])
         assert rc == 1
-        assert "error:" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "no such trace file" in err
+
+    def test_empty_directory_is_a_clear_error(self, tmp_path, capsys):
+        rc = trace_cli.main(["summarize", str(tmp_path)])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "empty trace directory" in err
+
+    def test_directory_of_jsonl_files_summarizes_each(self, tmp_path, capsys):
+        make_jsonl(tmp_path)
+        assert trace_cli.main(["summarize", str(tmp_path)]) == 0
+        assert "events" in capsys.readouterr().out
+
+    def test_stream_directory_summarizes_windows(self, tmp_path, capsys):
+        d = make_stream(tmp_path)
+        assert trace_cli.main(["summarize", str(d)]) == 0
+        out = capsys.readouterr().out
+        assert "stream 'demo' (closed)" in out
+        assert "lat" in out and "reqs" in out
 
 
 class TestConvert:
@@ -121,6 +158,56 @@ class TestFilter:
         rc = trace_cli.main(["filter", str(path), "--kind", "nonsense"])
         assert rc == 0
         assert "unknown kind" in capsys.readouterr().err
+
+
+class TestTail:
+    def test_shows_last_n_window_summaries(self, tmp_path, capsys):
+        d = make_stream(tmp_path, n_windows=12)
+        assert trace_cli.main(["tail", str(d), "-n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "12 window records" in out
+        assert "showing last 3" in out
+        assert "window 11" in out
+        assert "window 8" not in out
+
+    def test_json_emits_raw_records(self, tmp_path, capsys):
+        d = make_stream(tmp_path, n_windows=4)
+        assert trace_cli.main(["tail", str(d), "-n", "0", "--json"]) == 0
+        lines = [json.loads(line)
+                 for line in capsys.readouterr().out.splitlines() if line]
+        assert [r["window"]["index"] for r in lines] == [0, 1, 2, 3]
+
+    def test_non_stream_directory_is_an_error(self, tmp_path, capsys):
+        rc = trace_cli.main(["tail", str(tmp_path)])
+        assert rc == 1
+        assert "not a stream directory" in capsys.readouterr().err
+
+
+class TestWatch:
+    def test_drains_a_closed_stream_and_exits(self, tmp_path, capsys):
+        d = make_stream(tmp_path, n_windows=6)
+        rc = trace_cli.main(["watch", str(d), "--interval", "0.01"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert captured.out.count("window ") >= 6
+        assert "stream closed after 6" in captured.err
+
+    def test_times_out_when_nothing_appears(self, tmp_path, capsys):
+        rc = trace_cli.main(
+            ["watch", str(tmp_path), "--timeout", "0.05",
+             "--interval", "0.01"]
+        )
+        assert rc == 1
+        assert "no stream appeared" in capsys.readouterr().err
+
+    def test_json_mode(self, tmp_path, capsys):
+        d = make_stream(tmp_path, n_windows=3)
+        rc = trace_cli.main(["watch", str(d), "--json",
+                             "--interval", "0.01"])
+        assert rc == 0
+        lines = [json.loads(line)
+                 for line in capsys.readouterr().out.splitlines() if line]
+        assert len(lines) == 3
 
 
 class TestKinds:

@@ -1,0 +1,144 @@
+"""Open-loop traffic generator: schedules, PMC clock, windowed output."""
+
+import pytest
+
+from repro.common.config import KernelConfig, MachineConfig, SimConfig
+from repro.common.errors import ConfigError
+from repro.obs import runtime as obs_runtime
+from repro.obs.windows import WindowSpec
+from repro.sim.engine import run_program
+from repro.workloads.traffic import (
+    DRIFT_STREAM,
+    LATENCY_STREAM,
+    REQUESTS_COUNTER,
+    SCHEDULES,
+    TrafficConfig,
+    TrafficWorkload,
+    quick_config,
+)
+
+
+def _run(config: TrafficConfig, seed=7, window_spec=None):
+    workload = TrafficWorkload(config)
+    sim = SimConfig(
+        machine=MachineConfig(n_cores=config.n_workers),
+        kernel=KernelConfig(),
+        seed=seed,
+    )
+    with obs_runtime.collect(window_spec=window_spec) as collector:
+        result = run_program(workload.build(), sim)
+    return workload, result, collector
+
+
+class TestTrafficConfig:
+    def test_rejects_unknown_schedule(self):
+        with pytest.raises(ConfigError, match="schedule"):
+            TrafficConfig(schedule="lunar")
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            TrafficConfig(n_workers=0)
+        with pytest.raises(ConfigError):
+            TrafficConfig(load=0)
+        with pytest.raises(ConfigError):
+            TrafficConfig(diurnal_amplitude=1.0)
+        with pytest.raises(ConfigError):
+            TrafficConfig(burst_duty=0.0)
+
+    def test_mean_interarrival_scales_with_load(self):
+        slow = TrafficConfig(load=0.5)
+        fast = TrafficConfig(load=1.0)
+        assert slow.mean_interarrival_cycles == pytest.approx(
+            2 * fast.mean_interarrival_cycles
+        )
+
+    def test_constant_multiplier_is_one(self):
+        cfg = TrafficConfig(schedule="constant")
+        assert all(cfg.rate_multiplier(t) == 1.0 for t in (0, 10**9))
+
+    def test_diurnal_swings_but_stays_positive(self):
+        cfg = TrafficConfig(
+            schedule="diurnal", diurnal_amplitude=0.9,
+            diurnal_period_cycles=1_000,
+        )
+        values = [cfg.rate_multiplier(t) for t in range(0, 1_000, 50)]
+        assert max(values) > 1.5
+        assert all(v >= 0.05 for v in values)
+
+    def test_burst_multiplier_during_duty_window(self):
+        cfg = TrafficConfig(
+            schedule="burst", burst_period_cycles=1_000,
+            burst_duty=0.2, burst_factor=4.0,
+        )
+        assert cfg.rate_multiplier(100) == 4.0   # inside the burst
+        assert cfg.rate_multiplier(500) == 1.0   # between bursts
+        assert cfg.rate_multiplier(1_100) == 4.0  # periodic
+
+    def test_overload_ramps_through_saturation(self):
+        cfg = TrafficConfig(
+            schedule="overload", load=1.0,
+            overload_peak=1.5, overload_ramp_cycles=1_000,
+        )
+        start = cfg.rate_multiplier(0)
+        end = cfg.rate_multiplier(1_000)
+        assert start == pytest.approx(0.5)
+        assert end == pytest.approx(1.5)
+        assert cfg.rate_multiplier(10_000) == end  # holds after the ramp
+
+    def test_quick_config_shrinks_periods_proportionally(self):
+        cfg = TrafficConfig(requests_per_worker=10_000)
+        small = quick_config(cfg, 100)
+        assert small.requests_per_worker == 100
+        assert small.burst_period_cycles < cfg.burst_period_cycles
+        assert small.schedule == cfg.schedule
+
+    def test_all_schedules_are_constructible(self):
+        for schedule in SCHEDULES:
+            TrafficConfig(schedule=schedule)
+
+
+class TestTrafficWorkload:
+    CFG = TrafficConfig(
+        n_workers=2, requests_per_worker=120, resync_every=16
+    )
+
+    def test_every_request_is_measured(self):
+        spec = WindowSpec(window_cycles=1_000_000, retention=64)
+        workload, _result, collector = _run(self.CFG, window_spec=spec)
+        stats = collector.records[-1].windows
+        stream = f"{LATENCY_STREAM}.{self.CFG.schedule}"
+        n = self.CFG.n_workers * self.CFG.requests_per_worker
+        assert stats.totals.hists[stream].n == n
+        assert stats.totals.counters[REQUESTS_COUNTER] == n
+        assert stats.reconcile()
+
+    def test_safe_reads_are_exact(self):
+        workload, _result, _collector = _run(self.CFG)
+        clock = workload.session.error_stats()
+        assert clock["n_reads"] > 0
+        assert clock["max_abs_error"] == 0
+
+    def test_clock_drift_is_small_next_to_latency(self):
+        spec = WindowSpec()
+        workload, _result, collector = _run(self.CFG, window_spec=spec)
+        stats = collector.records[-1].windows
+        stream = f"{LATENCY_STREAM}.{self.CFG.schedule}"
+        drift = stats.totals.hists[DRIFT_STREAM]
+        latency = stats.totals.hists[stream]
+        assert drift.n > 0
+        # resync keeps accumulated clock error well under typical latency
+        assert drift.percentile(99) < latency.percentile(50)
+
+    def test_without_collector_runs_clean(self):
+        # observations are no-ops outside a collect() scope
+        workload = TrafficWorkload(self.CFG)
+        sim = SimConfig(machine=MachineConfig(n_cores=2), seed=3)
+        result = run_program(workload.build(), sim)
+        assert result.wall_cycles > 0
+
+    def test_observations_perturb_nothing(self):
+        _w1, plain, _c = _run(self.CFG, seed=11, window_spec=None)
+        _w2, observed, _c2 = _run(
+            self.CFG, seed=11, window_spec=WindowSpec(retention=2)
+        )
+        assert plain.fingerprint() == observed.fingerprint()
