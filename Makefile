@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments experiments-quick trace-smoke traffic-smoke fault-smoke examples lint lint-smoke clean
+.PHONY: install test bench experiments experiments-quick trace-smoke traffic-smoke fault-smoke compiled-smoke examples lint lint-smoke clean
 
 install:
 	pip install -e .
@@ -44,6 +44,14 @@ fault-smoke:
 		--keep-going --manifest results/smoke/fault-manifest.json
 	PYTHONPATH=src $(PYTHON) -m pytest -q tests/fabric/test_failures.py \
 		tests/faults tests/properties/test_fault_injection.py
+
+# compiled-tier equivalence check: the quick suite four times (tier on
+# under the strict lint gate, tier off, numpy prefix builder off, and
+# --jobs 4) with per-run fingerprints; every leg must be bit-identical
+# and the tier must actually engage (compiled hit rate >= macro hit rate)
+compiled-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.compiled_smoke \
+		--dir results/smoke/compiled
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f || exit 1; done

@@ -1,7 +1,7 @@
 """Tracked performance baseline: ``python -m repro.bench``.
 
 Measures the workloads the perf-sensitive subsystems are judged on and
-writes the results as ``BENCH_PR6.json`` (schema ``repro.bench/v1``,
+writes the results as ``BENCH_PR7.json`` (schema ``repro.bench/v1``,
 documented in docs/performance.md):
 
 * **contention microbench** — two threads on two cores alternating long
@@ -23,8 +23,9 @@ documented in docs/performance.md):
 not comparable across machines, so the gate compares machine-independent
 quantities against the committed baseline: the deterministic sweep piece
 count (``sim_events`` — un-fusing ops or losing a fast path inflates it),
-the sweep macro hit rate, and the microbench on/off speedup (a ratio of
-two runs on the *same* host). Any of them regressing by more than
+the sweep macro and compiled-segment hit rates, and the microbench on/off
+speedup (a ratio of two runs on the *same* host). Any of them regressing
+by more than
 ``--threshold`` (default 25%) fails the check, as does same-host
 streaming overhead above the absolute :data:`STREAM_OVERHEAD_MAX` cap.
 """
@@ -40,6 +41,7 @@ from pathlib import Path
 
 from repro.common.config import KernelConfig, MachineConfig, SimConfig
 from repro.core.limit import LimitSession
+from repro.experiments.base import result_sharing
 from repro.hw.events import Event
 from repro.obs import runtime as obs_runtime
 from repro.sim.engine import run_program
@@ -48,7 +50,7 @@ from repro.sim.program import ThreadSpec
 from repro.workloads.base import COMPUTE_RATES
 
 SCHEMA = "repro.bench/v1"
-DEFAULT_OUT = "BENCH_PR6.json"
+DEFAULT_OUT = "BENCH_PR7.json"
 
 #: Hard cap on the streaming-observability overhead ratio (same-host A/B).
 STREAM_OVERHEAD_MAX = 0.05
@@ -129,19 +131,36 @@ def run_sweep(quick: bool) -> dict:
     """Every registered experiment, timed, with fast-path telemetry."""
     from repro.experiments.registry import all_experiments
 
+    def _total(records, key):
+        return sum(r.metrics.get(key, 0) for r in records)
+
     experiments: dict[str, dict] = {}
     total_started = time.perf_counter()
-    with obs_runtime.collect(label="bench-sweep") as collector:
+    with result_sharing(), obs_runtime.collect(label="bench-sweep") as collector:
         for entry in all_experiments():
             n_before = len(collector.records)
             started = time.perf_counter()
             entry.run(quick=quick)
             sub = collector.records[n_before:]
+            quanta = _total(sub, "quanta_batched")
+            ticks = _total(sub, "timer_ticks")
+            compiled_ops = _total(sub, "compiled_ops")
+            # Hit-rate denominator: ops fetched by runs that lowered tables
+            # (mirrors RunCollector.compiled_summary — opt-out workloads
+            # must not dilute the rate of the runs the tier serves).
+            fetched = sum(
+                r.metrics.get("ops_fetched", 0)
+                for r in sub
+                if r.metrics.get("compiled_tables", 0) > 0
+            )
             experiments[entry.exp_id] = {
                 "wall_seconds": time.perf_counter() - started,
                 "sim_events": sum(r.sim_events for r in sub),
-                "macro_steps": sum(
-                    r.metrics.get("macro_steps", 0) for r in sub
+                "macro_steps": _total(sub, "macro_steps"),
+                "macro_hit_rate": quanta / ticks if ticks else 0.0,
+                "compiled_segments": _total(sub, "compiled_segments"),
+                "compiled_hit_rate": (
+                    compiled_ops / fetched if fetched else 0.0
                 ),
             }
     wall = time.perf_counter() - total_started
@@ -155,6 +174,10 @@ def run_sweep(quick: bool) -> dict:
         "macro_hit_rate": snap["macro_hit_rate"],
         "fast_reads": snap["fast_reads"],
         "fastpath_bailouts": snap["fastpath_bailouts"],
+        "compiled_runs": snap["compiled_runs"],
+        "compiled_segments": snap["compiled_segments"],
+        "compiled_ops": snap["compiled_ops"],
+        "compiled_hit_rate": snap["compiled_hit_rate"],
         "bailouts": collector.bailouts_by_reason(),
         "experiments": experiments,
     }
@@ -306,6 +329,15 @@ def check(current: dict, baseline: dict, threshold: float, out) -> int:
         baseline["sweep"]["macro_hit_rate"],
         higher_is_better=True,
     )
+    if "compiled_hit_rate" in baseline["sweep"]:
+        # Baselines from before the compiled tier existed lack the key;
+        # gate() skips zero baselines, this skips absent ones explicitly.
+        gate(
+            "sweep compiled_hit_rate",
+            current["sweep"]["compiled_hit_rate"],
+            baseline["sweep"]["compiled_hit_rate"],
+            higher_is_better=True,
+        )
     gate(
         "microbench speedup (macro off/on, same host)",
         current["microbench"]["speedup"],
@@ -386,6 +418,8 @@ def main(argv: list[str] | None = None) -> int:
         f"{sweep['sim_events']:,} pieces "
         f"({sweep['pieces_per_sec']:,.0f}/s), "
         f"macro hit rate {sweep['macro_hit_rate']:.1%}, "
+        f"compiled hit rate {sweep['compiled_hit_rate']:.1%} "
+        f"({sweep['compiled_segments']:,.0f} segments), "
         f"{sweep['fast_reads']:,.0f} fast reads"
     )
     streaming = current["streaming"]

@@ -1,0 +1,196 @@
+"""Compiled-tier equivalence smoke: prove the tier changes nothing but speed.
+
+Runs the quick experiment suite four times — compiled tier on (under the
+strict lint gate), tier off (``--no-compiled-tier``), tier on with the
+numpy prefix builder disabled (``REPRO_COMPILED_NUMPY=0``), and tier on
+with experiments fanned over worker processes (``--jobs 4``) — with
+``REPRO_FP_RECORDS=1`` so every engine run's
+:meth:`~repro.sim.results.RunResult.fingerprint` lands in the manifest.
+It then asserts:
+
+* per-experiment fingerprint multisets are identical across all four legs
+  (the tier, the numpy fallback, and process pooling are bit-invisible);
+* the tier-on leg actually engaged: some runs lowered tables, some
+  verified segments were batch-executed, and the op-level compiled hit
+  rate is at least the quantum-level macro hit rate;
+* the tier-off leg really interpreted every op (zero compiled segments).
+
+Usage::
+
+    python -m repro.experiments.compiled_smoke [--dir results/smoke/compiled]
+
+Exits non-zero (with the offending experiment named) on any violation.
+This is the CI ``compiled-smoke`` job and the ``make compiled-smoke``
+target; see docs/performance.md for the tier itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.runner import main as run_suite
+
+#: (leg name, extra runner argv, env overrides). Every leg runs
+#: ``--quick`` with fingerprint capture; the first leg is the reference.
+LEGS: tuple[tuple[str, tuple[str, ...], dict[str, str]], ...] = (
+    ("on", ("--lint-strict",), {}),
+    ("off", ("--no-compiled-tier",), {}),
+    ("no-numpy", (), {"REPRO_COMPILED_NUMPY": "0"}),
+    ("jobs4", ("--jobs", "4"), {}),
+)
+
+#: Env vars each leg owns; saved and restored around every leg so legs
+#: cannot leak state into each other (``--no-compiled-tier`` mutates the
+#: environment on purpose — workers inherit it).
+_MANAGED = ("REPRO_COMPILED_TIER", "REPRO_COMPILED_NUMPY", "REPRO_FP_RECORDS")
+
+
+def _run_leg(
+    name: str,
+    extra: tuple[str, ...],
+    env: dict[str, str],
+    out_dir: Path,
+) -> dict[str, Any]:
+    """Run one quick suite and return its parsed manifest."""
+    saved = {key: os.environ.get(key) for key in _MANAGED}
+    try:
+        for key in _MANAGED:
+            os.environ.pop(key, None)
+        os.environ["REPRO_FP_RECORDS"] = "1"
+        os.environ.update(env)
+        manifest = out_dir / f"{name}.json"
+        argv = ["--quick", "--manifest", str(manifest), *extra]
+        env_note = " ".join(f"{k}={v}" for k, v in env.items())
+        print(
+            f"== compiled-smoke leg {name!r}: "
+            f"{env_note + ' ' if env_note else ''}"
+            f"repro.experiments {' '.join(argv)}",
+            flush=True,
+        )
+        code = run_suite(argv)
+        if code != 0:
+            raise SystemExit(
+                f"compiled-smoke: leg {name!r} failed (exit {code})"
+            )
+        return json.loads(manifest.read_text())
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def _fingerprints(manifest: dict[str, Any]) -> dict[str, list[str]]:
+    """Per-experiment fingerprint multiset (sorted — pooled sweeps may
+    return runs in a different order than serial ones)."""
+    return {
+        exp["id"]: sorted(exp.get("fingerprints", []))
+        for exp in manifest["experiments"]
+    }
+
+
+def _block_total(manifest: dict[str, Any], block: str, key: str) -> float:
+    return sum(exp[block].get(key, 0) for exp in manifest["experiments"])
+
+
+def check(manifests: dict[str, dict[str, Any]]) -> list[str]:
+    """Return every violated invariant (empty list: smoke passes)."""
+    problems: list[str] = []
+    reference = _fingerprints(manifests["on"])
+    for exp_id, fps in reference.items():
+        if not fps:
+            problems.append(
+                f"{exp_id}: no fingerprints captured on the reference leg "
+                "(REPRO_FP_RECORDS plumbing broken?)"
+            )
+    for name, manifest in manifests.items():
+        if name == "on":
+            continue
+        fps = _fingerprints(manifest)
+        if fps.keys() != reference.keys():
+            problems.append(
+                f"leg {name!r} ran a different experiment set: "
+                f"{sorted(fps.keys() ^ reference.keys())}"
+            )
+            continue
+        for exp_id in sorted(reference):
+            if fps[exp_id] != reference[exp_id]:
+                problems.append(
+                    f"{exp_id}: fingerprints differ between legs 'on' and "
+                    f"{name!r} — the tier (or its fallback) changed "
+                    "simulated results"
+                )
+
+    on = manifests["on"]
+    runs = _block_total(on, "compiled", "compiled_runs")
+    segments = _block_total(on, "compiled", "compiled_segments")
+    ops = _block_total(on, "compiled", "compiled_ops")
+    fetched = _block_total(on, "compiled", "compiled_ops_fetched")
+    if runs <= 0 or segments <= 0:
+        problems.append(
+            f"tier-on leg never engaged: {runs:.0f} lowered runs, "
+            f"{segments:.0f} batched segments"
+        )
+    quanta = _block_total(on, "macro", "quanta_batched")
+    ticks = _block_total(on, "macro", "timer_ticks")
+    if ticks <= 0:
+        problems.append(
+            "tier-on leg reports zero scheduler quanta — the macro "
+            "telemetry feeding the hit-rate comparison is gone"
+        )
+    compiled_rate = ops / fetched if fetched else 0.0
+    macro_rate = quanta / ticks if ticks else 0.0
+    if compiled_rate < macro_rate:
+        problems.append(
+            f"compiled hit rate {compiled_rate:.1%} fell below the macro "
+            f"hit rate {macro_rate:.1%} — the tier is lowering tables it "
+            "then fails to serve"
+        )
+    off_segments = _block_total(manifests["off"], "compiled", "compiled_segments")
+    if off_segments > 0:
+        problems.append(
+            f"--no-compiled-tier leg still batched {off_segments:.0f} "
+            "segments — the kill switch does not kill"
+        )
+    if not problems:
+        print(
+            f"compiled smoke OK: {len(reference)} experiments x "
+            f"{len(manifests)} legs fingerprint-identical; "
+            f"{segments:.0f} segments over {runs:.0f} lowered runs, "
+            f"compiled hit rate {compiled_rate:.1%} >= "
+            f"macro hit rate {macro_rate:.1%}"
+        )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-compiled-smoke", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--dir",
+        type=Path,
+        default=Path("results/smoke/compiled"),
+        help="directory for the four leg manifests",
+    )
+    args = parser.parse_args(argv)
+    args.dir.mkdir(parents=True, exist_ok=True)
+
+    manifests = {
+        name: _run_leg(name, extra, env, args.dir)
+        for name, extra, env in LEGS
+    }
+    problems = check(manifests)
+    for problem in problems:
+        print(f"compiled smoke FAILED: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

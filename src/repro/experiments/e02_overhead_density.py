@@ -40,10 +40,10 @@ _TRIAL = "repro.experiments.e02_overhead_density.density_trial"
 
 
 def density_trial(total: int, density: int, technique: str):
-    """Fabric job factory: the thread specs for one sweep point."""
+    """Fabric job factory: the workload for one sweep point."""
     return DensitySweepWorkload(
         TECHNIQUES.get(technique), total, float(density), technique=technique
-    ).build()
+    )
 
 
 def run(quick: bool = False) -> ExperimentResult:

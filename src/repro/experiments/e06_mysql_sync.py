@@ -42,29 +42,41 @@ def _mysql_config(quick: bool) -> MysqlConfig:
 def run(quick: bool = False) -> ExperimentResult:
     config = multicore_config(n_cores=4, seed=66)
 
-    def one_run(instr: Instrumentation | None):
+    def one_run(make_instr):
+        # The arm's instrumentation comes from a factory so the compiled
+        # tier can lower over a fresh build (walking the live sessions
+        # would corrupt their records).
+        instr = make_instr()
         workload = MysqlWorkload(_mysql_config(quick))
-        result = run_program(workload.build(instr), config)
+        result = run_program(
+            workload.build(instr),
+            config,
+            lower=lambda: MysqlWorkload(_mysql_config(quick)).build(make_instr()),
+        )
         result.check_conservation()
-        return result
+        return result, instr
 
     # -- arm 1: unperturbed ground truth --------------------------------------
-    plain_result = one_run(None)
+    plain_result, _ = one_run(lambda: None)
     plain_sync = sync_profile(plain_result, prefix="mysql:")
     plain_log = plain_result.locks[LOG_LOCK]
 
     # -- arm 2: LiMiT-instrumented locks --------------------------------------
-    limit_session = LimitSession([Event.CYCLES], count_kernel=True, name="limit")
-    limit_instr = Instrumentation(sessions=[limit_session], lock_reader=limit_session)
-    limit_result = one_run(limit_instr)
-    limit_obs = limit_instr.lock_observations()[LOG_LOCK]
+    def limit_instr() -> Instrumentation:
+        session = LimitSession([Event.CYCLES], count_kernel=True, name="limit")
+        return Instrumentation(sessions=[session], lock_reader=session)
+
+    limit_result, limit_run_instr = one_run(limit_instr)
+    limit_obs = limit_run_instr.lock_observations()[LOG_LOCK]
     limit_log_truth = limit_result.locks[LOG_LOCK]
 
     # -- arm 3: PAPI-instrumented locks --------------------------------------
-    papi_session = PapiLikeSession([Event.CYCLES], count_kernel=True, name="papi")
-    papi_instr = Instrumentation(sessions=[papi_session], lock_reader=papi_session)
-    papi_result = one_run(papi_instr)
-    papi_obs = papi_instr.lock_observations()[LOG_LOCK]
+    def papi_instr() -> Instrumentation:
+        session = PapiLikeSession([Event.CYCLES], count_kernel=True, name="papi")
+        return Instrumentation(sessions=[session], lock_reader=session)
+
+    papi_result, papi_run_instr = one_run(papi_instr)
+    papi_obs = papi_run_instr.lock_observations()[LOG_LOCK]
     papi_log_truth = papi_result.locks[LOG_LOCK]
 
     # -- tables -----------------------------------------------------------------

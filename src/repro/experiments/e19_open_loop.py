@@ -56,6 +56,10 @@ def _points(quick: bool) -> list[tuple[str, float]]:
 class TrafficTrial:
     """Fabric job factory: one schedule point of the traffic generator."""
 
+    #: An open-loop request is [work, Compute] — below MIN_BATCH, so the
+    #: compiled tier can never form a segment here; skip the lowering walk.
+    compiled_lower = False
+
     def __init__(self, schedule: str, load: float, quick: bool) -> None:
         self.schedule = schedule
         self.load = load

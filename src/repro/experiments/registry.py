@@ -27,7 +27,7 @@ from repro.experiments import (
     e18_lint_validation,
     e19_open_loop,
 )
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, run_shared
 
 
 @dataclass(frozen=True)
@@ -36,6 +36,19 @@ class ExperimentEntry:
     title: str
     paper_claim: str
     run: Callable[..., ExperimentResult]
+
+
+def _sharing_run(
+    exp_id: str, run: Callable[..., ExperimentResult]
+) -> Callable[..., ExperimentResult]:
+    """Route an entry's run through the (scope-gated) result memo, so a
+    registry sweep under ``result_sharing()`` never simulates the same
+    ``(exp_id, quick)`` twice — notably E12's reuse of E1/E3/E6/E8."""
+
+    def wrapped(quick: bool = False) -> ExperimentResult:
+        return run_shared(exp_id, run, quick=quick)
+
+    return wrapped
 
 
 _MODULES = [
@@ -65,7 +78,7 @@ REGISTRY: dict[str, ExperimentEntry] = {
         exp_id=m.EXP_ID,
         title=m.TITLE,
         paper_claim=m.PAPER_CLAIM,
-        run=m.run,
+        run=_sharing_run(m.EXP_ID, m.run),
     )
     for m in _MODULES
 }

@@ -221,8 +221,14 @@ def resolve(path: str) -> Any:
 
 
 def job_key(cache: ResultCache, job: RunJob) -> str:
+    from repro.sim.compiled import cache_salt
+
     return cache.key(
-        "run", job.workload, tuple(sorted(job.kwargs.items())), job.config
+        "run",
+        job.workload,
+        tuple(sorted(job.kwargs.items())),
+        job.config,
+        cache_salt(job.config),
     )
 
 
@@ -244,12 +250,24 @@ def execute_job(
     started = time.perf_counter()
     trial = factory(**job.kwargs)
     specs = trial.build() if hasattr(trial, "build") else trial
+
+    def fresh_build():
+        # Compiled-tier lowering pass: rebuild from the dotted path so the
+        # walked objects are throwaways (same rule as the lint gate).
+        t = factory(**job.kwargs)
+        return t.build() if hasattr(t, "build") else t
+
+    # Trials/workloads whose op streams lower to sub-MIN_BATCH runs (e.g.
+    # open-loop request loops) opt out with ``compiled_lower = False``:
+    # for them the lowering walk is pure overhead, never a speedup.
+    lower = fresh_build if getattr(trial, "compiled_lower", True) else None
+
     with obs_runtime.collect(
         capture_traces=capture_traces,
         label=job.label or job.workload,
         window_spec=window_spec,
     ) as collector:
-        result = Engine(job.config).run(specs)
+        result = Engine(job.config).run(specs, lower=lower)
     extra = trial.extract(result) if hasattr(trial, "extract") else None
     return JobOutcome(
         job=job,

@@ -97,6 +97,10 @@ class LintReport:
     findings: list[Finding] = field(default_factory=list)
     checked: dict[str, int] = field(default_factory=dict)  #: unit -> count
     suppressed: int = 0
+    #: threads whose static walk hit the op budget (analysis covered only
+    #: a prefix of their timeline), and the budget that cut them short
+    walk_truncated: int = 0
+    walk_max_ops: int = 0
 
     def add(self, finding: Finding) -> None:
         self.findings.append(finding)
@@ -109,6 +113,8 @@ class LintReport:
         for unit, n in other.checked.items():
             self.checked[unit] = self.checked.get(unit, 0) + n
         self.suppressed += other.suppressed
+        self.walk_truncated += other.walk_truncated
+        self.walk_max_ops = max(self.walk_max_ops, other.walk_max_ops)
 
     def note_checked(self, unit: str, n: int = 1) -> None:
         self.checked[unit] = self.checked.get(unit, 0) + n
@@ -145,6 +151,8 @@ class LintReport:
             findings=kept,
             checked=dict(self.checked),
             suppressed=self.suppressed + (len(self.findings) - len(kept)),
+            walk_truncated=self.walk_truncated,
+            walk_max_ops=self.walk_max_ops,
         )
         return out
 
@@ -154,9 +162,16 @@ class LintReport:
         n_info = len(self.findings) - n_err - n_warn
         units = ", ".join(f"{n} {unit}" for unit, n in sorted(self.checked.items()))
         sup = f", {self.suppressed} suppressed" if self.suppressed else ""
+        trunc = ""
+        if self.walk_truncated:
+            trunc = (
+                f" [walk truncated {self.walk_truncated} thread(s) at the "
+                f"{self.walk_max_ops}-op budget; hazards past each prefix "
+                "unchecked]"
+            )
         return (
             f"{n_err} error(s), {n_warn} warning(s), {n_info} info "
-            f"[checked {units or 'nothing'}{sup}]"
+            f"[checked {units or 'nothing'}{sup}]{trunc}"
         )
 
     def render(self) -> str:
@@ -174,5 +189,9 @@ class LintReport:
             "n_warnings": len(self.warnings()),
             "checked": dict(self.checked),
             "suppressed": self.suppressed,
+            "walk": {
+                "truncated_threads": self.walk_truncated,
+                "max_ops": self.walk_max_ops,
+            },
             "ok": self.ok(),
         }

@@ -594,6 +594,8 @@ def analyze_walk(walk: ProgramWalk) -> LintReport:
     report = LintReport()
     report.note_checked("threads", len(walk.threads))
     report.note_checked("ops", walk.n_ops())
+    report.walk_truncated = sum(1 for t in walk.threads if t.truncated)
+    report.walk_max_ops = walk.max_ops
     for rule_pass in _PASSES:
         rule_pass(walk, report)
     return report

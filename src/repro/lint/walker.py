@@ -141,6 +141,9 @@ class ProgramWalk:
 
     config: SimConfig
     threads: list[ThreadWalk] = field(default_factory=list)
+    #: per-thread op budget the walk ran under (reports surface it so a
+    #: truncated analysis names the limit that cut it short)
+    max_ops: int = DEFAULT_MAX_OPS
 
     def thread_names(self) -> list[str]:
         return [t.name for t in self.threads]
@@ -171,6 +174,43 @@ class _SlotTable:
             self.slots[index] = None
 
 
+#: Op types whose stub result is the monotone fake counter.
+_STUB_MONOTONE = (
+    op.Rdtsc,
+    op.Rdpmc,
+    op.RdpmcDestructive,
+    op.LoadVAccum,
+    op.PmcSafeRead,
+    op.PmcUnsafeRead,
+)
+
+
+def _stub_code(current: Any) -> int:
+    """Stub-result strategy for one op: 0 = None, 1 = syscall stubs,
+    2 = monotone counter value, 3 = "not interrupted", 4 = spawn. The
+    isinstance fallback keeps historical semantics for op subclasses
+    defined outside :mod:`repro.sim.ops`."""
+    if isinstance(current, op.Syscall):
+        return 1
+    if isinstance(current, _STUB_MONOTONE):
+        return 2
+    if isinstance(current, op.PmcReadEnd):
+        return 3
+    if isinstance(current, op.SpawnThread):
+        return 4
+    return 0
+
+
+#: Type-identity fast path for :func:`_stub_code` — the walk runs once per
+#: op of every linted/lowered program, so a per-op isinstance chain is a
+#: measurable fraction of lowering time.
+_STUB_DISPATCH: dict[type, int] = {
+    cls: _stub_code(object.__new__(cls))
+    for cls in vars(op).values()
+    if isinstance(cls, type) and issubclass(cls, op.Op) and cls is not op.Op
+}
+
+
 def _walk_thread(
     walk: ThreadWalk,
     factory: Any,
@@ -191,20 +231,31 @@ def _walk_thread(
     fake_counter = 0   # monotone source for read/rdtsc results
     fake_fd = 2        # perf/mux handle source (first handle is 3)
     next_result: Any = None
+    ops_list = walk.ops
+    results_list = walk.results
+    dispatch_get = _STUB_DISPATCH.get
+    n = 0
     try:
         gen = factory(ctx)
+        send = gen.send  # a fresh generator's send(None) == next(gen)
         while True:
             try:
-                current = gen.send(next_result) if walk.ops else next(gen)
+                current = send(next_result)
             except StopIteration:
                 break
-            walk.ops.append(current)
-            if len(walk.ops) > max_ops:
+            ops_list.append(current)
+            n += 1
+            if n > max_ops:
                 walk.truncated = True
                 gen.close()
                 break
             # -- stub result per op kind --------------------------------
-            if isinstance(current, op.Syscall):
+            code = dispatch_get(type(current))
+            if code is None:
+                code = _stub_code(current)
+            if code == 0:
+                next_result = None
+            elif code == 1:  # Syscall
                 if current.name == "pmc_open":
                     spec = current.args[0] if current.args else None
                     next_result = slots.allocate(spec)
@@ -234,27 +285,15 @@ def _walk_thread(
                     next_result = []
                 else:
                     next_result = 0
-            elif isinstance(
-                current,
-                (
-                    op.Rdtsc,
-                    op.Rdpmc,
-                    op.RdpmcDestructive,
-                    op.LoadVAccum,
-                    op.PmcSafeRead,
-                    op.PmcUnsafeRead,
-                ),
-            ):
+            elif code == 2:  # monotone counter/timestamp reads
                 fake_counter += 1_000
                 next_result = fake_counter
-            elif isinstance(current, op.PmcReadEnd):
+            elif code == 3:  # PmcReadEnd
                 next_result = True   # "not interrupted": restart loops exit
-            elif isinstance(current, op.SpawnThread):
+            else:            # SpawnThread
                 next_result = spawn_tid_base + len(spawn_queue)
                 spawn_queue.append((current.name, current.factory, walk.name))
-            else:
-                next_result = None
-            walk.results.append(next_result)
+            results_list.append(next_result)
     except Exception as exc:  # noqa: BLE001 - reported as a finding
         walk.walk_error = f"{type(exc).__name__}: {exc}"
         walk.walk_error_op = len(walk.ops)
@@ -264,6 +303,7 @@ def walk_program(
     specs: list[ThreadSpec],
     config: SimConfig | None = None,
     max_ops: int = DEFAULT_MAX_OPS,
+    first_tid: int = 0,
 ) -> ProgramWalk:
     """Statically enumerate every thread's ops for a workload.
 
@@ -273,15 +313,21 @@ def walk_program(
     specs first, then spawns as they are issued — the engine's order for
     programs that spawn up front; interleaved mid-run spawns may differ,
     which affects only finding labels, never hazard detection).
+
+    ``first_tid`` is the tid given to the first walked thread. Lint keeps
+    the historical 0 base; the compiled-tier lowering pass passes the
+    engine's 1 base so each walk context draws from the *same* seeded
+    ``RandomStream(seed, "thread", name, tid)`` the engine will construct,
+    making predicted op streams exact for result-independent programs.
     """
     from repro.obs import runtime as obs_runtime
 
     config = config or SimConfig()
-    program = ProgramWalk(config=config)
+    program = ProgramWalk(config=config, max_ops=max_ops)
     pending: list[tuple[str, Any, str]] = [
         (spec.name, spec.factory, "") for spec in specs
     ]
-    next_tid = 0
+    next_tid = first_tid
     # The walk executes real workload generators, which may feed windowed
     # observations to the ambient collector; a throwaway scope absorbs
     # them so a static walk can never pollute live measurements.

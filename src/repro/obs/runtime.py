@@ -27,6 +27,7 @@ produce bit-identical percentile summaries.
 from __future__ import annotations
 
 import hashlib
+import os
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Any
@@ -58,6 +59,11 @@ class EngineRunRecord:
     #: True when this record's windows already reached a stream writer —
     #: stops a downstream collector from exporting them a second time.
     windows_streamed: bool = False
+    #: ``RunResult.fingerprint()`` digest, captured only when the
+    #: ``REPRO_FP_RECORDS`` env var is ``1`` (equivalence smokes and
+    #: property tests); hashing every run costs ~1ms each, which is real
+    #: money on the bench path, so the default records no fingerprint.
+    fingerprint: str = ""
 
 
 class RunCollector:
@@ -217,6 +223,11 @@ class RunCollector:
                 thread_names={tid: t.name for tid, t in result.threads.items()},
                 windows=windows,
                 windows_streamed=self.stream is not None,
+                fingerprint=(
+                    result.fingerprint()
+                    if os.environ.get("REPRO_FP_RECORDS") == "1"
+                    else ""
+                ),
             )
         )
 
@@ -296,6 +307,7 @@ class RunCollector:
             "sim_events_per_sec": self.sim_events / wall if wall > 0 else 0.0,
         }
         snap.update(self.macro_summary())
+        snap.update(self.compiled_summary())
         return dict(sorted(snap.items()))
 
     def macro_summary(self) -> dict[str, float]:
@@ -311,9 +323,37 @@ class RunCollector:
         return {
             "macro_steps": macro_steps,
             "quanta_batched": quanta,
+            "timer_ticks": ticks,
             "fast_reads": self._metric_total("fast_reads"),
             "fastpath_bailouts": self._metric_total("fastpath_bailouts"),
             "macro_hit_rate": quanta / ticks if ticks else 0.0,
+        }
+
+    def compiled_summary(self) -> dict[str, float]:
+        """Compiled-tier telemetry totals (:mod:`repro.sim.compiled`): how
+        many runs lowered segment tables, how many verified segments were
+        batch-executed, and the op-level hit rate. The hit-rate denominator
+        counts only ops fetched by runs that actually lowered tables —
+        workloads that opt out of lowering (``compiled_lower = False``)
+        should not dilute the rate of the runs the tier serves."""
+        segments = self._metric_total("compiled_segments")
+        ops = self._metric_total("compiled_ops")
+        fetched_lowered = sum(
+            r.metrics.get("ops_fetched", 0)
+            for r in self.records
+            if r.metrics.get("compiled_tables", 0) > 0
+        )
+        return {
+            "compiled_runs": sum(
+                1 for r in self.records
+                if r.metrics.get("compiled_tables", 0) > 0
+            ),
+            "compiled_segments": segments,
+            "compiled_ops": ops,
+            "compiled_ops_fetched": fetched_lowered,
+            "compiled_divergences": self._metric_total("compiled_divergences"),
+            "compiled_resyncs": self._metric_total("compiled_resyncs"),
+            "compiled_hit_rate": ops / fetched_lowered if fetched_lowered else 0.0,
         }
 
     def fault_summary(self) -> dict[str, Any]:

@@ -1,0 +1,442 @@
+"""Compiled execution tier: pre-lowered segment tables for thread programs.
+
+The interpreted engine executes one op *piece* per :meth:`Engine._step` —
+fetch, begin, per-chunk accounting, advance — and that per-op machinery
+dominates sweep wall time once macro-stepping has removed the per-quantum
+cost of long solo phases. This module adds a second tier in the spirit of
+nanoBench: *lower* a thread program once into flat per-op arrays (cycle
+costs and exact per-event accrual deltas as prefix sums), then let the
+engine batch-execute whole spans of predicted ops with a handful of integer
+adds instead of the full interpreter loop.
+
+Lowering reuses the lint walker front end (:mod:`repro.lint.walker`): the
+program's generators are driven against stub contexts — over a **fresh
+throwaway build** of the workload, never the live objects a run will use
+(walking live session/lock/queue state would corrupt it; see
+:mod:`repro.lint.gate` for the same rule) — producing per-thread predicted
+op timelines. Because stub results differ from real ones, the predicted
+stream is a *hint*, not ground truth: at run time the engine verifies every
+fetched op against its prediction and bails to the interpreter on any
+divergence, so a wrong table can cost speed but never correctness.
+
+What gets batched (everything else is a segment breaker):
+
+* ``Compute`` — one user phase of ``op.cycles`` at ``op.rates``;
+* ``Rdtsc`` — one user phase of ``costs.rdtsc`` at ``LIBRARY_RATES``
+  (result: core time after the op, known in advance within a batch);
+* ``Syscall("work", (cycles,))`` — three non-preemptible kernel phases
+  (entry / body / exit), each accruing from its own cycle 0;
+* ``RegionBegin`` / ``RegionEnd`` — zero-cycle bookkeeping, replayed
+  exactly (only while no instrumenting profiler is attached, since the
+  profiler hook changes their cost and ordering side effects).
+
+Exactness rules (the bailout taxonomy) live in
+:meth:`repro.sim.engine.Engine._compiled_batch`: a batch must fit strictly
+inside the current timeslice, strictly below the main loop's actor horizon,
+wrap no hardware counter, and never run with a PMI pending — every point
+where exact interleaving matters falls back to the interpreted loop, which
+is what keeps ``RunResult.fingerprint`` bit-identical tier-on vs tier-off.
+
+Prefix tables are built with numpy when available (vectorized multiply /
+floor-divide / cumsum over int64, then ``.tolist()`` so the runtime arrays
+hold plain Python ints) and by an equivalent pure-python builder otherwise;
+``REPRO_COMPILED_NUMPY=0`` forces the fallback for A/B testing.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from itertools import accumulate
+from typing import Any, Callable
+
+from repro.common.config import CostModel, SimConfig
+from repro.hw.events import KERNEL_RATES, LIBRARY_RATES
+from repro.lint.walker import DEFAULT_MAX_OPS, ThreadWalk, walk_program
+from repro.sim import ops
+
+try:  # pragma: no cover - exercised via REPRO_COMPILED_NUMPY legs in CI
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: Bump on any change to lowering semantics or table layout; folded into the
+#: fabric result-cache salt so compiled-tier entries can never collide with
+#: entries produced by a different lowering.
+LOWER_VERSION = 1
+
+#: Op kind codes. 0 is a segment breaker; nonzero kinds are batchable.
+K_BREAK = 0
+K_COMPUTE = 1
+K_RDTSC = 2
+K_WORK = 3
+K_RBEGIN = 4
+K_REND = 5
+
+#: Minimum ops in a batch for the bulk commit to beat interpreting them.
+MIN_BATCH = 3
+
+#: How far ahead in the predicted stream to look when resynchronising
+#: after a divergence (tolerates small insertions/deletions).
+RESYNC_WINDOW = 4
+
+#: Consecutive unmatched fetches after which a thread's table is dropped
+#: (the prediction has wholesale diverged; stop paying the compare cost).
+DEAD_AFTER = 64
+
+#: Below this many ops the pure-python prefix builder wins (numpy array
+#: round-trips have fixed cost); only consulted when numpy is available.
+_NUMPY_MIN_OPS = 64
+
+
+class ThreadTable:
+    """One thread's lowered program: predicted ops plus prefix-sum tables.
+
+    All prefix arrays have length ``n + 1`` with ``arr[0] == 0``, so the
+    exact total over predicted ops ``[i, j)`` is ``arr[j] - arr[i]``:
+
+    * ``cyc`` — cycles (all domains);
+    * ``cu`` / ``ck`` — user / kernel cycles (== the CYCLES event tallies);
+    * ``eu`` / ``ek`` — per ``Event.index``, user / kernel event deltas,
+      computed per *phase* with the engine's running-floor arithmetic
+      (``(cycles * ppm) // 1e6`` per phase, summed), so they telescope to
+      exactly what per-chunk interpretation accrues.
+
+    ``seg_end[i]`` is one past the last op of the contiguous batchable
+    segment containing ``i`` (== ``i`` when op ``i`` is a breaker).
+
+    ``bhead[i]`` is ``seg_end[i]`` when op ``i`` heads a batch worth
+    attempting (a batchable run of at least ``MIN_BATCH`` ops) and 0
+    otherwise. The fetch hot path consults only this array: non-head
+    positions advance the cursor blindly, because prediction accuracy
+    only ever matters where a batch could commit — every batched op is
+    re-verified against the live stream during replay anyway.
+    """
+
+    __slots__ = (
+        "name", "tid", "n", "ops", "kinds", "seg_end", "bhead",
+        "cyc", "cu", "ck", "eu", "ek", "truncated",
+    )
+
+    def __init__(self, name: str, tid: int, ops_list: list,
+                 kinds: list[int], seg_end: list[int],
+                 cyc: list[int], cu: list[int], ck: list[int],
+                 eu: dict[int, list[int]], ek: dict[int, list[int]],
+                 truncated: bool) -> None:
+        self.name = name
+        self.tid = tid
+        self.n = len(ops_list)
+        self.ops = ops_list
+        self.kinds = kinds
+        self.seg_end = seg_end
+        self.bhead = [
+            e if k and e - i >= MIN_BATCH else 0
+            for i, (k, e) in enumerate(zip(kinds, seg_end))
+        ]
+        self.cyc = cyc
+        self.cu = cu
+        self.ck = ck
+        self.eu = eu
+        self.ek = ek
+        self.truncated = truncated
+
+    def n_lowerable(self) -> int:
+        return sum(1 for k in self.kinds if k)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ThreadTable {self.name!r} tid={self.tid} n={self.n} "
+            f"lowerable={self.n_lowerable()}>"
+        )
+
+
+class ProgramLowering:
+    """Lowered tables for one program build, keyed by thread name."""
+
+    __slots__ = ("tables", "stats")
+
+    def __init__(self, tables: dict[str, ThreadTable],
+                 stats: dict[str, Any]) -> None:
+        self.tables = tables
+        self.stats = stats
+
+
+class _Col:
+    """One lowering column: every op's cycles for one (rates, domain,
+    phase-slot) combination. Holding ``rates`` pins its id for the dict
+    key; ``slot`` keeps an op's same-rates phases (e.g. the three kernel
+    phases of a work syscall) in separate columns so each phase floors
+    from its own cycle 0, exactly as the engine accrues them."""
+
+    __slots__ = ("rates", "user", "cycles")
+
+    def __init__(self, rates: Any, user: bool, n: int) -> None:
+        self.rates = rates
+        self.user = user
+        self.cycles = [0] * n
+
+
+def op_matches(op: Any, pred: Any, kind: int) -> bool:
+    """Does a fetched op match its prediction closely enough to trust the
+    table at this position?
+
+    Batchable kinds compare every field the lowered accounting depends on.
+    Breakers (kind 0) run fully interpreted, so only the op *type* (plus
+    the syscall name) needs to line up for cursor tracking — their fields
+    may legitimately differ from the stub-result walk (e.g. a dynamically
+    computed ``Sleep`` duration) without invalidating what follows.
+    """
+    if type(op) is not type(pred):
+        return False
+    if kind == K_COMPUTE:
+        return op.cycles == pred.cycles and (
+            op.rates is pred.rates or op.rates.flat == pred.rates.flat
+        )
+    if kind == K_WORK:
+        return op.name == pred.name and op.args == pred.args
+    if kind == K_RBEGIN:
+        return op.name == pred.name
+    if kind == K_BREAK and type(op) is ops.Syscall:
+        return op.name == pred.name
+    return True
+
+
+def _classify(tw: ThreadWalk, costs: CostModel,
+              kinds: list[int]) -> dict[tuple[int, bool, int], _Col]:
+    """Fill ``kinds`` and return the per-(rates, domain, slot) cycle
+    columns for one walked thread."""
+    n = len(tw.ops)
+    cols: dict[tuple[int, bool, int], _Col] = {}
+
+    def col(rates: Any, user: bool, slot: int) -> list[int]:
+        key = (id(rates), user, slot)
+        c = cols.get(key)
+        if c is None:
+            c = cols[key] = _Col(rates, user, n)
+        return c.cycles
+
+    for i, o in enumerate(tw.ops):
+        t = type(o)
+        if t is ops.Compute:
+            kinds[i] = K_COMPUTE
+            if o.cycles:
+                col(o.rates, True, 0)[i] = o.cycles
+        elif t is ops.Rdtsc:
+            kinds[i] = K_RDTSC
+            col(LIBRARY_RATES, True, 0)[i] = costs.rdtsc
+        elif (
+            t is ops.Syscall
+            and o.name == "work"
+            and len(o.args) == 1
+            and isinstance(o.args[0], int)
+            and o.args[0] >= 0
+        ):
+            kinds[i] = K_WORK
+            col(KERNEL_RATES, False, 0)[i] = costs.syscall_entry
+            if o.args[0]:
+                col(KERNEL_RATES, False, 1)[i] = int(o.args[0])
+            col(KERNEL_RATES, False, 2)[i] = costs.syscall_exit
+        elif t is ops.RegionBegin:
+            kinds[i] = K_RBEGIN
+        elif t is ops.RegionEnd:
+            kinds[i] = K_REND
+        # everything else stays K_BREAK
+    return cols
+
+
+def _prefixes_python(
+    cols: dict[tuple[int, bool, int], _Col], n: int
+) -> tuple[list[int], list[int], list[int],
+           dict[int, list[int]], dict[int, list[int]]]:
+    """Pure-python prefix builder (exact reference implementation)."""
+    cu_d = [0] * n
+    ck_d = [0] * n
+    ev_d: dict[tuple[int, bool], list[int]] = {}
+    for c in cols.values():
+        # Columns are sparse (each holds one op kind's phase), so hoist the
+        # nonzero pairs once and reuse them for the domain total and every
+        # event rate — the dominant cost of numpy-free lowering otherwise.
+        nz = [(i, v) for i, v in enumerate(c.cycles) if v]
+        tgt = cu_d if c.user else ck_d
+        for i, v in nz:
+            tgt[i] += v
+        for _event, ppm, idx in c.rates.flat:
+            key = (idx, c.user)
+            acc = ev_d.get(key)
+            if acc is None:
+                acc = ev_d[key] = [0] * n
+            for i, v in nz:
+                acc[i] += (v * ppm) // 1_000_000
+
+    def pref(deltas: list[int]) -> list[int]:
+        return list(accumulate(deltas, initial=0))
+
+    cu = pref(cu_d)
+    ck = pref(ck_d)
+    cyc = [u + k for u, k in zip(cu, ck)]
+    eu = {
+        idx: pref(d) for (idx, user), d in ev_d.items() if user and any(d)
+    }
+    ek = {
+        idx: pref(d) for (idx, user), d in ev_d.items() if not user and any(d)
+    }
+    return cyc, cu, ck, eu, ek
+
+
+def _prefixes_numpy(
+    cols: dict[tuple[int, bool, int], _Col], n: int
+) -> tuple[list[int], list[int], list[int],
+           dict[int, list[int]], dict[int, list[int]]]:
+    """Vectorized prefix builder. int64 is exact here: per-phase cycles are
+    bounded by max_cycles (~2e12) and ppm by 1e6, so products stay under
+    2**63; ``.tolist()`` converts back to plain ints for the runtime."""
+    cu_d = _np.zeros(n, dtype=_np.int64)
+    ck_d = _np.zeros(n, dtype=_np.int64)
+    ev_d: dict[tuple[int, bool], Any] = {}
+    for c in cols.values():
+        arr = _np.asarray(c.cycles, dtype=_np.int64)
+        if c.user:
+            cu_d += arr
+        else:
+            ck_d += arr
+        for _event, ppm, idx in c.rates.flat:
+            key = (idx, c.user)
+            d = (arr * ppm) // 1_000_000
+            if key in ev_d:
+                ev_d[key] += d
+            else:
+                ev_d[key] = d
+
+    def pref(deltas: Any) -> list[int]:
+        out = _np.empty(n + 1, dtype=_np.int64)
+        out[0] = 0
+        _np.cumsum(deltas, out=out[1:])
+        return out.tolist()
+
+    cu = pref(cu_d)
+    ck = pref(ck_d)
+    cyc = pref(cu_d + ck_d)
+    eu = {
+        idx: pref(d) for (idx, user), d in ev_d.items() if user and d.any()
+    }
+    ek = {
+        idx: pref(d)
+        for (idx, user), d in ev_d.items()
+        if not user and d.any()
+    }
+    return cyc, cu, ck, eu, ek
+
+
+def cache_salt(config: SimConfig) -> tuple:
+    """Compiled-tier component of content-addressed result-cache keys.
+
+    Folds the lowering/table-format version and the *effective* tier switch
+    (config flag AND the ``REPRO_COMPILED_TIER`` env override) into the key,
+    so entries computed under one lowering can never be served to a run
+    under another. The tier is fingerprint-neutral by design; this is
+    defense in depth for the cache, not a correctness dependency.
+    """
+    enabled = bool(getattr(config, "compiled_tier", False)) and os.environ.get(
+        "REPRO_COMPILED_TIER", "1"
+    ) != "0"
+    return ("compiled-tier", LOWER_VERSION, enabled)
+
+
+def numpy_enabled() -> bool:
+    """Whether the vectorized prefix builder is in use."""
+    return _np is not None and os.environ.get(
+        "REPRO_COMPILED_NUMPY", "1"
+    ) != "0"
+
+
+def lower_thread(tw: ThreadWalk, costs: CostModel) -> ThreadTable | None:
+    """Lower one walked thread into a :class:`ThreadTable`.
+
+    A thread whose walk errored still yields a usable table over the prefix
+    it produced before the error (`walk.ops` only holds successfully
+    yielded ops); a thread with no ops yields None.
+    """
+    n = len(tw.ops)
+    if n == 0:
+        return None
+    kinds = [0] * n
+    cols = _classify(tw, costs, kinds)
+    if numpy_enabled() and n >= _NUMPY_MIN_OPS:
+        cyc, cu, ck, eu, ek = _prefixes_numpy(cols, n)
+    else:
+        cyc, cu, ck, eu, ek = _prefixes_python(cols, n)
+    seg_end = [0] * n
+    for i in range(n - 1, -1, -1):
+        if kinds[i]:
+            if i + 1 < n and kinds[i + 1]:
+                seg_end[i] = seg_end[i + 1]
+            else:
+                seg_end[i] = i + 1
+        else:
+            seg_end[i] = i
+    return ThreadTable(
+        tw.name, tw.tid, tw.ops, kinds, seg_end,
+        cyc, cu, ck, eu, ek, tw.truncated,
+    )
+
+
+def lower_program(
+    build: Callable[[], Any],
+    config: SimConfig | None = None,
+    max_ops: int = DEFAULT_MAX_OPS,
+) -> ProgramLowering:
+    """Lower a program for the compiled tier.
+
+    ``build`` is a zero-argument callable returning a **fresh** workload
+    build — either a spec list or an object with ``.build()``. It must
+    construct new session/lock/queue objects on every call: the walk drives
+    real generator code against stub contexts, and walking the live
+    objects a run will use would corrupt them (double session setup,
+    phantom records). :func:`repro.sim.engine.run_program`'s ``lower=``
+    parameter passes this straight through.
+
+    The walk uses ``first_tid=1`` so each walk context draws from the same
+    seeded per-thread RandomStream the engine will construct, making
+    predicted op streams exact for result-independent programs.
+    """
+    config = config or SimConfig()
+    t0 = time.perf_counter()
+    specs = build()
+    if hasattr(specs, "build"):
+        specs = specs.build()
+    walk = walk_program(list(specs), config, max_ops=max_ops, first_tid=1)
+    costs = config.machine.costs
+    tables: dict[str, ThreadTable] = {}
+    dup: set[str] = set()
+    n_ops = 0
+    n_lowerable = 0
+    n_errors = 0
+    n_truncated = 0
+    for tw in walk.threads:
+        n_ops += len(tw.ops)
+        if tw.walk_error:
+            n_errors += 1
+        if tw.truncated:
+            n_truncated += 1
+        if tw.name in dup:
+            continue
+        if tw.name in tables:
+            # Ambiguous spawn names: no table beats a wrong table.
+            del tables[tw.name]
+            dup.add(tw.name)
+            continue
+        tbl = lower_thread(tw, costs)
+        if tbl is not None:
+            tables[tw.name] = tbl
+            n_lowerable += tbl.n_lowerable()
+    stats = {
+        "threads_walked": len(walk.threads),
+        "tables": len(tables),
+        "ops_walked": n_ops,
+        "ops_lowerable": n_lowerable,
+        "walk_errors": n_errors,
+        "truncated": n_truncated,
+        "numpy": numpy_enabled(),
+        "wall_seconds": time.perf_counter() - t0,
+    }
+    return ProgramLowering(tables, stats)

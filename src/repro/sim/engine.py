@@ -72,6 +72,18 @@ from repro.kernel.perf import PerfFd, PerfSubsystem, SampleRecord
 from repro.kernel.scheduler import Scheduler
 from repro.kernel.vpmu import MuxState, SlotSpec, VirtualPmu
 from repro.sim import ops
+from repro.sim.compiled import (
+    DEAD_AFTER,
+    K_RBEGIN,
+    K_RDTSC,
+    K_REND,
+    K_WORK,
+    MIN_BATCH,
+    RESYNC_WINDOW,
+    ProgramLowering,
+    lower_program,
+    op_matches,
+)
 from repro.sim.program import ThreadContext, ThreadSpec
 from repro.sim.results import (
     CoreResult,
@@ -162,6 +174,15 @@ _EVENT_MEMBERS = tuple(Event)
 #: dead engines).
 _RECIPE_CACHE: dict[tuple[int, int, int], tuple] = {}
 _RECIPE_CACHE_CAP = 1 << 15
+
+#: Keys observed exactly once. A recipe is only built (and its objects
+#: pinned) on the second sighting of a key; one-shot windows — e.g. random
+#: phase lengths drawn per request in open-loop workloads — take the generic
+#: accrual path instead of thrashing the cache with entries that never get
+#: replayed. Ids here are unpinned, so a recycled id can at worst promote a
+#: fresh key one sighting early, which is harmless (the recipe built is for
+#: the live objects).
+_RECIPE_SEEN: set[tuple[int, int, int]] = set()
 
 
 def _window_recipe(flat: tuple, plan: tuple, after: int) -> tuple:
@@ -267,6 +288,10 @@ class SimThread:
         "started_at",
         "finished_at",
         "block_key",
+        "ctable",
+        "cpos",
+        "cmisses",
+        "cskip",
     )
 
     def __init__(self, tid: int, name: str, ctx: ThreadContext,
@@ -311,6 +336,12 @@ class SimThread:
         self.started_at = 0
         self.finished_at = 0
         self.block_key: tuple | None = None
+        # -- compiled tier (repro.sim.compiled) -------------------------
+        #: lowered segment table (None = interpret everything)
+        self.ctable: Any = None
+        self.cpos = 0          #: cursor into ctable's predicted op stream
+        self.cmisses = 0       #: consecutive unmatched fetches
+        self.cskip: Any = -1   #: slice end whose window already bailed
 
     @property
     def cpu_cycles(self) -> int:
@@ -371,6 +402,7 @@ class Engine:
         self.trace = self.obs.events  # same list; legacy alias
         self.metrics = MetricsRegistry(enabled=self.config.metrics)
         self._n_steps = 0
+        self._n_fused = 0  #: pieces chained inside _step (still sim events)
         self._acting_core: Core | None = None
         if self._tracing:
             self._wire_subsystem_tracers()
@@ -403,6 +435,23 @@ class Engine:
         #: contended-lock spin loop; values pin the plans (id-keyed).
         self._spin_recipes: dict[tuple[int, int], tuple] = {}
         self._bailouts: dict[str, int] = {}
+        # -- compiled execution tier (repro.sim.compiled) ----------------
+        # Same switch pattern as macro-stepping, plus hard disables: the
+        # tier batches op commits, which is incompatible with per-op trace
+        # emission order and with fault plans that match interior phases.
+        self._compiled_on = (
+            self.config.compiled_tier
+            and os.environ.get("REPRO_COMPILED_TIER", "1") != "0"
+            and not self._tracing
+            and self._faults is None
+        )
+        self._lowering: ProgramLowering | None = None
+        self._lower_wall = 0.0
+        self._compiled_segments = 0
+        self._compiled_ops = 0
+        self._compiled_divergences = 0
+        self._compiled_resyncs = 0
+        self._ops_fetched = 0
         tick = self._costs.timer_tick
         # One timer tick's kernel ground-truth events: each tick is its own
         # phase starting at cycle 0, so k batched ticks accrue exactly
@@ -532,6 +581,14 @@ class Engine:
             reg.counter("fastpath_bailout." + reason).add(
                 self._bailouts[reason]
             )
+        reg.counter("ops_fetched").add(self._ops_fetched)
+        if self._lowering is not None:
+            reg.counter("compiled_tables").add(len(self._lowering.tables))
+            reg.counter("compiled_segments").add(self._compiled_segments)
+            reg.counter("compiled_ops").add(self._compiled_ops)
+            reg.counter("compiled_divergences").add(self._compiled_divergences)
+            reg.counter("compiled_resyncs").add(self._compiled_resyncs)
+            reg.timer("wall.lowering").add(self._lower_wall)
         if self._faults is not None:
             f = self._faults
             reg.counter("faults.injected").add(f.total_injected)
@@ -550,8 +607,24 @@ class Engine:
     # public API
     # ------------------------------------------------------------------
 
-    def run(self, specs: list[ThreadSpec]) -> RunResult:
-        """Execute the given threads to completion and return the results."""
+    def run(
+        self,
+        specs: list[ThreadSpec],
+        lower: Callable[[], Any] | None = None,
+    ) -> RunResult:
+        """Execute the given threads to completion and return the results.
+
+        ``lower`` optionally enables the compiled execution tier
+        (:mod:`repro.sim.compiled`): a zero-argument callable returning a
+        **fresh, equivalent** build of the same program (a spec list or an
+        object with ``.build()``). It is invoked once to statically lower
+        the program into segment tables; the run itself still executes
+        ``specs``. It must construct new session/lock/queue objects —
+        never return the live ``specs`` — because lowering drives the
+        generators against stub contexts. Results are bit-identical with
+        or without it (a wrong or stale build only lowers the batch hit
+        rate, never correctness).
+        """
         if self._finished:
             raise SimulationError("Engine instances are single-use")
         if not specs:
@@ -559,6 +632,10 @@ class Engine:
         names = [s.name for s in specs]
         if len(set(names)) != len(names):
             raise ConfigError(f"duplicate thread names: {names}")
+        if lower is not None and self._compiled_on:
+            t_low = time.perf_counter()
+            self._lowering = lower_program(lower, self.config)
+            self._lower_wall = time.perf_counter() - t_low
         for spec in specs:
             thread = self._create_thread(spec.factory, spec.name, at=0)
             self._make_ready(thread, at=0)
@@ -686,7 +763,9 @@ class Engine:
                     break
             if single is None and not core.parked:
                 heappush(core_heap, (core.now, core.core_id))
-        self._n_steps = n_steps
+        # Chained pieces replace what were separate _step calls one-for-one,
+        # so this total is bit-identical to the pre-fusion step count.
+        self._n_steps = n_steps + self._n_fused
 
     def _step(self, core: Core) -> None:
         """Run one engine step of ``core``: service a due PMI or timer tick,
@@ -711,58 +790,94 @@ class Engine:
             self._timer_tick(core, thread)
             return
         ex = thread.cur
-        if ex is None:
-            if not self._fetch_next_op(core, thread):
-                return
-            ex = thread.cur
-        consumed = ex.phase_consumed
-        cycles = ex.phase_cycles
-        if consumed < cycles:
-            remaining = cycles - consumed
-            pmu = core.pmu
-            plan = (
-                pmu.accrual_plan(ex.phase_rates, ex.phase_domain)
-                if pmu.n_enabled
-                else ()
-            )
-            if ex.phase_preemptible:
-                # Macro-step candidate: a preemptible phase that outlives
-                # the current timeslice (i.e. the slow path would hit at
-                # least one timer tick before the phase ends).
-                if (
-                    self._macro
-                    and remaining > core.slice_ends_at - now
-                    and self._try_macro_step(core, thread, ex)
-                ):
+        while True:
+            if ex is None:
+                if thread.ctable is not None:
+                    if not self._compiled_fetch(core, thread):
+                        return
+                    ex = thread.cur
+                    if ex is None:
+                        return  # a batch committed; next piece next step
+                else:
+                    if not self._fetch_next_op(core, thread):
+                        return
+                    ex = thread.cur
+            consumed = ex.phase_consumed
+            cycles = ex.phase_cycles
+            if consumed < cycles:
+                remaining = cycles - consumed
+                pmu = core.pmu
+                plan = (
+                    pmu.accrual_plan(ex.phase_rates, ex.phase_domain)
+                    if pmu.n_enabled
+                    else ()
+                )
+                if ex.phase_preemptible:
+                    # Macro-step candidate: a preemptible phase that outlives
+                    # the current timeslice (i.e. the slow path would hit at
+                    # least one timer tick before the phase ends).
+                    if (
+                        self._macro
+                        and remaining > core.slice_ends_at - now
+                        and self._try_macro_step(core, thread, ex)
+                    ):
+                        return
+                    # limit only ever shrinks from `remaining`, so the final
+                    # chunk is max(1, limit) — identical to
+                    # max(1, min(remaining, limit)).
+                    limit = remaining
+                    bound = core.slice_ends_at
+                    if bound is not None and bound - now < limit:
+                        limit = bound - now
+                    bound = core.pmi_due_at
+                    if bound is not None and bound - now < limit:
+                        limit = bound - now
+                    # split at the first counter-overflow crossing (the inline
+                    # form of Pmu.cycles_to_next_overflow on the resolved plan)
+                    for _index, ctr, ppm, mask in plan:
+                        d = cycles_until_count(consumed, ppm, mask + 1 - ctr.value)
+                        if d is not None and d < limit:
+                            limit = d
+                    chunk = limit if limit > 0 else 1
+                else:
+                    chunk = remaining
+                after = consumed + chunk
+                self._account(
+                    core, thread, ex.phase_domain, ex.phase_flat, plan,
+                    consumed, after,
+                )
+                ex.phase_consumed = after
+                if after < cycles:
                     return
-                # limit only ever shrinks from `remaining`, so the final
-                # chunk is max(1, limit) — identical to
-                # max(1, min(remaining, limit)).
-                limit = remaining
-                bound = core.slice_ends_at
-                if bound is not None and bound - now < limit:
-                    limit = bound - now
-                bound = core.pmi_due_at
-                if bound is not None and bound - now < limit:
-                    limit = bound - now
-                # split at the first counter-overflow crossing (the inline
-                # form of Pmu.cycles_to_next_overflow on the resolved plan)
-                for _index, ctr, ppm, mask in plan:
-                    d = cycles_until_count(consumed, ppm, mask + 1 - ctr.value)
-                    if d is not None and d < limit:
-                        limit = d
-                chunk = limit if limit > 0 else 1
-            else:
-                chunk = remaining
-            after = consumed + chunk
-            self._account(
-                core, thread, ex.phase_domain, ex.phase_flat, plan,
-                consumed, after,
-            )
-            ex.phase_consumed = after
-            if after < cycles:
+            self._advance(core, thread, ex)
+            # Chain straight into the thread's next piece — the following
+            # stage of a multi-phase op, or the fetch of its next op — when
+            # the main loop would deterministically re-pick this core
+            # anyway: the checks below mirror its chain conditions and this
+            # function's own preamble exactly, so the fetch/_account/
+            # _advance sequence is identical to stepping one piece per call
+            # and only the per-step dispatch overhead is elided. Each fused
+            # piece is tallied so sim_events stays the dispatch-independent
+            # piece count it was before fusion existed.
+            if (
+                self._tracing
+                or core.current_tid != tid
+                or core.parked
+                or self._chain_break
+                or self.live_count == 0
+                or core.now > self.config.max_cycles
+            ):
                 return
-        self._advance(core, thread, ex)
+            h = self._horizon
+            now = core.now
+            if h is not None and now >= h:
+                return
+            if core.pmi_due_at is not None and now >= core.pmi_due_at:
+                return
+            if core.slice_ends_at is not None and now >= core.slice_ends_at:
+                return
+            self._n_fused += 1
+            ex = thread.cur
 
     # ------------------------------------------------------------------
     # thread lifecycle
@@ -787,6 +902,14 @@ class Engine:
         thread = SimThread(tid, name, ctx, gen, self.config.machine.pmu.n_counters)
         thread.started_at = at
         thread.available_at = at
+        lowering = self._lowering
+        if lowering is not None:
+            # Attach by (name, tid): the walk assigned tids in its own
+            # creation order, so a mid-run spawn whose tid disagrees simply
+            # gets no table (never a wrong one).
+            tbl = lowering.tables.get(name)
+            if tbl is not None and tbl.tid == tid:
+                thread.ctable = tbl
         self.threads[tid] = thread
         self.live_count += 1
         return thread
@@ -1200,32 +1323,40 @@ class Engine:
             else:
                 thread.regions[name].kernel_cycles += chunk
         if before == 0 and after <= 65536:
-            rec = _RECIPE_CACHE.get((id(flat), id(plan), after))
-            if rec is None:
+            key = (id(flat), id(plan), after)
+            rec = _RECIPE_CACHE.get(key)
+            if rec is None and key in _RECIPE_SEEN:
                 rec = _window_recipe(flat, plan, after)
-            deltas = rec[0]
-            if rev is None:
-                for idx, n in deltas:
-                    ev[idx] += n
-            else:
-                for idx, n in deltas:
-                    ev[idx] += n
-                    rev[idx] += n
-            entries = rec[1]
-            if entries:
-                overflowed = False
-                on_overflow = core.pmu.on_overflow
-                for index, ctr, mask, n in entries:
-                    v = ctr.value + n
-                    if v <= mask:
-                        ctr.value = v
-                    elif ctr.accrue(n):
-                        overflowed = True
-                        if on_overflow is not None:
-                            on_overflow(index)
-                if overflowed:
-                    self._arm_pmi(core, thread)
-            return
+            if rec is not None:
+                deltas = rec[0]
+                if rev is None:
+                    for idx, n in deltas:
+                        ev[idx] += n
+                else:
+                    for idx, n in deltas:
+                        ev[idx] += n
+                        rev[idx] += n
+                entries = rec[1]
+                if entries:
+                    overflowed = False
+                    on_overflow = core.pmu.on_overflow
+                    for index, ctr, mask, n in entries:
+                        v = ctr.value + n
+                        if v <= mask:
+                            ctr.value = v
+                        elif ctr.accrue(n):
+                            overflowed = True
+                            if on_overflow is not None:
+                                on_overflow(index)
+                    if overflowed:
+                        self._arm_pmi(core, thread)
+                return
+            # First sighting: remember the key and take the generic path
+            # below (identical arithmetic); the recipe is built only if the
+            # same window recurs.
+            if len(_RECIPE_SEEN) >= _RECIPE_CACHE_CAP:
+                _RECIPE_SEEN.clear()
+            _RECIPE_SEEN.add(key)
         if flat:
             accrue_rate_events(flat, before, after, ev, rev)
         if plan:
@@ -1272,6 +1403,7 @@ class Engine:
         except StopIteration:
             self._finish_thread(core, thread)
             return False
+        self._ops_fetched += 1
         thread.send_value = None
         thread.cur = self._begin_op(core, thread, op)
         return True
@@ -1280,6 +1412,370 @@ class Engine:
         """Count a fast-path bailout; always False (for `return` chaining)."""
         self._bailouts[reason] = self._bailouts.get(reason, 0) + 1
         return False
+
+    # ------------------------------------------------------------------
+    # compiled execution tier (repro.sim.compiled)
+    # ------------------------------------------------------------------
+
+    def _compiled_fetch(self, core: Core, thread: SimThread) -> bool:
+        """Fetch the thread's next op with its segment table consulted.
+
+        Mirrors :meth:`_fetch_next_op`'s contract (False = the thread
+        finished). When the fetched op matches its prediction at the head
+        of a batchable segment and nothing can interleave, a whole span of
+        ops is committed in bulk (``thread.cur`` stays None and the caller
+        returns); otherwise the op is interpreted normally with the table
+        cursor tracking — and, on divergence, resynchronising against —
+        the real stream.
+        """
+        tbl = thread.ctable
+        if thread.throw_exc is not None:
+            # A thrown-in exception rewinds the generator through except/
+            # finally blocks; predictions after this point are worthless.
+            thread.ctable = None
+            return self._fetch_next_op(core, thread)
+        i = thread.cpos
+        if i >= tbl.n:
+            thread.ctable = None
+            return self._fetch_next_op(core, thread)
+        try:
+            op = thread.gen.send(thread.send_value)
+        except StopIteration:
+            self._finish_thread(core, thread)
+            return False
+        e = tbl.bhead[i]
+        if e == 0:
+            # Not a batch head: prediction accuracy is irrelevant here (a
+            # batch re-verifies every op it replays), so skip the compare
+            # and track position blindly; a head-position mismatch later
+            # resynchronises against any accumulated drift.
+            thread.cpos = i + 1
+            self._ops_fetched += 1
+            thread.send_value = None
+            thread.cur = self._begin_op(core, thread, op)
+            return True
+        if op_matches(op, tbl.ops[i], tbl.kinds[i]):
+            thread.cmisses = 0
+            if thread.profiler is None and thread.cskip != core.slice_ends_at:
+                # (cskip: once a window bail happens, every later head in
+                # the same timeslice faces a strictly smaller window, so
+                # retrying before the next tick only repeats the failure.)
+                if core.pmi_due_at is not None:
+                    self._bail("compiled_pmi")
+                else:
+                    done = self._compiled_batch(core, thread, tbl, i, e)
+                    if done is not None:
+                        return done
+            thread.cpos = i + 1
+        else:
+            self._compiled_divergences += 1
+            j = i + 1
+            limit = j + RESYNC_WINDOW
+            if limit > tbl.n:
+                limit = tbl.n
+            resync = -1
+            while j < limit:
+                if op_matches(op, tbl.ops[j], tbl.kinds[j]):
+                    resync = j
+                    break
+                j += 1
+            if resync >= 0:
+                # The real stream skipped predicted ops: jump past them.
+                self._compiled_resyncs += 1
+                thread.cpos = resync + 1
+                thread.cmisses = 0
+            else:
+                # Unknown op (likely an insertion): hold position and let
+                # the next fetch retry this prediction.
+                thread.cmisses += 1
+                if thread.cmisses >= DEAD_AFTER:
+                    thread.ctable = None
+        self._ops_fetched += 1
+        thread.send_value = None
+        thread.cur = self._begin_op(core, thread, op)
+        return True
+
+    def _compiled_batch(
+        self, core: Core, thread: SimThread, tbl: Any, i: int, e: int
+    ) -> bool | None:
+        """Try to batch-execute predicted ops ``[i, e)`` (op ``i`` already
+        fetched and verified). Returns True/False with
+        :meth:`_fetch_next_op` semantics on success, or None when the
+        exactness caps leave fewer than MIN_BATCH ops — the caller then
+        interprets the already-fetched op.
+
+        Exactness caps: every batched op must end strictly inside the
+        current timeslice (so no timer tick, preemption or wakeup-driven
+        reschedule could interleave anywhere inside the span), and no
+        hardware counter may reach its overflow threshold (wraps arm PMIs,
+        which need interpreted phase splitting). Batchable ops are
+        thread-local, so the span may cross the main loop's actor horizon
+        — other actors at earlier simulated times cannot observe or affect
+        it — with one exception: a RegionEnd at or past the horizon would
+        consume the *shared* region-log budget ahead of other threads'
+        earlier region exits, so the span stops before the first such op.
+        """
+        now0 = core.now
+        cyc = tbl.cyc
+        base_c = cyc[i]
+        limit = self.config.max_cycles + 1 - now0
+        bound = core.slice_ends_at
+        if bound is not None and bound - now0 < limit:
+            limit = bound - now0
+        budget = limit - 1
+        if budget <= 0:
+            thread.cskip = core.slice_ends_at
+            self._bail("compiled_window")
+            return None
+        if cyc[e] - base_c > budget:
+            lo, hi = i, e
+            while hi - lo > 1:
+                mid = (lo + hi) // 2
+                if cyc[mid] - base_c <= budget:
+                    lo = mid
+                else:
+                    hi = mid
+            e = lo
+            if e - i < MIN_BATCH:
+                thread.cskip = core.slice_ends_at
+                self._bail("compiled_window")
+                return None
+        horizon = self._horizon
+        if horizon is not None and now0 + (cyc[e] - base_c) >= horizon:
+            hb = horizon - now0
+            kinds_tab = tbl.kinds
+            for j in range(i, e):
+                if kinds_tab[j] == K_REND and cyc[j] - base_c >= hb:
+                    e = j
+                    break
+            if e - i < MIN_BATCH:
+                self._bail("compiled_window")
+                return None
+        pmu = core.pmu
+        if pmu.n_enabled:
+            cu = tbl.cu
+            ck = tbl.ck
+            eu = tbl.eu
+            ek = tbl.ek
+            for ctr in pmu.counters:
+                if not ctr.enabled or ctr.event is None:
+                    continue
+                idx = ctr.event.index
+                au = (cu if idx == 0 else eu.get(idx)) if ctr.count_user else None
+                ak = (ck if idx == 0 else ek.get(idx)) if ctr.count_kernel else None
+                if au is None and ak is None:
+                    continue
+                headroom = ctr.mask - ctr.value
+                d = 0
+                if au is not None:
+                    d += au[e] - au[i]
+                if ak is not None:
+                    d += ak[e] - ak[i]
+                if d > headroom:
+                    lo, hi = i, e
+                    while hi - lo > 1:
+                        mid = (lo + hi) // 2
+                        d = 0
+                        if au is not None:
+                            d += au[mid] - au[i]
+                        if ak is not None:
+                            d += ak[mid] - ak[i]
+                        if d <= headroom:
+                            lo = mid
+                        else:
+                            hi = mid
+                    e = lo
+            if e - i < MIN_BATCH:
+                self._bail("compiled_overflow")
+                return None
+        # -- verified replay ------------------------------------------------
+        # Per op: core.now is kept exact (generator code may call
+        # ctx.now() between yields), send values are the interpreted ones
+        # (None, or post-op time for Rdtsc), and region/syscall bookkeeping
+        # side effects replay verbatim. All cycle/event/counter accrual is
+        # committed in bulk from the prefix tables at the end.
+        kinds = tbl.kinds
+        ops_tab = tbl.ops
+        cu = tbl.cu
+        ck = tbl.ck
+        send = thread.gen.send
+        ktable = self.kernel_counters.n_syscalls
+        u0 = thread.user_cycles
+        k0 = thread.kernel_cycles
+        flush = i
+        j = i
+        op = ops_tab[i]  # placeholder; op i was verified by the caller
+        val: Any = None
+        while True:
+            kind = kinds[j]
+            if kind == K_WORK:
+                thread.n_syscalls += 1
+                ktable["work"] = ktable.get("work", 0) + 1
+                val = None
+            elif kind == K_RDTSC:
+                val = now0 + (cyc[j + 1] - base_c)
+            elif kind == K_RBEGIN:
+                self._batch_region_flush(thread, tbl, flush, j)
+                flush = j
+                name = ops_tab[j].name
+                if name not in thread.regions:
+                    thread.regions[name] = RegionTruth(name=name)
+                    thread.region_ev[name] = [0] * N_EVENTS
+                thread.region_stack.append(name)
+                thread.region_entries.append(
+                    (name, thread.user_cycles + thread.kernel_cycles, core.now)
+                )
+                val = None
+            elif kind == K_REND:
+                self._batch_region_flush(thread, tbl, flush, j)
+                flush = j
+                if not thread.region_stack:
+                    raise SimulationError(
+                        f"thread {thread.name!r}: RegionEnd with no open region"
+                    )
+                name = thread.region_stack.pop()
+                _entry_name, cpu_snap, t0 = thread.region_entries.pop()
+                rt = thread.regions[name]
+                rt.invocations += 1
+                if self._region_log_budget > 0:
+                    rt.exec_cycles.append(
+                        thread.user_cycles + thread.kernel_cycles - cpu_snap
+                    )
+                    rt.wall_cycles.append(core.now - t0)
+                    self._region_log_budget -= 1
+                val = None
+            else:  # K_COMPUTE
+                val = None
+            j += 1
+            if j == e:
+                break
+            # Resume point: the generator may observe core/thread clocks
+            # between yields, so keep them as exact as per-chunk accounting
+            # would (everything else commits in bulk at the end).
+            core.now = now0 + (cyc[j] - base_c)
+            thread.user_cycles = u0 + (cu[j] - cu[i])
+            thread.kernel_cycles = k0 + (ck[j] - ck[i])
+            try:
+                op = send(val)
+            except StopIteration:
+                self._commit_batch(core, thread, tbl, i, j, flush, now0, u0, k0)
+                self._compiled_segments += 1
+                self._compiled_ops += j - i
+                self._ops_fetched += j - i
+                thread.cpos = j
+                thread.ctable = None
+                self._finish_thread(core, thread)
+                return False
+            if not op_matches(op, ops_tab[j], kinds[j]):
+                # Mid-batch divergence: commit what ran, interpret the
+                # fetched op from the committed state.
+                self._commit_batch(core, thread, tbl, i, j, flush, now0, u0, k0)
+                self._compiled_segments += 1
+                self._compiled_ops += j - i
+                self._ops_fetched += j - i + 1
+                self._compiled_divergences += 1
+                thread.cmisses += 1
+                if thread.cmisses >= DEAD_AFTER:
+                    thread.ctable = None
+                thread.cpos = j
+                thread.send_value = None
+                thread.cur = self._begin_op(core, thread, op)
+                return True
+        self._commit_batch(core, thread, tbl, i, e, flush, now0, u0, k0)
+        self._compiled_segments += 1
+        self._compiled_ops += e - i
+        self._ops_fetched += e - i
+        thread.cpos = e
+        thread.send_value = val   # pending result for the next fetch
+        thread.cur = None
+        return True
+
+    def _batch_region_flush(
+        self, thread: SimThread, tbl: Any, a: int, b: int
+    ) -> None:
+        """Flush batched ops ``[a, b)``'s accrual into the open region, the
+        way per-chunk accounting would have: user event deltas (and user
+        cycles) into the top region's tally, kernel cycles into its
+        kernel_cycles — kernel *events* never enter region tallies."""
+        if a == b:
+            return
+        stack = thread.region_stack
+        if not stack:
+            return
+        top = stack[-1]
+        du = tbl.cu[b] - tbl.cu[a]
+        rev = thread.region_ev[top]
+        if du:
+            rev[0] += du
+        for idx, arr in tbl.eu.items():
+            d = arr[b] - arr[a]
+            if d:
+                rev[idx] += d
+        dk = tbl.ck[b] - tbl.ck[a]
+        if dk:
+            thread.regions[top].kernel_cycles += dk
+
+    def _commit_batch(
+        self,
+        core: Core,
+        thread: SimThread,
+        tbl: Any,
+        i: int,
+        e: int,
+        flush: int,
+        now0: int,
+        u0: int,
+        k0: int,
+    ) -> None:
+        """Bulk-commit the accrual of batched ops ``[i, e)`` from the
+        prefix tables: core clocks, thread/ground-truth tallies, the open
+        region, and programmed PMU counters (pre-capped: no wraps)."""
+        self._batch_region_flush(thread, tbl, flush, e)
+        cyc = tbl.cyc
+        total = cyc[e] - cyc[i]
+        core.now = now0 + total
+        core.busy_cycles += total
+        cu = tbl.cu
+        ck = tbl.ck
+        du = cu[e] - cu[i]
+        dk = ck[e] - ck[i]
+        if du:
+            core.user_cycles += du
+            thread.ev_user[0] += du
+        if dk:
+            core.kernel_cycles += dk
+            thread.ev_kernel[0] += dk
+        thread.user_cycles = u0 + du
+        thread.kernel_cycles = k0 + dk
+        ev_user = thread.ev_user
+        for idx, arr in tbl.eu.items():
+            d = arr[e] - arr[i]
+            if d:
+                ev_user[idx] += d
+        ev_kernel = thread.ev_kernel
+        for idx, arr in tbl.ek.items():
+            d = arr[e] - arr[i]
+            if d:
+                ev_kernel[idx] += d
+        pmu = core.pmu
+        if pmu.n_enabled:
+            eu = tbl.eu
+            ek = tbl.ek
+            for ctr in pmu.counters:
+                if not ctr.enabled or ctr.event is None:
+                    continue
+                idx = ctr.event.index
+                d = 0
+                if ctr.count_user:
+                    arr = cu if idx == 0 else eu.get(idx)
+                    if arr is not None:
+                        d += arr[e] - arr[i]
+                if ctr.count_kernel:
+                    arr = ck if idx == 0 else ek.get(idx)
+                    if arr is not None:
+                        d += arr[e] - arr[i]
+                if d:
+                    ctr.value += d
 
     def _try_macro_step(
         self, core: Core, thread: SimThread, ex: _OpExec
@@ -2848,7 +3344,16 @@ _ADVANCE_DISPATCH = {
 
 
 def run_program(
-    specs: list[ThreadSpec], config: SimConfig | None = None
+    specs: list[ThreadSpec],
+    config: SimConfig | None = None,
+    lower: Callable[[], Any] | None = None,
 ) -> RunResult:
-    """Convenience: build an engine, run the threads, return the results."""
-    return Engine(config).run(specs)
+    """Convenience: build an engine, run the threads, return the results.
+
+    ``lower`` opts into the compiled execution tier: a zero-argument
+    callable returning a *fresh* equivalent build of the program (a spec
+    list, or an object with ``.build()``). It must never return the live
+    ``specs`` objects — see :meth:`Engine.run`. Results are bit-identical
+    with and without it.
+    """
+    return Engine(config).run(specs, lower=lower)

@@ -82,6 +82,10 @@ class DensitySweepWorkload(Workload):
 
     name = "density"
 
+    #: Each big compute chunk stands alone between read-protocol breakers,
+    #: so the compiled tier can never form a segment; fabric skips lowering.
+    compiled_lower = False
+
     def __init__(
         self,
         reader_factory: Callable[[], Reader] | None,

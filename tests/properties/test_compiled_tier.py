@@ -1,0 +1,240 @@
+"""Compiled-tier equivalence: pre-lowered segment tables must be invisible.
+
+The compiled execution tier (:mod:`repro.sim.compiled`) lowers thread
+programs into flat prefix-sum tables and batch-commits verified spans of
+predicted ops. Like macro-stepping it is a pure optimisation: every
+simulated quantity must be bit-identical with the tier on or off, digested
+here as ``RunResult.fingerprint()`` equality. The tests pin the three
+load-bearing contracts:
+
+* **lowering mirrors the walker** — the table's predicted op stream is
+  exactly the lint walker's timeline, and every prefix array telescopes to
+  the same per-phase floored accrual the interpreter would accumulate
+  (re-derived independently from op fields here, not from the lowering);
+* **the numpy and pure-python prefix builders agree to the element** (and
+  the numpy path hands back plain ints, never numpy scalars);
+* **fingerprint neutrality end to end** — direct runs, three real
+  experiments across two seeds, the ``REPRO_COMPILED_TIER=0`` kill
+  switch, and serial vs four-worker pooled execution,
+
+plus positive engagement checks (tables lowered, segments batched, zero
+divergences on an exactly-predicted program) so a silently-dead tier
+cannot pass as "equivalent".
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import fabric
+from repro.common.config import KernelConfig, MachineConfig, SimConfig
+from repro.experiments.base import single_core_config
+from repro.hw.events import KERNEL_RATES, LIBRARY_RATES
+from repro.lint.walker import walk_program
+from repro.sim import compiled, ops
+from repro.sim.engine import run_program
+from repro.sim.program import ThreadSpec
+
+from tests.conftest import SIMPLE_RATES
+
+EXPERIMENT_FACTORIES = [
+    (
+        "repro.experiments.e02_overhead_density.density_trial",
+        {"total": 200_000, "density": 16, "technique": "limit"},
+    ),
+    (
+        "repro.experiments.e03_precision.PrecisionTrial",
+        {"reps": 2, "arm": "sample", "period": 50_000},
+    ),
+    (
+        "repro.experiments.e13_multiplexing.LimitTrial",
+        {"n_phases": 4, "phase_cycles": 200_000},
+    ),
+]
+SEEDS = [11, 4242]
+
+
+def _mixed_program(ctx):
+    """Result-independent program mixing every batchable kind with region
+    markers; long enough (122 ops) to engage the numpy prefix path."""
+    yield ops.RegionBegin("hot")
+    for i in range(40):
+        yield ops.Compute(1_000 + 7 * i, SIMPLE_RATES)
+        yield ops.Rdtsc()
+        yield ops.Syscall("work", (500 + 13 * i,))
+    yield ops.RegionEnd()
+
+
+def _specs():
+    return [ThreadSpec("mixed", _mixed_program)]
+
+
+# -- lowering mirrors the walker --------------------------------------------
+
+
+def test_lowered_tables_replay_walker_timelines():
+    """The table's predicted stream is the walker's timeline, op for op,
+    under the engine's tid base — and matches by the tier's own run-time
+    comparison at every position."""
+    config = SimConfig()
+    tbl = compiled.lower_program(_specs, config).tables["mixed"]
+    (walked,) = walk_program(_specs(), config, first_tid=1).threads
+    assert tbl.tid == walked.tid == 1
+    assert not tbl.truncated
+    assert len(tbl.ops) == len(walked.ops) == 122
+    for fetched, pred, kind in zip(walked.ops, tbl.ops, tbl.kinds):
+        assert compiled.op_matches(fetched, pred, kind)
+    # every op here lowers: regions + computes + rdtsc + work syscalls
+    assert tbl.n_lowerable() == len(tbl.ops)
+    assert tbl.seg_end[0] == len(tbl.ops)
+
+
+def _expected_deltas(o, costs):
+    """Independently re-derive one op's exact accrual: (user cycles, kernel
+    cycles, {event index: user events}, {event index: kernel events}),
+    flooring per phase exactly as the interpreter's accountant does."""
+    t = type(o)
+    if t is ops.Compute:
+        eu = {
+            idx: (o.cycles * ppm) // 1_000_000
+            for _event, ppm, idx in o.rates.flat
+        }
+        return o.cycles, 0, eu, {}
+    if t is ops.Rdtsc:
+        eu = {
+            idx: (costs.rdtsc * ppm) // 1_000_000
+            for _event, ppm, idx in LIBRARY_RATES.flat
+        }
+        return costs.rdtsc, 0, eu, {}
+    if t is ops.Syscall and o.name == "work":
+        phases = (costs.syscall_entry, o.args[0], costs.syscall_exit)
+        ek: dict[int, int] = {}
+        for phase_cycles in phases:
+            for _event, ppm, idx in KERNEL_RATES.flat:
+                ek[idx] = ek.get(idx, 0) + (phase_cycles * ppm) // 1_000_000
+        return 0, sum(phases), {}, ek
+    return 0, 0, {}, {}  # regions and breakers accrue nothing
+
+
+def test_prefix_tables_telescope_to_per_phase_accounting():
+    config = SimConfig()
+    tbl = compiled.lower_program(_specs, config).tables["mixed"]
+    costs = config.machine.costs
+    for i, o in enumerate(tbl.ops):
+        user_cyc, kern_cyc, eu, ek = _expected_deltas(o, costs)
+        assert tbl.cu[i + 1] - tbl.cu[i] == user_cyc, (i, o)
+        assert tbl.ck[i + 1] - tbl.ck[i] == kern_cyc, (i, o)
+        assert tbl.cyc[i + 1] - tbl.cyc[i] == user_cyc + kern_cyc, (i, o)
+        for idx, arr in tbl.eu.items():
+            assert arr[i + 1] - arr[i] == eu.get(idx, 0), (i, o, idx)
+        for idx, arr in tbl.ek.items():
+            assert arr[i + 1] - arr[i] == ek.get(idx, 0), (i, o, idx)
+        # no nonzero expected accrual may be missing from the tables
+        for idx, value in eu.items():
+            assert value == 0 or idx in tbl.eu, (i, o, idx)
+        for idx, value in ek.items():
+            assert value == 0 or idx in tbl.ek, (i, o, idx)
+
+
+# -- numpy / pure-python builder agreement -----------------------------------
+
+
+@pytest.mark.skipif(compiled._np is None, reason="numpy unavailable")
+def test_numpy_and_python_prefix_builders_agree(monkeypatch):
+    config = SimConfig()
+    monkeypatch.setenv("REPRO_COMPILED_NUMPY", "1")
+    assert compiled.numpy_enabled()
+    vec = compiled.lower_program(_specs, config).tables["mixed"]
+    monkeypatch.setenv("REPRO_COMPILED_NUMPY", "0")
+    assert not compiled.numpy_enabled()
+    ref = compiled.lower_program(_specs, config).tables["mixed"]
+    assert vec.cyc == ref.cyc
+    assert vec.cu == ref.cu
+    assert vec.ck == ref.ck
+    assert vec.eu == ref.eu
+    assert vec.ek == ref.ek
+    assert vec.seg_end == ref.seg_end
+    assert vec.bhead == ref.bhead
+    # the runtime arrays must hold plain ints (no numpy scalars leaking
+    # into accounting, where they would survive into result fingerprints)
+    assert all(type(v) is int for v in vec.cyc)
+    for arr in (*vec.eu.values(), *vec.ek.values()):
+        assert all(type(v) is int for v in arr)
+
+
+# -- fingerprint neutrality --------------------------------------------------
+
+
+def test_tier_engages_and_is_fingerprint_neutral_direct():
+    """An exactly-predictable program: the tier must batch real segments
+    with zero divergences, and change nothing observable."""
+    config = SimConfig(
+        machine=MachineConfig(n_cores=1),
+        kernel=KernelConfig(timeslice_cycles=50_000),
+        seed=7,
+    )
+    on = run_program(_specs(), config, lower=_specs)
+    assert on.metrics.get("compiled_tables", 0) == 1
+    assert on.metrics.get("compiled_segments", 0) > 0
+    assert on.metrics.get("compiled_ops", 0) > 0
+    assert on.metrics.get("compiled_divergences", 0) == 0
+    off = run_program(
+        _specs(),
+        dataclasses.replace(config, compiled_tier=False),
+        lower=_specs,
+    )
+    assert off.metrics.get("compiled_segments", 0) == 0
+    assert on.fingerprint() == off.fingerprint()
+
+
+def test_kill_switch_env_var_disables_tier(monkeypatch):
+    config = SimConfig(
+        machine=MachineConfig(n_cores=1),
+        kernel=KernelConfig(timeslice_cycles=50_000),
+        seed=7,
+    )
+    on = run_program(_specs(), config, lower=_specs)
+    monkeypatch.setenv("REPRO_COMPILED_TIER", "0")
+    off = run_program(_specs(), config, lower=_specs)
+    assert off.metrics.get("compiled_tables", 0) == 0
+    assert off.metrics.get("compiled_segments", 0) == 0
+    assert on.fingerprint() == off.fingerprint()
+
+
+@pytest.mark.parametrize("workload,kwargs", EXPERIMENT_FACTORIES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_experiment_fingerprints_equal_tier_on_off(workload, kwargs, seed):
+    """Whole-experiment shapes: tier on and off must agree bit for bit."""
+    fingerprints = {}
+    for tier in (True, False):
+        config = dataclasses.replace(
+            single_core_config(seed=seed), compiled_tier=tier
+        )
+        job = fabric.RunJob(workload=workload, config=config, kwargs=kwargs)
+        (outcome,) = fabric.run_many([job], jobs_n=1, cache=None)
+        fingerprints[tier] = outcome.result.fingerprint()
+    assert fingerprints[True] == fingerprints[False]
+
+
+def test_pooled_and_serial_fingerprints_agree_tier_on():
+    """The same job list serial and over four workers: per-job fingerprints
+    identical, and the tier genuinely lowered tables along the way."""
+    jobs = [
+        fabric.RunJob(
+            workload=workload,
+            config=single_core_config(seed=seed),
+            kwargs=kwargs,
+            label=f"{workload.rsplit('.', 1)[1]}:{seed}",
+        )
+        for workload, kwargs in EXPERIMENT_FACTORIES
+        for seed in SEEDS
+    ]
+    serial = fabric.run_many(jobs, jobs_n=1, cache=None)
+    pooled = fabric.run_many(jobs, jobs_n=4, cache=None)
+    assert len(serial) == len(pooled) == len(jobs)
+    for a, b in zip(serial, pooled):
+        assert a.result.fingerprint() == b.result.fingerprint(), a.job.label
+    lowered = sum(
+        o.result.metrics.get("compiled_tables", 0) for o in serial
+    )
+    assert lowered > 0
