@@ -15,6 +15,13 @@ It then asserts:
   rate is at least the quantum-level macro hit rate;
 * the tier-off leg really interpreted every op (zero compiled segments).
 
+A fifth, direct-harness leg proves the tier's hard-off path under fault
+plans: a lock+read-heavy program with a *benign* forced-bailout plan must
+batch zero segments whether the tier is configured on or off (fault
+timing depends on interpreted op boundaries, so plans disable lowering
+entirely) while staying fingerprint-identical — and the identical
+program without the plan must engage, so the leg cannot pass vacuously.
+
 Usage::
 
     python -m repro.experiments.compiled_smoke [--dir results/smoke/compiled]
@@ -169,6 +176,91 @@ def check(manifests: dict[str, dict[str, Any]]) -> list[str]:
     return problems
 
 
+def _fault_leg_specs():
+    """A lock-pair + composite-read heavy program: exactly the op families
+    the widened tier batches, so hard-off actually forgoes something."""
+    from repro.core.limit import LimitSession
+    from repro.hw.events import Event
+    from repro.sim import ops
+    from repro.sim.program import ThreadSpec
+    from repro.workloads.base import COMPUTE_RATES
+
+    session = LimitSession([Event.CYCLES, Event.INSTRUCTIONS])
+
+    def worker(ctx):
+        yield from session.setup(ctx)
+        for _ in range(40):
+            yield ops.LockAcquire("smoke")
+            yield ops.Compute(400, COMPUTE_RATES)
+            yield ops.LockRelease("smoke")
+            value = yield from session.read(ctx, 0)
+            assert value >= 0
+            yield ops.Rdtsc()
+            yield ops.Syscall("work", (200,))
+
+    return [ThreadSpec("smoke", worker)]
+
+
+def fault_leg() -> list[str]:
+    """The fault-plan leg (direct harness: the suite runner has no fault
+    injection flag). Returns violated invariants, empty on success."""
+    import dataclasses
+
+    from repro.common.config import KernelConfig, MachineConfig, SimConfig
+    from repro.faults.plan import FaultPlan, force_bailout
+    from repro.sim.engine import run_program
+
+    print(
+        "== compiled-smoke leg 'faults': direct harness, benign "
+        "force-bailout plan, tier on vs off",
+        flush=True,
+    )
+    config = SimConfig(
+        machine=MachineConfig(n_cores=1),
+        kernel=KernelConfig(timeslice_cycles=200_000),
+        seed=23,
+    )
+    plan = FaultPlan((force_bailout(),), label="bailout-benign")
+    problems: list[str] = []
+    runs: dict[tuple[bool, bool], Any] = {}
+    for tier in (True, False):
+        for faulted in (True, False):
+            cfg = dataclasses.replace(config, compiled_tier=tier)
+            if faulted:
+                cfg = cfg.with_faults(plan)
+            runs[(tier, faulted)] = run_program(
+                _fault_leg_specs(), cfg, lower=_fault_leg_specs
+            )
+    for tier in (True, False):
+        segments = runs[(tier, True)].metrics.get("compiled_segments", 0)
+        if segments > 0:
+            problems.append(
+                f"fault plan active but tier={tier} still batched "
+                f"{segments} segments — the hard-off path is broken"
+            )
+    if (
+        runs[(True, True)].fingerprint()
+        != runs[(False, True)].fingerprint()
+    ):
+        problems.append(
+            "fingerprints differ tier on vs off under the fault plan — "
+            "the hard-off path is not bit-exact"
+        )
+    if runs[(True, False)].metrics.get("compiled_segments", 0) <= 0:
+        problems.append(
+            "the fault-leg program never batches even without a plan — "
+            "the hard-off check is vacuous"
+        )
+    if not problems:
+        print(
+            "compiled-smoke leg 'faults' OK: zero segments under the "
+            "plan (tier on and off), fingerprints identical; "
+            f"{runs[(True, False)].metrics.get('compiled_segments', 0)} "
+            "segments without it"
+        )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-compiled-smoke", description=__doc__.splitlines()[0]
@@ -186,7 +278,7 @@ def main(argv: list[str] | None = None) -> int:
         name: _run_leg(name, extra, env, args.dir)
         for name, extra, env in LEGS
     }
-    problems = check(manifests)
+    problems = check(manifests) + fault_leg()
     for problem in problems:
         print(f"compiled smoke FAILED: {problem}", file=sys.stderr)
     return 1 if problems else 0

@@ -220,9 +220,42 @@ def resolve(path: str) -> Any:
         raise ConfigError(f"{module_name} has no attribute {attr!r}") from None
 
 
+def _note_lower_version(cache: ResultCache) -> None:
+    """Stamp the compiled-tier lowering version in the cache root and warn
+    once when it moved. Every ``run`` key folds the version salt, so a
+    bump strands prior entries; the structured warning makes the resulting
+    cold restart attributable instead of a silent slowdown."""
+    from repro.sim.compiled import LOWER_VERSION
+
+    if getattr(cache, "_lower_version_checked", False):
+        return
+    cache._lower_version_checked = True  # memo per cache instance
+    marker = cache.root / "compiled-lower-version"
+    current = str(LOWER_VERSION)
+    try:
+        stamped = marker.read_text().strip()
+    except OSError:
+        stamped = None
+    if stamped == current:
+        return
+    if stamped is not None:
+        warn(
+            "compiled-tier lowering version moved "
+            f"(cache {cache.root} was stamped v{stamped}, code is "
+            f"v{current}): cached run results are invalidated and will "
+            "be recomputed"
+        )
+    try:
+        cache.root.mkdir(parents=True, exist_ok=True)
+        marker.write_text(current + "\n")
+    except OSError:
+        pass  # read-only cache: already degraded; nothing to stamp
+
+
 def job_key(cache: ResultCache, job: RunJob) -> str:
     from repro.sim.compiled import cache_salt
 
+    _note_lower_version(cache)
     return cache.key(
         "run",
         job.workload,

@@ -130,6 +130,12 @@ class ThreadWalk:
     #: exception repr if the generator raised under stub results, else ""
     walk_error: str = ""
     walk_error_op: int = 0        #: op index at which the error surfaced
+    #: the generator factory this walk drove, kept so callers can *replay*
+    #: the thread (compiled-tier prediction forks, lazy clone-time lowering)
+    factory: Any = None
+    #: the spawn_tid_base this walk ran under — replays must reuse it, or a
+    #: re-walk's SpawnThread results would diverge from the recorded prefix
+    spawn_tid_base: int = 0
 
     def __len__(self) -> int:
         return len(self.ops)
@@ -219,6 +225,7 @@ def _walk_thread(
     max_ops: int,
     spawn_queue: list[tuple[str, Any, str]],
     spawn_tid_base: int,
+    force_results: dict[int, Any] | None = None,
 ) -> None:
     """Drive one generator to completion with stub results.
 
@@ -226,6 +233,13 @@ def _walk_thread(
     receive (everything already pending gets its tid first), so programs
     that keep the SpawnThread result for a later JoinThread see the same
     tids the engine would assign.
+
+    ``force_results`` overrides the stub result at specific op indices
+    (index -> value). The stub machinery still runs for those ops, so the
+    walk's internal state (slot tables, fake counters, handles) evolves
+    identically to an unforced walk — only the value fed back differs.
+    This is how the compiled tier forks a prediction at a two-valued op:
+    replay the thread with the alternative result forced at that index.
     """
     slots = _SlotTable(config.machine.pmu.n_counters)
     fake_counter = 0   # monotone source for read/rdtsc results
@@ -293,6 +307,8 @@ def _walk_thread(
             else:            # SpawnThread
                 next_result = spawn_tid_base + len(spawn_queue)
                 spawn_queue.append((current.name, current.factory, walk.name))
+            if force_results is not None and n - 1 in force_results:
+                next_result = force_results[n - 1]
             results_list.append(next_result)
     except Exception as exc:  # noqa: BLE001 - reported as a finding
         walk.walk_error = f"{type(exc).__name__}: {exc}"
@@ -347,7 +363,13 @@ def _walk_all(
         name, factory, spawned_by = pending.pop(0)
         tid = next_tid
         next_tid += 1
-        walk = ThreadWalk(name=name, tid=tid, spawned_by=spawned_by)
+        walk = ThreadWalk(
+            name=name,
+            tid=tid,
+            spawned_by=spawned_by,
+            factory=factory,
+            spawn_tid_base=next_tid + len(pending),
+        )
         ctx = LintContext(name, tid, config)
         spawn_queue: list[tuple[str, Any, str]] = []
         _walk_thread(
@@ -357,7 +379,7 @@ def _walk_all(
             config,
             max_ops,
             spawn_queue,
-            spawn_tid_base=next_tid + len(pending),
+            spawn_tid_base=walk.spawn_tid_base,
         )
         pending.extend(spawn_queue)
         program.threads.append(walk)

@@ -343,7 +343,7 @@ class RunCollector:
             for r in self.records
             if r.metrics.get("compiled_tables", 0) > 0
         )
-        return {
+        summary = {
             "compiled_runs": sum(
                 1 for r in self.records
                 if r.metrics.get("compiled_tables", 0) > 0
@@ -353,8 +353,20 @@ class RunCollector:
             "compiled_ops_fetched": fetched_lowered,
             "compiled_divergences": self._metric_total("compiled_divergences"),
             "compiled_resyncs": self._metric_total("compiled_resyncs"),
+            "compiled_forks": self._metric_total("compiled_forks"),
+            "compiled_lazy_tables": self._metric_total("compiled_lazy_tables"),
             "compiled_hit_rate": ops / fetched_lowered if fetched_lowered else 0.0,
         }
+        # Per-reason bailout counters as flat keys (the runner's manifest
+        # aggregation sums values key by key, so nested dicts would not
+        # merge): compiled_bailout_window / _overflow / _pmi / _contended /
+        # _fork_miss / _read, present only for reasons that occurred.
+        for r in self.records:
+            for key, value in r.metrics.items():
+                if key.startswith("fastpath_bailout.compiled_"):
+                    flat = "compiled_bailout_" + key[len("fastpath_bailout.compiled_"):]
+                    summary[flat] = summary.get(flat, 0) + value
+        return summary
 
     def fault_summary(self) -> dict[str, Any]:
         """Fault-injection totals across every run (the manifest's ``faults``

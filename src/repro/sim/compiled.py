@@ -28,7 +28,24 @@ What gets batched (everything else is a segment breaker):
   (entry / body / exit), each accruing from its own cycle 0;
 * ``RegionBegin`` / ``RegionEnd`` — zero-cycle bookkeeping, replayed
   exactly (only while no instrumenting profiler is attached, since the
-  profiler hook changes their cost and ordering side effects).
+  profiler hook changes their cost and ordering side effects);
+* ``LockAcquire`` / ``LockRelease`` — the predicted-uncontended CAS phase
+  (``costs.cas`` at ``LIBRARY_RATES``); the engine replays the take /
+  release against live lock state and bails (``compiled_contended``) the
+  moment the lock is held, owned elsewhere, or has sleepers to wake;
+* ``PmcSafeRead`` / ``PmcUnsafeRead`` — the whole composite read protocol
+  (the per-phase columns mirror the engine's ``_safe_read_phases``); the
+  value and ground-truth capture are executed live through the composite
+  fast path at the exact mid-batch cycle, so a read inside a batch is
+  bit-identical to the interpreter's one-piece read.
+
+Two-valued results: some breaker ops have exactly two possible results —
+``PmcReadEnd`` (interrupted or not) and ``Syscall("wait_key")`` (credit
+consumed vs blocked-then-woken). For those the lowering *forks* the walk:
+it replays the thread with the alternative result forced at that op and
+lowers the diverging continuation into its own table, stored in
+``ThreadTable.forks``. The engine picks the matching continuation when the
+real result arrives (and bails ``compiled_fork_miss`` if neither matches).
 
 Exactness rules (the bailout taxonomy) live in
 :meth:`repro.sim.engine.Engine._compiled_batch`: a batch must fit strictly
@@ -52,7 +69,13 @@ from typing import Any, Callable
 
 from repro.common.config import CostModel, SimConfig
 from repro.hw.events import KERNEL_RATES, LIBRARY_RATES
-from repro.lint.walker import DEFAULT_MAX_OPS, ThreadWalk, walk_program
+from repro.lint.walker import (
+    DEFAULT_MAX_OPS,
+    LintContext,
+    ThreadWalk,
+    _walk_thread,
+    walk_program,
+)
 from repro.sim import ops
 
 try:  # pragma: no cover - exercised via REPRO_COMPILED_NUMPY legs in CI
@@ -62,8 +85,9 @@ except ImportError:  # pragma: no cover
 
 #: Bump on any change to lowering semantics or table layout; folded into the
 #: fabric result-cache salt so compiled-tier entries can never collide with
-#: entries produced by a different lowering.
-LOWER_VERSION = 1
+#: entries produced by a different lowering. v2: lock-pair and composite
+#: PMC-read lowering, two-valued prediction forks, lazy clone-time tables.
+LOWER_VERSION = 2
 
 #: Op kind codes. 0 is a segment breaker; nonzero kinds are batchable.
 K_BREAK = 0
@@ -72,6 +96,19 @@ K_RDTSC = 2
 K_WORK = 3
 K_RBEGIN = 4
 K_REND = 5
+K_LACQ = 6
+K_LREL = 7
+K_SREAD = 8
+K_UREAD = 9
+
+#: Maximum two-valued prediction forks carried per thread table. Each fork
+#: costs one extra replay walk at lowering time; prediction quality past the
+#: first few forks is speculative anyway (the forked continuations compound).
+MAX_FORKS = 4
+
+#: Cap on lazily lowered clone-time tables per run: spawn-heavy programs
+#: (spawn/join loops) would otherwise pay a full walk per clone forever.
+LAZY_LOWER_CAP = 64
 
 #: Minimum ops in a batch for the bulk commit to beat interpreting them.
 MIN_BATCH = 3
@@ -111,11 +148,18 @@ class ThreadTable:
     positions advance the cursor blindly, because prediction accuracy
     only ever matters where a batch could commit — every batched op is
     re-verified against the live stream during replay anyway.
+
+    ``forks`` maps a breaker op's index to ``(main_value, alt_value,
+    alt_table)``: when the live result of the op at that index equals
+    ``alt_value`` rather than the walk's stub ``main_value``, the engine
+    swaps to ``alt_table`` (the lowered diverging continuation, indexed
+    from the op *after* the fork point) and continues predicting. None
+    when the thread has no two-valued fork points.
     """
 
     __slots__ = (
         "name", "tid", "n", "ops", "kinds", "seg_end", "bhead",
-        "cyc", "cu", "ck", "eu", "ek", "truncated",
+        "cyc", "cu", "ck", "eu", "ek", "truncated", "forks",
     )
 
     def __init__(self, name: str, tid: int, ops_list: list,
@@ -139,6 +183,7 @@ class ThreadTable:
         self.eu = eu
         self.ek = ek
         self.truncated = truncated
+        self.forks: dict[int, tuple[Any, Any, "ThreadTable"]] | None = None
 
     def n_lowerable(self) -> int:
         return sum(1 for k in self.kinds if k)
@@ -151,14 +196,25 @@ class ThreadTable:
 
 
 class ProgramLowering:
-    """Lowered tables for one program build, keyed by thread name."""
+    """Lowered tables for one program build, keyed by thread name.
 
-    __slots__ = ("tables", "stats")
+    ``spawn_factories`` keeps the factory (and the walk's spawn-tid base)
+    of every unambiguously named *spawned* thread, so the engine can lower
+    a clone's table lazily — with the clone's **real** tid, and therefore
+    the real seeded RandomStream — when the eagerly walked tid disagrees
+    with the one the run actually assigns (interleaved mid-run spawns).
+    """
+
+    __slots__ = ("tables", "stats", "spawn_factories", "max_ops")
 
     def __init__(self, tables: dict[str, ThreadTable],
-                 stats: dict[str, Any]) -> None:
+                 stats: dict[str, Any],
+                 spawn_factories: dict[str, Any] | None = None,
+                 max_ops: int = DEFAULT_MAX_OPS) -> None:
         self.tables = tables
         self.stats = stats
+        self.spawn_factories = spawn_factories or {}
+        self.max_ops = max_ops
 
 
 class _Col:
@@ -196,6 +252,10 @@ def op_matches(op: Any, pred: Any, kind: int) -> bool:
         return op.name == pred.name and op.args == pred.args
     if kind == K_RBEGIN:
         return op.name == pred.name
+    if kind == K_LACQ or kind == K_LREL:
+        return op.lock == pred.lock
+    if kind == K_SREAD or kind == K_UREAD:
+        return op.index == pred.index
     if kind == K_BREAK and type(op) is ops.Syscall:
         return op.name == pred.name
     return True
@@ -240,6 +300,37 @@ def _classify(tw: ThreadWalk, costs: CostModel,
             kinds[i] = K_RBEGIN
         elif t is ops.RegionEnd:
             kinds[i] = K_REND
+        elif t is ops.LockAcquire:
+            # Predicted-uncontended acquire: just the CAS phase. The
+            # contended spin/futex continuation is never lowered — the
+            # engine bails to the interpreter when the lock is held.
+            kinds[i] = K_LACQ
+            col(LIBRARY_RATES, True, 0)[i] = costs.cas
+        elif t is ops.LockRelease:
+            # Predicted-no-sleepers release: the CAS phase; the futex-wake
+            # kernel continuation bails to the interpreter.
+            kinds[i] = K_LREL
+            col(LIBRARY_RATES, True, 0)[i] = costs.cas
+        elif t is ops.PmcSafeRead:
+            # The whole composite safe-read protocol: six user library
+            # phases, each flooring from its own cycle 0 (distinct slots),
+            # mirroring the engine's ``_safe_read_phases`` split exactly.
+            kinds[i] = K_SREAD
+            for slot, cycles in enumerate((
+                costs.pmc_call_overhead, costs.pmc_read_begin,
+                costs.pmc_load_accum, costs.rdpmc,
+                costs.pmc_read_end, costs.pmc_store_result,
+            )):
+                if cycles:
+                    col(LIBRARY_RATES, True, slot)[i] = cycles
+        elif t is ops.PmcUnsafeRead:
+            kinds[i] = K_UREAD
+            for slot, cycles in enumerate((
+                costs.pmc_call_overhead, costs.pmc_load_accum,
+                costs.rdpmc, costs.pmc_store_result,
+            )):
+                if cycles:
+                    col(LIBRARY_RATES, True, slot)[i] = cycles
         # everything else stays K_BREAK
     return cols
 
@@ -380,6 +471,130 @@ def lower_thread(tw: ThreadWalk, costs: CostModel) -> ThreadTable | None:
     )
 
 
+def _fork_alt(o: Any) -> tuple[bool, Any]:
+    """Is this op a two-valued fork point, and if so what is the
+    alternative to the walk's stub result?
+
+    * ``PmcReadEnd`` — stub says True ("not interrupted"); the engine can
+      also report False (the read was preempted: take the restart branch);
+    * ``Syscall("wait_key")`` — stub says 0 (falsy, like the engine's
+      blocked-then-woken False); the alternative is True (a banked credit
+      was consumed without blocking).
+    """
+    t = type(o)
+    if t is ops.PmcReadEnd:
+        return True, False
+    if t is ops.Syscall and o.name == "wait_key":
+        return True, True
+    return False, None
+
+
+def _replay_walk(
+    tw: ThreadWalk,
+    config: SimConfig,
+    max_ops: int,
+    force_results: dict[int, Any],
+) -> ThreadWalk:
+    """Re-walk a thread from scratch with forced results at given indices.
+
+    Reuses the original walk's factory and spawn-tid base so the replayed
+    prefix (same stub discipline, same RandomStream) is op-for-op the
+    recorded one up to the first forced index.
+    """
+    fw = ThreadWalk(
+        name=tw.name, tid=tw.tid, spawned_by=tw.spawned_by,
+        factory=tw.factory, spawn_tid_base=tw.spawn_tid_base,
+    )
+    ctx = LintContext(tw.name, tw.tid, config)
+    _walk_thread(
+        fw, tw.factory, ctx, config, max_ops,
+        spawn_queue=[], spawn_tid_base=tw.spawn_tid_base,
+        force_results=force_results,
+    )
+    return fw
+
+
+def attach_forks(
+    tbl: ThreadTable,
+    tw: ThreadWalk,
+    costs: CostModel,
+    config: SimConfig,
+    max_ops: int,
+) -> int:
+    """Fork the prediction at up to MAX_FORKS two-valued ops.
+
+    For each fork point the thread is replayed with the alternative result
+    forced at that index; the diverging continuation (ops after the fork)
+    is lowered into its own table, stored in ``tbl.forks``. A replay whose
+    prefix fails to reproduce the recorded one (a nondeterministic factory)
+    simply records no fork — the run-time verifier covers correctness
+    either way. Alt tables never fork again (no nested speculation).
+    """
+    if tw.factory is None:
+        return 0
+    forks: dict[int, tuple[Any, Any, ThreadTable]] = {}
+    for f, o in enumerate(tw.ops):
+        is_fork, alt = _fork_alt(o)
+        if not is_fork:
+            continue
+        fw = _replay_walk(tw, config, max_ops, {f: alt})
+        if len(fw.ops) <= f or type(fw.ops[f]) is not type(o):
+            continue  # replay did not reproduce the prefix
+        cont = ThreadWalk(
+            name=tw.name, tid=tw.tid, spawned_by=tw.spawned_by,
+            ops=fw.ops[f + 1:], results=fw.results[f + 1:],
+            truncated=fw.truncated,
+        )
+        alt_tbl = lower_thread(cont, costs)
+        if alt_tbl is not None:
+            forks[f] = (tw.results[f], alt, alt_tbl)
+        if len(forks) >= MAX_FORKS:
+            break
+    if forks:
+        tbl.forks = forks
+    return len(forks)
+
+
+def lower_spawned(
+    lowering: ProgramLowering,
+    name: str,
+    tid: int,
+    config: SimConfig,
+) -> ThreadTable | None:
+    """Lazily lower one spawned thread's table at clone time.
+
+    Called by the engine when a mid-run spawn's tid disagrees with the tid
+    the eager walk assigned (so the eager table — whose RandomStream was
+    seeded with the walked tid — would mispredict every drawn value). The
+    walk runs with the clone's *real* tid under a throwaway observation
+    scope, exactly like :func:`walk_program` does.
+    """
+    entry = lowering.spawn_factories.get(name)
+    if entry is None:
+        return None
+    from repro.obs import runtime as obs_runtime
+
+    factory, _eager_base = entry
+    max_ops = lowering.max_ops
+    # Replays (the main lazy walk and its fork walks) must share one base
+    # so their prefixes line up; the engine's true next-tid at future spawn
+    # points is unknowable here, and only breaker op fields depend on it.
+    tw = ThreadWalk(
+        name=name, tid=tid, factory=factory, spawn_tid_base=tid + 1,
+    )
+    ctx = LintContext(name, tid, config)
+    with obs_runtime.collect(label="lint-walk"):
+        _walk_thread(
+            tw, factory, ctx, config, max_ops,
+            spawn_queue=[], spawn_tid_base=tw.spawn_tid_base,
+        )
+        costs = config.machine.costs
+        tbl = lower_thread(tw, costs)
+        if tbl is not None:
+            attach_forks(tbl, tw, costs, config, max_ops)
+    return tbl
+
+
 def lower_program(
     build: Callable[[], Any],
     config: SimConfig | None = None,
@@ -399,6 +614,8 @@ def lower_program(
     seeded per-thread RandomStream the engine will construct, making
     predicted op streams exact for result-independent programs.
     """
+    from repro.obs import runtime as obs_runtime
+
     config = config or SimConfig()
     t0 = time.perf_counter()
     specs = build()
@@ -407,36 +624,50 @@ def lower_program(
     walk = walk_program(list(specs), config, max_ops=max_ops, first_tid=1)
     costs = config.machine.costs
     tables: dict[str, ThreadTable] = {}
+    spawn_factories: dict[str, Any] = {}
     dup: set[str] = set()
     n_ops = 0
     n_lowerable = 0
     n_errors = 0
+    n_forks = 0
     n_truncated = 0
-    for tw in walk.threads:
-        n_ops += len(tw.ops)
-        if tw.walk_error:
-            n_errors += 1
-        if tw.truncated:
-            n_truncated += 1
-        if tw.name in dup:
-            continue
-        if tw.name in tables:
-            # Ambiguous spawn names: no table beats a wrong table.
-            del tables[tw.name]
-            dup.add(tw.name)
-            continue
-        tbl = lower_thread(tw, costs)
-        if tbl is not None:
-            tables[tw.name] = tbl
-            n_lowerable += tbl.n_lowerable()
+    wall_by_thread: dict[str, float] = {}
+    # Fork replays drive real workload generators (like the walk itself);
+    # the throwaway scope absorbs any windowed observations they emit.
+    with obs_runtime.collect(label="lint-walk"):
+        for tw in walk.threads:
+            n_ops += len(tw.ops)
+            if tw.walk_error:
+                n_errors += 1
+            if tw.truncated:
+                n_truncated += 1
+            if tw.name in dup:
+                continue
+            if tw.name in tables or tw.name in spawn_factories:
+                # Ambiguous spawn names: no table beats a wrong table.
+                tables.pop(tw.name, None)
+                spawn_factories.pop(tw.name, None)
+                dup.add(tw.name)
+                continue
+            t_thr = time.perf_counter()
+            tbl = lower_thread(tw, costs)
+            if tbl is not None:
+                tables[tw.name] = tbl
+                n_lowerable += tbl.n_lowerable()
+                n_forks += attach_forks(tbl, tw, costs, config, max_ops)
+            wall_by_thread[tw.name] = time.perf_counter() - t_thr
+            if tw.spawned_by and tw.factory is not None:
+                spawn_factories[tw.name] = (tw.factory, tw.spawn_tid_base)
     stats = {
         "threads_walked": len(walk.threads),
         "tables": len(tables),
         "ops_walked": n_ops,
         "ops_lowerable": n_lowerable,
         "walk_errors": n_errors,
+        "forks": n_forks,
         "truncated": n_truncated,
         "numpy": numpy_enabled(),
         "wall_seconds": time.perf_counter() - t0,
+        "wall_by_thread": wall_by_thread,
     }
-    return ProgramLowering(tables, stats)
+    return ProgramLowering(tables, stats, spawn_factories, max_ops)

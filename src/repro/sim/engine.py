@@ -74,14 +74,20 @@ from repro.kernel.vpmu import MuxState, SlotSpec, VirtualPmu
 from repro.sim import ops
 from repro.sim.compiled import (
     DEAD_AFTER,
+    K_LACQ,
+    K_LREL,
     K_RBEGIN,
     K_RDTSC,
     K_REND,
+    K_SREAD,
+    K_UREAD,
     K_WORK,
+    LAZY_LOWER_CAP,
     MIN_BATCH,
     RESYNC_WINDOW,
     ProgramLowering,
     lower_program,
+    lower_spawned,
     op_matches,
 )
 from repro.sim.program import ThreadContext, ThreadSpec
@@ -292,6 +298,7 @@ class SimThread:
         "cpos",
         "cmisses",
         "cskip",
+        "cfork",
     )
 
     def __init__(self, tid: int, name: str, ctx: ThreadContext,
@@ -342,6 +349,9 @@ class SimThread:
         self.cpos = 0          #: cursor into ctable's predicted op stream
         self.cmisses = 0       #: consecutive unmatched fetches
         self.cskip: Any = -1   #: slice end whose window already bailed
+        #: pending (main, alt, alt_table) fork: the op just consumed was a
+        #: two-valued fork point; resolved against send_value at next fetch
+        self.cfork: Any = None
 
     @property
     def cpu_cycles(self) -> int:
@@ -447,10 +457,13 @@ class Engine:
         )
         self._lowering: ProgramLowering | None = None
         self._lower_wall = 0.0
+        self._lower_wall_by_thread: dict[str, float] = {}
         self._compiled_segments = 0
         self._compiled_ops = 0
         self._compiled_divergences = 0
         self._compiled_resyncs = 0
+        self._compiled_forks = 0
+        self._compiled_lazy = 0
         self._ops_fetched = 0
         tick = self._costs.timer_tick
         # One timer tick's kernel ground-truth events: each tick is its own
@@ -583,12 +596,24 @@ class Engine:
             )
         reg.counter("ops_fetched").add(self._ops_fetched)
         if self._lowering is not None:
-            reg.counter("compiled_tables").add(len(self._lowering.tables))
+            reg.counter("compiled_tables").add(
+                len(self._lowering.tables) + self._compiled_lazy
+            )
             reg.counter("compiled_segments").add(self._compiled_segments)
             reg.counter("compiled_ops").add(self._compiled_ops)
             reg.counter("compiled_divergences").add(self._compiled_divergences)
             reg.counter("compiled_resyncs").add(self._compiled_resyncs)
+            reg.counter("compiled_forks").add(self._compiled_forks)
+            reg.counter("compiled_lazy_tables").add(self._compiled_lazy)
             reg.timer("wall.lowering").add(self._lower_wall)
+            # Per-thread lowering walls: eager table builds attributed by
+            # the lowering pass, plus any lazy clone-time lowers this run
+            # paid mid-flight (the cost the compiled_lazy_tables counter
+            # would otherwise hide inside wall.lowering's total).
+            for tname in sorted(self._lower_wall_by_thread):
+                reg.timer("wall.lowering." + tname).add(
+                    self._lower_wall_by_thread[tname]
+                )
         if self._faults is not None:
             f = self._faults
             reg.counter("faults.injected").add(f.total_injected)
@@ -636,6 +661,9 @@ class Engine:
             t_low = time.perf_counter()
             self._lowering = lower_program(lower, self.config)
             self._lower_wall = time.perf_counter() - t_low
+            walls = self._lowering.stats.get("wall_by_thread")
+            if walls:
+                self._lower_wall_by_thread.update(walls)
         for spec in specs:
             thread = self._create_thread(spec.factory, spec.name, at=0)
             self._make_ready(thread, at=0)
@@ -905,11 +933,27 @@ class Engine:
         lowering = self._lowering
         if lowering is not None:
             # Attach by (name, tid): the walk assigned tids in its own
-            # creation order, so a mid-run spawn whose tid disagrees simply
-            # gets no table (never a wrong one).
+            # creation order, so a mid-run spawn whose tid disagrees gets a
+            # *lazily lowered* table with the real tid instead — the eager
+            # one would mispredict every seeded RandomStream draw (never a
+            # wrong table either way: replay verifies each op).
             tbl = lowering.tables.get(name)
             if tbl is not None and tbl.tid == tid:
                 thread.ctable = tbl
+            elif (
+                name in lowering.spawn_factories
+                and self._compiled_lazy < LAZY_LOWER_CAP
+            ):
+                t_low = time.perf_counter()
+                tbl = lower_spawned(lowering, name, tid, self.config)
+                dt = time.perf_counter() - t_low
+                self._lower_wall += dt
+                self._lower_wall_by_thread[name] = (
+                    self._lower_wall_by_thread.get(name, 0.0) + dt
+                )
+                if tbl is not None:
+                    thread.ctable = tbl
+                    self._compiled_lazy += 1
         self.threads[tid] = thread
         self.live_count += 1
         return thread
@@ -1433,7 +1477,27 @@ class Engine:
             # A thrown-in exception rewinds the generator through except/
             # finally blocks; predictions after this point are worthless.
             thread.ctable = None
+            thread.cfork = None
             return self._fetch_next_op(core, thread)
+        fk = thread.cfork
+        if fk is not None:
+            # The op just consumed was a two-valued fork point: resolve the
+            # prediction stream against the value actually being sent back
+            # in, BEFORE the end-of-table check (a fork at the last index
+            # whose alternate fired must switch tables, not drop).
+            thread.cfork = None
+            sv = thread.send_value
+            if sv == fk[0]:
+                pass  # main continuation: the current table already has it
+            elif sv == fk[1]:
+                thread.ctable = tbl = fk[2]
+                thread.cpos = 0
+                thread.cmisses = 0
+                self._compiled_forks += 1
+            else:
+                self._bail("compiled_fork_miss")
+                thread.ctable = None
+                return self._fetch_next_op(core, thread)
         i = thread.cpos
         if i >= tbl.n:
             thread.ctable = None
@@ -1450,6 +1514,8 @@ class Engine:
             # and track position blindly; a head-position mismatch later
             # resynchronises against any accumulated drift.
             thread.cpos = i + 1
+            if tbl.forks is not None and i in tbl.forks:
+                thread.cfork = tbl.forks[i]
             self._ops_fetched += 1
             thread.send_value = None
             thread.cur = self._begin_op(core, thread, op)
@@ -1463,7 +1529,7 @@ class Engine:
                 if core.pmi_due_at is not None:
                     self._bail("compiled_pmi")
                 else:
-                    done = self._compiled_batch(core, thread, tbl, i, e)
+                    done = self._compiled_batch(core, thread, tbl, i, e, op)
                     if done is not None:
                         return done
             thread.cpos = i + 1
@@ -1484,6 +1550,8 @@ class Engine:
                 self._compiled_resyncs += 1
                 thread.cpos = resync + 1
                 thread.cmisses = 0
+                if tbl.forks is not None and resync in tbl.forks:
+                    thread.cfork = tbl.forks[resync]
             else:
                 # Unknown op (likely an insertion): hold position and let
                 # the next fetch retry this prediction.
@@ -1496,10 +1564,11 @@ class Engine:
         return True
 
     def _compiled_batch(
-        self, core: Core, thread: SimThread, tbl: Any, i: int, e: int
+        self, core: Core, thread: SimThread, tbl: Any, i: int, e: int,
+        op0: ops.Op,
     ) -> bool | None:
         """Try to batch-execute predicted ops ``[i, e)`` (op ``i`` already
-        fetched and verified). Returns True/False with
+        fetched — ``op0`` — and verified). Returns True/False with
         :meth:`_fetch_next_op` semantics on success, or None when the
         exactness caps leave fewer than MIN_BATCH ops — the caller then
         interprets the already-fetched op.
@@ -1511,9 +1580,24 @@ class Engine:
         which need interpreted phase splitting). Batchable ops are
         thread-local, so the span may cross the main loop's actor horizon
         — other actors at earlier simulated times cannot observe or affect
-        it — with one exception: a RegionEnd at or past the horizon would
+        it — with two exceptions: a RegionEnd at or past the horizon would
         consume the *shared* region-log budget ahead of other threads'
-        earlier region exits, so the span stops before the first such op.
+        earlier region exits, and a lock acquire/release at or past it
+        would mutate *shared* lock state another actor at an earlier
+        simulated time could still contend for — the span stops before
+        the first such op. PMC reads need no horizon cap (per-core PMU
+        state; no cross-actor visibility).
+
+        Lock pairs replay only while provably uncontended (lock free on
+        acquire, owned with no sleepers on release); a contended lock
+        hands the fetched op to the interpreter mid-batch
+        (``compiled_contended``), whose spin/futex stage machine then runs
+        verbatim. Whole PMC reads replay through the same
+        :meth:`_try_fast_read` commit the interpreter's composite fast
+        path uses — the batch caps above guarantee its slice/wrap/PMI
+        prechecks cannot fire, so only live prechecks (rdpmc disabled,
+        slot reconfigured, latched overflow) can bail
+        (``compiled_read``).
         """
         now0 = core.now
         cyc = tbl.cyc
@@ -1545,9 +1629,16 @@ class Engine:
             hb = horizon - now0
             kinds_tab = tbl.kinds
             for j in range(i, e):
-                if kinds_tab[j] == K_REND and cyc[j] - base_c >= hb:
-                    e = j
-                    break
+                k = kinds_tab[j]
+                if k == K_REND:
+                    if cyc[j] - base_c >= hb:
+                        e = j
+                        break
+                elif k == K_LACQ or k == K_LREL:
+                    # Lock state mutates at the POST-cas time.
+                    if cyc[j + 1] - base_c >= hb:
+                        e = j
+                        break
             if e - i < MIN_BATCH:
                 self._bail("compiled_window")
                 return None
@@ -1603,8 +1694,9 @@ class Engine:
         u0 = thread.user_cycles
         k0 = thread.kernel_cycles
         flush = i
+        i0 = i  # original batch start: segment/op counters span rebases
         j = i
-        op = ops_tab[i]  # placeholder; op i was verified by the caller
+        op = op0
         val: Any = None
         while True:
             kind = kinds[j]
@@ -1614,6 +1706,59 @@ class Engine:
                 val = None
             elif kind == K_RDTSC:
                 val = now0 + (cyc[j + 1] - base_c)
+            elif kind == K_LACQ:
+                lock = self.locks.get(op.lock)
+                if lock.held:
+                    return self._batch_interrupt(
+                        core, thread, tbl, i0, i, j, flush, now0, u0, k0,
+                        op, "compiled_contended",
+                    )
+                lock.take(
+                    thread.tid,
+                    now0 + (cyc[j + 1] - base_c),
+                    waited=cyc[j + 1] - cyc[j],
+                    contended=False,
+                    slept=False,
+                )
+                thread.owned_locks.add(op.lock)
+                val = None
+            elif kind == K_LREL:
+                lock = self.locks.get(op.lock)
+                if lock.owner != thread.tid or lock.n_sleepers > 0:
+                    # Owner mismatch: the interpreter raises the same
+                    # LockProtocolError the batch would have to. Sleepers:
+                    # the release must run futex-wake phases.
+                    return self._batch_interrupt(
+                        core, thread, tbl, i0, i, j, flush, now0, u0, k0,
+                        op, "compiled_contended",
+                    )
+                lock.release(thread.tid, now0 + (cyc[j + 1] - base_c))
+                thread.owned_locks.discard(op.lock)
+                val = None
+            elif kind == K_SREAD or kind == K_UREAD:
+                # Commit [i, j) first so _try_fast_read sees exact state,
+                # then replay the whole read through the interpreter's own
+                # one-piece commit and rebase the span after it.
+                self._commit_batch(core, thread, tbl, i, j, flush, now0, u0, k0)
+                ex = _OpExec(op)
+                phases = (
+                    self._safe_read_phases
+                    if kind == K_SREAD
+                    else self._unsafe_read_phases
+                )
+                if not self._try_fast_read(core, thread, ex, phases):
+                    return self._batch_interrupt(
+                        core, thread, tbl, i0, j, j, j,
+                        core.now, thread.user_cycles, thread.kernel_cycles,
+                        op, "compiled_read",
+                    )
+                val = ex.data["value"]
+                i = j + 1
+                base_c = cyc[i]
+                now0 = core.now
+                u0 = thread.user_cycles
+                k0 = thread.kernel_cycles
+                flush = i
             elif kind == K_RBEGIN:
                 self._batch_region_flush(thread, tbl, flush, j)
                 flush = j
@@ -1660,8 +1805,8 @@ class Engine:
             except StopIteration:
                 self._commit_batch(core, thread, tbl, i, j, flush, now0, u0, k0)
                 self._compiled_segments += 1
-                self._compiled_ops += j - i
-                self._ops_fetched += j - i
+                self._compiled_ops += j - i0
+                self._ops_fetched += j - i0
                 thread.cpos = j
                 thread.ctable = None
                 self._finish_thread(core, thread)
@@ -1671,8 +1816,8 @@ class Engine:
                 # fetched op from the committed state.
                 self._commit_batch(core, thread, tbl, i, j, flush, now0, u0, k0)
                 self._compiled_segments += 1
-                self._compiled_ops += j - i
-                self._ops_fetched += j - i + 1
+                self._compiled_ops += j - i0
+                self._ops_fetched += j - i0 + 1
                 self._compiled_divergences += 1
                 thread.cmisses += 1
                 if thread.cmisses >= DEAD_AFTER:
@@ -1683,11 +1828,33 @@ class Engine:
                 return True
         self._commit_batch(core, thread, tbl, i, e, flush, now0, u0, k0)
         self._compiled_segments += 1
-        self._compiled_ops += e - i
-        self._ops_fetched += e - i
+        self._compiled_ops += e - i0
+        self._ops_fetched += e - i0
         thread.cpos = e
         thread.send_value = val   # pending result for the next fetch
         thread.cur = None
+        return True
+
+    def _batch_interrupt(
+        self, core: Core, thread: SimThread, tbl: Any, i0: int, i: int,
+        j: int, flush: int, now0: int, u0: int, k0: int, op: ops.Op,
+        reason: str,
+    ) -> bool:
+        """Commit batched ops ``[i, j)``, then hand the already-fetched op
+        ``j`` — which matches its prediction but cannot be replayed
+        in-batch (a contended lock, a read failing its live prechecks) —
+        to the interpreter, counting ``reason``. The cursor advances past
+        op ``j`` (it matched; only its execution is interpreted), unlike
+        the divergence path which holds at ``j``."""
+        self._commit_batch(core, thread, tbl, i, j, flush, now0, u0, k0)
+        if j > i0:
+            self._compiled_segments += 1
+            self._compiled_ops += j - i0
+        self._ops_fetched += j - i0 + 1
+        self._bail(reason)
+        thread.cpos = j + 1
+        thread.send_value = None
+        thread.cur = self._begin_op(core, thread, op)
         return True
 
     def _batch_region_flush(

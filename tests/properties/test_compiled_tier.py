@@ -238,3 +238,241 @@ def test_pooled_and_serial_fingerprints_agree_tier_on():
         o.result.metrics.get("compiled_tables", 0) for o in serial
     )
     assert lowered > 0
+
+
+# -- PR 8: lock pairs, safe-read spans, forks, lazy lowering ------------------
+
+
+def _locked_reader_specs():
+    """Uncontended lock pairs + composite safe reads interleaved with every
+    previously-batchable kind: the widened lowering must cover the whole
+    stream."""
+    from repro.core.limit import LimitSession
+    from repro.hw.events import Event
+
+    session = LimitSession([Event.CYCLES, Event.INSTRUCTIONS])
+
+    def locker(ctx):
+        yield from session.setup(ctx)
+        for i in range(30):
+            yield ops.LockAcquire("m")
+            yield ops.Compute(400 + 3 * i, SIMPLE_RATES)
+            yield ops.LockRelease("m")
+            yield ops.Compute(300, SIMPLE_RATES)
+            value = yield from session.read(ctx, 0)
+            assert value >= 0
+            yield ops.Rdtsc()
+            yield ops.Syscall("work", (200,))
+
+    return [ThreadSpec("locker", locker)]
+
+
+def test_lock_and_read_lowering_matches_walker():
+    """Lock pairs and whole safe reads lower with the walker's op stream
+    and the interpreter's exact per-op costs."""
+    config = SimConfig()
+    costs = config.machine.costs
+    tbl = compiled.lower_program(_locked_reader_specs, config).tables["locker"]
+    (walked,) = walk_program(
+        _locked_reader_specs(), config, first_tid=1
+    ).threads
+    assert len(tbl.ops) == len(walked.ops)
+    for fetched, pred, kind in zip(walked.ops, tbl.ops, tbl.kinds):
+        assert compiled.op_matches(fetched, pred, kind)
+    kinds = list(tbl.kinds)
+    assert compiled.K_LACQ in kinds and compiled.K_LREL in kinds
+    assert compiled.K_SREAD in kinds
+    read_total = (
+        costs.pmc_call_overhead + costs.pmc_read_begin + costs.pmc_load_accum
+        + costs.rdpmc + costs.pmc_read_end + costs.pmc_store_result
+    )
+    for i, kind in enumerate(kinds):
+        if kind in (compiled.K_LACQ, compiled.K_LREL):
+            assert tbl.cyc[i + 1] - tbl.cyc[i] == costs.cas
+            assert tbl.ck[i + 1] - tbl.ck[i] == 0
+        elif kind == compiled.K_SREAD:
+            assert tbl.cyc[i + 1] - tbl.cyc[i] == read_total
+            assert tbl.ck[i + 1] - tbl.ck[i] == 0
+
+
+def test_lock_and_read_batching_engages_and_is_fingerprint_neutral():
+    """Uncontended pairs and safe reads batch as real segments (no
+    divergences on an exactly-predicted program) and change nothing."""
+    config = single_core_config(seed=7, timeslice=200_000)
+    on = run_program(
+        _locked_reader_specs(), config, lower=_locked_reader_specs
+    )
+    assert on.metrics.get("compiled_segments", 0) > 0
+    assert on.metrics.get("compiled_ops", 0) >= 150
+    assert on.metrics.get("compiled_divergences", 0) == 0
+    off = run_program(
+        _locked_reader_specs(),
+        dataclasses.replace(config, compiled_tier=False),
+        lower=_locked_reader_specs,
+    )
+    assert off.metrics.get("compiled_segments", 0) == 0
+    assert on.fingerprint() == off.fingerprint()
+
+
+def test_contended_lock_bails_to_interpreter_exactly():
+    """Two threads preempted mid-critical-section on one core: contended
+    acquires must leave the batch (``compiled_contended``) and replay the
+    spin/futex protocol identically to the uncompiled engine — LockStats
+    are fingerprinted, so equality proves the handoff is exact."""
+
+    def build():
+        def worker(ctx):
+            for _ in range(60):
+                yield ops.LockAcquire("hot")
+                yield ops.Compute(2_000, SIMPLE_RATES)
+                yield ops.LockRelease("hot")
+                yield ops.Compute(500, SIMPLE_RATES)
+                yield ops.Rdtsc()
+                yield ops.Syscall("work", (150,))
+
+        return [ThreadSpec(f"w{i}", worker) for i in range(2)]
+
+    config = single_core_config(seed=11, timeslice=20_000)
+    on = run_program(build(), config, lower=build)
+    off = run_program(
+        build(), dataclasses.replace(config, compiled_tier=False), lower=build
+    )
+    assert on.fingerprint() == off.fingerprint()
+    assert on.metrics.get("compiled_segments", 0) > 0
+    assert on.metrics.get("fastpath_bailout.compiled_contended", 0) > 0
+
+
+def _forked_specs(bank_credit):
+    """A ``wait_key`` whose result depends on whether a credit was banked:
+    True (consumed without blocking) takes the alternate continuation,
+    0/False follows the stub walk's main prediction."""
+
+    def t(ctx):
+        if bank_credit:
+            yield ops.Syscall("wake_key", ("k", 1))
+        for i in range(8):
+            yield ops.Compute(500, SIMPLE_RATES)
+            yield ops.Rdtsc()
+            yield ops.Syscall("work", (200,))
+        got = yield ops.Syscall("wait_key", ("k", ))
+        if got:
+            for i in range(10):
+                yield ops.Compute(700, SIMPLE_RATES)
+                yield ops.Rdtsc()
+                yield ops.Syscall("work", (300,))
+        else:
+            for i in range(10):
+                yield ops.Compute(111, SIMPLE_RATES)
+                yield ops.Rdtsc()
+                yield ops.Syscall("work", (100,))
+
+    def waker(ctx):
+        yield ops.Compute(30_000, SIMPLE_RATES)
+        if not bank_credit:
+            yield ops.Syscall("wake_key", ("k", 1))
+
+    return [ThreadSpec("forked", t), ThreadSpec("waker", waker)]
+
+
+@pytest.mark.parametrize("bank_credit", [True, False])
+def test_fork_selection_under_both_result_values(bank_credit):
+    """Both sides of a two-valued fork point stay compiled: the alternate
+    (credit consumed -> True) switches to the fork table, the main
+    (blocked-then-woken -> False, matching the stub's falsy 0) continues
+    in place — either way with zero divergences and bit-exact results."""
+    config = single_core_config(seed=3, timeslice=200_000)
+
+    def build():
+        return _forked_specs(bank_credit)
+
+    on = run_program(build(), config, lower=build)
+    off = run_program(
+        build(), dataclasses.replace(config, compiled_tier=False), lower=build
+    )
+    assert on.fingerprint() == off.fingerprint()
+    assert on.metrics.get("compiled_divergences", 0) == 0
+    assert on.metrics.get("compiled_ops", 0) > 0
+    if bank_credit:
+        assert on.metrics.get("compiled_forks", 0) == 1
+    else:
+        assert on.metrics.get("compiled_forks", 0) == 0
+        assert on.metrics.get("fastpath_bailout.compiled_fork_miss", 0) == 0
+
+
+def _lazy_spawn_specs():
+    """Spawn order that disagrees with the eager walk's breadth-first tid
+    assignment (sp-b's leaf clones long before sp-a's), so the spawned
+    leaves can only be served by lazy clone-time lowering."""
+
+    def leaf(tag):
+        def f(ctx):
+            for i in range(15):
+                yield ops.Compute(400, SIMPLE_RATES)
+                yield ops.Rdtsc()
+                yield ops.Syscall("work", (150,))
+
+        return f
+
+    def spawner(tag, delay):
+        def f(ctx):
+            yield ops.Compute(delay, SIMPLE_RATES)
+            yield ops.SpawnThread(factory=leaf(tag), name="leaf-" + tag)
+
+        return f
+
+    def root(ctx):
+        yield ops.SpawnThread(factory=spawner("a", 120_000), name="sp-a")
+        yield ops.SpawnThread(factory=spawner("b", 1_000), name="sp-b")
+        yield ops.Compute(200, SIMPLE_RATES)
+
+    return [ThreadSpec("root", root)]
+
+
+def test_lazy_clone_time_lowering_engages_and_is_fingerprint_neutral(
+    monkeypatch,
+):
+    """Mid-run spawns whose tids diverge from the eager walk get tables
+    lowered at clone time; with the lazy path capped to zero they simply
+    interpret — both bit-identical to the tier-off run."""
+    from repro.common.config import KernelConfig, MachineConfig
+    from repro.sim import engine as engine_mod
+
+    config = SimConfig(
+        machine=MachineConfig(n_cores=2),
+        kernel=KernelConfig(timeslice_cycles=50_000),
+        seed=5,
+    )
+    lazy = run_program(_lazy_spawn_specs(), config, lower=_lazy_spawn_specs)
+    assert lazy.metrics.get("compiled_lazy_tables", 0) == 2
+    assert lazy.metrics.get("compiled_divergences", 0) == 0
+    monkeypatch.setattr(engine_mod, "LAZY_LOWER_CAP", 0)
+    eager_only = run_program(
+        _lazy_spawn_specs(), config, lower=_lazy_spawn_specs
+    )
+    assert eager_only.metrics.get("compiled_lazy_tables", 0) == 0
+    monkeypatch.undo()
+    off = run_program(
+        _lazy_spawn_specs(),
+        dataclasses.replace(config, compiled_tier=False),
+        lower=_lazy_spawn_specs,
+    )
+    assert lazy.fingerprint() == eager_only.fingerprint() == off.fingerprint()
+
+
+@pytest.mark.parametrize("workload,kwargs", EXPERIMENT_FACTORIES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_experiment_fingerprints_equal_lazy_on_off(
+    workload, kwargs, seed, monkeypatch
+):
+    """Whole-experiment invariance of the lazy clone-time path: capping it
+    to zero must change nothing observable."""
+    from repro.sim import engine as engine_mod
+
+    fingerprints = {}
+    for cap in (64, 0):
+        monkeypatch.setattr(engine_mod, "LAZY_LOWER_CAP", cap)
+        config = single_core_config(seed=seed)
+        job = fabric.RunJob(workload=workload, config=config, kwargs=kwargs)
+        (outcome,) = fabric.run_many([job], jobs_n=1, cache=None)
+        fingerprints[cap] = outcome.result.fingerprint()
+    assert fingerprints[64] == fingerprints[0]
