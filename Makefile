@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments experiments-quick trace-smoke traffic-smoke fault-smoke compiled-smoke examples lint lint-smoke clean
+.PHONY: install test bench experiments experiments-quick trace-smoke traffic-smoke fault-smoke compiled-smoke resilience-smoke examples lint lint-smoke clean
 
 install:
 	pip install -e .
@@ -52,6 +52,15 @@ fault-smoke:
 compiled-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments.compiled_smoke \
 		--dir results/smoke/compiled
+
+# resilience end-to-end check: the E20 policy matrix twice (serial under
+# the strict lint gate, and --jobs 2) with per-run fingerprints; the legs
+# must be bit-identical with equal alerts blocks, burn-rate alerts must
+# page only on the unprotected arm's overload windows, and shedding must
+# hold p99 below the unprotected collapse
+resilience-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.resilience_smoke \
+		--dir results/smoke/resilience
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f || exit 1; done

@@ -1,7 +1,7 @@
 """Tracked performance baseline: ``python -m repro.bench``.
 
 Measures the workloads the perf-sensitive subsystems are judged on and
-writes the results as ``BENCH_PR8.json`` (schema ``repro.bench/v1``,
+writes the results as ``BENCH_PR9.json`` (schema ``repro.bench/v1``,
 documented in docs/performance.md):
 
 * **contention microbench** — two threads on two cores alternating long
@@ -15,9 +15,11 @@ documented in docs/performance.md):
   the run collector.
 * **streaming observability A/B** — the open-loop traffic workload run
   twice in-process, once bare and once under a windowed collector with a
-  live JSONL stream export, so the reported streaming overhead is a
-  same-machine ratio. Fingerprints must match (zero perturbation) and
-  the overhead must stay under :data:`STREAM_OVERHEAD_MAX`.
+  live JSONL stream export *and* a registered SLO burn-rate alert
+  (evaluated over the merged windows, as the manifest path does), so the
+  reported streaming overhead is a same-machine ratio that includes the
+  alerting layer. Fingerprints must match (zero perturbation) and the
+  overhead must stay under :data:`STREAM_OVERHEAD_MAX`.
 
 ``--check BASELINE.json`` is the CI regression gate. Wall-clock seconds are
 not comparable across machines, so the gate compares machine-independent
@@ -52,7 +54,7 @@ from repro.sim.program import ThreadSpec
 from repro.workloads.base import COMPUTE_RATES
 
 SCHEMA = "repro.bench/v1"
-DEFAULT_OUT = "BENCH_PR8.json"
+DEFAULT_OUT = "BENCH_PR9.json"
 
 #: Hard cap on the streaming-observability overhead ratio (same-host A/B).
 STREAM_OVERHEAD_MAX = 0.05
@@ -203,9 +205,10 @@ STREAM_REPEATS = 9
 def _run_traffic(requests: int, streaming: bool) -> dict:
     import tempfile
 
+    from repro.obs.alerts import SloSpec
     from repro.obs.export import JsonlStreamWriter
     from repro.obs.windows import WindowSpec
-    from repro.workloads.traffic import TrafficConfig, TrafficWorkload
+    from repro.workloads.traffic import LATENCY_STREAM, TrafficConfig, TrafficWorkload
 
     config = SimConfig(
         machine=MachineConfig(n_cores=4),
@@ -226,18 +229,33 @@ def _run_traffic(requests: int, streaming: bool) -> dict:
                 window_spec=WindowSpec(),
                 stream=writer,
             ) as collector:
+                # The manifest path registers SLOs and evaluates them over
+                # the merged windows; the streaming arm pays that cost too
+                # so the overhead gate covers the alerting layer.
+                obs_runtime.register_alert_spec(
+                    SloSpec(
+                        name="bench-slo",
+                        stream=f"{LATENCY_STREAM}.constant",
+                        threshold_cycles=1_000_000,
+                        objective=0.95,
+                    )
+                )
                 result = run_program(workload.build(), config)
             writer.close(summary=collector.windows_summary())
+            alerts = collector.alerts_summary()
             wall = time.perf_counter() - started
             n_windows = writer.n_windows
+            n_alerts = alerts["fired"] if alerts else 0
     else:
         started = time.perf_counter()
         result = run_program(workload.build(), config)
         wall = time.perf_counter() - started
         n_windows = 0
+        n_alerts = 0
     return {
         "wall_seconds": wall,
         "n_windows": n_windows,
+        "n_alerts": n_alerts,
         "fingerprint": result.fingerprint(),
     }
 

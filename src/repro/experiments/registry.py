@@ -26,6 +26,7 @@ from repro.experiments import (
     e17_fault_matrix,
     e18_lint_validation,
     e19_open_loop,
+    e20_resilience,
 )
 from repro.experiments.base import ExperimentResult, run_shared
 
@@ -71,6 +72,7 @@ _MODULES = [
     e17_fault_matrix,
     e18_lint_validation,
     e19_open_loop,
+    e20_resilience,
 ]
 
 REGISTRY: dict[str, ExperimentEntry] = {

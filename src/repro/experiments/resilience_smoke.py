@@ -1,0 +1,186 @@
+"""Resilience smoke: the E20 policy matrix end to end from the CLI.
+
+Runs the quick resilience experiment twice — serially under the strict
+lint gate, and with its six policy arms fanned over two worker processes
+(``--jobs 2``) — with ``REPRO_FP_RECORDS=1`` so every engine run's
+:meth:`~repro.sim.results.RunResult.fingerprint` lands in the manifest.
+It then asserts:
+
+* both legs pass and their per-run fingerprint multisets are identical
+  (process pooling is bit-invisible to the service chains);
+* the manifest ``alerts`` blocks agree exactly across legs (burn-rate
+  verdicts are order-invariant window merges, so serial and pooled
+  sweeps must page on the same windows with the same burn rates);
+* the burn-rate alerts page on the unprotected arm, only outside its
+  calm windows, and never page on the full-policy arm;
+* the policies hold the headline claim from the manifest's
+  ``result_metrics``: the shedding arm's p99 stays below the
+  unprotected arm's, and protection improves goodput.
+
+Usage::
+
+    python -m repro.experiments.resilience_smoke [--dir results/smoke/resilience]
+
+Exits non-zero (with the violated invariant named) on any violation.
+This is the CI ``resilience-smoke`` job and the ``make resilience-smoke``
+target; see docs/robustness.md for the policy matrix and
+docs/observability.md for the alerting layer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.runner import main as run_suite
+
+#: (leg name, extra runner argv). Both legs run ``--quick E20`` with
+#: fingerprint capture; the serial leg is the reference.
+LEGS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("serial", ("--lint-strict",)),
+    ("jobs2", ("--jobs", "2")),
+)
+
+
+def _run_leg(name: str, extra: tuple[str, ...], out_dir: Path) -> dict[str, Any]:
+    """Run one quick E20 leg and return its parsed manifest."""
+    saved = os.environ.get("REPRO_FP_RECORDS")
+    try:
+        os.environ["REPRO_FP_RECORDS"] = "1"
+        manifest = out_dir / f"{name}.json"
+        argv = ["--quick", "E20", "--manifest", str(manifest), *extra]
+        print(
+            f"== resilience-smoke leg {name!r}: "
+            f"repro.experiments {' '.join(argv)}",
+            flush=True,
+        )
+        code = run_suite(argv)
+        if code != 0:
+            raise SystemExit(
+                f"resilience-smoke: leg {name!r} failed (exit {code})"
+            )
+        return json.loads(manifest.read_text())
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_FP_RECORDS", None)
+        else:
+            os.environ["REPRO_FP_RECORDS"] = saved
+
+
+def _e20(manifest: dict[str, Any]) -> dict[str, Any]:
+    for exp in manifest["experiments"]:
+        if exp["id"] == "E20":
+            return exp
+    raise SystemExit("resilience-smoke: manifest has no E20 record")
+
+
+def _slo(record: dict[str, Any], name: str) -> dict[str, Any]:
+    for slo in record.get("alerts", {}).get("slos", []):
+        if slo["spec"]["name"] == name:
+            return slo
+    raise SystemExit(f"resilience-smoke: no {name!r} SLO in the alerts block")
+
+
+def check(manifests: dict[str, dict[str, Any]]) -> list[str]:
+    """Return every violated invariant (empty list: smoke passes)."""
+    from repro.experiments.e20_resilience import chain_config
+
+    problems: list[str] = []
+    serial = _e20(manifests["serial"])
+    pooled = _e20(manifests["jobs2"])
+    for name, record in (("serial", serial), ("jobs2", pooled)):
+        if record["status"] != "passed":
+            problems.append(f"leg {name!r}: E20 did not pass")
+    if problems:
+        return problems
+
+    # Pooling is bit-invisible: same runs, same bits, same verdicts.
+    reference = sorted(serial.get("fingerprints", []))
+    if not reference:
+        problems.append(
+            "no fingerprints captured on the serial leg "
+            "(REPRO_FP_RECORDS plumbing broken?)"
+        )
+    elif sorted(pooled.get("fingerprints", [])) != reference:
+        problems.append(
+            "fingerprint multisets differ serial vs --jobs 2 — pooling "
+            "changed simulated results"
+        )
+    if serial.get("alerts") != pooled.get("alerts"):
+        problems.append(
+            "alerts blocks differ serial vs --jobs 2 — burn-rate "
+            "verdicts are not order-invariant under pooled window merges"
+        )
+
+    # Alert placement: the unprotected arm pages, only past its calm
+    # windows; the full-policy arm never pages.
+    unprot = _slo(serial, "E20-unprotected")
+    full = _slo(serial, "E20-full")
+    if unprot["fired"] <= 0:
+        problems.append("the unprotected arm never paged under overload")
+    calm = (
+        chain_config("unprotected", True).calm_cycles
+        // unprot["window_cycles"]
+    )
+    early = [e["window"] for e in unprot["events"] if e["window"] < calm]
+    if early:
+        problems.append(
+            f"alerts fired inside the calm windows (indices {early} < "
+            f"{calm}) — the burn thresholds page on healthy traffic"
+        )
+    if full["fired"] != 0:
+        problems.append(
+            f"the full-policy arm paged {full['fired']}x — protection "
+            "should keep the error budget"
+        )
+
+    # The headline resilience claims, from the manifest itself.
+    claims = serial.get("result_metrics", {})
+    shed_ratio = claims.get("shed_vs_unprotected_p99")
+    if shed_ratio is None or shed_ratio >= 1.0:
+        problems.append(
+            f"shedding did not beat collapse: shed p99 / unprotected "
+            f"p99 = {shed_ratio!r} (want < 1)"
+        )
+    if not claims.get("goodput_full", 0) > claims.get("goodput_unprotected", 1):
+        problems.append(
+            "the full-policy arm's goodput does not beat the "
+            "unprotected arm's"
+        )
+
+    if not problems:
+        print(
+            f"resilience smoke OK: both legs fingerprint-identical with "
+            f"equal alerts blocks; unprotected arm paged "
+            f"{unprot['fired']}x past window {calm}, full arm 0x; "
+            f"shed p99 at {shed_ratio:.2f}x the unprotected p99"
+        )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-resilience-smoke", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--dir",
+        type=Path,
+        default=Path("results/smoke/resilience"),
+        help="directory for the two leg manifests",
+    )
+    args = parser.parse_args(argv)
+    args.dir.mkdir(parents=True, exist_ok=True)
+
+    manifests = {name: _run_leg(name, extra, args.dir) for name, extra in LEGS}
+    problems = check(manifests)
+    for problem in problems:
+        print(f"resilience smoke FAILED: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

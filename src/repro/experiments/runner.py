@@ -50,6 +50,7 @@ from repro.obs import runtime as obs_runtime
 from repro.obs.export import (
     JsonlStreamWriter,
     events_to_jsonl,
+    sweep_orphan_streams,
     write_manifest,
     write_perfetto,
 )
@@ -82,6 +83,13 @@ class EntryOutcome:
     #: streaming-export facts when the experiment streamed windows
     #: (directory, record/window counts, part count), else None
     stream: dict | None = None
+    #: SLO alert specs registered by the experiment (SloSpec list); they
+    #: ride along so the manifest builder can re-evaluate burn rates
+    #: against the merged windows (the run-time collector is discarded)
+    alert_specs: list = field(default_factory=list)
+    #: the experiment's own headline metrics (ExperimentResult.metrics) —
+    #: the quantitative claims; engine counters live in ``records``
+    result_metrics: dict = field(default_factory=dict)
 
 
 def _execute(
@@ -111,6 +119,7 @@ def _execute(
             spec=window_spec or WindowSpec(),
         )
     started = time.perf_counter()
+    result_metrics: dict = {}
     with obs_runtime.collect(
         capture_traces=capture_traces,
         label=entry.exp_id,
@@ -120,6 +129,7 @@ def _execute(
         try:
             result = entry.run(quick=quick)
             error, text = None, result.render()
+            result_metrics = dict(result.metrics)
         except Exception as exc:  # keep going; report at the end
             error, text = f"{type(exc).__name__}: {exc}", None
     stream_info = None
@@ -141,6 +151,8 @@ def _execute(
         job_failures=[f.as_dict() for f in fabric.drain_failures()],
         lint_reports=lint_gate.drain_reports(),
         stream=stream_info,
+        alert_specs=list(collector.alert_specs),
+        result_metrics=result_metrics,
     )
 
 
@@ -154,6 +166,7 @@ def _execute_in_worker(
     lint_mode: str = "off",
     window_spec: WindowSpec | None = None,
     stream_dir: str | None = None,
+    timeout: float | None = None,
 ) -> EntryOutcome:
     """Pool-worker entry point: look the experiment up by id and run it.
 
@@ -169,6 +182,8 @@ def _execute_in_worker(
     fabric.configure(jobs=1, cache_dir=cache_dir, salt=cache_salt)
     if fail_fast is not None:
         fabric.configure(fail_fast=fail_fast)
+    if timeout is not None:
+        fabric.configure(timeout=timeout)
     lint_gate.restore(lint_mode)
     outcome = _execute(
         get(exp_id),
@@ -196,6 +211,7 @@ def _emit(
         capture_traces=trace_dir is not None, label=outcome.exp_id
     )
     collector.merge_records(outcome.records, keep_traces=trace_dir is not None)
+    collector.alert_specs = list(getattr(outcome, "alert_specs", []) or [])
 
     record: dict[str, Any] = {
         "id": outcome.exp_id,
@@ -224,6 +240,14 @@ def _emit(
     windows = collector.windows_summary()
     if windows is not None:
         record["windows"] = windows
+    alerts = collector.alerts_summary()
+    if alerts is not None:
+        record["alerts"] = alerts
+    result_metrics = getattr(outcome, "result_metrics", None)
+    if result_metrics:
+        # The experiment's headline claims (distinct from the engine-run
+        # "metrics" aggregate above) — what smoke checks assert against.
+        record["result_metrics"] = result_metrics
     if getattr(outcome, "stream", None) is not None:
         record["stream"] = outcome.stream
     if outcome.cached:
@@ -288,6 +312,7 @@ def run_entries(
     lint_mode: str = "off",
     window_spec: WindowSpec | None = None,
     stream_dir: Path | None = None,
+    timeout: float | None = None,
 ) -> tuple[list[dict[str, Any]], float]:
     """Run experiments; returns (manifest entry dicts, total wall seconds).
 
@@ -302,6 +327,9 @@ def run_entries(
     fabric dispatch, inline and in pool workers alike. ``window_spec``
     shapes windowed observations; ``stream_dir`` streams them to one
     ``repro.obs/stream/v1`` directory per experiment as runs complete.
+    ``timeout`` caps each fabric job's wall-clock seconds (None keeps the
+    current policy); a timed-out worker is killed mid-stream, so streaming
+    runs sweep orphaned (never-closed) stream directories first.
     """
     from repro import fabric
     from repro.lint import gate as lint_gate
@@ -318,6 +346,11 @@ def run_entries(
         if not capture_traces and lint_mode == "off" and stream_dir is None
         else None
     )
+    if stream_dir is not None:
+        # A previous run killed mid-stream (per-job --timeout, ^C) leaves
+        # stream dirs whose manifests never closed; clear them before new
+        # writers reuse the paths so followers never tail stale parts.
+        sweep_orphan_streams(stream_dir)
     total_started = time.perf_counter()
 
     outcomes: list[EntryOutcome | None] = [None] * len(entries)
@@ -361,6 +394,7 @@ def run_entries(
                         lint_mode,
                         window_spec,
                         str(stream_dir) if stream_dir else None,
+                        timeout,
                     ),
                 )
                 for i, key in pending
@@ -371,11 +405,13 @@ def run_entries(
         # In-process: a lone experiment under --jobs N fans out internally.
         previous = fabric.current()
         prev_jobs, prev_cache = previous.jobs, previous.cache
-        prev_fail_fast = previous.fail_fast
+        prev_fail_fast, prev_timeout = previous.fail_fast, previous.timeout
         prev_lint = lint_gate.state()
         fabric.configure(jobs=jobs, cache=use_cache)
         if fail_fast is not None:
             fabric.configure(fail_fast=fail_fast)
+        if timeout is not None:
+            fabric.configure(timeout=timeout)
         lint_gate.restore(lint_mode)
         try:
             for i, key in pending:
@@ -388,7 +424,10 @@ def run_entries(
                 )
         finally:
             fabric.configure(
-                jobs=prev_jobs, cache=prev_cache, fail_fast=prev_fail_fast
+                jobs=prev_jobs,
+                cache=prev_cache,
+                fail_fast=prev_fail_fast,
+                timeout=prev_timeout,
             )
             lint_gate.restore(*prev_lint)
 
@@ -417,7 +456,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids (E1..E19); all when omitted",
+        help="experiment ids (E1..E20); all when omitted",
     )
     parser.add_argument(
         "--quick", action="store_true", help="smaller parameters (CI-sized)"
@@ -428,6 +467,17 @@ def main(argv: list[str] | None = None) -> int:
         default=1,
         metavar="N",
         help="run experiments in N worker processes (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "kill any fabric job running longer than SECONDS of wall "
+            "clock (killed jobs surface as structured job failures; "
+            "combine with --keep-going to finish the sweep around them)"
+        ),
     )
     parser.add_argument(
         "--cache",
@@ -562,6 +612,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.timeout is not None and args.timeout <= 0:
+        parser.error("--timeout must be > 0")
 
     cache_dir: Path | None = args.cache_dir
     if cache_dir is None and (args.cache or args.cache_stats):
@@ -618,6 +670,7 @@ def main(argv: list[str] | None = None) -> int:
         lint_mode=lint_mode,
         window_spec=window_spec,
         stream_dir=args.stream_dir,
+        timeout=args.timeout,
     )
     passed = sum(1 for r in records if r["status"] == "passed")
     failed = len(records) - passed

@@ -33,9 +33,9 @@ historical behaviour) the first terminal failure raises.
 
 from __future__ import annotations
 
+import hashlib
 import importlib
 import multiprocessing
-import random
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -346,12 +346,29 @@ class _Attempt:
     not_before: float = 0.0  #: monotonic time before which we won't respawn
 
 
-def _backoff_delay(backoff: float, attempt: int) -> float:
-    """Exponential backoff with up to +25% jitter (host-side randomness is
-    fine here: it never influences simulated results)."""
+def _backoff_delay(
+    backoff: float,
+    attempt: int,
+    key: str = "",
+    cap: float | None = None,
+) -> float:
+    """Exponential backoff with deterministic +0–25% jitter.
+
+    The jitter fraction is derived by hashing ``(key, attempt)`` — stable
+    across reruns and hosts (so retry schedules are reproducible and
+    testable), while distinct jobs in a sweep still desynchronize their
+    retries. ``cap`` bounds the delay: with a per-job ``timeout``
+    configured, no retry ever waits longer than the job's own wall
+    budget, so backoff can never dominate the deadline it serves.
+    """
     if backoff <= 0:
         return 0.0
-    return backoff * (2 ** (attempt - 1)) * (1.0 + random.uniform(0.0, 0.25))
+    digest = hashlib.sha256(f"{key}\x00{attempt}".encode("utf-8")).digest()
+    frac = int.from_bytes(digest[:8], "little") / 2**64
+    delay = backoff * (2 ** (attempt - 1)) * (1.0 + 0.25 * frac)
+    if cap is not None:
+        delay = min(delay, cap)
+    return delay
 
 
 def _stop_worker(proc) -> None:
@@ -394,7 +411,10 @@ def _run_pooled(
                 f"{kind} on attempt {att.attempts} ({error}); retrying"
             )
             att.not_before = time.monotonic() + _backoff_delay(
-                backoff, att.attempts
+                backoff,
+                att.attempts,
+                key=att.job.label or att.job.workload,
+                cap=timeout,
             )
             queue.append(att)
             return

@@ -35,6 +35,7 @@ from repro.faults.plan import (
     FaultPlan,
     FaultSpec,
     PREEMPT_IN_READ,
+    SERVICE_KINDS,
     SHRINK_COUNTER,
 )
 
@@ -54,6 +55,7 @@ class FaultInjector:
         "missed",
         "_dropped_pending",
         "_read_hazards",
+        "_service_pending",
         "reads_armed",
         "tick_armed",
     )
@@ -76,6 +78,9 @@ class FaultInjector:
         # tid -> outstanding injected read-preemption awaiting its safe-read
         # restart-check verdict.
         self._read_hazards: dict[int, int] = {}
+        # kind -> fired service faults the workload has not yet resolved
+        # (absorbed by a policy or flushed to missed at run teardown).
+        self._service_pending: dict[str, int] = {}
         # Arming flags the engine checks on its fast paths: whenever read
         # faults are armed the composite-read fast path must bail (so traced
         # and untraced runs take the same stage-machine path), and whenever a
@@ -148,6 +153,13 @@ class FaultInjector:
                     continue
             self._fired_counts[i] += 1
             self.injected[kind] = self.injected.get(kind, 0) + 1
+            if kind in SERVICE_KINDS:
+                # Service faults open a ledger entry the workload must
+                # close (resolve_service_fault) — an unresolved entry at
+                # teardown is a miss: the resilience policies never saw it.
+                self._service_pending[kind] = (
+                    self._service_pending.get(kind, 0) + 1
+                )
             return spec
         return None
 
@@ -176,6 +188,38 @@ class FaultInjector:
             self.missed += pending
         else:
             self.detected += pending
+
+    def resolve_service_fault(self, kind: str, absorbed: bool = True) -> None:
+        """The workload handled one fired service fault of ``kind``.
+
+        ``absorbed`` means a resilience policy accounted for the fault
+        (retry succeeded, request was shed/timed out explicitly, breaker
+        short-circuited, outage was served after restart); ``False`` means
+        the fault escaped the policies (silent corruption of a response,
+        an unhandled error path) and counts as a miss.
+        """
+        pending = self._service_pending.get(kind, 0)
+        if pending <= 0:
+            return
+        if pending == 1:
+            del self._service_pending[kind]
+        else:
+            self._service_pending[kind] = pending - 1
+        if absorbed:
+            self.detected += 1
+        else:
+            self.missed += 1
+
+    def flush_service_pending(self) -> int:
+        """Convert every unresolved service fault into a miss (run teardown).
+
+        Returns how many were flushed; E20's full-policy arm asserts zero.
+        """
+        n = sum(self._service_pending.values())
+        if n:
+            self.missed += n
+            self._service_pending.clear()
+        return n
 
     def note_dropped_pmi(self, core_id: int) -> None:
         self._dropped_pending[core_id] = self._dropped_pending.get(core_id, 0) + 1

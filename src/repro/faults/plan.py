@@ -55,17 +55,41 @@ SHRINK_COUNTER = "shrink_counter"
 #: fast paths' equivalence contract, used to diff fast vs slow under faults.
 FORCE_BAILOUT = "force_bailout"
 
-KINDS: frozenset[str] = frozenset(
-    {
-        PREEMPT_IN_READ,
-        DROP_PMI,
-        REPEAT_PMI,
-        AMPLIFY_SKID,
-        DELAY_SWAP,
-        DUP_SWAP,
-        SHRINK_COUNTER,
-        FORCE_BAILOUT,
-    }
+# -- service-level fault kinds (the resilience tier, PR 9) -------------------
+#: Latency spike: every request served by the targeted tier while the spec
+#: fires costs ``arg`` extra service cycles (slow dependency, GC pause, cold
+#: cache). The tier's ``point`` selector names the tier ("" = any tier).
+TIER_LATENCY = "tier_latency"
+#: Error burst: calls *into* the targeted tier fail while the spec fires.
+#: The caller sees the failure and must absorb it (retry / shed / breaker);
+#: the detect ledger tracks whether it did.
+TIER_ERROR = "tier_error"
+#: Tier crash + restart: a worker of the targeted tier stops serving for
+#: ``arg`` cycles (the outage window), then resumes — upstream queues back
+#: up and admission/shedding must absorb the backlog.
+TIER_CRASH = "tier_crash"
+
+#: The workload-level (service chain) fault kinds. Unlike the PMU/kernel
+#: kinds above they fire at *workload* hook points — the service chain in
+#: :mod:`repro.workloads.service` consults the injector via
+#: ``ThreadContext.service_fault`` — and their ``point`` field carries the
+#: targeted *tier name* instead of a read/bailout point.
+SERVICE_KINDS: frozenset[str] = frozenset({TIER_LATENCY, TIER_ERROR, TIER_CRASH})
+
+KINDS: frozenset[str] = (
+    frozenset(
+        {
+            PREEMPT_IN_READ,
+            DROP_PMI,
+            REPEAT_PMI,
+            AMPLIFY_SKID,
+            DELAY_SWAP,
+            DUP_SWAP,
+            SHRINK_COUNTER,
+            FORCE_BAILOUT,
+        }
+    )
+    | SERVICE_KINDS
 )
 
 # -- read-protocol vulnerable points ----------------------------------------
@@ -153,6 +177,16 @@ class FaultSpec:
                 raise ConfigError(
                     f"bad bailout point {self.point!r}; known: {BAILOUT_POINTS}"
                 )
+        elif self.kind in SERVICE_KINDS:
+            # ``point`` is a tier name here ("" = any tier). Whether the
+            # name actually matches a tier in the workload is a *static*
+            # question repro.lint answers (ML012); the spec itself only
+            # rejects names that could never be tier identifiers.
+            if self.point and not self.point.replace("_", "").isalnum():
+                raise ConfigError(
+                    f"bad tier selector {self.point!r} for {self.kind!r}: "
+                    "tier names are alphanumeric/underscore identifiers"
+                )
         elif self.point:
             raise ConfigError(f"fault kind {self.kind!r} takes no point")
         if self.kind == SHRINK_COUNTER and not 8 <= self.arg <= 63:
@@ -166,6 +200,12 @@ class FaultSpec:
             )
         if self.kind in (DROP_PMI, DELAY_SWAP) and self.arg < 0:
             raise ConfigError(f"{self.kind} arg (cycles) must be >= 0")
+        if self.kind in (TIER_LATENCY, TIER_CRASH) and self.arg < 1:
+            raise ConfigError(
+                f"{self.kind} arg (cycles) must be >= 1, got {self.arg}"
+            )
+        if self.kind == TIER_ERROR and self.arg != 0:
+            raise ConfigError("tier_error takes no arg")
         if (
             self.kind == PREEMPT_IN_READ
             and self.protocol != "unsafe"
@@ -244,3 +284,18 @@ def shrink_counter(width: int, max_injections: int | None = 1, **sel) -> FaultSp
 def force_bailout(point: str = "", **sel) -> FaultSpec:
     """Force fast-path bailouts ("" = macro + fast_read + spin)."""
     return FaultSpec(FORCE_BAILOUT, point=point, **sel)
+
+
+def tier_latency(tier: str = "", extra: int = 50_000, **sel) -> FaultSpec:
+    """Latency spike: +``extra`` service cycles per request at ``tier``."""
+    return FaultSpec(TIER_LATENCY, point=tier, arg=extra, **sel)
+
+
+def tier_error(tier: str = "", **sel) -> FaultSpec:
+    """Error burst: calls into ``tier`` fail while the spec fires."""
+    return FaultSpec(TIER_ERROR, point=tier, **sel)
+
+
+def tier_crash(tier: str = "", outage: int = 2_000_000, **sel) -> FaultSpec:
+    """Crash/restart: a ``tier`` worker stops serving for ``outage`` cycles."""
+    return FaultSpec(TIER_CRASH, point=tier, arg=outage, **sel)

@@ -25,6 +25,8 @@ Rule index
 * ML009 fault-spec-unmatchable   — fault plan entries that can never fire
 * ML010 walk-failed              — the program crashed under the stub walk
 * ML011 walk-truncated           — op budget exhausted; prefix analyzed
+* ML012 tier-fault-unmatchable   — service-level fault spec targets a tier
+                                   this program never runs
 """
 
 from __future__ import annotations
@@ -576,6 +578,59 @@ def _pass_fault_plan(walk: ProgramWalk, report: LintReport) -> None:
             ))
 
 
+def _pass_service_faults(walk: ProgramWalk, report: LintReport) -> None:
+    """ML012: service-level fault specs whose tier selector can't match.
+
+    Service-chain workloads name tier threads ``svc:<tier>:w<i>`` (the
+    convention :mod:`repro.workloads.service` establishes), and a
+    service-level fault spec selects its target tier via ``point``. A
+    selector naming a tier no thread of this program serves — or any
+    service-kind spec against a program with no service tiers at all —
+    can never fire, and the E20-style detect/miss ledger will silently
+    show zero injections instead of flagging the typo.
+    """
+    from repro.faults.plan import SERVICE_KINDS
+
+    plan = walk.config.fault_plan
+    if plan is None or not plan.specs:
+        return
+    service_specs = [
+        (i, spec) for i, spec in enumerate(plan.specs)
+        if spec.kind in SERVICE_KINDS
+    ]
+    if not service_specs:
+        return
+    tiers = {
+        parts[1]
+        for parts in (name.split(":") for name in walk.thread_names())
+        if len(parts) >= 3 and parts[0] == "svc" and parts[1] != "gen"
+    }
+    for i, spec in service_specs:
+        if not tiers:
+            report.add(Finding(
+                rule="ML012",
+                severity=WARNING,
+                message=(
+                    f"fault spec #{i} ({spec.kind}) is service-level, but "
+                    "this program starts no service tiers (no 'svc:<tier>:*' "
+                    "threads) — the spec can never fire"
+                ),
+                fix_hint="drop the spec or run it against a service-chain "
+                         "workload",
+            ))
+        elif spec.point and spec.point not in tiers:
+            report.add(Finding(
+                rule="ML012",
+                severity=WARNING,
+                message=(
+                    f"fault spec #{i} ({spec.kind}) targets tier "
+                    f"{spec.point!r}, which this program never runs — "
+                    "the spec can never fire"
+                ),
+                fix_hint=f"target one of: {sorted(tiers)}",
+            ))
+
+
 _PASSES = (
     _pass_walk_health,
     _pass_read_windows,
@@ -586,6 +641,7 @@ _PASSES = (
     _pass_slot_usage,
     _pass_limit_patch,
     _pass_fault_plan,
+    _pass_service_faults,
 )
 
 

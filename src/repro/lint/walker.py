@@ -105,6 +105,15 @@ class LintContext:
     def thread(self) -> _StubThread:
         return self._stub_thread
 
+    def service_fault(self, kind: str, tier: str):
+        """Static walks carry no fault plan, so service faults never fire;
+        whether a plan's tier selectors could ever match is a separate
+        static question (rule ML012 in :mod:`repro.lint.rules`)."""
+        return None
+
+    def service_fault_resolved(self, kind: str, absorbed: bool = True) -> None:
+        return None
+
     @property
     def frequency(self):
         return self._config.machine.frequency

@@ -476,20 +476,42 @@ def stream_part_paths(directory: str | Path) -> list[Path]:
 
 
 def read_stream_records(directory: str | Path) -> list[dict[str, Any]]:
-    """Every record of a stream directory, in write order."""
+    """Every record of a stream directory, in write order.
+
+    A reader racing the writer (live tailing, or a writer killed
+    mid-record by a per-job timeout) can observe a torn trailing line:
+    the stream's very last line, cut mid-JSON or missing its newline.
+    That one line is skipped with a warning — it will be complete on the
+    next read if the writer is alive, and was never durable if it isn't.
+    A malformed line anywhere *else* is real corruption and still raises.
+    """
+    from repro.obs import warnings as obs_warnings
+
     records: list[dict[str, Any]] = []
-    for path in stream_part_paths(directory):
-        with open(path, "r", encoding="utf-8") as fp:
-            for lineno, line in enumerate(fp, start=1):
-                line = line.strip()
-                if not line:
+    parts = stream_part_paths(directory)
+    for path in parts:
+        raw = path.read_bytes()
+        lines = raw.split(b"\n")
+        for lineno, line in enumerate(lines, start=1):
+            text = line.decode("utf-8", errors="replace").strip()
+            if not text:
+                continue
+            try:
+                records.append(json.loads(text))
+            except json.JSONDecodeError as exc:
+                trailing = path == parts[-1] and lineno == len(lines)
+                if trailing:
+                    obs_warnings.structured(
+                        "torn-stream-record",
+                        "skipped torn trailing stream record "
+                        "(mid-write or killed writer)",
+                        part=path.name,
+                        line=lineno,
+                    )
                     continue
-                try:
-                    records.append(json.loads(line))
-                except json.JSONDecodeError as exc:
-                    raise ReproError(
-                        f"{path}:{lineno}: not a stream record ({exc})"
-                    ) from None
+                raise ReproError(
+                    f"{path}:{lineno}: not a stream record ({exc})"
+                ) from None
     return records
 
 
@@ -508,6 +530,52 @@ def read_stream_windows(
                 )
             )
     return out
+
+
+def sweep_orphan_streams(
+    root: str | Path, active: Sequence[str] = ()
+) -> list[Path]:
+    """Remove never-closed stream directories under ``root``.
+
+    A stream writer killed before :meth:`JsonlStreamWriter.close` (a
+    per-job ``--timeout``, a crashed pool worker, ^C) leaves a directory
+    whose manifest still says ``closed: false``; followers would tail its
+    stale parts forever and a new run reusing the path would interleave
+    two generations of records. This sweeps ``root``'s immediate
+    subdirectories, deletes every unclosed stream (skipping names in
+    ``active`` — streams some live writer still owns), emits one
+    structured ``orphan-stream`` warning per removal, and returns the
+    removed paths. Unreadable/foreign directories are left untouched.
+    """
+    import shutil
+
+    from repro.obs import warnings as obs_warnings
+
+    root = Path(root)
+    removed: list[Path] = []
+    if not root.is_dir():
+        return removed
+    for child in sorted(root.iterdir()):
+        if not child.is_dir() or child.name in active:
+            continue
+        try:
+            manifest = read_stream_manifest(child)
+        except ReproError:
+            continue  # not a stream dir (or unreadable): not ours to touch
+        if manifest.get("closed", False):
+            continue
+        parts = len(stream_part_paths(child))
+        shutil.rmtree(child, ignore_errors=True)
+        removed.append(child)
+        obs_warnings.structured(
+            "orphan-stream",
+            "removed never-closed stream directory (writer was killed "
+            "before finalizing)",
+            dir=str(child),
+            parts=parts,
+            dedup=False,
+        )
+    return removed
 
 
 class StreamFollower:

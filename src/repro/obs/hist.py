@@ -146,6 +146,24 @@ class LogHistogram:
     def mean(self) -> float:
         return self.total / self.n if self.n else 0.0
 
+    def count_over(self, threshold: int) -> int:
+        """Samples recorded above ``threshold``, to bucket precision.
+
+        Counts every bucket whose entire range lies strictly above the
+        threshold; the bucket *containing* the threshold counts as under
+        it. Exact for thresholds below ``2**bits``; beyond that the
+        quantization error is bounded by one bucket width (threshold is
+        effectively rounded up to its bucket's upper bound). Merge-safe:
+        because bucket counts add under :meth:`merge`, ``count_over`` of a
+        merge equals the sum of ``count_over`` of the parts in any order —
+        the property SLO burn-rate alerting relies on for serial ≡ pooled
+        equivalence.
+        """
+        if self.n == 0:
+            return 0
+        cut = bucket_index(max(0, int(threshold)), self.bits)
+        return sum(c for idx, c in self.counts.items() if idx > cut)
+
     def summary(self) -> dict[str, Any]:
         """The stable summary block reports and manifests embed."""
         out: dict[str, Any] = {

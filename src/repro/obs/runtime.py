@@ -88,6 +88,10 @@ class RunCollector:
         #: the in-flight run's windowed stats (moved onto its record by
         #: :meth:`record_run`)
         self._pending: WindowedStats | None = None
+        #: SLO specs registered by experiments/workloads for this scope
+        #: (see :func:`register_alert_spec`); evaluated lazily by
+        #: :meth:`alerts_summary` over the merged window aggregate.
+        self.alert_specs: list[Any] = []
 
     # -- windowed observations ----------------------------------------------
 
@@ -200,6 +204,20 @@ class RunCollector:
         if self.windows is None or self.windows.is_empty():
             return None
         return self.windows.summary()
+
+    def alerts_summary(self) -> dict[str, Any] | None:
+        """The manifest's ``alerts`` block: every registered SLO evaluated
+        over this scope's merged windows (None without specs or windows).
+
+        Evaluation happens on merged state, so the block is identical
+        serial vs pooled — burn-rate inputs are order-invariant window
+        merges (see :mod:`repro.obs.alerts`).
+        """
+        if not self.alert_specs or self.windows is None:
+            return None
+        from repro.obs.alerts import evaluate_all
+
+        return evaluate_all(self.windows, self.alert_specs)
 
     # -- engine-facing ------------------------------------------------------
 
@@ -474,6 +492,19 @@ def observe_batch(
         if stats is None:
             stats = collector._pending_stats()
         stats.observe_batch(stream, samples, counter=counter)
+
+
+def register_alert_spec(spec: Any) -> bool:
+    """Register an :class:`~repro.obs.alerts.SloSpec` with the innermost
+    collector so its ``alerts_summary()`` (and the runner's manifest
+    ``alerts`` block) covers it. Deduplicates by value; returns whether a
+    collector was in scope to receive the spec."""
+    if not _stack:
+        return False
+    collector = _stack[-1]
+    if spec not in collector.alert_specs:
+        collector.alert_specs.append(spec)
+    return True
 
 
 @contextmanager

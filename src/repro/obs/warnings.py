@@ -24,6 +24,16 @@ def warn(message: str, *, dedup: bool = True) -> None:
     print(f"repro: warning: {message}", file=sys.stderr)
 
 
+def structured(code: str, message: str, *, dedup: bool = True, **fields) -> None:
+    """A warning with a stable code and sorted ``key=value`` detail, e.g.
+    ``repro: warning: [orphan-stream] removed never-closed stream dir
+    (dir=out/e20, parts=3)`` — greppable by code, stable under reordered
+    callers (fields are sorted, so the dedup key is canonical too)."""
+    detail = ", ".join(f"{key}={fields[key]}" for key in sorted(fields))
+    suffix = f" ({detail})" if detail else ""
+    warn(f"[{code}] {message}{suffix}", dedup=dedup)
+
+
 def reset_seen() -> None:
     """Forget previously-emitted messages (test isolation hook)."""
     _seen.clear()

@@ -1,0 +1,36 @@
+"""repro.resilience — deterministic resilience policies for service chains.
+
+Composable, pure-state-machine implementations of the standard overload
+defenses — token-bucket admission, queue-depth gates with priority load
+shedding, bounded retries with seeded jittered backoff and a global retry
+budget, and a count-based circuit breaker with half-open probing. Every
+policy is driven exclusively by *simulated* time and seeded randomness, so
+runs are bit-reproducible across hosts, process pools and streaming on/off
+(the same determinism contract as :mod:`repro.faults`).
+
+:mod:`repro.workloads.service` wires these around a multi-tier request
+chain; ``docs/robustness.md`` documents the policy semantics and E20
+measures them against the overload schedule.
+"""
+
+from repro.resilience.policies import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    AdmissionGate,
+    CircuitBreaker,
+    RetryBudget,
+    RetryPolicy,
+    TokenBucket,
+)
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "AdmissionGate",
+    "CircuitBreaker",
+    "RetryBudget",
+    "RetryPolicy",
+    "TokenBucket",
+]

@@ -1,0 +1,288 @@
+"""Deterministic resilience-policy state machines.
+
+Each policy here is a plain Python object mutated only from workload code
+running under the simulated engine, driven by simulated cycle timestamps
+(the callers' PMC-derived clocks) and, where randomness is needed, by
+:class:`~repro.common.rng.RandomStream` children of the workload seed.
+Nothing reads wall time or host identity, so policy decisions — and with
+them the whole simulation — are bit-reproducible.
+
+Integer arithmetic throughout: the token bucket accrues micro-tokens with
+integer rates (tokens per million cycles), backoff delays are integer
+cycles, and the breaker's thresholds are counts. This keeps every decision
+an exact function of the cycle stamps it saw, with no float-accumulation
+drift across refactors.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.common.rng import RandomStream
+
+#: Micro-token scale: one admission token = ``_SCALE`` accrual units.
+_SCALE = 1_000_000
+
+
+class TokenBucket:
+    """Token-bucket rate limiter over simulated time.
+
+    ``rate_per_mcycle`` is the refill rate in tokens per million cycles
+    (integer), ``burst`` the bucket capacity in whole tokens. Refill is
+    computed lazily from elapsed simulated cycles with pure integer math:
+    ``elapsed * rate_per_mcycle`` micro-tokens, capped at the burst.
+    """
+
+    __slots__ = ("rate_per_mcycle", "burst", "_micro", "_last", "taken", "throttled")
+
+    def __init__(self, rate_per_mcycle: int, burst: int, *, start: int = 0) -> None:
+        if rate_per_mcycle < 1:
+            raise ConfigError("token bucket rate must be >= 1 token/Mcycle")
+        if burst < 1:
+            raise ConfigError("token bucket burst must be >= 1")
+        self.rate_per_mcycle = rate_per_mcycle
+        self.burst = burst
+        self._micro = burst * _SCALE  # start full
+        self._last = start
+        self.taken = 0
+        self.throttled = 0
+
+    def _refill(self, now: int) -> None:
+        if now > self._last:
+            self._micro = min(
+                self.burst * _SCALE,
+                self._micro + (now - self._last) * self.rate_per_mcycle,
+            )
+            self._last = now
+
+    def try_take(self, now: int) -> bool:
+        """Take one token if available at simulated time ``now``."""
+        self._refill(now)
+        if self._micro >= _SCALE:
+            self._micro -= _SCALE
+            self.taken += 1
+            return True
+        self.throttled += 1
+        return False
+
+
+class AdmissionGate:
+    """Admission control for one tier: token bucket + queue-depth gate.
+
+    The depth gate implements priority load shedding: priority class ``c``
+    (0 = highest) is admitted only while the downstream queue depth is
+    below ``depth_thresholds[c]``. Lower classes get lower thresholds, so
+    as the queue fills the gate sheds low-priority work first and reserves
+    the remaining headroom for high-priority requests — the classic
+    criticality-ladder admission controller.
+
+    Either half is optional: ``bucket=None`` disables rate admission,
+    ``depth_thresholds=()`` disables the depth gate.
+    """
+
+    __slots__ = ("bucket", "depth_thresholds", "shed_throttle", "shed_depth")
+
+    def __init__(
+        self,
+        bucket: TokenBucket | None = None,
+        depth_thresholds: tuple[int, ...] = (),
+    ) -> None:
+        if any(t < 1 for t in depth_thresholds):
+            raise ConfigError("depth thresholds must be >= 1")
+        self.bucket = bucket
+        self.depth_thresholds = depth_thresholds
+        self.shed_throttle = 0
+        self.shed_depth = 0
+
+    def admit(self, now: int, depth: int, priority: int) -> str:
+        """Decide admission at ``now`` given the downstream queue ``depth``.
+
+        Returns ``"ok"``, ``"throttle"`` (token bucket empty) or
+        ``"depth"`` (queue-depth gate shed this priority class).
+        """
+        if self.depth_thresholds:
+            c = min(priority, len(self.depth_thresholds) - 1)
+            if depth >= self.depth_thresholds[c]:
+                self.shed_depth += 1
+                return "depth"
+        if self.bucket is not None and not self.bucket.try_take(now):
+            self.shed_throttle += 1
+            return "throttle"
+        return "ok"
+
+
+class RetryBudget:
+    """A global retry budget: retries may consume at most ``percent`` %
+    of the calls issued so far (plus a small floor so cold-start failures
+    can still retry).
+
+    This is the policy that breaks retry storms: under overload, per-call
+    retry caps alone multiply the offered load by the retry factor, which
+    is precisely what keeps the system saturated after the original spike
+    has passed (retry-storm metastability). A budget bounds the *global*
+    retry fraction instead. ``percent=None`` disables the budget —
+    the configuration E20's budget-off arm uses to reproduce the storm.
+    """
+
+    __slots__ = ("percent", "floor", "calls", "granted", "denied")
+
+    def __init__(self, percent: int | None, *, floor: int = 10) -> None:
+        if percent is not None and not 0 <= percent <= 100:
+            raise ConfigError("retry budget percent must be in [0, 100]")
+        self.percent = percent
+        self.floor = floor
+        self.calls = 0
+        self.granted = 0
+        self.denied = 0
+
+    def note_call(self) -> None:
+        """Account one first-attempt call (grows the budget)."""
+        self.calls += 1
+
+    def allow(self) -> bool:
+        """May one more retry be issued? Grants are consumed immediately."""
+        if self.percent is None:
+            self.granted += 1
+            return True
+        budget = self.floor + self.calls * self.percent // 100
+        if self.granted < budget:
+            self.granted += 1
+            return True
+        self.denied += 1
+        return False
+
+
+class RetryPolicy:
+    """Bounded retries with seeded, jittered exponential backoff.
+
+    ``delay(request_id, attempt)`` is a pure function of the seed and its
+    arguments: base × 2^(attempt-1), plus up to ``jitter_pct`` % of that
+    drawn from a :class:`RandomStream` child keyed by (request, attempt).
+    Identical across reruns, process pools, and call order — the property
+    tests/fabric/test_failures.py pins for the fabric's analogous backoff.
+    """
+
+    __slots__ = ("max_attempts", "backoff_cycles", "jitter_pct", "_rng")
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        backoff_cycles: int = 20_000,
+        jitter_pct: int = 25,
+        seed: int = 0,
+    ) -> None:
+        if max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        if backoff_cycles < 0:
+            raise ConfigError("backoff_cycles must be >= 0")
+        if not 0 <= jitter_pct <= 100:
+            raise ConfigError("jitter_pct must be in [0, 100]")
+        self.max_attempts = max_attempts
+        self.backoff_cycles = backoff_cycles
+        self.jitter_pct = jitter_pct
+        self._rng = RandomStream(seed, "resilience", "backoff")
+
+    def delay(self, request_id: int, attempt: int) -> int:
+        """Backoff before retry ``attempt`` (1-based) of ``request_id``."""
+        base = self.backoff_cycles * (1 << (attempt - 1))
+        if base <= 0:
+            return 0
+        jitter_max = base * self.jitter_pct // 100
+        if jitter_max <= 0:
+            return base
+        jitter = self._rng.child(request_id, attempt).randint(0, jitter_max)
+        return base + jitter
+
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Count-based circuit breaker with half-open probing.
+
+    Closed: calls flow; ``failure_threshold`` *consecutive* failures trip
+    it open. Open: calls short-circuit for ``cooldown_cycles``. After the
+    cooldown the breaker goes half-open and admits up to ``probes`` trial
+    calls: any failure re-opens (with a fresh cooldown), while ``probes``
+    consecutive successes close it again.
+    """
+
+    __slots__ = (
+        "failure_threshold",
+        "cooldown_cycles",
+        "probes",
+        "state",
+        "_consecutive_failures",
+        "_probe_successes",
+        "_probes_in_flight",
+        "_open_until",
+        "opens",
+        "short_circuits",
+    )
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_cycles: int = 500_000,
+        probes: int = 1,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigError("failure_threshold must be >= 1")
+        if cooldown_cycles < 1:
+            raise ConfigError("cooldown_cycles must be >= 1")
+        if probes < 1:
+            raise ConfigError("probes must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_cycles = cooldown_cycles
+        self.probes = probes
+        self.state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+        self._probe_successes = 0
+        self._probes_in_flight = 0
+        self._open_until = 0
+        self.opens = 0
+        self.short_circuits = 0
+
+    def allow(self, now: int) -> bool:
+        """May a call proceed at ``now``? (False = short-circuit.)"""
+        if self.state == BREAKER_CLOSED:
+            return True
+        if self.state == BREAKER_OPEN:
+            if now < self._open_until:
+                self.short_circuits += 1
+                return False
+            self.state = BREAKER_HALF_OPEN
+            self._probe_successes = 0
+            self._probes_in_flight = 0
+        # Half-open: admit at most ``probes`` outstanding trial calls.
+        if self._probes_in_flight < self.probes:
+            self._probes_in_flight += 1
+            return True
+        self.short_circuits += 1
+        return False
+
+    def record_success(self, now: int) -> None:
+        if self.state == BREAKER_HALF_OPEN:
+            self._probes_in_flight -= 1
+            self._probe_successes += 1
+            if self._probe_successes >= self.probes:
+                self.state = BREAKER_CLOSED
+                self._consecutive_failures = 0
+        else:
+            self._consecutive_failures = 0
+
+    def record_failure(self, now: int) -> None:
+        if self.state == BREAKER_HALF_OPEN:
+            self._trip(now)
+        elif self.state == BREAKER_CLOSED:
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.failure_threshold:
+                self._trip(now)
+
+    def _trip(self, now: int) -> None:
+        self.state = BREAKER_OPEN
+        self._open_until = now + self.cooldown_cycles
+        self._consecutive_failures = 0
+        self._probes_in_flight = 0
+        self.opens += 1

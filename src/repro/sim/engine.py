@@ -616,6 +616,9 @@ class Engine:
                 )
         if self._faults is not None:
             f = self._faults
+            # Service faults the workload never resolved become misses now,
+            # before the ledger counters freeze into the run's metrics.
+            f.flush_service_pending()
             reg.counter("faults.injected").add(f.total_injected)
             for kind in sorted(f.injected):
                 reg.counter("faults.injected." + kind).add(f.injected[kind])
@@ -697,6 +700,46 @@ class Engine:
         if thread.core_id is not None:
             return self.machine.cores[thread.core_id].now
         return thread.available_at
+
+    def service_fault(self, tid: int, kind: str, tier: str):
+        """Workload-level fault hook: does a service fault of ``kind``
+        targeting ``tier`` fire for thread ``tid`` here?
+
+        Service-chain workloads (repro.workloads.service) call this at
+        their hook points — request service, downstream call, worker loop
+        top — mirroring how the engine's own hook points consult the
+        injector. The decision is deterministic (plan + simulated state
+        only) and the firing opens a ledger entry the workload must close
+        via :meth:`service_fault_resolved`. Returns the firing spec or
+        ``None``.
+        """
+        faults = self._faults
+        if faults is None:
+            return None
+        thread = self.thread(tid)
+        if thread.core_id is None:
+            return None
+        core = self.machine.cores[thread.core_id]
+        spec = faults.fire(kind, core, thread, point=tier)
+        if spec is not None:
+            self._fault_event(core, thread, kind, (tier, spec.arg))
+        return spec
+
+    def service_fault_resolved(
+        self, tid: int, kind: str, absorbed: bool = True
+    ) -> None:
+        """Close one open service-fault ledger entry (detect vs miss)."""
+        faults = self._faults
+        if faults is None:
+            return
+        faults.resolve_service_fault(kind, absorbed)
+        if absorbed and self._tracing:
+            thread = self.thread(tid)
+            if thread.core_id is not None:
+                core = self.machine.cores[thread.core_id]
+                self.obs.emit(
+                    core.now, core.core_id, tid, tr.FAULT_DETECT, kind
+                )
 
     # ------------------------------------------------------------------
     # main loop

@@ -64,6 +64,20 @@ class ThreadContext:
         """The engine-side thread object (analyses and sessions only)."""
         return self._engine.thread(self.tid)
 
+    def service_fault(self, kind: str, tier: str):
+        """Consult the run's fault plan at a service-chain hook point.
+
+        Returns the firing :class:`~repro.faults.plan.FaultSpec` (or
+        ``None``). A firing opens a detect/miss ledger entry that the
+        workload must close with :meth:`service_fault_resolved` once a
+        resilience policy has absorbed the fault.
+        """
+        return self._engine.service_fault(self.tid, kind, tier)
+
+    def service_fault_resolved(self, kind: str, absorbed: bool = True) -> None:
+        """Close one open service-fault ledger entry."""
+        self._engine.service_fault_resolved(self.tid, kind, absorbed)
+
     @property
     def frequency(self) -> Frequency:
         return self._engine.config.machine.frequency

@@ -171,6 +171,34 @@ class BoundedQueue:
         yield from self._not_empty.signal(ctx)
         yield LockRelease(self.lock)
 
+    def try_put(self, ctx: ThreadContext, item: Any) -> Generator[Any, Any, bool]:
+        """Non-blocking offer: enqueue and return True, or return False when
+        the queue is full or closed (never waits on ``not_full``).
+
+        This is the primitive load-shedding admission gates need: a full
+        downstream queue is a *signal* (reject/retry/shed upstream), not a
+        reason to park the producer and close the loop.
+        """
+        yield LockAcquire(self.lock)
+        if self._closed or len(self._items) >= self.capacity:
+            yield LockRelease(self.lock)
+            return False
+        self._items.append(item)
+        self.total_put += 1
+        self.max_depth = max(self.max_depth, len(self._items))
+        yield from self._not_empty.signal(ctx)
+        yield LockRelease(self.lock)
+        return True
+
+    def depth(self) -> int:
+        """Current queue depth (instantaneous, read without the lock).
+
+        Deterministic despite the lockless read: the host interpreter runs
+        one thread program at a time in simulated-time order, so the value
+        observed at any yield point is a pure function of the schedule.
+        """
+        return len(self._items)
+
     def get(self, ctx: ThreadContext) -> Generator[Any, Any, Any]:
         yield LockAcquire(self.lock)
         while not self._items and not self._closed:

@@ -142,10 +142,10 @@ class TestE11Enhancements:
 
 
 class TestRegistry:
-    def test_nineteen_experiments(self):
-        assert len(registry.REGISTRY) == 19
+    def test_twenty_experiments(self):
+        assert len(registry.REGISTRY) == 20
         assert [e.exp_id for e in registry.all_experiments()] == [
-            f"E{i}" for i in range(1, 20)
+            f"E{i}" for i in range(1, 21)
         ]
 
     def test_get_case_insensitive(self):
@@ -227,3 +227,36 @@ class TestE19OpenLoop:
         # pushing offered load through the knee inflates p99 dramatically
         assert r.metric("p99_saturation_amplification") > 2.0
         assert r.metric("total_requests") >= 4 * 600 * 7
+
+
+class TestE20Resilience:
+    @pytest.fixture(scope="class")
+    def e20(self):
+        from repro.experiments import e20_resilience
+
+        return e20_resilience.run(quick=True)
+
+    def test_protection_bounds_the_collapse(self, e20):
+        # The same ramp: unprotected p99 collapses, shed/full stay bounded.
+        assert e20.metric("p99_collapse_ratio") > 5.0
+        assert e20.metric("shed_vs_unprotected_p99") < 0.5
+        assert e20.metric("goodput_full") > e20.metric("goodput_unprotected")
+
+    def test_unbudgeted_retries_amplify_the_storm(self, e20):
+        assert e20.metric("amplification_budget_off") > (
+            1.5 * e20.metric("amplification_budgeted")
+        )
+        assert e20.metric("retries_budget_off") > (
+            2 * e20.metric("retries_budgeted")
+        )
+
+    def test_alerts_page_on_overload_windows_only(self, e20):
+        assert e20.metric("alerts_unprotected") > 0
+        assert e20.metric("alerts_full") == 0
+        assert e20.metric("alerts_in_overload_only") == 1.0
+
+    def test_fault_ledger_and_measurement_integrity(self, e20):
+        assert e20.metric("faults_injected") > 0
+        assert e20.metric("fault_ledger_clean") == 1.0
+        assert e20.metric("windows_reconciled") == 1.0
+        assert e20.metric("all_reads_exact") == 1.0

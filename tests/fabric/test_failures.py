@@ -145,6 +145,52 @@ class TestCrashAndHangIsolation:
         fabric.drain_failures()
 
 
+class TestBackoffDeterminism:
+    """The retry schedule is a pure function of (key, attempt): seeded
+    jitter makes reruns (and hosts) agree exactly, while distinct jobs
+    in a sweep desynchronize; a per-job timeout caps every delay."""
+
+    def test_identical_across_reruns(self):
+        from repro.fabric.jobs import _backoff_delay
+
+        first = [_backoff_delay(0.5, a, key="job:A") for a in range(1, 6)]
+        again = [_backoff_delay(0.5, a, key="job:A") for a in range(1, 6)]
+        assert first == again
+
+    def test_distinct_jobs_desynchronize(self):
+        from repro.fabric.jobs import _backoff_delay
+
+        a = [_backoff_delay(0.5, n, key="job:A") for n in range(1, 4)]
+        b = [_backoff_delay(0.5, n, key="job:B") for n in range(1, 4)]
+        assert a != b  # different jitter streams
+
+    def test_exponential_envelope_with_bounded_jitter(self):
+        from repro.fabric.jobs import _backoff_delay
+
+        for attempt in range(1, 8):
+            base = 0.25 * 2 ** (attempt - 1)
+            delay = _backoff_delay(0.25, attempt, key="job:C")
+            assert base <= delay <= base * 1.25
+
+    def test_cap_bounds_every_attempt(self):
+        """With a per-job timeout configured, backoff*growth never
+        exceeds the job's own wall budget — late attempts would
+        otherwise wait longer than the work they guard."""
+        from repro.fabric.jobs import _backoff_delay
+
+        timeout = 2.0
+        for attempt in range(1, 12):
+            delay = _backoff_delay(1.0, attempt, key="job:D", cap=timeout)
+            assert delay <= timeout
+        # far into the exponential range the cap is what binds
+        assert _backoff_delay(1.0, 11, key="job:D", cap=timeout) == timeout
+
+    def test_zero_backoff_is_immediate(self):
+        from repro.fabric.jobs import _backoff_delay
+
+        assert _backoff_delay(0.0, 5, key="job:E") == 0.0
+
+
 class TestCacheQuarantine:
     def test_corrupt_entry_quarantined_and_resimulated(self, tmp_path: Path):
         cache = fabric.ResultCache(tmp_path, salt="t")

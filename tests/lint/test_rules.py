@@ -277,3 +277,77 @@ class TestAggregation:
         found = [f for f in report.findings if f.rule == "ML003"]
         assert len(found) == 1
         assert "500" in found[0].message
+
+
+class TestServiceFaultReachability:
+    """ML012: service-level fault specs whose tier selector can't match
+    the program's ``svc:<tier>:*`` worker threads."""
+
+    @staticmethod
+    def _svc_specs(*tiers):
+        def idle(ctx):
+            yield op.Compute(10, SIMPLE_RATES)
+
+        specs = [ThreadSpec("svc:gen:0", idle)]
+        for tier in tiers:
+            specs.append(ThreadSpec(f"svc:{tier}:w0", idle))
+        return specs
+
+    @staticmethod
+    def _config(*fault_specs):
+        from repro.faults import FaultPlan
+
+        return ONE_CORE.with_faults(FaultPlan(tuple(fault_specs)))
+
+    def test_matching_tier_is_clean(self):
+        from repro.faults import tier_latency
+
+        report = lint_program(
+            self._svc_specs("db"),
+            self._config(tier_latency("db", extra=100, every=2)),
+        )
+        assert "ML012" not in _rules(report)
+
+    def test_unmatched_tier_warns(self):
+        from repro.faults import tier_error
+
+        report = lint_program(
+            self._svc_specs("edge", "db"),
+            self._config(tier_error("cache", every=2)),
+        )
+        found = [f for f in report.findings if f.rule == "ML012"]
+        assert found and found[0].severity == WARNING
+        assert "cache" in found[0].message
+
+    def test_no_service_tiers_at_all_warns(self):
+        from repro.faults import tier_crash
+
+        def idle(ctx):
+            yield op.Compute(10, SIMPLE_RATES)
+
+        report = lint_program(
+            _specs(idle), self._config(tier_crash("db", outage=100, nth=1))
+        )
+        found = [f for f in report.findings if f.rule == "ML012"]
+        assert found and "no service tiers" in found[0].message
+
+    def test_generators_are_not_tiers(self):
+        from repro.faults import tier_error
+
+        # Only svc:gen:* threads exist: 'gen' must not count as a tier.
+        def idle(ctx):
+            yield op.Compute(10, SIMPLE_RATES)
+
+        report = lint_program(
+            [ThreadSpec("svc:gen:0", idle)],
+            self._config(tier_error("gen", every=2)),
+        )
+        assert "ML012" in _rules(report)
+
+    def test_non_service_kinds_are_ignored(self):
+        from repro.faults import drop_pmi
+
+        report = lint_program(
+            self._svc_specs("db"), self._config(drop_pmi(every=2))
+        )
+        assert "ML012" not in _rules(report)

@@ -180,3 +180,113 @@ class TestStreamFollower:
         with JsonlStreamWriter(d):
             pass
         assert follower.manifest() is not None
+
+
+class TestTornTrailingRecords:
+    """A reader racing the writer (or a writer killed mid-record) sees a
+    torn final line; bulk reads skip exactly that line with a warning."""
+
+    def _stream(self, tmp_path, n=3):
+        d = tmp_path / "s"
+        with JsonlStreamWriter(d, spec=SPEC) as w:
+            for i in range(n):
+                w.write_window(_window(i), run=0, source="live")
+        return d
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path, capsys):
+        from repro.obs import warnings as obs_warnings
+
+        obs_warnings.reset_seen()
+        d = self._stream(tmp_path)
+        part = stream_part_paths(d)[-1]
+        with open(part, "ab") as fp:
+            fp.write(b'{"type":"window","run":0,"win')  # killed mid-write
+        records = read_stream_records(d)
+        assert len(records) == 3  # the complete records survive
+        err = capsys.readouterr().err
+        assert "torn-stream-record" in err
+
+    def test_torn_line_missing_newline_terminator(self, tmp_path):
+        d = self._stream(tmp_path, n=2)
+        part = stream_part_paths(d)[-1]
+        raw = part.read_bytes().rstrip(b"\n")
+        part.write_bytes(raw[:-7])  # truncate into the last record
+        assert len(read_stream_records(d)) == 1
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        d = self._stream(tmp_path, n=3)
+        part = stream_part_paths(d)[-1]
+        lines = part.read_bytes().splitlines(keepends=True)
+        lines[1] = b'{"type": not json\n'
+        part.write_bytes(b"".join(lines))
+        with pytest.raises(ReproError, match="not a stream record"):
+            read_stream_records(d)
+
+    def test_trace_cli_tail_survives_torn_stream(self, tmp_path, capsys):
+        from repro.trace import main as trace_main
+
+        d = self._stream(tmp_path)
+        with open(stream_part_paths(d)[-1], "ab") as fp:
+            fp.write(b'{"type":"wind')
+        assert trace_main(["tail", str(d), "-n", "5"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip()  # printed the intact windows
+
+
+class TestOrphanStreamSweep:
+    def _orphan(self, root, name):
+        w = JsonlStreamWriter(root / name, label=name.upper(), spec=SPEC)
+        w.write_window(_window(0), run=0, source="live")
+        # simulate a kill: manifest on disk, never finalized
+        w._write_stream_manifest(None)
+        return root / name
+
+    def test_removes_unclosed_keeps_closed_and_foreign(self, tmp_path, capsys):
+        from repro.obs import warnings as obs_warnings
+        from repro.obs.export import sweep_orphan_streams
+
+        obs_warnings.reset_seen()
+        orphan = self._orphan(tmp_path, "dead")
+        with JsonlStreamWriter(tmp_path / "done", spec=SPEC) as w:
+            w.write_window(_window(0), run=0, source="live")
+        (tmp_path / "unrelated").mkdir()
+        (tmp_path / "unrelated" / "notes.txt").write_text("keep me")
+
+        removed = sweep_orphan_streams(tmp_path)
+        assert removed == [orphan]
+        assert not orphan.exists()
+        assert (tmp_path / "done").is_dir()
+        assert (tmp_path / "unrelated" / "notes.txt").exists()
+        assert "orphan-stream" in capsys.readouterr().err
+
+    def test_active_streams_are_spared(self, tmp_path):
+        from repro.obs.export import sweep_orphan_streams
+
+        live = self._orphan(tmp_path, "live")
+        assert sweep_orphan_streams(tmp_path, active=("live",)) == []
+        assert live.exists()
+
+    def test_missing_root_is_a_noop(self, tmp_path):
+        from repro.obs.export import sweep_orphan_streams
+
+        assert sweep_orphan_streams(tmp_path / "nope") == []
+
+    def test_runner_sweeps_before_streaming(self, tmp_path, capsys):
+        """run_entries with a stream_dir clears a stale orphan so the new
+        writer never interleaves with a dead generation's parts."""
+        from repro.experiments.registry import get
+        from repro.experiments.runner import run_entries
+
+        orphan = self._orphan(tmp_path, "e1")
+        import io
+
+        records, _wall = run_entries(
+            [get("E1")], quick=True, stream_dir=tmp_path,
+            stdout=io.StringIO(), stderr=io.StringIO(),
+        )
+        assert not any(p.name.startswith("part-") and "dead" in str(p)
+                       for p in (tmp_path / "e1").iterdir())
+        manifest = read_stream_manifest(tmp_path / "e1")
+        assert manifest["closed"] is True
+        assert records[0]["status"] == "passed"
+        assert orphan == tmp_path / "e1"  # same path, fresh generation

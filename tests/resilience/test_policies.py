@@ -1,0 +1,189 @@
+"""Resilience-policy state machines: every decision is a pure function of
+the cycle stamps and seeds it saw — integer token accrual, deterministic
+jittered backoff, count-based breaker transitions, budgeted retries."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    AdmissionGate,
+    CircuitBreaker,
+    RetryBudget,
+    RetryPolicy,
+    TokenBucket,
+)
+
+M = 1_000_000  # one Mcycle
+
+
+class TestTokenBucket:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TokenBucket(0, burst=4)
+        with pytest.raises(ConfigError):
+            TokenBucket(10, burst=0)
+
+    def test_starts_full_then_throttles(self):
+        bucket = TokenBucket(1, burst=3)
+        grants = [bucket.try_take(0) for _ in range(5)]
+        assert grants == [True, True, True, False, False]
+        assert bucket.taken == 3 and bucket.throttled == 2
+
+    def test_refill_is_integer_exact(self):
+        bucket = TokenBucket(2, burst=10)
+        for _ in range(10):
+            assert bucket.try_take(0)
+        assert not bucket.try_take(0)
+        # 2 tokens/Mcycle: half an Mcycle accrues exactly one token.
+        assert bucket.try_take(M // 2)
+        assert not bucket.try_take(M // 2)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(100, burst=2)
+        for _ in range(2):
+            assert bucket.try_take(0)
+        # An eternity passes; only burst tokens are waiting.
+        grants = [bucket.try_take(10**12) for _ in range(4)]
+        assert grants == [True, True, False, False]
+
+    def test_time_going_backwards_is_ignored(self):
+        bucket = TokenBucket(1, burst=1)
+        assert bucket.try_take(5 * M)
+        assert not bucket.try_take(3 * M)  # stale stamp refills nothing
+
+
+class TestAdmissionGate:
+    def test_priority_ladder_sheds_low_first(self):
+        gate = AdmissionGate(depth_thresholds=(8, 4))
+        # depth 5: class 1 is shed, class 0 still admitted
+        assert gate.admit(0, depth=5, priority=1) == "depth"
+        assert gate.admit(0, depth=5, priority=0) == "ok"
+        # depth 8: everyone is shed
+        assert gate.admit(0, depth=8, priority=0) == "depth"
+        assert gate.shed_depth == 2
+
+    def test_depth_gate_checked_before_bucket(self):
+        bucket = TokenBucket(1, burst=1)
+        gate = AdmissionGate(bucket, depth_thresholds=(2,))
+        assert gate.admit(0, depth=9, priority=0) == "depth"
+        assert bucket.taken == 0  # a shed request consumes no token
+
+    def test_throttle_verdict_counts(self):
+        gate = AdmissionGate(TokenBucket(1, burst=1))
+        assert gate.admit(0, depth=0, priority=0) == "ok"
+        assert gate.admit(0, depth=0, priority=0) == "throttle"
+        assert gate.shed_throttle == 1
+
+    def test_rejects_nonpositive_thresholds(self):
+        with pytest.raises(ConfigError):
+            AdmissionGate(depth_thresholds=(4, 0))
+
+    def test_priorities_past_ladder_clamp_to_last(self):
+        gate = AdmissionGate(depth_thresholds=(8, 4))
+        assert gate.admit(0, depth=5, priority=7) == "depth"
+
+
+class TestRetryBudget:
+    def test_percent_bounds(self):
+        with pytest.raises(ConfigError):
+            RetryBudget(101)
+        RetryBudget(None)  # unbounded is legal (the storm arm)
+
+    def test_floor_allows_cold_start_retries(self):
+        budget = RetryBudget(10, floor=2)
+        assert budget.allow() and budget.allow()
+        assert not budget.allow()
+        assert budget.denied == 1
+
+    def test_budget_grows_with_calls(self):
+        budget = RetryBudget(10, floor=0)
+        for _ in range(50):
+            budget.note_call()
+        grants = sum(budget.allow() for _ in range(20))
+        assert grants == 5  # 10% of 50 calls
+        assert budget.denied == 15
+
+    def test_disabled_budget_always_grants(self):
+        budget = RetryBudget(None)
+        assert all(budget.allow() for _ in range(1000))
+        assert budget.denied == 0
+
+
+class TestRetryPolicy:
+    def test_deterministic_across_instances(self):
+        a = RetryPolicy(seed=42)
+        b = RetryPolicy(seed=42)
+        delays = [(r, n) for r in (1, 2, 99) for n in (1, 2)]
+        assert [a.delay(*d) for d in delays] == [b.delay(*d) for d in delays]
+
+    def test_call_order_does_not_matter(self):
+        a = RetryPolicy(seed=7)
+        b = RetryPolicy(seed=7)
+        fwd = [a.delay(5, n) for n in (1, 2, 3)]
+        rev = [b.delay(5, n) for n in (3, 2, 1)]
+        assert fwd == list(reversed(rev))
+
+    def test_seeds_and_requests_desynchronize(self):
+        assert RetryPolicy(seed=1).delay(1, 1) != RetryPolicy(seed=2).delay(1, 1)
+        p = RetryPolicy(seed=1)
+        assert p.delay(1, 1) != p.delay(2, 1)
+
+    def test_exponential_envelope_with_bounded_jitter(self):
+        p = RetryPolicy(backoff_cycles=1_000, jitter_pct=25, seed=0)
+        for attempt in (1, 2, 3, 4):
+            base = 1_000 * 2 ** (attempt - 1)
+            assert base <= p.delay(0, attempt) <= base * 5 // 4
+
+    def test_zero_backoff_is_immediate(self):
+        assert RetryPolicy(backoff_cycles=0).delay(3, 2) == 0
+
+
+class TestCircuitBreaker:
+    def test_consecutive_failures_trip_successes_reset(self):
+        cb = CircuitBreaker(failure_threshold=3, cooldown_cycles=100)
+        for t in range(2):
+            cb.record_failure(t)
+        cb.record_success(2)  # streak broken
+        for t in range(3, 5):
+            cb.record_failure(t)
+        assert cb.state == BREAKER_CLOSED
+        cb.record_failure(5)
+        assert cb.state == BREAKER_OPEN and cb.opens == 1
+
+    def test_open_short_circuits_until_cooldown(self):
+        cb = CircuitBreaker(failure_threshold=1, cooldown_cycles=100)
+        cb.record_failure(0)
+        assert not cb.allow(50)
+        assert cb.short_circuits == 1
+        assert cb.allow(100)  # cooldown elapsed -> half-open probe
+        assert cb.state == BREAKER_HALF_OPEN
+
+    def test_half_open_probe_failure_reopens(self):
+        cb = CircuitBreaker(failure_threshold=1, cooldown_cycles=100)
+        cb.record_failure(0)
+        assert cb.allow(100)
+        cb.record_failure(110)
+        assert cb.state == BREAKER_OPEN and cb.opens == 2
+        assert not cb.allow(150)  # fresh cooldown from the re-open
+        assert cb.allow(210)
+
+    def test_half_open_probe_successes_close(self):
+        cb = CircuitBreaker(failure_threshold=1, cooldown_cycles=100, probes=2)
+        cb.record_failure(0)
+        assert cb.allow(100) and cb.allow(100)  # two concurrent probes
+        assert not cb.allow(100)  # third is short-circuited
+        cb.record_success(110)
+        assert cb.state == BREAKER_HALF_OPEN  # one probe isn't enough
+        cb.record_success(120)
+        assert cb.state == BREAKER_CLOSED
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ConfigError):
+            CircuitBreaker(cooldown_cycles=0)
+        with pytest.raises(ConfigError):
+            CircuitBreaker(probes=0)

@@ -1,0 +1,291 @@
+"""Multi-tier service chain: config, conservation, policies, faults, clock.
+
+The tentpole workload behind E20. Small chains run in-process here; the
+tests pin the accounting invariants (nothing offered is ever lost — every
+request is completed, timed out, errored or counted against a shed
+reason), bit-determinism across reruns and observation modes, the PMC
+clock contract (safe reads exact, drift small), and the service-level
+fault ledger (every injection detected, none missed).
+"""
+
+import pytest
+
+from repro.common.config import KernelConfig, MachineConfig, SimConfig
+from repro.common.errors import ConfigError
+from repro.faults import FaultPlan, tier_crash, tier_error, tier_latency
+from repro.obs import runtime as obs_runtime
+from repro.obs.windows import WindowSpec
+from repro.sim.engine import run_program
+from repro.workloads.service import (
+    LATENCY_STREAM,
+    REQUESTS_COUNTER,
+    SHED_REASONS,
+    PolicyConfig,
+    ServiceChainConfig,
+    ServiceChainWorkload,
+    TierConfig,
+    default_tiers,
+    quick_chain,
+)
+
+#: A small, never-overloaded chain: arrivals at ~1/3 of capacity.
+CALM = ServiceChainConfig(
+    policy=PolicyConfig.unprotected(),
+    label="calm",
+    n_generators=2,
+    requests_per_generator=80,
+    base_interarrival_cycles=24_000,
+    overload_peak=1.0,
+    resync_every=16,
+)
+
+#: Held 3x overload from the first request (calm phase skipped).
+STORM = ServiceChainConfig(
+    policy=PolicyConfig.full(),
+    label="storm",
+    n_generators=2,
+    requests_per_generator=150,
+    base_interarrival_cycles=24_000,
+    calm_cycles=0,
+    ramp_cycles=1,
+    overload_peak=3.0,
+    resync_every=16,
+)
+
+
+def _run(config, seed=7, window_spec=None, fault_plan=None):
+    workload = ServiceChainWorkload(config)
+    sim = SimConfig(
+        machine=MachineConfig(n_cores=config.n_threads),
+        kernel=KernelConfig(),
+        seed=seed,
+    )
+    if fault_plan is not None:
+        sim = sim.with_faults(fault_plan)
+    with obs_runtime.collect(window_spec=window_spec) as collector:
+        result = run_program(workload.build(), sim)
+    return workload, result, collector
+
+
+class TestConfigValidation:
+    def test_tier_rejects_bad_shapes(self):
+        with pytest.raises(ConfigError, match="identifier"):
+            TierConfig("no spaces")
+        with pytest.raises(ConfigError, match="reserved"):
+            TierConfig("gen")
+        with pytest.raises(ConfigError):
+            TierConfig("db", workers=0)
+        with pytest.raises(ConfigError):
+            TierConfig("db", queue_capacity=0)
+
+    def test_chain_rejects_bad_shapes(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            ServiceChainConfig(tiers=(TierConfig("a"), TierConfig("a")))
+        with pytest.raises(ConfigError, match="at least one tier"):
+            ServiceChainConfig(tiers=())
+        with pytest.raises(ConfigError, match="label"):
+            ServiceChainConfig(label="no spaces")
+        with pytest.raises(ConfigError):
+            ServiceChainConfig(overload_peak=0.5)
+        with pytest.raises(ConfigError):
+            PolicyConfig(max_attempts=0)
+
+    def test_overload_schedule_shape(self):
+        cfg = ServiceChainConfig(
+            calm_cycles=1_000, ramp_cycles=1_000, overload_peak=3.0
+        )
+        assert cfg.rate_multiplier(0) == 1.0
+        assert cfg.rate_multiplier(1_000) == 1.0
+        assert cfg.rate_multiplier(1_500) == pytest.approx(2.0)
+        assert cfg.rate_multiplier(2_000) == pytest.approx(3.0)
+        assert cfg.rate_multiplier(10**9) == pytest.approx(3.0)  # held
+
+    def test_capacity_is_bottleneck_bound(self):
+        cfg = ServiceChainConfig()
+        db = cfg.tiers[-1]
+        assert cfg.capacity_per_mcycle() == int(
+            db.workers * 1_000_000 / db.mean_service_cycles
+        )
+
+    def test_quick_chain_scales_with_floors(self):
+        cfg = ServiceChainConfig()
+        small = quick_chain(cfg, 100)
+        assert small.requests_per_generator == 100
+        assert small.calm_cycles >= 14_000_000
+        assert small.ramp_cycles >= 10_000_000
+        assert small.overload_peak == cfg.overload_peak
+
+    def test_thread_count_and_presets(self):
+        cfg = ServiceChainConfig()
+        assert cfg.n_threads == 2 + 6
+        assert PolicyConfig.unprotected().max_attempts == 1
+        assert PolicyConfig.budget_off().retry_budget_percent is None
+        assert PolicyConfig.budgeted().retry_budget_percent == 10
+
+
+class TestCalmChain:
+    def test_nothing_is_lost_everything_measured(self):
+        spec = WindowSpec(window_cycles=1_000_000, retention=64)
+        workload, _result, collector = _run(CALM, window_spec=spec)
+        totals = workload.totals
+        n = CALM.n_generators * CALM.requests_per_generator
+        # Unprotected with ample queues: every request flows end to end.
+        assert totals["offered"] == n
+        assert totals["admitted"] == n
+        assert totals["completed"] == n
+        assert workload.shed_total() == 0
+        stats = collector.records[-1].windows
+        stream = f"{LATENCY_STREAM}.{CALM.label}"
+        assert stats.totals.hists[stream].n == n
+        assert stats.totals.counters[f"{REQUESTS_COUNTER}.{CALM.label}"] == n
+        assert stats.reconcile()
+
+    def test_calm_chain_meets_deadlines(self):
+        workload, _result, _collector = _run(CALM)
+        totals = workload.totals
+        assert totals["goodput"] >= totals["completed"] * 95 // 100
+
+    def test_safe_reads_are_exact(self):
+        workload, _result, _collector = _run(CALM)
+        clock = workload.session.error_stats()
+        assert clock["n_reads"] > 0
+        assert clock["max_abs_error"] == 0
+
+    def test_bit_determinism_across_reruns(self):
+        w1, r1, _ = _run(CALM, seed=13)
+        w2, r2, _ = _run(CALM, seed=13)
+        assert r1.fingerprint() == r2.fingerprint()
+        assert w1.summary() == w2.summary()
+
+    def test_observations_perturb_nothing(self):
+        _w1, plain, _c1 = _run(CALM, seed=11, window_spec=None)
+        _w2, observed, _c2 = _run(
+            CALM, seed=11, window_spec=WindowSpec(retention=2)
+        )
+        assert plain.fingerprint() == observed.fingerprint()
+
+
+class TestOverloadedChain:
+    def test_policies_shed_and_account_every_drop(self):
+        workload, _result, _collector = _run(STORM)
+        totals = workload.totals
+        n = STORM.n_generators * STORM.requests_per_generator
+        assert totals["offered"] == n
+        shed = workload.shed_total()
+        assert shed > 0, "3x overload must trip the policies"
+        # Edge conservation: a generator's request is either handed to the
+        # edge queue or counted against exactly one drop reason there.
+        edge = workload.tier_totals["edge"]
+        edge_drops = sum(edge[f"shed_{r}"] for r in SHED_REASONS)
+        assert totals["admitted"] + edge_drops >= n
+        # db-tier conservation: everything enqueued at the bottleneck is
+        # served, timed out, or errored — never silently lost.
+        db = workload.tier_totals["db"]
+        assert db["admitted"] == (
+            totals["completed"] + db["timeout"] + db["errors"]
+        )
+
+    def test_retries_and_budget_consistency(self):
+        cfg = ServiceChainConfig(
+            tiers=default_tiers(queue_capacity=8),
+            policy=PolicyConfig.budgeted(),
+            label="tiny",
+            n_generators=2,
+            requests_per_generator=150,
+            base_interarrival_cycles=24_000,
+            calm_cycles=0,
+            ramp_cycles=1,
+            overload_peak=3.0,
+            resync_every=16,
+        )
+        workload, _result, _collector = _run(cfg)
+        budget = workload.budget
+        assert budget is not None
+        assert budget.granted == workload.totals["retries"]
+        assert budget.calls > 0
+
+    def test_unprotected_storm_backlogs_instead_of_shedding(self):
+        cfg = ServiceChainConfig(
+            tiers=default_tiers(queue_capacity=4 * 300),
+            policy=PolicyConfig.unprotected(),
+            label="collapse",
+            n_generators=2,
+            requests_per_generator=150,
+            base_interarrival_cycles=24_000,
+            calm_cycles=0,
+            ramp_cycles=1,
+            overload_peak=3.0,
+            resync_every=16,
+        )
+        workload, _result, _collector = _run(cfg)
+        assert workload.shed_total() == 0
+        assert workload.totals["completed"] == workload.totals["offered"]
+        # ... but far fewer requests meet the deadline than offered.
+        assert workload.totals["goodput"] < workload.totals["offered"]
+
+
+class TestServiceFaults:
+    PLAN = FaultPlan(
+        (
+            tier_latency("db", extra=50_000, every=10),
+            tier_error("app", every=15),
+            tier_crash("db", outage=200_000, nth=30),
+        ),
+        label="svc-test",
+    )
+
+    def test_ledger_accounts_every_injection(self):
+        workload, result, _collector = _run(CALM, fault_plan=self.PLAN)
+        injected = result.metrics["faults.injected"]
+        assert injected > 0
+        assert result.metrics["faults.detected"] == injected
+        assert result.metrics["faults.missed"] == 0
+        db = workload.tier_totals["db"]
+        app = workload.tier_totals["app"]
+        assert db["latency_spikes"] > 0
+        assert app["errors"] > 0
+        assert db["crash_outages"] == 1
+        assert injected == (
+            db["latency_spikes"] + app["errors"] + db["crash_outages"]
+        )
+
+    def test_errored_requests_never_complete(self):
+        workload, _result, _collector = _run(CALM, fault_plan=self.PLAN)
+        totals = workload.totals
+        errors = workload.tier_totals["app"]["errors"]
+        assert totals["completed"] == totals["offered"] - errors
+
+    def test_faults_change_fingerprint_deterministically(self):
+        _w1, faulty1, _ = _run(CALM, seed=5, fault_plan=self.PLAN)
+        _w2, faulty2, _ = _run(CALM, seed=5, fault_plan=self.PLAN)
+        _w3, clean, _ = _run(CALM, seed=5)
+        assert faulty1.fingerprint() == faulty2.fingerprint()
+        assert faulty1.fingerprint() != clean.fingerprint()
+
+
+class TestLintWalkability:
+    def test_service_program_walks_clean(self):
+        from repro.lint.rules import lint_program
+
+        workload = ServiceChainWorkload(CALM)
+        config = SimConfig(machine=MachineConfig(n_cores=CALM.n_threads))
+        report = lint_program(workload.build(), config)
+        assert "ML010" not in set(report.by_rule())  # walk completed
+        assert "ML012" not in set(report.by_rule())
+
+    def test_matching_fault_plan_is_clean_mismatched_flags(self):
+        from repro.lint.rules import lint_program
+
+        workload = ServiceChainWorkload(CALM)
+        config = SimConfig(
+            machine=MachineConfig(n_cores=CALM.n_threads)
+        ).with_faults(FaultPlan((tier_latency("db", extra=1_000, every=5),)))
+        assert "ML012" not in set(
+            lint_program(workload.build(), config).by_rule()
+        )
+        config = config.with_faults(
+            FaultPlan((tier_latency("cache", extra=1_000, every=5),))
+        )
+        workload = ServiceChainWorkload(CALM)
+        report = lint_program(workload.build(), config)
+        assert "ML012" in set(report.by_rule())
