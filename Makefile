@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments experiments-quick trace-smoke traffic-smoke fault-smoke compiled-smoke resilience-smoke examples lint lint-smoke clean
+.PHONY: install test bench experiments experiments-quick trace-smoke traffic-smoke fault-smoke compiled-smoke resilience-smoke analysis-smoke examples lint lint-smoke clean
 
 install:
 	pip install -e .
@@ -61,6 +61,16 @@ compiled-smoke:
 resilience-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments.resilience_smoke \
 		--dir results/smoke/resilience
+
+# declarative-analysis end-to-end check: AN rules over the shipped
+# declarations, then quick E21 three ways (strict gate, --jobs 2,
+# --no-analysis) plus the classified quick suite; legs must be
+# fingerprint-identical with bit-identical verdicts and >= 1 genuine
+# refutation with a concrete counterexample
+analysis-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.lint analysis --strict
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.analysis_smoke \
+		--dir results/smoke/analysis
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f || exit 1; done

@@ -4,6 +4,14 @@ The quantities architects actually discuss — IPC, MPKI, miss ratios,
 branch misprediction rates — derived from either ground-truth counts or a
 measurement session's observed values. All functions accept a plain
 ``{Event: count}`` mapping so they work on both.
+
+Undefined vs zero: a ratio whose denominator count is absent or zero has
+no value — "no data" is not a measurement of 0.0. Every helper returns
+``None`` in that case (surfaced as ``"undefined"`` by
+:meth:`MetricSummary.as_dict`), so reports and the static checker
+(:mod:`repro.analysis.check`, rule AN003) can tell an instrumentation gap
+from a genuinely zero rate. A *numerator* that is absent with a valid
+denominator is a true zero: the event simply never fired.
 """
 
 from __future__ import annotations
@@ -17,59 +25,74 @@ def _get(counts, event: Event) -> int:
     return counts.get(event, 0)
 
 
-def ipc(counts) -> float:
-    """Instructions per cycle."""
-    cycles = _get(counts, Event.CYCLES)
-    return _get(counts, Event.INSTRUCTIONS) / cycles if cycles else 0.0
+def _ratio(numerator: float, denominator: float) -> float | None:
+    return numerator / denominator if denominator else None
 
 
-def cpi(counts) -> float:
+def ipc(counts) -> float | None:
+    """Instructions per cycle (None without a cycle count)."""
+    return _ratio(_get(counts, Event.INSTRUCTIONS), _get(counts, Event.CYCLES))
+
+
+def cpi(counts) -> float | None:
+    """Cycles per instruction (None without an instruction count)."""
+    return _ratio(_get(counts, Event.CYCLES), _get(counts, Event.INSTRUCTIONS))
+
+
+def mpki(counts, miss_event: Event) -> float | None:
+    """Misses per kilo-instruction for any miss event (None without
+    an instruction count)."""
     insn = _get(counts, Event.INSTRUCTIONS)
-    return _get(counts, Event.CYCLES) / insn if insn else 0.0
+    return _ratio(1000.0 * _get(counts, miss_event), insn)
 
 
-def mpki(counts, miss_event: Event) -> float:
-    """Misses per kilo-instruction for any miss event."""
-    insn = _get(counts, Event.INSTRUCTIONS)
-    return 1000.0 * _get(counts, miss_event) / insn if insn else 0.0
-
-
-def llc_miss_ratio(counts) -> float:
-    """LLC misses / LLC references."""
+def llc_miss_ratio(counts) -> float | None:
+    """LLC misses / LLC references (None without references)."""
     refs = _get(counts, Event.LLC_REFERENCES)
-    return _get(counts, Event.LLC_MISSES) / refs if refs else 0.0
+    return _ratio(_get(counts, Event.LLC_MISSES), refs)
 
 
-def branch_miss_rate(counts) -> float:
-    """Mispredictions / branches."""
+def branch_miss_rate(counts) -> float | None:
+    """Mispredictions / branches (None without a branch count)."""
     branches = _get(counts, Event.BRANCHES)
-    return _get(counts, Event.BRANCH_MISSES) / branches if branches else 0.0
+    return _ratio(_get(counts, Event.BRANCH_MISSES), branches)
 
 
-def stall_fraction(counts) -> float:
-    cycles = _get(counts, Event.CYCLES)
-    return _get(counts, Event.STALL_CYCLES) / cycles if cycles else 0.0
+def stall_fraction(counts) -> float | None:
+    """Stalled fraction of cycles (None without a cycle count)."""
+    return _ratio(_get(counts, Event.STALL_CYCLES), _get(counts, Event.CYCLES))
+
+
+#: JSON-friendly stand-in for a metric with no defined value.
+UNDEFINED = "undefined"
 
 
 @dataclass(frozen=True)
 class MetricSummary:
-    """The standard derived-metric bundle for one count set."""
+    """The standard derived-metric bundle for one count set.
 
-    ipc: float
-    llc_mpki: float
-    l2_mpki: float
-    branch_miss_rate: float
-    dtlb_mpki: float
-    stall_fraction: float
+    Fields are ``None`` when the metric is undefined for these counts
+    (missing denominator event), never silently 0.0.
+    """
 
-    def as_dict(self) -> dict[str, float]:
+    ipc: float | None
+    llc_mpki: float | None
+    l2_mpki: float | None
+    branch_miss_rate: float | None
+    dtlb_mpki: float | None
+    stall_fraction: float | None
+
+    def as_dict(self) -> dict[str, float | str]:
+        def cell(value: float | None) -> float | str:
+            return UNDEFINED if value is None else value
+
         return {
-            "ipc": self.ipc,
-            "llc_mpki": self.llc_mpki,
-            "l2_mpki": self.l2_mpki,
-            "branch_miss_rate": self.branch_miss_rate,
-            "dtlb_mpki": self.dtlb_mpki,
-            "stall_fraction": self.stall_fraction,
+            "ipc": cell(self.ipc),
+            "llc_mpki": cell(self.llc_mpki),
+            "l2_mpki": cell(self.l2_mpki),
+            "branch_miss_rate": cell(self.branch_miss_rate),
+            "dtlb_mpki": cell(self.dtlb_mpki),
+            "stall_fraction": cell(self.stall_fraction),
         }
 
 

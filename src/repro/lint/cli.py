@@ -3,10 +3,13 @@
 Usage::
 
     python -m repro.lint                      # self + registry + workloads
+                                              #   + analysis declarations
     python -m repro.lint self                 # AST rules over src/repro
     python -m repro.lint registry             # experiment metadata rules
     python -m repro.lint workloads            # walk the workload catalog
     python -m repro.lint workloads mysql apache --cores 2
+    python -m repro.lint analysis             # AN rules over the declared
+                                              #   metrics/trees/assumptions
     python -m repro.lint --strict             # warnings also fail
     python -m repro.lint --suppress ML005,SA001
     python -m repro.lint --json report.json   # machine-readable report
@@ -49,7 +52,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "target",
         nargs="?",
-        choices=("all", "self", "registry", "workloads"),
+        choices=("all", "self", "registry", "workloads", "analysis"),
         default="all",
         help="which analyzer front end to run (default: all)",
     )
@@ -105,6 +108,15 @@ def main(argv: list[str] | None = None) -> int:
 
         names = args.names or sorted(_workload_catalog())
         _lint_workloads(names, args.cores, args.scale, report)
+    if args.target in ("all", "analysis"):
+        from repro.analysis.check import check_analysis
+        from repro.common.config import MachineConfig, SimConfig
+
+        report.merge(
+            check_analysis(
+                SimConfig(machine=MachineConfig(n_cores=args.cores))
+            )
+        )
 
     suppress = tuple(r.strip() for r in args.suppress.split(",") if r.strip())
     if suppress:

@@ -54,6 +54,11 @@ class EngineRunRecord:
     metrics: dict[str, float] = field(default_factory=dict)
     trace: list[TraceEvent] = field(default_factory=list)
     thread_names: dict[int, str] = field(default_factory=dict)
+    #: ground-truth event totals of this run (event name -> count, summed
+    #: over threads and domains). Host-side bookkeeping read by the
+    #: top-down classifier (:mod:`repro.analysis.tree`); never feeds back
+    #: into simulation, so fingerprints are identical with or without it.
+    counts: dict[str, int] = field(default_factory=dict)
     #: windowed observations made during this run (None when it made none)
     windows: WindowedStats | None = None
     #: True when this record's windows already reached a stream writer —
@@ -92,6 +97,10 @@ class RunCollector:
         #: (see :func:`register_alert_spec`); evaluated lazily by
         #: :meth:`alerts_summary` over the merged window aggregate.
         self.alert_specs: list[Any] = []
+        #: refutation-sweep verdicts published into this scope (see
+        #: :func:`register_assumption_verdicts`); surfaced in the runner's
+        #: manifest ``analysis`` block.
+        self.assumption_verdicts: list[dict[str, Any]] = []
 
     # -- windowed observations ----------------------------------------------
 
@@ -224,6 +233,11 @@ class RunCollector:
     def record_run(self, result: Any, wall_seconds: float, sim_events: int) -> None:
         """Called by the engine when a run completes inside this scope."""
         windows = self._finish_pending()
+        counts: dict[str, int] = {}
+        for thread in result.threads.values():
+            for domain in (thread.events_user, thread.events_kernel):
+                for event, n in domain.items():
+                    counts[event.value] = counts.get(event.value, 0) + n
         self.records.append(
             EngineRunRecord(
                 index=len(self.records),
@@ -239,6 +253,7 @@ class RunCollector:
                 metrics=dict(sorted(result.metrics.items())),
                 trace=list(result.trace) if self.capture_traces else [],
                 thread_names={tid: t.name for tid, t in result.threads.items()},
+                counts=dict(sorted(counts.items())),
                 windows=windows,
                 windows_streamed=self.stream is not None,
                 fingerprint=(
@@ -414,6 +429,21 @@ class RunCollector:
                     out[reason] = out.get(reason, 0) + value
         return dict(sorted(out.items()))
 
+    def counts_total(self) -> dict[str, int] | None:
+        """Ground-truth event totals across every run in this scope, or
+        None when no record carries counts (records adopted from an older
+        cache entry predating the field)."""
+        totals: dict[str, int] = {}
+        seen = False
+        for r in self.records:
+            counts = getattr(r, "counts", None)
+            if not counts:
+                continue
+            seen = True
+            for name, n in counts.items():
+                totals[name] = totals.get(name, 0) + n
+        return dict(sorted(totals.items())) if seen else None
+
     def config_hash(self) -> str:
         """Stable digest of every distinct (seed, config) this scope ran —
         the manifest's reproducibility fingerprint."""
@@ -504,6 +534,20 @@ def register_alert_spec(spec: Any) -> bool:
     collector = _stack[-1]
     if spec not in collector.alert_specs:
         collector.alert_specs.append(spec)
+    return True
+
+
+def register_assumption_verdicts(verdicts: list[dict[str, Any]]) -> bool:
+    """Publish refutation-sweep verdicts (:meth:`repro.analysis.refute.
+    Verdict.as_dict` payloads) to the innermost collector so the runner's
+    manifest ``analysis`` block carries them. Deduplicates by value;
+    returns whether a collector was in scope to receive them."""
+    if not _stack:
+        return False
+    collector = _stack[-1]
+    for verdict in verdicts:
+        if verdict not in collector.assumption_verdicts:
+            collector.assumption_verdicts.append(verdict)
     return True
 
 

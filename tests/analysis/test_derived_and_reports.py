@@ -46,11 +46,28 @@ class TestDerivedMetrics:
         assert branch_miss_rate(COUNTS) == pytest.approx(0.05)
         assert stall_fraction(COUNTS) == pytest.approx(0.25)
 
-    def test_empty_counts_all_zero(self):
-        assert ipc({}) == 0.0
-        assert cpi({}) == 0.0
-        assert mpki({}, Event.LLC_MISSES) == 0.0
-        assert llc_miss_ratio({}) == 0.0
+    def test_empty_counts_undefined(self):
+        # No denominator data is "undefined", never a measured zero.
+        assert ipc({}) is None
+        assert cpi({}) is None
+        assert mpki({}, Event.LLC_MISSES) is None
+        assert llc_miss_ratio({}) is None
+        assert branch_miss_rate({}) is None
+        assert stall_fraction({}) is None
+
+    def test_absent_numerator_is_true_zero(self):
+        counts = {Event.CYCLES: 1000, Event.INSTRUCTIONS: 500}
+        assert mpki(counts, Event.LLC_MISSES) == 0.0
+        assert ipc(counts) == pytest.approx(0.5)
+
+    def test_summary_surfaces_undefined(self):
+        s = summarize({Event.CYCLES: 1000})
+        assert s.ipc == 0.0  # instructions absent: true zero numerator
+        assert s.llc_mpki is None  # instructions absent: no denominator
+        d = s.as_dict()
+        assert d["llc_mpki"] == "undefined"
+        assert d["branch_miss_rate"] == "undefined"
+        assert d["stall_fraction"] == 0.0
 
     def test_summarize_bundle(self):
         s = summarize(COUNTS)

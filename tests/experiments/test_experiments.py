@@ -142,10 +142,10 @@ class TestE11Enhancements:
 
 
 class TestRegistry:
-    def test_twenty_experiments(self):
-        assert len(registry.REGISTRY) == 20
+    def test_twenty_one_experiments(self):
+        assert len(registry.REGISTRY) == 21
         assert [e.exp_id for e in registry.all_experiments()] == [
-            f"E{i}" for i in range(1, 21)
+            f"E{i}" for i in range(1, 22)
         ]
 
     def test_get_case_insensitive(self):
@@ -260,3 +260,39 @@ class TestE20Resilience:
         assert e20.metric("fault_ledger_clean") == 1.0
         assert e20.metric("windows_reconciled") == 1.0
         assert e20.metric("all_reads_exact") == 1.0
+
+
+class TestE21Refutation:
+    @pytest.fixture(scope="class")
+    def e21(self):
+        from repro.experiments import e21_refutation
+
+        return e21_refutation.run(quick=True)
+
+    def test_every_assumption_is_judged(self, e21):
+        from repro.experiments.e21_refutation import declared_assumptions
+
+        assert e21.metric("n_assumptions") == len(declared_assumptions())
+        judged = (
+            e21.metric("n_refuted")
+            + e21.metric("n_supported")
+            + e21.metric("n_refined")
+        )
+        assert judged == e21.metric("n_assumptions")
+
+    def test_the_sweep_refutes_something_real(self, e21):
+        # the paper's spin-pollution physics must produce at least one
+        # refuted claim, with its counterexample rendered in the blocks
+        assert e21.metric("n_refuted") >= 1
+        assert any("counterexample" in block for block in e21.blocks)
+
+    def test_not_everything_refutes(self, e21):
+        # a sweep that kills every claim is as suspect as one that
+        # kills none
+        assert e21.metric("n_supported") >= 1
+
+    def test_declared_assumptions_pass_the_static_gate(self):
+        from repro.analysis.refute import precheck
+        from repro.experiments.e21_refutation import declared_assumptions
+
+        precheck(declared_assumptions())
